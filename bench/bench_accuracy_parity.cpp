@@ -1,0 +1,94 @@
+// E6 (paper Fig/Table: accuracy).
+//
+// "We achieved a mIOU accuracy of 80.8% for distributed training, which
+//  is on par with published accuracy for this model."
+//
+// The paper's claim is accuracy PARITY: gradient-averaged data-parallel
+// training matches equivalent single-process training. We reproduce that
+// property end-to-end with the real mini DeepLab-v3+ on the synthetic
+// shape-segmentation dataset: serial large-batch vs 2-rank vs 4-rank
+// Horovod training, same total samples, mIOU per epoch. (Absolute mIOU
+// depends on the dataset; parity across world sizes is the reproduced
+// result. See EXPERIMENTS.md for the substitution note.)
+#include <cstdio>
+
+#include "dlscale/train/trainer.hpp"
+#include "dlscale/util/table.hpp"
+
+using namespace dlscale;
+
+namespace {
+
+train::TrainConfig make_config() {
+  train::TrainConfig config;
+  config.model = {.in_channels = 3, .num_classes = 6, .input_size = 24, .width = 8};
+  config.dataset = {.image_size = 24, .num_classes = 6, .max_shapes = 3, .noise = 0.12f,
+                    .seed = 2020};
+  config.train_samples = 96;
+  config.eval_samples = 48;
+  config.batch_per_rank = 4;  // divided by world size so the GLOBAL batch stays 8
+  config.epochs = 10;
+  config.schedule = {0.08, 0.9, 0};
+  config.knobs.cycle_time_s = 1e-4;
+  config.seed = 7;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  util::Table table("E6 — Accuracy parity: serial vs Horovod data-parallel training");
+  table.set_header({"configuration", "global batch", "steps", "final loss", "final mIOU",
+                    "final pixel acc"});
+
+  // Serial reference: single process, global batch 8.
+  auto serial_config = make_config();
+  serial_config.batch_per_rank = 8;
+  const auto serial = train::train_serial(serial_config, 1);
+  table.add_row({"serial (1 process)", "8", util::Table::num(static_cast<long long>(serial.steps)),
+                 util::Table::num(serial.epochs.back().train_loss, 4),
+                 util::Table::pct(serial.final_miou()),
+                 util::Table::pct(serial.epochs.back().eval_pixel_accuracy)});
+  std::fprintf(stderr, "... serial done (mIOU %.3f)\n", serial.final_miou());
+
+  train::TrainReport four_rank_report;
+  for (int world : {2, 4}) {
+    auto config = make_config();
+    config.batch_per_rank = 8 / world;
+    train::TrainReport report;
+    mpi::WorldOptions options;
+    options.topology = net::Topology::single_node(world);
+    options.profile = net::MpiProfile::mvapich2_gdr_like();
+    options.timing = false;
+    mpi::run_world(options, [&](mpi::Communicator& comm) {
+      auto result = train::train_distributed(comm, config);
+      if (comm.rank() == 0) report = std::move(result);
+    });
+    table.add_row({std::to_string(world) + " ranks (Horovod)", "8",
+                   util::Table::num(static_cast<long long>(report.steps)),
+                   util::Table::num(report.epochs.back().train_loss, 4),
+                   util::Table::pct(report.final_miou()),
+                   util::Table::pct(report.epochs.back().eval_pixel_accuracy)});
+    std::fprintf(stderr, "... %d ranks done (mIOU %.3f)\n", world, report.final_miou());
+    if (world == 4) four_rank_report = std::move(report);
+  }
+  table.print();
+
+  std::printf("\n== Learning curve (4-rank distributed) ==\n");
+  {
+    util::Table curve;
+    curve.set_header({"epoch", "train loss", "eval mIOU", "eval pixel acc"});
+    for (const auto& epoch : four_rank_report.epochs) {
+      curve.add_row({util::Table::num(static_cast<long long>(epoch.epoch)),
+                     util::Table::num(epoch.train_loss, 4), util::Table::pct(epoch.eval_miou),
+                     util::Table::pct(epoch.eval_pixel_accuracy)});
+    }
+    curve.print();
+  }
+
+  std::printf(
+      "\nShape check: all world sizes converge into the same mIOU band (paper: distributed\n"
+      "mIOU 80.8%%, on par with the published single-node accuracy) and the learning\n"
+      "curve rises to a plateau as the loss falls.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Extension (optional feature): HOROVOD_FP16_ALLREDUCE gradient
+// compression at 132 GPUs.
+//
+// Not a figure in this paper, but the era's standard next knob after the
+// ones it tunes (and a headline feature of the same group's MVAPICH2
+// work): compress gradients to half precision before the allreduce,
+// halving wire bytes. The interesting reproduced structure: fp16 buys
+// the most where communication is exposed (Spectrum default), and almost
+// nothing where it is already hidden (tuned MVAPICH2-GDR) — compression
+// is a substitute for, not a complement to, a fast library.
+#include <cstdio>
+
+#include "dlscale/perf/simulator.hpp"
+#include "dlscale/util/env.hpp"
+#include "dlscale/util/table.hpp"
+
+using namespace dlscale;
+
+int main() {
+  util::Table table("Extension — fp16 gradient compression, DLv3+ @ 132 GPUs");
+  table.set_header({"library", "knobs", "fp16", "img/s", "efficiency", "gain"});
+
+  struct Row {
+    const char* label;
+    net::MpiProfile profile;
+    hvd::Knobs knobs;
+  };
+  const Row rows[] = {
+      {"SpectrumMPI", net::MpiProfile::spectrum_like(), hvd::Knobs::horovod_defaults()},
+      {"SpectrumMPI", net::MpiProfile::spectrum_like(), hvd::Knobs::paper_tuned()},
+      {"MVAPICH2-GDR", net::MpiProfile::mvapich2_gdr_like(), hvd::Knobs::horovod_defaults()},
+      {"MVAPICH2-GDR", net::MpiProfile::mvapich2_gdr_like(), hvd::Knobs::paper_tuned()},
+  };
+  for (const Row& row : rows) {
+    double baseline = 0.0;
+    for (bool fp16 : {false, true}) {
+      perf::ScalingConfig config;
+      config.workload = models::WorkloadSpec::deeplab_v3plus(4);
+      config.nodes = 22;
+      config.flop_efficiency = perf::Calibration::paper_defaults().deeplab_efficiency;
+      config.mpi_profile = row.profile;
+      config.knobs = row.knobs;
+      config.knobs.fp16_allreduce = fp16;
+      config.warmup_iterations = 1;
+      config.iterations = 1;
+      const auto result = perf::simulate(config);
+      if (!fp16) baseline = result.images_per_s;
+      table.add_row({row.profile.name,
+                     row.knobs.hierarchical_allreduce ? "tuned" : "default",
+                     fp16 ? "on" : "off", util::Table::num(result.images_per_s, 1),
+                     util::Table::pct(result.scaling_efficiency),
+                     fp16 ? util::Table::num(result.images_per_s / baseline, 2) + "x" : "-"});
+    }
+    std::fprintf(stderr, "... %s %s done\n", row.profile.name.c_str(),
+                 row.knobs.hierarchical_allreduce ? "tuned" : "default");
+  }
+  table.print();
+  std::printf(
+      "\nShape check: halving wire bytes recovers a large fraction of the exposed\n"
+      "communication under the staged default library and is nearly free where the\n"
+      "tuned MVAPICH2-GDR configuration already overlaps everything.\n");
+  return 0;
+}

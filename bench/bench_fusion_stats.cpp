@@ -1,0 +1,68 @@
+// E9 (ablation: tensor fusion / negotiation mechanics).
+//
+// For the DLv3+ gradient stream (283 tensors, ~209 MiB) on 48 GPUs:
+// collective launches, negotiation cycles, cache hits, and control-plane
+// traffic as a function of HOROVOD_FUSION_THRESHOLD and the response
+// cache — the mechanics behind the knob sweep's shape.
+#include <cstdio>
+
+#include "dlscale/perf/simulator.hpp"
+#include "dlscale/util/env.hpp"
+#include "dlscale/util/table.hpp"
+
+using namespace dlscale;
+
+namespace {
+
+perf::ScalingResult run(std::size_t fusion, bool cache) {
+  perf::ScalingConfig config;
+  config.workload = models::WorkloadSpec::deeplab_v3plus(4);
+  config.nodes = 8;  // 48 GPUs
+  config.flop_efficiency = perf::Calibration::paper_defaults().deeplab_efficiency;
+  config.mpi_profile = net::MpiProfile::mvapich2_gdr_like();
+  config.knobs.fusion_threshold = fusion;
+  config.knobs.response_cache = cache;
+  config.knobs.cycle_time_s = 3.5e-3;
+  config.warmup_iterations = 1;
+  config.iterations = 2;
+  return perf::simulate(config);
+}
+
+}  // namespace
+
+int main() {
+  const auto workload = models::WorkloadSpec::deeplab_v3plus(4);
+  std::printf("Gradient stream: %zu tensors, %s total\n\n", workload.num_tensors(),
+              util::format_bytes(workload.total_param_bytes()).c_str());
+
+  util::Table table("E9 — Fusion/negotiation mechanics, 48 GPUs, MVAPICH2-GDR (per iteration)");
+  table.set_header({"fusion threshold", "cache", "allreduce launches", "cycles",
+                    "cache-hit cycles", "control KiB", "img/s"});
+  for (std::size_t fusion : {std::size_t{64} << 10, std::size_t{1} << 20, std::size_t{8} << 20,
+                             std::size_t{64} << 20, std::size_t{256} << 20}) {
+    for (bool cache : {false, true}) {
+      const auto result = run(fusion, cache);
+      const double iters = 2.0;
+      table.add_row({util::format_bytes(fusion), cache ? "on" : "off",
+                     util::Table::num(static_cast<long long>(
+                         static_cast<double>(result.hvd_stats.fused_batches) / iters)),
+                     util::Table::num(static_cast<long long>(
+                         static_cast<double>(result.hvd_stats.cycles) / iters)),
+                     util::Table::num(static_cast<long long>(
+                         static_cast<double>(result.hvd_stats.cache_hit_cycles) / iters)),
+                     util::Table::num(static_cast<double>(result.hvd_stats.control_bytes) /
+                                          iters / 1024.0,
+                                      1),
+                     util::Table::num(result.images_per_s, 1)});
+    }
+    std::fprintf(stderr, "... fusion %s done\n", util::format_bytes(fusion).c_str());
+  }
+  table.print();
+
+  std::printf(
+      "\nShape check: launches fall ~linearly as the fusion window grows (283 tensors\n"
+      "collapse into a handful of fused allreduces at 64 MiB); the response cache\n"
+      "replaces name gathers with bitvector exchanges, cutting control traffic while\n"
+      "leaving launch counts unchanged.\n");
+  return 0;
+}

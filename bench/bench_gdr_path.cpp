@@ -1,0 +1,66 @@
+// E8 (ablation: GPUDirect vs host-staged transfer path).
+//
+// Point-to-point inter-node bandwidth vs message size for device buffers
+// under both library profiles, plus host buffers as the reference — the
+// osu_bw-style view of WHY MVAPICH2-GDR's allreduce wins: it keeps
+// GPUDirect RDMA engaged through the sizes gradient fusion produces,
+// where Spectrum falls off the staging cliff.
+#include <cstdio>
+
+#include "dlscale/mpi/comm.hpp"
+#include "dlscale/util/env.hpp"
+#include "dlscale/util/table.hpp"
+
+using namespace dlscale;
+
+namespace {
+
+double pt2pt_bandwidth(const net::MpiProfile& profile, std::size_t bytes, mpi::MemSpace space) {
+  mpi::WorldOptions options;
+  options.topology = net::Topology::summit(2);
+  options.profile = profile;
+  options.timing = true;
+  double elapsed = 0.0;
+  mpi::run_world(options, [&](mpi::Communicator& comm) {
+    constexpr int kReps = 4;
+    if (comm.rank() == 0) {
+      for (int rep = 0; rep < kReps; ++rep) comm.send(6, rep, {}, space, bytes);
+    } else if (comm.rank() == 6) {
+      const double t0 = comm.now();
+      for (int rep = 0; rep < kReps; ++rep) comm.recv(0, rep, {}, space, bytes);
+      elapsed = (comm.now() - t0) / kReps;
+    }
+  });
+  return static_cast<double>(bytes) / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t sizes[] = {4 << 10, 32 << 10, 256 << 10, 1 << 20,
+                               4 << 20, 16 << 20, 64 << 20};
+  const auto spectrum = net::MpiProfile::spectrum_like();
+  const auto mvapich = net::MpiProfile::mvapich2_gdr_like();
+
+  util::Table table("E8 — Inter-node pt2pt bandwidth (GB/s), osu_bw-style");
+  table.set_header({"message size", "Spectrum host", "Spectrum device", "MVAPICH host",
+                    "MVAPICH device", "device gap"});
+  for (std::size_t bytes : sizes) {
+    const double sp_host = pt2pt_bandwidth(spectrum, bytes, mpi::MemSpace::kHost);
+    const double sp_dev = pt2pt_bandwidth(spectrum, bytes, mpi::MemSpace::kDevice);
+    const double mv_host = pt2pt_bandwidth(mvapich, bytes, mpi::MemSpace::kHost);
+    const double mv_dev = pt2pt_bandwidth(mvapich, bytes, mpi::MemSpace::kDevice);
+    table.add_row({util::format_bytes(bytes), util::Table::num(sp_host / 1e9, 2),
+                   util::Table::num(sp_dev / 1e9, 2), util::Table::num(mv_host / 1e9, 2),
+                   util::Table::num(mv_dev / 1e9, 2),
+                   util::Table::num(mv_dev / sp_dev, 1) + "x"});
+  }
+  table.print();
+
+  std::printf(
+      "\nShape check: host-buffer bandwidth is comparable across libraries; device-buffer\n"
+      "bandwidth diverges sharply above Spectrum's small GDR window (16 KiB) where it\n"
+      "stages through host bounce buffers, while MVAPICH2-GDR rides GPUDirect + dual-rail\n"
+      "striping to wire speed (paper Fig. GDR ablation).\n");
+  return 0;
+}

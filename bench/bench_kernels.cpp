@@ -1,0 +1,116 @@
+// Wall-clock microbenchmarks (google-benchmark) for the real compute and
+// communication substrates: tensor kernels that execute the mini
+// DeepLab-v3+, and functional simmpi collectives moving real data.
+#include <benchmark/benchmark.h>
+
+#include "dlscale/mpi/comm.hpp"
+#include "dlscale/tensor/ops.hpp"
+#include "dlscale/util/rng.hpp"
+
+namespace dt = dlscale::tensor;
+namespace dm = dlscale::mpi;
+
+namespace {
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int channels = static_cast<int>(state.range(0));
+  dlscale::util::Rng rng(1);
+  const auto x = dt::Tensor::randn({2, channels, 24, 24}, rng);
+  const auto w = dt::Tensor::he_init({channels, channels, 3, 3}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt::conv2d(x, w, nullptr, {1, 1, 1}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dAtrousForward(benchmark::State& state) {
+  dlscale::util::Rng rng(1);
+  const auto x = dt::Tensor::randn({2, 16, 24, 24}, rng);
+  const auto w = dt::Tensor::he_init({16, 16, 3, 3}, rng);
+  const int dilation = static_cast<int>(state.range(0));
+  const dt::Conv2dSpec spec{1, dilation, dilation};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt::conv2d(x, w, nullptr, spec));
+  }
+}
+BENCHMARK(BM_Conv2dAtrousForward)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  dlscale::util::Rng rng(1);
+  const auto x = dt::Tensor::randn({2, 16, 24, 24}, rng);
+  const auto w = dt::Tensor::he_init({16, 16, 3, 3}, rng);
+  const dt::Conv2dSpec spec{1, 1, 1};
+  const auto y = dt::conv2d(x, w, nullptr, spec);
+  const auto grad_out = dt::Tensor::full(y.shape(), 1.0f);
+  for (auto _ : state) {
+    dt::Tensor grad_w(w.shape());
+    benchmark::DoNotOptimize(dt::conv2d_backward(x, w, grad_out, spec, grad_w, nullptr));
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  dlscale::util::Rng rng(1);
+  const auto x = dt::Tensor::randn({4, 32, 24, 24}, rng);
+  const auto gamma = dt::Tensor::full({32}, 1.0f);
+  const auto beta = dt::Tensor::zeros({32});
+  auto rm = dt::Tensor::zeros({32});
+  auto rv = dt::Tensor::full({32}, 1.0f);
+  dt::BatchNormCache cache;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt::batchnorm2d(x, gamma, beta, rm, rv, true, 0.1f, 1e-5f, &cache));
+  }
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_BilinearResize(benchmark::State& state) {
+  dlscale::util::Rng rng(1);
+  const auto x = dt::Tensor::randn({2, 32, 12, 12}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt::bilinear_resize(x, 48, 48));
+  }
+}
+BENCHMARK(BM_BilinearResize);
+
+void BM_SoftmaxCrossEntropy(benchmark::State& state) {
+  dlscale::util::Rng rng(1);
+  const auto logits = dt::Tensor::randn({4, 6, 24, 24}, rng);
+  std::vector<int> labels(4 * 24 * 24);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<int>(i % 6);
+  for (auto _ : state) {
+    dt::Tensor grad;
+    benchmark::DoNotOptimize(dt::softmax_cross_entropy(logits, labels, 255, grad));
+  }
+}
+BENCHMARK(BM_SoftmaxCrossEntropy);
+
+void BM_AllreduceFunctional(benchmark::State& state) {
+  // Real data movement through simmpi (timing disabled): the functional
+  // cost of the threaded runtime itself.
+  const int world = static_cast<int>(state.range(0));
+  const std::size_t count = 1 << 16;
+  for (auto _ : state) {
+    dm::run_world(world, [count](dm::Communicator& comm) {
+      std::vector<float> data(count, static_cast<float>(comm.rank()));
+      comm.allreduce(std::span<float>(data), dm::ReduceOp::kSum, dm::MemSpace::kHost);
+      benchmark::DoNotOptimize(data[0]);
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<long>(count * sizeof(float)));
+}
+BENCHMARK(BM_AllreduceFunctional)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MatmulSquare(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  dlscale::util::Rng rng(1);
+  const auto a = dt::Tensor::randn({n, n}, rng);
+  const auto b = dt::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatmulSquare)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,100 @@
+// E3 + E4 (paper Fig: scaling comparison; Table: efficiency).
+//
+// Weak-scaling of DeepLab-v3+ training from 6 to 132 GPUs under the four
+// configurations the paper compares:
+//   {default Horovod, tuned Horovod} x {Spectrum MPI, MVAPICH2-GDR}
+// followed by the headline table: 92% efficiency for tuned MVAPICH2-GDR
+// at 132 GPUs, +23.9 efficiency points over default Horovod, 1.3x
+// speedup.
+#include <cstdio>
+#include <vector>
+
+#include "dlscale/perf/simulator.hpp"
+#include "dlscale/util/table.hpp"
+
+using namespace dlscale;
+
+namespace {
+
+struct Config {
+  const char* label;
+  net::MpiProfile profile;
+  hvd::Knobs knobs;
+};
+
+perf::ScalingResult run(const Config& config, int nodes) {
+  perf::ScalingConfig scaling;
+  scaling.workload = models::WorkloadSpec::deeplab_v3plus(4);
+  scaling.nodes = nodes;
+  scaling.flop_efficiency = perf::Calibration::paper_defaults().deeplab_efficiency;
+  scaling.mpi_profile = config.profile;
+  scaling.knobs = config.knobs;
+  scaling.warmup_iterations = 1;
+  scaling.iterations = 2;
+  return perf::simulate(scaling);
+}
+
+}  // namespace
+
+int main() {
+  const Config configs[] = {
+      {"Spectrum / default", net::MpiProfile::spectrum_like(), hvd::Knobs::horovod_defaults()},
+      {"Spectrum / tuned", net::MpiProfile::spectrum_like(), hvd::Knobs::paper_tuned()},
+      {"MVAPICH2-GDR / default", net::MpiProfile::mvapich2_gdr_like(),
+       hvd::Knobs::horovod_defaults()},
+      {"MVAPICH2-GDR / tuned", net::MpiProfile::mvapich2_gdr_like(), hvd::Knobs::paper_tuned()},
+  };
+  const int node_counts[] = {1, 2, 4, 8, 14, 22};
+
+  util::Table throughput("E3 — Weak scaling, DeepLab-v3+ images/sec (paper Fig. scaling)");
+  util::Table efficiency("E4 — Scaling efficiency vs 1 GPU (paper Table)");
+  std::vector<std::string> header{"GPUs", "ideal"};
+  for (const Config& config : configs) header.push_back(config.label);
+  throughput.set_header(header);
+  efficiency.set_header(header);
+
+  const double single = perf::single_gpu_throughput(
+      models::WorkloadSpec::deeplab_v3plus(4),
+      perf::Calibration::paper_defaults().deeplab_efficiency);
+
+  perf::ScalingResult best132{}, default132{};
+  for (int nodes : node_counts) {
+    const int gpus = nodes * 6;
+    std::vector<std::string> trow{util::Table::num(static_cast<long long>(gpus)),
+                                  util::Table::num(single * gpus, 1)};
+    std::vector<std::string> erow{util::Table::num(static_cast<long long>(gpus)), "100.0%"};
+    for (const Config& config : configs) {
+      const auto result = run(config, nodes);
+      trow.push_back(util::Table::num(result.images_per_s, 1));
+      erow.push_back(util::Table::pct(result.scaling_efficiency));
+      if (nodes == 22) {
+        if (std::string(config.label) == "MVAPICH2-GDR / tuned") best132 = result;
+        if (std::string(config.label) == "Spectrum / default") default132 = result;
+      }
+    }
+    throughput.add_row(trow);
+    efficiency.add_row(erow);
+    std::fprintf(stderr, "... %d GPUs done\n", gpus);
+  }
+  throughput.print();
+  std::printf("\n");
+  efficiency.print();
+
+  std::printf("\n== Headline comparison at 132 GPUs (paper abstract) ==\n");
+  util::Table headline;
+  headline.set_header({"quantity", "ours", "paper"});
+  headline.add_row({"tuned MVAPICH2-GDR efficiency",
+                    util::Table::pct(best132.scaling_efficiency), "92%"});
+  headline.add_row({"default Horovod efficiency",
+                    util::Table::pct(default132.scaling_efficiency), "~68% (implied)"});
+  headline.add_row(
+      {"efficiency improvement",
+       util::Table::num((best132.scaling_efficiency - default132.scaling_efficiency) * 100.0, 1) +
+           " points",
+       "23.9 points"});
+  headline.add_row({"training speedup",
+                    util::Table::num(best132.images_per_s / default132.images_per_s, 2) + "x",
+                    "1.3x"});
+  headline.print();
+  return 0;
+}

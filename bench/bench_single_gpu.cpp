@@ -1,0 +1,57 @@
+// E1 (paper Table: single-GPU throughput).
+//
+// "We observed just 6.7 images/second on a single Volta GPU for training
+//  DeepLab-v3+ [...] a Volta GPU can process 300 images/second for
+//  training ResNet-50."
+//
+// Prints per-model single-V100 training throughput from the calibrated
+// performance model, side by side with the paper's numbers, plus the
+// compute breakdown that explains the ~45x gap.
+#include <cstdio>
+
+#include "dlscale/gpu/device.hpp"
+#include "dlscale/models/workload.hpp"
+#include "dlscale/perf/simulator.hpp"
+#include "dlscale/util/table.hpp"
+
+using namespace dlscale;
+
+int main() {
+  const auto calibration = perf::Calibration::paper_defaults();
+  const auto dlv3 = models::WorkloadSpec::deeplab_v3plus(4);
+  const auto rn50 = models::WorkloadSpec::resnet50(64);
+
+  struct Row {
+    const models::WorkloadSpec* workload;
+    double efficiency;
+    double paper_img_s;
+  };
+  const Row rows[] = {{&dlv3, calibration.deeplab_efficiency, 6.7},
+                      {&rn50, calibration.resnet_efficiency, 300.0}};
+
+  util::Table table("E1 — Single V100 training throughput (paper Table 1)");
+  table.set_header({"model", "crop", "batch", "params (M)", "fwd GFLOPs/img",
+                    "sustained TFLOP/s", "img/s (ours)", "img/s (paper)"});
+  for (const Row& row : rows) {
+    const auto& w = *row.workload;
+    const double img_s = perf::single_gpu_throughput(w, row.efficiency);
+    const gpu::ComputeModel gpu_model(gpu::DeviceSpec::v100_summit(), row.efficiency);
+    table.add_row({w.name, util::Table::num(static_cast<long long>(w.crop)),
+                   util::Table::num(static_cast<long long>(w.batch_per_gpu)),
+                   util::Table::num(static_cast<double>(w.total_param_bytes()) / 4e6, 1),
+                   util::Table::num(w.total_fwd_flops() / w.batch_per_gpu / 1e9, 1),
+                   util::Table::num(row.efficiency * 15.7, 2), util::Table::num(img_s, 1),
+                   util::Table::num(row.paper_img_s, 1)});
+  }
+  table.print();
+
+  const double ratio_ours =
+      perf::single_gpu_throughput(rn50, calibration.resnet_efficiency) /
+      perf::single_gpu_throughput(dlv3, calibration.deeplab_efficiency);
+  std::printf("\nThroughput ratio ResNet-50 : DLv3+ = %.1fx (paper: %.1fx)\n", ratio_ours,
+              300.0 / 6.7);
+  std::printf(
+      "Takeaway: segmentation training is ~45x more expensive per image, motivating\n"
+      "scale-out on Summit (paper Section I).\n");
+  return 0;
+}

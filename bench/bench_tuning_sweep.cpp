@@ -1,0 +1,80 @@
+// E5 (paper Fig: Horovod knob sweep).
+//
+// Images/sec at 132 GPUs while sweeping the two Horovod knobs the paper
+// tunes: HOROVOD_FUSION_THRESHOLD and HOROVOD_CYCLE_TIME. The sweep runs
+// under BOTH library profiles because the knobs' leverage depends on the
+// library: under Spectrum (communication exposed) the surface is steep;
+// under MVAPICH2-GDR (communication fully overlapped at this batch size)
+// it is a plateau — which is itself the paper's point that the library
+// choice dominates and only modest knob changes are needed after it.
+#include <cstdio>
+#include <vector>
+
+#include "dlscale/perf/simulator.hpp"
+#include "dlscale/util/env.hpp"
+#include "dlscale/util/table.hpp"
+
+using namespace dlscale;
+
+namespace {
+
+void sweep(const net::MpiProfile& profile) {
+  const std::size_t fusions[] = {1 << 20, 8 << 20, 64 << 20};
+  const double cycles_ms[] = {3.5, 10.0, 25.0};
+  const int nodes = 22;  // 132 GPUs
+
+  util::Table table("E5 — Tuning sweep: img/s on 132 GPUs, " + profile.name +
+                    " (fusion threshold x cycle time)");
+  std::vector<std::string> header{"fusion \\ cycle"};
+  for (double ms : cycles_ms) header.push_back(util::Table::num(ms, 1) + " ms");
+  table.set_header(header);
+
+  double best = 0.0, worst = 1e18;
+  std::size_t best_fusion = 0;
+  double best_cycle = 0.0;
+  for (std::size_t fusion : fusions) {
+    std::vector<std::string> row{util::format_bytes(fusion)};
+    for (double cycle_ms : cycles_ms) {
+      perf::ScalingConfig config;
+      config.workload = models::WorkloadSpec::deeplab_v3plus(4);
+      config.nodes = nodes;
+      config.flop_efficiency = perf::Calibration::paper_defaults().deeplab_efficiency;
+      config.mpi_profile = profile;
+      config.knobs.fusion_threshold = fusion;
+      config.knobs.cycle_time_s = cycle_ms * 1e-3;
+      config.knobs.hierarchical_allreduce = false;
+      config.knobs.response_cache = true;
+      config.warmup_iterations = 1;
+      config.iterations = 1;
+      const auto result = perf::simulate(config);
+      row.push_back(util::Table::num(result.images_per_s, 1));
+      if (result.images_per_s > best) {
+        best = result.images_per_s;
+        best_fusion = fusion;
+        best_cycle = cycle_ms;
+      }
+      worst = std::min(worst, result.images_per_s);
+    }
+    table.add_row(row);
+    std::fprintf(stderr, "... %s fusion %s done\n", profile.name.c_str(),
+                 util::format_bytes(fusion).c_str());
+  }
+  table.print();
+  std::printf("Best cell: fusion %s, cycle %.1f ms -> %.1f img/s (worst %.1f; %.0f%% spread)\n\n",
+              util::format_bytes(best_fusion).c_str(), best_cycle, best, worst,
+              (best / worst - 1.0) * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  sweep(net::MpiProfile::spectrum_like());
+  sweep(net::MpiProfile::mvapich2_gdr_like());
+  std::printf(
+      "Shape check: under the staged default library the surface is steep — tiny fusion\n"
+      "windows multiply per-launch staging costs and 25 ms cycles add trailing-gradient\n"
+      "latency; under MVAPICH2-GDR the same sweep is a plateau because communication\n"
+      "already hides behind backprop. The tuning ridge (tens-of-MB fusion, few-ms cycle)\n"
+      "matches the paper's chosen values.\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Runs every paper-reproduction bench in experiment order and tees the
+# output; used to produce bench_output.txt for EXPERIMENTS.md.
+set -e
+BUILD="${1:-build}"
+for b in bench_single_gpu bench_allreduce_latency bench_scaling bench_tuning_sweep \
+         bench_accuracy_parity bench_hierarchical bench_gdr_path bench_fusion_stats bench_resnet_scaling bench_fp16_compression \
+         bench_kernels; do
+  echo "==================================================================="
+  echo "== $b"
+  echo "==================================================================="
+  "$BUILD/bench/$b"
+  echo
+done

@@ -1,0 +1,47 @@
+// Quickstart: the dlscale stack in ~60 lines.
+//
+//  1. Launch a simulated Summit-shaped world (2 nodes x 6 V100s).
+//  2. Average a "gradient" across all ranks through the Horovod core
+//     (negotiation, fusion, allreduce) — with REAL data movement.
+//  3. Read back the virtual-time cost of the exchange under the
+//     MVAPICH2-GDR network model.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "dlscale/hvd/horovod.hpp"
+#include "dlscale/mpi/comm.hpp"
+
+using namespace dlscale;
+
+int main() {
+  mpi::WorldOptions options;
+  options.topology = net::Topology::summit(2);          // 12 GPUs
+  options.profile = net::MpiProfile::mvapich2_gdr_like();
+  options.timing = true;                                // virtual clocks on
+
+  mpi::run_world(options, [](mpi::Communicator& comm) {
+    // Each rank contributes rank+1 everywhere; the average over 12 ranks
+    // is (1 + 2 + ... + 12) / 12 = 6.5.
+    std::vector<float> gradient(1 << 20, static_cast<float>(comm.rank() + 1));
+
+    hvd::HorovodRuntime horovod(comm, hvd::Knobs::paper_tuned());
+    horovod.submit({"quickstart/gradient", std::span<float>(gradient)});
+    horovod.synchronize();
+
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::printf("world:            %s\n", comm.topology().describe().c_str());
+      std::printf("library profile:  %s\n", comm.profile().name.c_str());
+      std::printf("averaged value:   %.2f (expected 6.50)\n", gradient[12345]);
+      std::printf("virtual time:     %.3f ms for a %zu MiB gradient average\n",
+                  comm.now() * 1e3, gradient.size() * sizeof(float) >> 20);
+      std::printf("fused launches:   %llu, negotiation cycles: %llu\n",
+                  static_cast<unsigned long long>(horovod.stats().fused_batches),
+                  static_cast<unsigned long long>(horovod.stats().cycles));
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Synthetic semantic-segmentation dataset + distributed sampling.
+//
+// The paper trains on PASCAL VOC-style data we cannot ship, so the
+// accuracy-parity experiment (E6) uses a generated substitute: images of
+// geometric shapes (disks, rectangles, crosses, rings, stripes) over a
+// textured background, each shape class with its own colour statistics,
+// labelled per pixel. The task is learnable but not trivial (shapes
+// overlap, colours are noisy), which is what E6 needs: a dataset where
+// single-rank and data-parallel training measurably converge to the same
+// mIOU. Sample generation is a pure function of (seed, index), so every
+// rank can materialise exactly its shard without any data files.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dlscale/tensor/tensor.hpp"
+#include "dlscale/util/rng.hpp"
+
+namespace dlscale::data {
+
+using tensor::Tensor;
+
+/// One image with per-pixel labels.
+struct Sample {
+  Tensor image;             ///< (1, 3, size, size)
+  std::vector<int> labels;  ///< size*size class ids (0 = background)
+};
+
+/// Deterministic generator of shape-segmentation samples.
+class SyntheticShapes {
+ public:
+  struct Config {
+    int image_size = 48;
+    int num_classes = 6;   ///< background + 5 shape classes
+    int max_shapes = 4;    ///< shapes per image in [1, max_shapes]
+    float noise = 0.15f;   ///< pixel colour noise stddev
+    std::uint64_t seed = 2020;
+  };
+
+  explicit SyntheticShapes(Config config);
+
+  /// Materialise sample `index` (same result on every rank/platform).
+  [[nodiscard]] Sample make(std::uint64_t index) const;
+
+  /// Stack `indices` into one batch: image (B,3,S,S), labels B*S*S.
+  [[nodiscard]] Sample make_batch(const std::vector<std::uint64_t>& indices) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  void draw_shape(Tensor& image, std::vector<int>& labels, int shape_class, util::Rng& rng) const;
+
+  Config config_;
+};
+
+/// Training-time augmentation in the DeepLab recipe's spirit: random
+/// horizontal flip and random translation (crop-with-padding). Labels
+/// move with their pixels; pixels shifted in from outside get background
+/// class 0 and background colour. Deterministic from `rng`.
+void augment(Sample& sample, util::Rng& rng, int max_shift = 4);
+
+/// Horizontal flip of every image row and its labels (exposed for tests).
+void flip_horizontal(Sample& sample);
+
+/// Translate image and labels by (dy, dx), filling vacated pixels with
+/// background (exposed for tests).
+void translate(Sample& sample, int dy, int dx);
+
+/// Deterministic shard-by-rank sampler with per-epoch shuffling — the
+/// same contract as Horovod's DistributedSampler: every rank sees a
+/// disjoint 1/world_size slice of each epoch's permutation.
+class DistributedSampler {
+ public:
+  DistributedSampler(std::uint64_t dataset_size, int world_size, int rank, std::uint64_t seed);
+
+  /// Sample indices of this rank's shard for `epoch`, already shuffled.
+  [[nodiscard]] std::vector<std::uint64_t> epoch_indices(std::uint64_t epoch) const;
+
+  /// Samples per rank per epoch (dataset_size / world_size, floored so
+  /// every rank sees the same count).
+  [[nodiscard]] std::uint64_t shard_size() const noexcept { return shard_size_; }
+
+ private:
+  std::uint64_t dataset_size_;
+  int world_size_;
+  int rank_;
+  std::uint64_t seed_;
+  std::uint64_t shard_size_;
+};
+
+/// Streaming confusion matrix with mean intersection-over-union, the
+/// paper's reported metric (80.8% mIOU).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Accumulate predictions vs ground truth; `ignore_label` pixels skipped.
+  void update(const std::vector<int>& prediction, const std::vector<int>& truth,
+              int ignore_label = 255);
+
+  /// IOU of one class; 0 when the class never appears.
+  [[nodiscard]] double iou(int cls) const;
+
+  /// Mean IOU over classes that appear in truth or prediction.
+  [[nodiscard]] double miou() const;
+
+  /// Overall pixel accuracy.
+  [[nodiscard]] double pixel_accuracy() const;
+
+  /// Raw counts for merging across ranks (row-major truth x prediction).
+  [[nodiscard]] std::vector<std::uint64_t>& counts() noexcept { return counts_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
+
+  void reset();
+
+ private:
+  int num_classes_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace dlscale::data

@@ -1,0 +1,88 @@
+// Simulated GPU device: performance envelope + device-memory buffers.
+//
+// The repository has no CUDA; "device memory" is host memory tagged with
+// MemSpace::kDevice so the communication stack exercises its GPU-buffer
+// code paths (GDR vs staging), and kernel/copy *times* come from a
+// roofline-style model of the V100 as deployed in Summit AC922 nodes
+// (NVLink2-attached CPUs, so host<->device copies run far above PCIe3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dlscale::gpu {
+
+/// Static performance envelope of one GPU.
+struct DeviceSpec {
+  std::string name;
+  double peak_fp32_flops = 1.0;      ///< FLOP/s
+  double mem_bandwidth_Bps = 1.0;    ///< HBM2 sustained bandwidth
+  double kernel_launch_s = 0.0;      ///< per-kernel launch + driver overhead
+  double h2d_bandwidth_Bps = 1.0;    ///< host->device copy bandwidth
+  double d2h_bandwidth_Bps = 1.0;    ///< device->host copy bandwidth
+  double d2d_bandwidth_Bps = 1.0;    ///< on-device memcpy bandwidth
+  double copy_latency_s = 0.0;       ///< per-copy setup cost
+  std::size_t memory_bytes = 0;      ///< device memory capacity
+
+  /// V100-SXM3 16 GB as integrated in Summit (NVLink2 CPU attach).
+  static DeviceSpec v100_summit();
+};
+
+enum class CopyKind { kHostToDevice, kDeviceToHost, kDeviceToDevice };
+
+/// Prices kernels and copies against a DeviceSpec. `flop_efficiency` is
+/// the fraction of peak a workload's kernels sustain (cuDNN conv kernels
+/// land in 0.3-0.6 on V100 depending on layer geometry); it is the single
+/// calibration constant per workload family (DESIGN.md section 5).
+class ComputeModel {
+ public:
+  ComputeModel(DeviceSpec spec, double flop_efficiency);
+
+  /// Roofline time for a kernel doing `flops` arithmetic over
+  /// `bytes_touched` of memory traffic, plus launch overhead.
+  [[nodiscard]] double kernel_time(double flops, double bytes_touched) const noexcept;
+
+  /// Time for an explicit copy of `bytes`.
+  [[nodiscard]] double copy_time(std::size_t bytes, CopyKind kind) const noexcept;
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] double flop_efficiency() const noexcept { return flop_efficiency_; }
+
+ private:
+  DeviceSpec spec_;
+  double flop_efficiency_;
+};
+
+/// A simulated device allocation: byte storage tagged as device memory.
+/// Typed access is via spans; element type is the caller's contract.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  explicit DeviceBuffer(std::size_t bytes) : storage_(bytes) {}
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return storage_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return storage_.empty(); }
+
+  [[nodiscard]] std::span<std::byte> bytes() noexcept { return storage_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return storage_; }
+
+  /// View the buffer as `T`s; `size_bytes()` must be a multiple of sizeof(T).
+  template <typename T>
+  [[nodiscard]] std::span<T> as() noexcept {
+    return {reinterpret_cast<T*>(storage_.data()), storage_.size() / sizeof(T)};
+  }
+  template <typename T>
+  [[nodiscard]] std::span<const T> as() const noexcept {
+    return {reinterpret_cast<const T*>(storage_.data()), storage_.size() / sizeof(T)};
+  }
+
+  void resize(std::size_t bytes) { storage_.resize(bytes); }
+
+ private:
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace dlscale::gpu

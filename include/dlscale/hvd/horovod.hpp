@@ -1,0 +1,181 @@
+// Horovod core reimplementation: negotiation, tensor fusion, cycles.
+//
+// The paper's contribution is tuning Horovod/MPI runtime knobs — fusion
+// threshold (HOROVOD_FUSION_THRESHOLD), cycle time (HOROVOD_CYCLE_TIME),
+// hierarchical allreduce (HOROVOD_HIERARCHICAL_ALLREDUCE), response cache
+// — without touching framework code. For those knobs to mean anything,
+// the machinery they control has to exist, so this module reimplements
+// Horovod's background-coordinator design over simmpi:
+//
+//  * every rank submits gradient tensors as they become ready (backprop
+//    emits them in reverse layer order);
+//  * once per cycle, ranks report ready tensors to the coordinator
+//    (rank 0); when every rank has reported a tensor, the coordinator
+//    emits a response, preserving arrival order;
+//  * responses are greedily fused into batches up to the fusion
+//    threshold, packed into a fusion buffer, allreduced once per batch
+//    (flat or hierarchical), unpacked, and averaged;
+//  * after the first iteration the response cache replaces name-list
+//    gathers with a fixed-size bitvector allgather.
+//
+// All coordination traffic is real simmpi messages, so negotiation cost
+// scales with world size and cycle count exactly as it does in Horovod.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dlscale/gpu/device.hpp"
+#include "dlscale/mpi/comm.hpp"
+
+namespace dlscale::hvd {
+
+/// The runtime knobs under study (paper Table "tuned parameters").
+struct Knobs {
+  std::size_t fusion_threshold = 64 << 20;  ///< HOROVOD_FUSION_THRESHOLD (bytes)
+  double cycle_time_s = 5e-3;               ///< HOROVOD_CYCLE_TIME (seconds)
+  bool hierarchical_allreduce = false;      ///< HOROVOD_HIERARCHICAL_ALLREDUCE
+  bool response_cache = true;               ///< HOROVOD_CACHE_CAPACITY > 0
+  std::optional<mpi::AllreduceAlgo> algo;   ///< force a collective algorithm
+  /// Warn (once per tensor) when a tensor has been announced by some
+  /// ranks but not all for this many cycles — Horovod's stall check
+  /// (HOROVOD_STALL_CHECK). 0 disables.
+  std::uint64_t stall_warning_cycles = 500;
+  /// Compress gradients to IEEE half before the allreduce and expand the
+  /// averaged result (HOROVOD_FP16_ALLREDUCE): halves wire bytes at
+  /// ~1e-3 relative precision cost.
+  bool fp16_allreduce = false;
+
+  /// Read HOROVOD_FUSION_THRESHOLD / HOROVOD_CYCLE_TIME (ms) /
+  /// HOROVOD_HIERARCHICAL_ALLREDUCE / HOROVOD_CACHE_CAPACITY from the
+  /// environment, falling back to the given defaults.
+  static Knobs from_env(Knobs defaults);
+  static Knobs from_env();
+
+  /// Horovod defaults as deployed on Summit when the paper was written
+  /// (0.15.x era): 64 MiB fusion, 5 ms cycle, flat allreduce, and NO
+  /// response cache (the cache shipped later, in 0.16/0.18).
+  static Knobs horovod_defaults() {
+    Knobs knobs;
+    knobs.response_cache = false;
+    return knobs;
+  }
+
+  /// The paper's tuned configuration: larger effective fusion window,
+  /// shorter cycle, hierarchical allreduce on.
+  static Knobs paper_tuned();
+};
+
+/// Counters for the fusion/negotiation ablation (experiment E9).
+struct RuntimeStats {
+  std::uint64_t cycles = 0;            ///< negotiation rounds executed
+  std::uint64_t tensors_negotiated = 0;
+  std::uint64_t fused_batches = 0;     ///< collective launches
+  std::uint64_t cache_hit_cycles = 0;  ///< cycles served by the bitvector path
+  std::uint64_t bytes_reduced = 0;
+  std::uint64_t control_bytes = 0;     ///< negotiation wire traffic
+  std::uint64_t stall_warnings = 0;    ///< tensors flagged by the stall check
+};
+
+/// One gradient tensor registered for allreduce.
+struct TensorRequest {
+  std::string name;        ///< stable identity across iterations
+  std::span<float> data;   ///< payload; empty in timing-only mode
+  std::size_t bytes = 0;   ///< logical size (defaults to data size)
+  double ready_at = 0.0;   ///< virtual time the gradient became available
+};
+
+/// Per-rank Horovod runtime. Every rank constructs one over the same
+/// communicator and drives it SPMD-style: submit(...) x N, synchronize().
+class HorovodRuntime {
+ public:
+  HorovodRuntime(mpi::Communicator& comm, Knobs knobs,
+                 gpu::ComputeModel copy_model = gpu::ComputeModel(
+                     gpu::DeviceSpec::v100_summit(), 0.5));
+
+  /// Register a tensor for averaging (hvd.allreduce_async_ equivalent).
+  /// All ranks must submit the same named set between synchronize calls.
+  void submit(TensorRequest request);
+
+  /// Run negotiation/execution cycles until every submitted tensor has
+  /// been reduced on all ranks (hvd.synchronize equivalent). Collective.
+  void synchronize();
+
+  /// Broadcast `data` from `root` to all ranks (hvd.broadcast). Used to
+  /// distribute rank-0's initial model state so replicas start identical
+  /// regardless of per-rank initialisation. Collective.
+  void broadcast(std::span<float> data, int root = 0);
+
+  /// Record negotiation/allreduce events for the Horovod-timeline-style
+  /// trace (HOROVOD_TIMELINE equivalent). Call before the first cycle.
+  void enable_timeline() { timeline_enabled_ = true; }
+
+  /// Write the recorded trace as Chrome tracing JSON (load in
+  /// chrome://tracing or Perfetto). Timestamps are virtual microseconds.
+  void write_timeline(std::ostream& out) const;
+
+  [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Knobs& knobs() const noexcept { return knobs_; }
+  [[nodiscard]] mpi::Communicator& comm() noexcept { return comm_; }
+  void reset_stats() { stats_ = RuntimeStats{}; }
+
+ private:
+  struct Pending {
+    TensorRequest request;
+    bool announced = false;  ///< already reported to the coordinator
+  };
+
+  /// One negotiation + execution round. Returns true while any rank has
+  /// work left (coordinator-decided, broadcast to all).
+  bool cycle();
+
+  /// Execute one fused batch of tensor names (same list on all ranks).
+  void execute_batch(const std::vector<std::string>& names);
+
+  std::vector<std::string> collect_ready(double cycle_start);
+  void note_cached(const std::string& name);
+
+  mpi::Communicator& comm_;
+  Knobs knobs_;
+  gpu::ComputeModel copy_model_;
+  RuntimeStats stats_;
+
+  std::unordered_map<std::string, Pending> pending_;
+  std::deque<std::string> submit_order_;
+
+  // Coordinator state (rank 0 only): per-tensor readiness counts and the
+  // arrival-ordered response queue.
+  struct ReadyState {
+    int count = 0;
+    std::uint64_t first_seen_cycle = 0;
+    bool stall_warned = false;
+  };
+  std::unordered_map<std::string, ReadyState> ready_counts_;
+  std::vector<std::string> response_order_;
+
+  // Response cache: name -> slot id, mirrored on every rank because slot
+  // assignment happens in broadcast response order.
+  std::unordered_map<std::string, std::uint32_t> cache_ids_;
+  std::vector<std::string> cache_names_;
+
+  double last_cycle_start_ = -1e9;
+  gpu::DeviceBuffer fusion_buffer_;
+
+  // Timeline trace (virtual-time events).
+  struct TimelineEvent {
+    double start_s;
+    double end_s;
+    std::string name;
+    const char* phase;  // "negotiation" | "allreduce"
+  };
+  bool timeline_enabled_ = false;
+  std::vector<TimelineEvent> timeline_;
+};
+
+}  // namespace dlscale::hvd

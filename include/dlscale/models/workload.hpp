@@ -1,0 +1,47 @@
+// Full-scale workload specifications for the performance simulator.
+//
+// The paper trains DeepLab-v3+ (Xception-65 backbone, output stride 16,
+// 513x513 crops) and cites ResNet-50 (224x224) as the classification
+// reference. We describe both as per-layer cost specs: FLOPs forward and
+// backward, parameter bytes (= the gradient tensor Horovod must
+// allreduce), and activation traffic for the roofline model. Specs are
+// generated from the architectures' layer geometry, so parameter counts
+// and FLOP totals land on the published numbers (~41M params / ~355
+// GFLOPs fwd for DLv3+@513; 25.6M / ~4.1 GFLOPs for RN50@224).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dlscale::models {
+
+/// One gradient-producing layer of a workload.
+struct LayerSpec {
+  std::string name;
+  double fwd_flops = 0.0;        ///< forward FLOPs for the whole per-GPU batch
+  double bwd_flops = 0.0;        ///< backward FLOPs (usually ~2x forward)
+  std::size_t param_bytes = 0;   ///< gradient size Horovod sees (fp32 bytes)
+  double activation_bytes = 0.0; ///< memory traffic proxy for the roofline
+};
+
+/// A trainable network described for timing purposes only.
+struct WorkloadSpec {
+  std::string name;
+  int batch_per_gpu = 1;
+  int crop = 0;  ///< input resolution (square)
+  std::vector<LayerSpec> layers;  ///< in forward order
+
+  [[nodiscard]] double total_fwd_flops() const;
+  [[nodiscard]] double total_bwd_flops() const;
+  [[nodiscard]] std::size_t total_param_bytes() const;
+  [[nodiscard]] std::size_t num_tensors() const noexcept { return layers.size(); }
+
+  /// DeepLab-v3+ with Xception-65 backbone, OS16, 513x513 crops.
+  static WorkloadSpec deeplab_v3plus(int batch_per_gpu);
+
+  /// ResNet-50 classification at 224x224.
+  static WorkloadSpec resnet50(int batch_per_gpu);
+};
+
+}  // namespace dlscale::models

@@ -1,0 +1,40 @@
+// Per-rank virtual clock for PDES-lite timing simulation.
+//
+// Every rank (thread) owns a clock measured in simulated seconds. Local
+// compute advances it with `advance`; communication completions move it
+// forward with `bump_to` (an atomic max, because a matching receive on a
+// peer thread may need to push a rendezvous sender's clock forward).
+// Clocks only ever move forward.
+#pragma once
+
+#include <atomic>
+
+namespace dlscale::mpi {
+
+class VirtualClock {
+ public:
+  VirtualClock() : now_(0.0) {}
+
+  [[nodiscard]] double now() const noexcept { return now_.load(std::memory_order_acquire); }
+
+  /// Advance by `dt` seconds of local activity (dt >= 0).
+  void advance(double dt) noexcept {
+    double cur = now_.load(std::memory_order_relaxed);
+    while (!now_.compare_exchange_weak(cur, cur + dt, std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// Move the clock forward to at least `t` (no-op if already past).
+  void bump_to(double t) noexcept {
+    double cur = now_.load(std::memory_order_relaxed);
+    while (cur < t && !now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
+  }
+
+  void reset() noexcept { now_.store(0.0, std::memory_order_release); }
+
+ private:
+  std::atomic<double> now_;
+};
+
+}  // namespace dlscale::mpi

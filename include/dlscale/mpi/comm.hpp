@@ -1,0 +1,395 @@
+// simmpi: a message-passing runtime with MPI semantics over threads.
+//
+// Ranks are threads inside one process; `run_world` launches them and
+// each receives a `Communicator` for its view of the world. All data
+// movement is REAL (bytes are copied between rank-private buffers through
+// mailboxes), and — when timing is enabled — every message also advances
+// per-rank virtual clocks according to the net::CostModel (link class,
+// eager/rendezvous protocol, GPUDirect vs host staging, NIC rail
+// contention). Collectives are implemented as genuine algorithms over
+// point-to-point messages (binomial trees, rings, recursive doubling,
+// Rabenseifner, hierarchical two-level), so collective cost *emerges*
+// from the algorithm rather than being a closed-form estimate. This is
+// what makes the paper's knob ablations meaningful.
+//
+// Timing model notes (PDES-lite):
+//  * sends are buffered in execution (never deadlock) but rendezvous
+//    timing couples sender/receiver clocks via an atomic clock bump;
+//  * NIC rail reservations happen in thread-execution order, a documented
+//    approximation that is tight for the near-synchronous collective
+//    patterns this library is used for.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dlscale/mpi/clock.hpp"
+#include "dlscale/net/cost_model.hpp"
+#include "dlscale/net/profile.hpp"
+#include "dlscale/net/topology.hpp"
+
+namespace dlscale::mpi {
+
+using net::AllreduceAlgo;
+using net::MemSpace;
+
+/// Elementwise reduction operator for reduce/allreduce.
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// Configuration for a world of ranks.
+struct WorldOptions {
+  net::Topology topology{net::Topology::single_node(1)};
+  net::MpiProfile profile{net::MpiProfile::ideal()};
+  bool timing = true;  ///< advance virtual clocks through the cost model
+};
+
+/// Per-rank communication counters (virtual-time based when timing is on).
+struct CommStats {
+  double comm_time_s = 0.0;     ///< virtual seconds the rank's clock advanced inside comm ops
+  std::uint64_t messages = 0;   ///< point-to-point messages received
+  std::uint64_t bytes = 0;      ///< logical payload bytes received
+};
+
+class World;
+
+/// A rank's handle to a communicator (a subset of world ranks). Cheap to
+/// copy; all copies refer to the same group. Not thread-safe within a
+/// rank (each rank is single-threaded by construction).
+class Communicator {
+ public:
+  [[nodiscard]] int rank() const noexcept { return my_index_; }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(members_.size()); }
+  [[nodiscard]] bool is_root() const noexcept { return my_index_ == 0; }
+  /// This rank's id in the world communicator (for topology queries).
+  [[nodiscard]] int global_rank() const noexcept { return members_[my_index_]; }
+  /// Global rank of communicator-member `r`.
+  [[nodiscard]] int global_rank_of(int r) const { return members_.at(r); }
+
+  // ---- point-to-point ----
+  // `logical_bytes` overrides the priced message size; pass it with an
+  // empty span for timing-only traffic (perf-simulation mode). Defaults
+  // to the span size.
+  static constexpr std::size_t kAuto = ~std::size_t{0};
+
+  void send(int dst, int tag, std::span<const std::byte> data, MemSpace space = MemSpace::kHost,
+            std::size_t logical_bytes = kAuto);
+  void recv(int src, int tag, std::span<std::byte> out, MemSpace space = MemSpace::kHost,
+            std::size_t logical_bytes = kAuto);
+
+  /// Nonblocking handle returned by isend/irecv. Completion happens in
+  /// wait(): sends are buffered (already complete at post time); receives
+  /// match and account their virtual-clock cost when waited on — the
+  /// moment a real MPI implementation would progress them.
+  class Request {
+   public:
+    Request() = default;
+
+    /// Complete the operation (no-op if already completed).
+    void wait() {
+      if (complete_) {
+        auto fn = std::move(complete_);
+        complete_ = nullptr;
+        fn();
+      }
+    }
+    [[nodiscard]] bool completed() const noexcept { return !complete_; }
+
+   private:
+    friend class Communicator;
+    explicit Request(std::function<void()> complete) : complete_(std::move(complete)) {}
+    std::function<void()> complete_;
+  };
+
+  /// Nonblocking send: posts immediately (sends are buffered), returns a
+  /// completed request for API symmetry with MPI_Isend.
+  Request isend(int dst, int tag, std::span<const std::byte> data,
+                MemSpace space = MemSpace::kHost, std::size_t logical_bytes = kAuto);
+
+  /// Nonblocking receive: matching is deferred to wait().
+  [[nodiscard]] Request irecv(int src, int tag, std::span<std::byte> out,
+                              MemSpace space = MemSpace::kHost,
+                              std::size_t logical_bytes = kAuto);
+
+  /// Complete a set of requests in order (MPI_Waitall).
+  static void wait_all(std::span<Request> requests) {
+    for (Request& request : requests) request.wait();
+  }
+
+  /// Posts the send before blocking on the receive (safe ring step).
+  void sendrecv(int dst, int send_tag, std::span<const std::byte> send_data, int src, int recv_tag,
+                std::span<std::byte> recv_data, MemSpace space = MemSpace::kHost,
+                std::size_t send_logical = kAuto, std::size_t recv_logical = kAuto);
+
+  /// Send/receive a trivially-copyable value.
+  template <typename T>
+  void send_value(int dst, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dst, tag, std::as_bytes(std::span<const T, 1>(&value, 1)));
+  }
+  template <typename T>
+  [[nodiscard]] T recv_value(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    recv(src, tag, std::as_writable_bytes(std::span<T, 1>(&value, 1)));
+    return value;
+  }
+
+  /// Receive a message of unknown size (the mailbox carries the payload
+  /// length, like MPI_Probe + MPI_Recv in one step).
+  [[nodiscard]] std::vector<std::byte> recv_dynamic(int src, int tag,
+                                                    MemSpace space = MemSpace::kHost);
+
+  /// Variable-length payload helpers (single message each way).
+  void send_blob(int dst, int tag, std::span<const std::byte> blob);
+  [[nodiscard]] std::vector<std::byte> recv_blob(int src, int tag);
+
+  /// Type-erased elementwise reduction used by the byte-level engines
+  /// (public so the typed wrappers in detail:: can build instances, and
+  /// so allreduce_custom callers can supply their own, e.g. fp16 sum).
+  struct Reducer;
+
+  // ---- collectives (every member must call, in the same order) ----
+
+  /// Dissemination barrier (log2(N) message rounds).
+  void barrier();
+
+  /// Binomial-tree broadcast of a fixed-size buffer.
+  void bcast(std::span<std::byte> data, int root, MemSpace space = MemSpace::kHost,
+             std::size_t logical_bytes = kAuto);
+
+  /// Broadcast a variable-length blob from root; returns the blob on all
+  /// ranks (root passes its payload, others' argument is ignored).
+  [[nodiscard]] std::vector<std::byte> bcast_blob(std::span<const std::byte> blob, int root);
+
+  /// Gather variable-length blobs at root (rank order). Non-roots get {}.
+  [[nodiscard]] std::vector<std::vector<std::byte>> gather_blobs(std::span<const std::byte> mine,
+                                                                 int root);
+
+  /// Fixed-size allgather (ring algorithm): `out` has size()*mine.size().
+  void allgather(std::span<const std::byte> mine, std::span<std::byte> out,
+                 MemSpace space = MemSpace::kHost);
+
+  /// Fixed-size scatter: root's `blocks` (size()*block bytes) are split so
+  /// member r receives block r into `mine`. Non-roots pass blocks = {}.
+  void scatter(std::span<const std::byte> blocks, std::span<std::byte> mine, int root,
+               MemSpace space = MemSpace::kHost);
+
+  /// Fixed-size gather: member r's `mine` lands in root's `blocks` at
+  /// offset r*mine.size(). Non-roots pass blocks = {}.
+  void gather(std::span<const std::byte> mine, std::span<std::byte> blocks, int root,
+              MemSpace space = MemSpace::kHost);
+
+  /// Fixed-size all-to-all (pairwise exchange): `send` and `recv` both
+  /// hold size() blocks; block r of `send` goes to member r, whose block
+  /// my-rank lands in `recv` block r.
+  void alltoall(std::span<const std::byte> send, std::span<std::byte> recv,
+                MemSpace space = MemSpace::kHost);
+
+  /// In-place allreduce of typed data. Algorithm defaults to the library
+  /// profile's size-based selection; pass one explicitly to ablate.
+  template <typename T>
+  void allreduce(std::span<T> data, ReduceOp op, MemSpace space = MemSpace::kDevice,
+                 std::optional<AllreduceAlgo> algo = std::nullopt);
+
+  /// Two-level allreduce: intra-node reduce to the node leader, leader
+  /// allreduce across nodes, intra-node broadcast. This is the
+  /// HOROVOD_HIERARCHICAL_ALLREDUCE data path.
+  template <typename T>
+  void hierarchical_allreduce(std::span<T> data, ReduceOp op, MemSpace space = MemSpace::kDevice,
+                              std::optional<AllreduceAlgo> leader_algo = std::nullopt);
+
+  /// In-place reduce to root (binomial tree).
+  template <typename T>
+  void reduce(std::span<T> data, ReduceOp op, int root, MemSpace space = MemSpace::kDevice);
+
+  /// Ring reduce-scatter: every rank contributes `data` (size()*block
+  /// elements); member r ends with the fully reduced block r in `out`.
+  template <typename T>
+  void reduce_scatter(std::span<T> data, std::span<T> out, ReduceOp op,
+                      MemSpace space = MemSpace::kDevice);
+
+  /// In-place allreduce with a caller-supplied elementwise reducer over
+  /// raw elements (e.g. fp16 sum for compressed gradients). `reducer`
+  /// must outlive the call; its elem_size must equal `elem_size`.
+  void allreduce_custom(std::byte* data, std::size_t elem_size, std::size_t count,
+                        const Reducer& reducer, MemSpace space = MemSpace::kDevice,
+                        std::optional<AllreduceAlgo> algo = std::nullopt);
+
+  /// Timing-only allreduce: prices an allreduce of `bytes` (float
+  /// elements) without moving payload. Used by the performance simulator
+  /// where 132-rank gradient buffers would not fit in memory.
+  void allreduce_sim(std::size_t bytes, MemSpace space = MemSpace::kDevice,
+                     std::optional<AllreduceAlgo> algo = std::nullopt);
+  void hierarchical_allreduce_sim(std::size_t bytes, MemSpace space = MemSpace::kDevice,
+                                  std::optional<AllreduceAlgo> leader_algo = std::nullopt);
+
+  /// Collective split by color: ranks with equal color form a new
+  /// communicator ordered by parent rank. Every member must call; pass a
+  /// negative color to opt out (the returned communicator is not valid()).
+  [[nodiscard]] Communicator split(int color);
+
+  /// False for the null communicator returned by split with color < 0.
+  [[nodiscard]] bool valid() const noexcept { return my_index_ >= 0; }
+
+  // ---- time & introspection ----
+
+  /// Advance this rank's virtual clock by `seconds` of modeled compute.
+  void compute(double seconds);
+  [[nodiscard]] double now() const;
+  [[nodiscard]] VirtualClock& clock();
+  [[nodiscard]] const net::Topology& topology() const;
+  [[nodiscard]] const net::MpiProfile& profile() const;
+  [[nodiscard]] bool timing_enabled() const;
+  [[nodiscard]] CommStats stats() const;
+
+ private:
+  friend class World;
+  friend void run_world(const WorldOptions&, const std::function<void(Communicator&)>&);
+
+  Communicator(World* world, std::uint64_t comm_id, std::vector<int> members, int my_index)
+      : world_(world), comm_id_(comm_id), members_(std::move(members)), my_index_(my_index) {}
+
+  // Byte-level engine shared by all typed allreduce entry points.
+  void allreduce_bytes(std::byte* data, std::size_t elem_size, std::size_t count,
+                       const Reducer* reducer, MemSpace space, AllreduceAlgo algo);
+  void hierarchical_bytes(std::byte* data, std::size_t elem_size, std::size_t count,
+                          const Reducer* reducer, MemSpace space,
+                          std::optional<AllreduceAlgo> leader_algo);
+  void reduce_bytes(std::byte* data, std::size_t elem_size, std::size_t count,
+                    const Reducer* reducer, int root, MemSpace space);
+  void ring_allreduce(std::byte* data, std::size_t elem_size, std::size_t count,
+                      const Reducer* reducer, MemSpace space);
+  void ring_reduce_scatter_phase(std::byte* data, std::size_t elem_size, std::size_t count,
+                                 const Reducer* reducer, MemSpace space);
+  // Pipelined intra-node phases for hierarchical allreduce (NCCL-style):
+  // ring reduce-scatter + segment gather to root / segment scatter from
+  // root + ring allgather.
+  void ring_reduce_to_root(std::byte* data, std::size_t elem_size, std::size_t count,
+                           const Reducer* reducer, MemSpace space);
+  void scatter_allgather_bcast(std::byte* data, std::size_t elem_size, std::size_t count,
+                               MemSpace space);
+  void recursive_doubling_allreduce(std::byte* data, std::size_t elem_size, std::size_t count,
+                                    const Reducer* reducer, MemSpace space);
+  void rabenseifner_allreduce(std::byte* data, std::size_t elem_size, std::size_t count,
+                              const Reducer* reducer, MemSpace space);
+  void binomial_bcast(std::byte* data, std::size_t bytes, int root, MemSpace space,
+                      std::size_t logical_bytes);
+  // Prices the elementwise reduction of `bytes` received from member
+  // `src`; reduction runs on the host when the incoming message itself
+  // took the host-staged path (Spectrum-style), on the GPU otherwise.
+  void reduce_compute(std::size_t bytes, MemSpace space, int src);
+
+  World* world_;
+  std::uint64_t comm_id_;
+  std::vector<int> members_;
+  int my_index_;
+  std::uint64_t split_seq_ = 0;
+  // Cached sub-communicators for hierarchical allreduce (built lazily on
+  // first use; shared so copies of this handle reuse them).
+  bool hier_built_ = false;
+  std::shared_ptr<Communicator> node_comm_;
+  std::shared_ptr<Communicator> leader_comm_;
+};
+
+/// Launch `options.topology.world_size()` rank threads, run `body` on
+/// each, join, and propagate the first exception thrown by any rank.
+void run_world(const WorldOptions& options, const std::function<void(Communicator&)>& body);
+
+/// Convenience: ideal profile, single-node topology of `world_size` ranks,
+/// timing disabled — for functional tests.
+void run_world(int world_size, const std::function<void(Communicator&)>& body);
+
+// ---- template definitions ----
+
+struct Communicator::Reducer {
+  std::size_t elem_size;
+  void (*apply)(std::byte* acc, const std::byte* in, std::size_t n);
+};
+
+namespace detail {
+
+template <typename T, ReduceOp Op>
+void apply_op(std::byte* acc_raw, const std::byte* in_raw, std::size_t n) {
+  T* acc = reinterpret_cast<T*>(acc_raw);
+  const T* in = reinterpret_cast<const T*>(in_raw);
+  for (std::size_t i = 0; i < n; ++i) {
+    if constexpr (Op == ReduceOp::kSum) {
+      acc[i] += in[i];
+    } else if constexpr (Op == ReduceOp::kMax) {
+      acc[i] = acc[i] < in[i] ? in[i] : acc[i];
+    } else {
+      acc[i] = in[i] < acc[i] ? in[i] : acc[i];
+    }
+  }
+}
+
+template <typename T>
+Communicator::Reducer make_reducer(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return {sizeof(T), &apply_op<T, ReduceOp::kSum>};
+    case ReduceOp::kMax: return {sizeof(T), &apply_op<T, ReduceOp::kMax>};
+    case ReduceOp::kMin: return {sizeof(T), &apply_op<T, ReduceOp::kMin>};
+  }
+  return {sizeof(T), &apply_op<T, ReduceOp::kSum>};
+}
+
+}  // namespace detail
+
+template <typename T>
+void Communicator::allreduce(std::span<T> data, ReduceOp op, MemSpace space,
+                             std::optional<AllreduceAlgo> algo) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const Reducer reducer = detail::make_reducer<T>(op);
+  const AllreduceAlgo chosen = algo.value_or(
+      profile().allreduce_algo(data.size_bytes(), space == MemSpace::kDevice, size()));
+  allreduce_bytes(reinterpret_cast<std::byte*>(data.data()), sizeof(T), data.size(), &reducer,
+                  space, chosen);
+}
+
+template <typename T>
+void Communicator::hierarchical_allreduce(std::span<T> data, ReduceOp op, MemSpace space,
+                                          std::optional<AllreduceAlgo> leader_algo) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const Reducer reducer = detail::make_reducer<T>(op);
+  hierarchical_bytes(reinterpret_cast<std::byte*>(data.data()), sizeof(T), data.size(), &reducer,
+                     space, leader_algo);
+}
+
+template <typename T>
+void Communicator::reduce_scatter(std::span<T> data, std::span<T> out, ReduceOp op,
+                                  MemSpace space) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = static_cast<std::size_t>(size());
+  if (data.size() != out.size() * n) {
+    throw std::invalid_argument("reduce_scatter: data must hold size() blocks of out's size");
+  }
+  const Reducer reducer = detail::make_reducer<T>(op);
+  ring_reduce_scatter_phase(reinterpret_cast<std::byte*>(data.data()), sizeof(T), data.size(),
+                            &reducer, space);
+  // After the ring phase, rank r owns block (r+1) mod size() fully reduced.
+  const std::size_t block = out.size();
+  const auto owned = static_cast<std::size_t>((rank() + 1) % size());
+  std::copy(data.begin() + static_cast<std::ptrdiff_t>(owned * block),
+            data.begin() + static_cast<std::ptrdiff_t>((owned + 1) * block), out.begin());
+  // Rotate ownership so member r holds block r (one extra hop, like MPICH's
+  // ring reduce_scatter with final alignment).
+  const int right = (rank() + 1) % size();
+  const int left = (rank() - 1 + size()) % size();
+  sendrecv(right, 0x4D000000, std::as_bytes(out), left, 0x4D000000, std::as_writable_bytes(out),
+           space);
+}
+
+template <typename T>
+void Communicator::reduce(std::span<T> data, ReduceOp op, int root, MemSpace space) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const Reducer reducer = detail::make_reducer<T>(op);
+  reduce_bytes(reinterpret_cast<std::byte*>(data.data()), sizeof(T), data.size(), &reducer, root,
+               space);
+}
+
+}  // namespace dlscale::mpi

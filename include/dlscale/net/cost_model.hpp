@@ -1,0 +1,108 @@
+// Point-to-point transfer pricing and NIC contention.
+//
+// The cost model prices a single message between two ranks given a
+// topology and an MPI profile; the contention tracker serialises
+// concurrent inter-node transfers on each node's finite set of IB rails.
+// Collective times are NOT priced here — collectives are executed as real
+// algorithms over point-to-point messages in dlscale::mpi, so their cost
+// emerges from these primitives (which is what makes algorithm/knob
+// ablations meaningful).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dlscale/net/profile.hpp"
+#include "dlscale/net/topology.hpp"
+
+namespace dlscale::net {
+
+/// Memory space of a communication buffer. Device buffers route through
+/// the profile's GPU path (GDR or staging); host buffers take plain links.
+enum class MemSpace { kHost, kDevice };
+
+/// Breakdown of one priced transfer.
+struct TransferCost {
+  double setup_s = 0.0;     ///< alpha-type costs (latency + per-op overheads)
+  double wire_s = 0.0;      ///< NIC/link occupancy time
+  /// Additional end-to-end pipeline delay beyond the wire: a host-staged
+  /// device transfer is rate-limited by the staging pipeline, but the NIC
+  /// itself is only busy for the wire portion (other processes' staged
+  /// copies overlap).
+  double pipeline_extra_s = 0.0;
+  bool inter_node = false;  ///< true when the transfer occupies IB rails
+  bool striped = false;     ///< true when it stripes across all rails
+
+  [[nodiscard]] double total() const noexcept { return setup_s + wire_s + pipeline_extra_s; }
+};
+
+/// Prices transfers; immutable and shareable between ranks.
+class CostModel {
+ public:
+  CostModel(Topology topology, MpiProfile profile);
+
+  /// Full price of moving `bytes` from `src` to `dst` buffers in `space`.
+  [[nodiscard]] TransferCost message(int src, int dst, std::size_t bytes, MemSpace space) const;
+
+  /// Alpha-only price (used for zero-byte control messages, handshakes).
+  [[nodiscard]] double control_latency(int src, int dst) const;
+
+  /// True when the profile's rendezvous protocol applies at this size.
+  [[nodiscard]] bool is_rendezvous(std::size_t bytes, MemSpace space) const noexcept;
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const MpiProfile& profile() const noexcept { return profile_; }
+
+ private:
+  Topology topology_;
+  MpiProfile profile_;
+};
+
+/// Tracks when each node's IB rails are busy so that concurrent inter-node
+/// transfers from/to the same node queue behind each other. This is the
+/// mechanism that makes flat allreduce across 6 ranks/node slower than
+/// hierarchical allreduce with one leader per node.
+///
+/// Rails hold sorted busy-interval lists so that reservations can
+/// *backfill* earlier gaps: ranks are threads that reach their sends in
+/// arbitrary real-time order, and without backfill a late-scheduled
+/// thread would queue behind bookings that happen later in virtual time.
+/// Zero-duration (control) messages never consume rail capacity.
+/// Intervals older than a sliding window behind the latest booking are
+/// pruned. Thread-safe.
+class NicContention {
+ public:
+  NicContention(int nodes, int rails);
+
+  /// Reserve rail time on both endpoints' NICs for a transfer that becomes
+  /// ready at `ready_s` and serialises for `wire_s` seconds. When `striped`
+  /// the transfer occupies every rail on both nodes. Returns completion
+  /// time. Intra-node transfers must not call this.
+  double reserve(int src_node, int dst_node, double ready_s, double wire_s, bool striped);
+
+  /// Forget all reservations (between benchmark repetitions).
+  void reset();
+
+ private:
+  struct Rail {
+    // Sorted, non-overlapping [start, end) busy intervals.
+    std::vector<std::pair<double, double>> busy;
+  };
+
+  /// Earliest start >= `ready` at which `rail` has a free gap of `wire`.
+  static double earliest_gap(const Rail& rail, double ready, double wire);
+  /// Earliest start >= `ready` free on every rail in `rails` for `wire`.
+  static double earliest_common_gap(const std::vector<const Rail*>& rails, double ready,
+                                    double wire);
+  static void insert(Rail& rail, double start, double wire);
+  void prune(double horizon);
+
+  int rails_;
+  std::vector<std::vector<Rail>> rail_state_;  // [node][rail]
+  double max_end_ = 0.0;
+  std::mutex mutex_;
+};
+
+}  // namespace dlscale::net

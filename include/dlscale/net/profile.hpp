@@ -1,0 +1,124 @@
+// MPI library performance profiles.
+//
+// The paper compares IBM Spectrum MPI (Summit's default) against
+// MVAPICH2-GDR for GPU-buffer communication. We model each library as a
+// profile: per-hop-class alpha-beta link parameters, protocol thresholds
+// (eager/rendezvous), and the GPU-buffer path (GPUDirect-RDMA direct to
+// the NIC vs a pipelined staging copy through host bounce buffers). The
+// numbers are calibrated to public OSU micro-benchmark results for the
+// two libraries on Summit-class hardware (see DESIGN.md section 2); what
+// matters for reproduction is their *relationship*, which drives every
+// crossover in the paper's figures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "dlscale/net/topology.hpp"
+
+namespace dlscale::net {
+
+/// Alpha-beta parameters of one link class.
+struct LinkParams {
+  double latency_s = 0.0;       ///< per-message latency (alpha)
+  double bandwidth_Bps = 1.0;   ///< sustained bandwidth (1/beta)
+
+  /// Time to move `bytes` over this link, excluding protocol overheads.
+  [[nodiscard]] double time(std::size_t bytes) const noexcept {
+    return latency_s + static_cast<double>(bytes) / bandwidth_Bps;
+  }
+};
+
+/// Which allreduce algorithm a library picks for a message size.
+enum class AllreduceAlgo { kRecursiveDoubling, kRabenseifner, kRing };
+
+/// A complete library model. Two factory instances are provided; tests and
+/// ablation benches mutate copies to isolate individual effects.
+struct MpiProfile {
+  std::string name;
+
+  // --- point-to-point protocol ---
+  std::size_t eager_threshold_host = 64 << 10;    ///< below: eager, above: rendezvous
+  std::size_t eager_threshold_device = 8 << 10;   ///< same, for GPU buffers
+  double per_op_overhead_s = 1.5e-6;              ///< software cost per MPI call
+  double rendezvous_handshake_s = 2.0e-6;         ///< extra RTS/CTS round for rendezvous
+
+  // --- GPU-buffer path ---
+  bool cuda_aware = true;              ///< can pass device pointers at all
+  double device_op_overhead_s = 5e-6;  ///< extra per-op cost for device buffers
+  std::size_t gdr_limit = 32 << 10;    ///< GPUDirect RDMA used up to this size
+  double staging_bandwidth_Bps = 2.5e9;  ///< pipelined D2H->wire->H2D effective bw
+  double staging_overhead_s = 20e-6;     ///< per-message staging setup cost
+
+  // --- links ---
+  LinkParams self{3e-7, 300e9};     ///< local copy (device memcpy class)
+  LinkParams nvlink{3e-6, 45e9};    ///< intra-socket NVLink2 peer path
+  LinkParams xbus{5e-6, 26e9};      ///< inter-socket path
+  LinkParams ib{1.8e-6, 12.0e9};    ///< inter-node, per EDR rail
+  int rails = 1;                    ///< usable IB rails per node
+  std::size_t rail_stripe_min = 1 << 20;  ///< stripe across rails at/above this size
+
+  // --- reduction arithmetic ---
+  double reduce_bw_device_Bps = 150e9;  ///< on-GPU elementwise-reduce throughput
+  double reduce_bw_host_Bps = 8e9;      ///< host (CPU) elementwise-reduce throughput
+  bool staged_reduce_on_host = true;    ///< staged device path reduces on the host
+
+  // --- collective algorithm selection ---
+  std::size_t small_allreduce_max = 16 << 10;  ///< <=: recursive doubling
+  std::size_t ring_allreduce_min = 512 << 10;  ///< >=: ring; between: Rabenseifner
+  /// Libraries whose GPU-buffer collectives were not bandwidth-optimal
+  /// (Spectrum circa 2019) never pick the pipelined ring for device
+  /// buffers and fall back to Rabenseifner-style exchanges.
+  bool device_ring_allreduce = true;
+
+  /// Algorithm the library would select for an allreduce of `bytes`.
+  [[nodiscard]] AllreduceAlgo allreduce_algo(std::size_t bytes) const noexcept {
+    if (bytes <= small_allreduce_max) return AllreduceAlgo::kRecursiveDoubling;
+    if (bytes >= ring_allreduce_min) return AllreduceAlgo::kRing;
+    return AllreduceAlgo::kRabenseifner;
+  }
+
+  /// Minimum per-rank ring segment; below it the ring's 2(P-1) alpha
+  /// terms dominate and real libraries' rank-aware tuning tables switch
+  /// away from it.
+  std::size_t min_ring_chunk = 8 << 10;
+
+  /// Space-aware selection: device buffers may be barred from the ring.
+  [[nodiscard]] AllreduceAlgo allreduce_algo(std::size_t bytes, bool device) const noexcept {
+    return allreduce_algo(bytes, device, 1);
+  }
+
+  /// Space- and scale-aware selection (what the tuning tables do).
+  [[nodiscard]] AllreduceAlgo allreduce_algo(std::size_t bytes, bool device,
+                                             int world) const noexcept {
+    AllreduceAlgo algo = allreduce_algo(bytes);
+    if (algo == AllreduceAlgo::kRing && world > 1 &&
+        bytes / static_cast<std::size_t>(world) < min_ring_chunk) {
+      algo = AllreduceAlgo::kRabenseifner;
+    }
+    if (device && !device_ring_allreduce && algo == AllreduceAlgo::kRing) {
+      // The library's GPU path never reaches the pipelined topology-aware
+      // ring; large device buffers take halving/doubling exchanges, the
+      // pattern behind the large-message gap observed between Spectrum
+      // and MVAPICH2-GDR on GPU-buffer allreduce.
+      algo = AllreduceAlgo::kRabenseifner;
+    }
+    return algo;
+  }
+
+  /// IBM Spectrum MPI as shipped on Summit circa 2019: CUDA-aware, but the
+  /// GPU path stages through host bounce buffers beyond small messages and
+  /// uses one rail per transfer.
+  static MpiProfile spectrum_like();
+
+  /// MVAPICH2-GDR 2.3.x: aggressive GPUDirect-RDMA with pipelined large-
+  /// message path near wire speed, lower device-op overheads, dual-rail
+  /// striping.
+  static MpiProfile mvapich2_gdr_like();
+
+  /// An idealised zero-cost network (useful for isolating compute time and
+  /// for functional tests that should not depend on timing).
+  static MpiProfile ideal();
+};
+
+}  // namespace dlscale::net

@@ -1,0 +1,80 @@
+// Cluster topology description in the shape of ORNL Summit.
+//
+// Summit nodes (IBM AC922) carry 6 NVIDIA V100 GPUs, 3 per POWER9 socket,
+// connected intra-socket by NVLink2 and cross-socket by the X-bus; nodes
+// are joined by dual-rail EDR InfiniBand. Rank placement is block order
+// (ranks 0..G-1 on node 0, etc.), matching how jsrun lays out one rank
+// per GPU. The paper scales to 132 GPUs = 22 nodes x 6.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dlscale::net {
+
+/// Classification of the path between two ranks; each class has its own
+/// latency/bandwidth in the MPI profile.
+enum class HopClass {
+  kSelf,         ///< same rank (loopback memcpy)
+  kIntraSocket,  ///< same node, same socket: NVLink2 peer path
+  kInterSocket,  ///< same node, across sockets: X-bus path
+  kInterNode,    ///< different nodes: InfiniBand
+};
+
+/// Returns a printable name for a hop class.
+const char* to_string(HopClass hop) noexcept;
+
+/// Immutable cluster shape: `nodes` x `gpus_per_node` ranks, block placement.
+class Topology {
+ public:
+  Topology(int nodes, int gpus_per_node, int gpus_per_socket);
+
+  /// Summit-shaped topology: 6 GPUs per node, 3 per socket.
+  static Topology summit(int nodes) { return Topology(nodes, 6, 3); }
+
+  /// Single-node topology with `gpus` ranks all on one socket (useful for
+  /// tests exercising pure NVLink behaviour).
+  static Topology single_node(int gpus) { return Topology(1, gpus, gpus); }
+
+  [[nodiscard]] int nodes() const noexcept { return nodes_; }
+  [[nodiscard]] int gpus_per_node() const noexcept { return gpus_per_node_; }
+  [[nodiscard]] int gpus_per_socket() const noexcept { return gpus_per_socket_; }
+  [[nodiscard]] int world_size() const noexcept { return nodes_ * gpus_per_node_; }
+
+  /// Node index hosting `rank`.
+  [[nodiscard]] int node_of(int rank) const {
+    check_rank(rank);
+    return rank / gpus_per_node_;
+  }
+
+  /// Rank's index within its node (the "local rank" in Horovod terms).
+  [[nodiscard]] int local_rank(int rank) const {
+    check_rank(rank);
+    return rank % gpus_per_node_;
+  }
+
+  /// Socket index (within the node) of a local rank.
+  [[nodiscard]] int socket_of_local(int local) const { return local / gpus_per_socket_; }
+
+  /// Classify the path between two ranks.
+  [[nodiscard]] HopClass hop(int a, int b) const;
+
+  /// True when both ranks share a node.
+  [[nodiscard]] bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  void check_rank(int rank) const {
+    if (rank < 0 || rank >= world_size()) {
+      throw std::out_of_range("Topology: rank " + std::to_string(rank) + " outside world of " +
+                              std::to_string(world_size()));
+    }
+  }
+
+  int nodes_;
+  int gpus_per_node_;
+  int gpus_per_socket_;
+};
+
+}  // namespace dlscale::net

@@ -1,0 +1,231 @@
+// Layer abstraction with explicit forward/backward and named parameters.
+//
+// Layers cache whatever their backward pass needs during forward; the
+// model owner calls backward in exact reverse order (the trainer relies
+// on this to emit gradients in backprop order, which is what Horovod's
+// fusion machinery sees in real frameworks).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dlscale/tensor/ops.hpp"
+#include "dlscale/tensor/tensor.hpp"
+#include "dlscale/util/rng.hpp"
+
+namespace dlscale::nn {
+
+using tensor::Conv2dSpec;
+using tensor::Tensor;
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string param_name, Tensor initial)
+      : name(std::move(param_name)), value(std::move(initial)), grad(value.shape()) {}
+
+  [[nodiscard]] std::size_t numel() const noexcept { return value.numel(); }
+  void zero_grad() { grad.zero(); }
+};
+
+/// Base class for stateful layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute output; caches activations needed by backward when `train`.
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Propagate gradient; accumulates into parameter grads.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameters (possibly empty). Pointers remain valid for the
+  /// layer's lifetime.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// 2D convolution (optionally dilated/atrous), He-initialised.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::string layer_name, int in_channels, int out_channels, int kernel, Conv2dSpec spec,
+         bool bias, util::Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] const Conv2dSpec& spec() const noexcept { return spec_; }
+
+ private:
+  std::string name_;
+  Conv2dSpec spec_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+/// Batch normalisation over (N,H,W) per channel.
+class BatchNorm2d final : public Layer {
+ public:
+  BatchNorm2d(std::string layer_name, int channels, float momentum = 0.1f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] const Tensor& running_mean() const noexcept { return running_mean_; }
+  [[nodiscard]] const Tensor& running_var() const noexcept { return running_var_; }
+
+ private:
+  std::string name_;
+  float momentum_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  tensor::BatchNormCache cache_;
+};
+
+/// ReLU activation.
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string layer_name) : name_(std::move(layer_name)) {}
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Tensor cached_input_;
+};
+
+/// Max pooling.
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::string layer_name, int kernel, int stride)
+      : name_(std::move(layer_name)), kernel_(kernel), stride_(stride) {}
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  int kernel_;
+  int stride_;
+  Tensor cached_input_;
+  std::vector<int> argmax_;
+};
+
+/// Bilinear resize to a fixed output size (decoder upsampling).
+class BilinearResize final : public Layer {
+ public:
+  BilinearResize(std::string layer_name, int out_h, int out_w)
+      : name_(std::move(layer_name)), out_h_(out_h), out_w_(out_w) {}
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void set_output_size(int out_h, int out_w) {
+    out_h_ = out_h;
+    out_w_ = out_w;
+  }
+
+ private:
+  std::string name_;
+  int out_h_;
+  int out_w_;
+  Tensor cached_input_;
+};
+
+/// Depthwise 3x3 convolution layer (one filter per channel).
+class DepthwiseConv2d final : public Layer {
+ public:
+  DepthwiseConv2d(std::string layer_name, int channels, int kernel, Conv2dSpec spec,
+                  util::Rng& rng);
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Conv2dSpec spec_;
+  Parameter weight_;
+  Tensor cached_input_;
+};
+
+/// Xception-style separable convolution: depthwise 3x3 -> BN -> pointwise
+/// 1x1 -> BN -> ReLU. The unit the paper's DeepLab-v3+ backbone
+/// (Xception-65) is built from.
+class SeparableConvBnRelu final : public Layer {
+ public:
+  SeparableConvBnRelu(std::string layer_name, int in_channels, int out_channels,
+                      Conv2dSpec depthwise_spec, util::Rng& rng);
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  DepthwiseConv2d depthwise_;
+  BatchNorm2d bn_dw_;
+  Conv2d pointwise_;
+  BatchNorm2d bn_pw_;
+  ReLU relu_;
+};
+
+/// Conv -> BN -> ReLU block, the workhorse unit of both backbones.
+class ConvBnRelu final : public Layer {
+ public:
+  ConvBnRelu(std::string layer_name, int in_channels, int out_channels, int kernel,
+             Conv2dSpec spec, util::Rng& rng);
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Conv2d conv_;
+  BatchNorm2d bn_;
+  ReLU relu_;
+};
+
+/// Ordered container running layers front-to-back / back-to-front.
+class Sequential final : public Layer {
+ public:
+  explicit Sequential(std::string layer_name) : name_(std::move(layer_name)) {}
+
+  /// Appends a layer; returns a reference to the added layer.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return layers_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace dlscale::nn

@@ -1,0 +1,53 @@
+// SGD with momentum + weight decay and the "poly" learning-rate schedule
+// used by the DeepLab family: lr = base * (1 - iter/max_iter)^power.
+#pragma once
+
+#include <vector>
+
+#include "dlscale/nn/layers.hpp"
+
+namespace dlscale::nn {
+
+/// Poly learning-rate schedule (DeepLab convention: power 0.9).
+struct PolySchedule {
+  double base_lr = 0.007;
+  double power = 0.9;
+  long max_iters = 30000;
+
+  [[nodiscard]] double lr_at(long iter) const;
+};
+
+/// SGD with momentum and decoupled-from-schedule weight decay, matching
+/// the DeepLab-v3+ training recipe (momentum 0.9, wd 4e-5).
+class SgdMomentum {
+ public:
+  struct Config {
+    double momentum = 0.9;
+    double weight_decay = 4e-5;
+    /// Clip the global gradient norm to this value before the update
+    /// (0 disables). Applied across ALL parameters jointly.
+    double clip_grad_norm = 0.0;
+  };
+
+  SgdMomentum(std::vector<Parameter*> params, Config config);
+
+  /// Apply one update at learning rate `lr`, then leave grads untouched
+  /// (callers zero them explicitly at the start of the next step).
+  void step(double lr);
+
+  /// Zero every parameter gradient.
+  void zero_grad();
+
+  /// Global L2 norm of all gradients (what clipping measures).
+  [[nodiscard]] double grad_norm() const;
+
+  [[nodiscard]] const std::vector<Parameter*>& parameters() const noexcept { return params_; }
+  [[nodiscard]] std::size_t total_parameters() const noexcept;
+
+ private:
+  std::vector<Parameter*> params_;
+  Config config_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace dlscale::nn

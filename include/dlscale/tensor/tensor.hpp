@@ -1,0 +1,92 @@
+// Dense float32 tensor with NCHW conventions.
+//
+// This is the numeric substrate for the *real trainable* mini DeepLab-v3+
+// (experiment E6: accuracy parity of distributed vs single-rank
+// training). Value semantics, contiguous row-major storage, explicit
+// shapes. Ops live in ops.hpp as free functions with hand-written
+// backward passes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dlscale/util/rng.hpp"
+
+namespace dlscale::tensor {
+
+/// Up-to-4D float tensor, row-major, value semantics.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  /// Shape helpers ------------------------------------------------------
+  [[nodiscard]] const std::vector<int>& shape() const noexcept { return shape_; }
+  [[nodiscard]] int dim(std::size_t axis) const { return shape_.at(axis); }
+  [[nodiscard]] std::size_t ndim() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::size_t numel() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::string shape_str() const;
+
+  /// Returns a reshaped copy view (same data, new shape; element counts
+  /// must match).
+  [[nodiscard]] Tensor reshaped(std::vector<int> shape) const;
+
+  /// Data access ---------------------------------------------------------
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+  [[nodiscard]] float* ptr() noexcept { return data_.data(); }
+  [[nodiscard]] const float* ptr() const noexcept { return data_.data(); }
+
+  /// 4D accessors (N, C, H, W); bounds unchecked in release builds.
+  [[nodiscard]] float& at(int n, int c, int h, int w) {
+    return data_[index4(n, c, h, w)];
+  }
+  [[nodiscard]] float at(int n, int c, int h, int w) const {
+    return data_[index4(n, c, h, w)];
+  }
+  /// 2D accessor (rows, cols).
+  [[nodiscard]] float& at(int r, int c) { return data_[static_cast<std::size_t>(r) * shape_[1] + c]; }
+  [[nodiscard]] float at(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+  }
+  [[nodiscard]] float& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Mutation ------------------------------------------------------------
+  void fill(float value);
+  void zero() { fill(0.0f); }
+  /// In-place elementwise: this += other (same shape).
+  void add_(const Tensor& other);
+  /// In-place scale: this *= s.
+  void scale_(float s);
+
+  /// Reductions ----------------------------------------------------------
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float abs_max() const;
+
+  /// Factories -----------------------------------------------------------
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float value);
+  /// Gaussian init, N(0, stddev^2), deterministic from rng.
+  static Tensor randn(std::vector<int> shape, util::Rng& rng, float stddev = 1.0f);
+  /// Kaiming/He initialisation for a conv weight (O, C, kh, kw).
+  static Tensor he_init(std::vector<int> shape, util::Rng& rng);
+
+ private:
+  [[nodiscard]] std::size_t index4(int n, int c, int h, int w) const noexcept {
+    return ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  }
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// True when shapes match exactly.
+bool same_shape(const Tensor& a, const Tensor& b) noexcept;
+
+}  // namespace dlscale::tensor

@@ -1,0 +1,22 @@
+// Checkpoint serialisation for model parameters.
+//
+// Simple self-describing binary format: magic, parameter count, then per
+// parameter {name, shape, float data}. Loading validates names and shapes
+// against the live model so a mismatched architecture fails loudly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dlscale/nn/layers.hpp"
+
+namespace dlscale::train {
+
+/// Write all parameters to `path`. Throws std::runtime_error on I/O error.
+void save_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path);
+
+/// Load parameters from `path` into the live model (names and shapes must
+/// match exactly). Throws on mismatch or I/O error.
+void load_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path);
+
+}  // namespace dlscale::train

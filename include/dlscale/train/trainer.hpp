@@ -1,0 +1,83 @@
+// Distributed training driver: the Horovod-style data-parallel loop.
+//
+// Each rank holds a full model replica (identically initialised from a
+// shared seed, exactly like Horovod's broadcast of initial state), draws
+// its shard of every epoch through the DistributedSampler, runs
+// forward/backward on the real mini DeepLab-v3+, registers every
+// parameter gradient with the Horovod runtime, synchronizes (gradient
+// averaging), and applies SGD with the poly schedule. Metrics (loss,
+// confusion matrix) are reduced across ranks through the same simmpi
+// collectives the gradients use.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dlscale/data/dataset.hpp"
+#include "dlscale/hvd/horovod.hpp"
+#include "dlscale/models/deeplab.hpp"
+#include "dlscale/mpi/comm.hpp"
+#include "dlscale/nn/optimizer.hpp"
+
+namespace dlscale::train {
+
+/// Configuration of one training run.
+struct TrainConfig {
+  models::MiniDeepLabV3Plus::Config model;
+  data::SyntheticShapes::Config dataset;
+  std::uint64_t train_samples = 256;  ///< dataset size (index space)
+  std::uint64_t eval_samples = 64;    ///< held-out indices appended after train
+  int batch_per_rank = 4;
+  int epochs = 4;
+  nn::PolySchedule schedule{0.05, 0.9, 0};  ///< max_iters 0 -> derived from run length
+  nn::SgdMomentum::Config optimizer{};
+  std::uint64_t seed = 7;  ///< weight init seed
+  hvd::Knobs knobs{};
+  /// Initialise each rank's replica from a rank-dependent seed, then
+  /// broadcast rank-0's parameters through the Horovod core before the
+  /// first step — hvd.broadcast_parameters semantics. When false, all
+  /// ranks share `seed` directly.
+  bool broadcast_initial_state = true;
+  /// Apply random flip/translation augmentation to training batches
+  /// (DeepLab-recipe style). Deterministic per (rank, epoch, step).
+  bool augment = false;
+};
+
+/// Per-epoch results (rank-0 view after metric reduction).
+struct EpochReport {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double eval_miou = 0.0;
+  double eval_pixel_accuracy = 0.0;
+};
+
+/// Result of a full run.
+struct TrainReport {
+  std::vector<EpochReport> epochs;
+  std::size_t parameter_count = 0;
+  long steps = 0;
+  hvd::RuntimeStats hvd_stats;
+
+  [[nodiscard]] double final_miou() const {
+    return epochs.empty() ? 0.0 : epochs.back().eval_miou;
+  }
+};
+
+/// Runs data-parallel training of the mini DeepLab-v3+ on this rank.
+/// Collective: every rank of `comm` must call with the same config.
+/// The returned report is metric-reduced and identical on all ranks.
+TrainReport train_distributed(mpi::Communicator& comm, const TrainConfig& config);
+
+/// Serial reference: equivalent single-process training with global batch
+/// = batch_per_rank * world_size (for the parity experiment E6).
+TrainReport train_serial(const TrainConfig& config, int equivalent_world);
+
+/// Evaluate a model on the held-out slice; returns (miou, pixel_acc).
+std::pair<double, double> evaluate(models::MiniDeepLabV3Plus& model,
+                                   const data::SyntheticShapes& dataset,
+                                   std::uint64_t first_index, std::uint64_t count,
+                                   int batch_size);
+
+}  // namespace dlscale::train

@@ -1,0 +1,47 @@
+// Reusable thread barrier (sense-reversing), used by the simmpi runtime.
+//
+// std::barrier exists in C++20 but its completion-function template
+// parameter makes it awkward to store by value in runtime structs whose
+// participant count is chosen dynamically; this small class matches the
+// exact need and is trivially testable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace dlscale::util {
+
+/// Cyclic barrier for a fixed number of participants.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t participants)
+      : participants_(participants), waiting_(0), generation_(0) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until all participants have arrived; reusable across rounds.
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::size_t my_generation = generation_;
+    if (++waiting_ == participants_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
+  }
+
+  [[nodiscard]] std::size_t participants() const noexcept { return participants_; }
+
+ private:
+  const std::size_t participants_;
+  std::size_t waiting_;
+  std::size_t generation_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace dlscale::util

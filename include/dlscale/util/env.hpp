@@ -1,0 +1,41 @@
+// Environment-knob parsing in the style of Horovod/MVAPICH2 runtime tuning.
+//
+// The paper's whole contribution is setting knobs like
+// HOROVOD_FUSION_THRESHOLD / HOROVOD_CYCLE_TIME / MV2_USE_CUDA without
+// touching the framework. This module gives every dlscale component the
+// same ability: typed getters with defaults, plus size suffix parsing
+// ("64MB") matching Horovod's conventions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dlscale::util {
+
+/// Raw environment lookup. Returns nullopt when unset.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Integer knob; returns `fallback` when unset or unparsable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Floating-point knob; returns `fallback` when unset or unparsable.
+double env_double(const std::string& name, double fallback);
+
+/// Boolean knob; accepts 1/0, true/false, yes/no, on/off (case-insensitive).
+bool env_bool(const std::string& name, bool fallback);
+
+/// Byte-size knob; accepts plain integers plus K/KB/M/MB/G/GB suffixes
+/// (binary multiples, matching Horovod's fusion-threshold convention).
+/// Returns `fallback` when unset or unparsable.
+std::uint64_t env_bytes(const std::string& name, std::uint64_t fallback);
+
+/// Parse a byte-size literal like "64MB", "8k", "1048576".
+/// Returns nullopt if the text is not a valid size.
+std::optional<std::uint64_t> parse_bytes(std::string_view text);
+
+/// Pretty-print a byte count ("64 MiB", "1.5 GiB", "512 B").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace dlscale::util

@@ -1,0 +1,24 @@
+// IEEE 754 binary16 conversion (software, round-to-nearest-even).
+//
+// Backs the HOROVOD_FP16_ALLREDUCE-style gradient compression path:
+// gradients are packed to half precision before the allreduce (halving
+// wire bytes) and expanded after. Handles subnormals, infinities, NaN,
+// and overflow-to-infinity the way hardware converters do.
+#pragma once
+
+#include <cstdint>
+
+namespace dlscale::util {
+
+/// Convert a float to IEEE half (round-to-nearest-even).
+std::uint16_t float_to_half(float value) noexcept;
+
+/// Convert an IEEE half to float (exact).
+float half_to_float(std::uint16_t half) noexcept;
+
+/// Sum two halves in float precision, returning a half.
+inline std::uint16_t half_add(std::uint16_t a, std::uint16_t b) noexcept {
+  return float_to_half(half_to_float(a) + half_to_float(b));
+}
+
+}  // namespace dlscale::util

@@ -1,0 +1,58 @@
+// Minimal thread-safe logging for dlscale.
+//
+// Severity-filtered, timestamped, rank-tagged log lines on stderr. The
+// level is initialised once from the DLSCALE_LOG_LEVEL environment knob
+// (trace|debug|info|warn|error, default info) and may be overridden
+// programmatically for tests.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dlscale::util {
+
+enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum severity; messages below it are discarded cheaply.
+LogLevel log_level() noexcept;
+
+/// Override the global log level (e.g. in tests). Thread-safe.
+void set_log_level(LogLevel level) noexcept;
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Returns kInfo for unrecognised input.
+LogLevel parse_log_level(std::string_view text) noexcept;
+
+/// Tag subsequent log lines emitted from the calling thread with a rank id
+/// (printed as "[rank N]"). Pass a negative value to clear the tag.
+void set_thread_log_rank(int rank) noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view message);
+}  // namespace detail
+
+/// Log `message` at `level` if the global filter admits it.
+inline void log(LogLevel level, std::string_view message) {
+  if (level >= log_level() && log_level() != LogLevel::kOff) detail::emit(level, message);
+}
+
+}  // namespace dlscale::util
+
+// Stream-style convenience macros. The stream expression is not evaluated
+// when the level is filtered out.
+#define DLSCALE_LOG_AT(lvl, expr)                                          \
+  do {                                                                     \
+    if ((lvl) >= ::dlscale::util::log_level()) {                           \
+      std::ostringstream dlscale_log_oss;                                  \
+      dlscale_log_oss << expr;                                             \
+      ::dlscale::util::log((lvl), dlscale_log_oss.str());                  \
+    }                                                                      \
+  } while (0)
+
+#define DLSCALE_TRACE(expr) DLSCALE_LOG_AT(::dlscale::util::LogLevel::kTrace, expr)
+#define DLSCALE_DEBUG(expr) DLSCALE_LOG_AT(::dlscale::util::LogLevel::kDebug, expr)
+#define DLSCALE_INFO(expr) DLSCALE_LOG_AT(::dlscale::util::LogLevel::kInfo, expr)
+#define DLSCALE_WARN(expr) DLSCALE_LOG_AT(::dlscale::util::LogLevel::kWarn, expr)
+#define DLSCALE_ERROR(expr) DLSCALE_LOG_AT(::dlscale::util::LogLevel::kError, expr)

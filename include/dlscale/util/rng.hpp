@@ -1,0 +1,52 @@
+// Deterministic, splittable random number generation.
+//
+// Distributed training reproducibility requires that every rank derive
+// independent-but-deterministic streams from a single experiment seed
+// (e.g. rank-local data augmentation vs globally-shared weight init).
+// SplitMix64 seeds a xoshiro256** core; `child(tag)` derives decorrelated
+// substreams so modules never share state accidentally.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace dlscale::util {
+
+/// xoshiro256** engine seeded via SplitMix64. Satisfies
+/// UniformRandomBitGenerator so it plugs into <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Derive a decorrelated child stream; identical (seed, tag) pairs give
+  /// identical children on every rank and platform.
+  [[nodiscard]] Rng child(std::uint64_t tag) const noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic across platforms,
+  /// unlike std::normal_distribution).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace dlscale::util

@@ -1,0 +1,45 @@
+// Small descriptive-statistics helpers used by benchmarks and the
+// performance simulator (mean / stddev / min / max / percentiles over
+// per-iteration timings).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dlscale::util {
+
+/// Accumulates a stream of samples; O(1) memory for moments, retains the
+/// sample vector only when percentiles are requested.
+class RunningStats {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set using linear interpolation between closest
+/// ranks; `q` in [0, 100]. The input need not be sorted.
+double percentile(std::span<const double> samples, double q);
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> samples);
+
+/// Geometric mean of positive samples; 0 if any sample is <= 0 or empty.
+double geomean(std::span<const double> samples);
+
+}  // namespace dlscale::util

@@ -1,0 +1,53 @@
+// ASCII table and CSV emission for paper-style result tables.
+//
+// Every bench binary prints its table/figure series through this so the
+// output format is uniform and machine-parsable (the CSV twin of each
+// table can be redirected for plotting).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dlscale::util {
+
+/// Column-aligned ASCII table with an optional title; also serialisable
+/// as CSV. Cells are strings; numeric helpers format consistently.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Set the header row. Must be called before any `add_row`.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; its size must match the header (checked).
+  void add_row(std::vector<std::string> row);
+
+  /// Format a double with `digits` decimal places.
+  static std::string num(double value, int digits = 2);
+
+  /// Format an integer.
+  static std::string num(long long value);
+
+  /// Format a percentage ("92.0%").
+  static std::string pct(double fraction01, int digits = 1);
+
+  /// Render as an aligned ASCII table.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Render as CSV (header + rows; RFC-4180 quoting for commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print the ASCII rendering to `stream` (default stdout).
+  void print(std::FILE* stream = stdout) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dlscale::util

@@ -1,0 +1,293 @@
+#include "dlscale/data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dlscale::data {
+
+SyntheticShapes::SyntheticShapes(Config config) : config_(config) {
+  if (config.num_classes < 2) throw std::invalid_argument("SyntheticShapes: need >= 2 classes");
+  if (config.num_classes > 6) {
+    throw std::invalid_argument("SyntheticShapes: at most 6 classes (background + 5 shapes)");
+  }
+  if (config.image_size < 8) throw std::invalid_argument("SyntheticShapes: image too small");
+}
+
+namespace {
+
+/// Per-class base colour (RGB in [-1, 1]); background is class 0.
+constexpr float kClassColour[6][3] = {
+    {-0.6f, -0.6f, -0.6f},  // background: dark grey
+    {0.9f, -0.4f, -0.4f},   // disks: red
+    {-0.4f, 0.9f, -0.4f},   // rectangles: green
+    {-0.4f, -0.4f, 0.9f},   // crosses: blue
+    {0.9f, 0.9f, -0.4f},    // rings: yellow
+    {0.9f, -0.4f, 0.9f},    // stripes: magenta
+};
+
+}  // namespace
+
+void SyntheticShapes::draw_shape(Tensor& image, std::vector<int>& labels, int shape_class,
+                                 util::Rng& rng) const {
+  const int size = config_.image_size;
+  const int cx = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(size)));
+  const int cy = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(size)));
+  const int radius = 3 + static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(size / 4)));
+  const float angle = static_cast<float>(rng.uniform(0.0, 3.14159));
+
+  auto paint = [&](int x, int y) {
+    if (x < 0 || x >= size || y < 0 || y >= size) return;
+    labels[static_cast<std::size_t>(y) * size + x] = shape_class;
+    for (int c = 0; c < 3; ++c) {
+      image.at(0, c, y, x) = kClassColour[shape_class][c];
+    }
+  };
+
+  switch (shape_class % 5) {
+    case 1: {  // disk
+      for (int y = cy - radius; y <= cy + radius; ++y)
+        for (int x = cx - radius; x <= cx + radius; ++x) {
+          const int dx = x - cx, dy = y - cy;
+          if (dx * dx + dy * dy <= radius * radius) paint(x, y);
+        }
+      break;
+    }
+    case 2: {  // rectangle
+      const int half_w = radius, half_h = std::max(2, radius / 2);
+      for (int y = cy - half_h; y <= cy + half_h; ++y)
+        for (int x = cx - half_w; x <= cx + half_w; ++x) paint(x, y);
+      break;
+    }
+    case 3: {  // cross
+      const int arm = std::max(2, radius / 3);
+      for (int y = cy - radius; y <= cy + radius; ++y)
+        for (int x = cx - arm; x <= cx + arm; ++x) paint(x, y);
+      for (int y = cy - arm; y <= cy + arm; ++y)
+        for (int x = cx - radius; x <= cx + radius; ++x) paint(x, y);
+      break;
+    }
+    case 4: {  // ring
+      const int inner = std::max(1, radius - 3);
+      for (int y = cy - radius; y <= cy + radius; ++y)
+        for (int x = cx - radius; x <= cx + radius; ++x) {
+          const int d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+          if (d2 <= radius * radius && d2 >= inner * inner) paint(x, y);
+        }
+      break;
+    }
+    case 0: {  // stripes (class 5): oriented bars through the centre
+      const float nx = std::cos(angle), ny = std::sin(angle);
+      for (int y = cy - radius; y <= cy + radius; ++y)
+        for (int x = cx - radius; x <= cx + radius; ++x) {
+          const float proj = static_cast<float>(x - cx) * nx + static_cast<float>(y - cy) * ny;
+          const int band = static_cast<int>(std::floor(proj / 3.0f));
+          const int d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+          if (d2 <= radius * radius && band % 2 == 0) paint(x, y);
+        }
+      break;
+    }
+    default: break;
+  }
+}
+
+Sample SyntheticShapes::make(std::uint64_t index) const {
+  const int size = config_.image_size;
+  util::Rng rng = util::Rng(config_.seed).child(index);
+
+  Sample sample;
+  sample.image = Tensor({1, 3, size, size});
+  sample.labels.assign(static_cast<std::size_t>(size) * size, 0);
+
+  // Textured background.
+  for (int c = 0; c < 3; ++c)
+    for (int y = 0; y < size; ++y)
+      for (int x = 0; x < size; ++x) {
+        sample.image.at(0, c, y, x) =
+            kClassColour[0][c] + static_cast<float>(rng.normal(0.0, 0.1));
+      }
+
+  // Shapes, later ones painted over earlier ones (occlusion).
+  const int shape_classes = config_.num_classes - 1;
+  const int count =
+      1 + static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(config_.max_shapes)));
+  for (int i = 0; i < count; ++i) {
+    const int cls = 1 + static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(shape_classes)));
+    draw_shape(sample.image, sample.labels, cls, rng);
+  }
+
+  // Pixel noise over everything.
+  for (std::size_t i = 0; i < sample.image.numel(); ++i) {
+    sample.image[i] += static_cast<float>(rng.normal(0.0, config_.noise));
+  }
+  return sample;
+}
+
+Sample SyntheticShapes::make_batch(const std::vector<std::uint64_t>& indices) const {
+  if (indices.empty()) throw std::invalid_argument("make_batch: empty index list");
+  const int size = config_.image_size;
+  const int batch = static_cast<int>(indices.size());
+  Sample out;
+  out.image = Tensor({batch, 3, size, size});
+  out.labels.resize(static_cast<std::size_t>(batch) * size * size);
+  const std::size_t image_elems = static_cast<std::size_t>(3) * size * size;
+  const std::size_t label_elems = static_cast<std::size_t>(size) * size;
+  for (int n = 0; n < batch; ++n) {
+    const Sample sample = make(indices[static_cast<std::size_t>(n)]);
+    std::copy(sample.image.ptr(), sample.image.ptr() + image_elems,
+              out.image.ptr() + static_cast<std::size_t>(n) * image_elems);
+    std::copy(sample.labels.begin(), sample.labels.end(),
+              out.labels.begin() + static_cast<std::ptrdiff_t>(n * label_elems));
+  }
+  return out;
+}
+
+void flip_horizontal(Sample& sample) {
+  const int batch = sample.image.dim(0), size = sample.image.dim(2);
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < 3; ++c)
+      for (int y = 0; y < size; ++y)
+        for (int x = 0; x < size / 2; ++x) {
+          std::swap(sample.image.at(n, c, y, x), sample.image.at(n, c, y, size - 1 - x));
+        }
+    for (int y = 0; y < size; ++y)
+      for (int x = 0; x < size / 2; ++x) {
+        std::swap(sample.labels[(static_cast<std::size_t>(n) * size + y) * size + x],
+                  sample.labels[(static_cast<std::size_t>(n) * size + y) * size + size - 1 - x]);
+      }
+  }
+}
+
+void translate(Sample& sample, int dy, int dx) {
+  if (dy == 0 && dx == 0) return;
+  const int batch = sample.image.dim(0), size = sample.image.dim(2);
+  Tensor image(sample.image.shape());
+  std::vector<int> labels(sample.labels.size(), 0);
+  for (int n = 0; n < batch; ++n) {
+    for (int y = 0; y < size; ++y) {
+      const int sy = y - dy;
+      for (int x = 0; x < size; ++x) {
+        const int sx = x - dx;
+        const std::size_t dst = (static_cast<std::size_t>(n) * size + y) * size + x;
+        if (sy >= 0 && sy < size && sx >= 0 && sx < size) {
+          for (int c = 0; c < 3; ++c) image.at(n, c, y, x) = sample.image.at(n, c, sy, sx);
+          labels[dst] = sample.labels[(static_cast<std::size_t>(n) * size + sy) * size + sx];
+        } else {
+          for (int c = 0; c < 3; ++c) image.at(n, c, y, x) = kClassColour[0][c];
+          labels[dst] = 0;
+        }
+      }
+    }
+  }
+  sample.image = std::move(image);
+  sample.labels = std::move(labels);
+}
+
+void augment(Sample& sample, util::Rng& rng, int max_shift) {
+  if (rng.uniform() < 0.5) flip_horizontal(sample);
+  if (max_shift > 0) {
+    const auto span = static_cast<std::uint64_t>(2 * max_shift + 1);
+    const int dy = static_cast<int>(rng.uniform_index(span)) - max_shift;
+    const int dx = static_cast<int>(rng.uniform_index(span)) - max_shift;
+    translate(sample, dy, dx);
+  }
+}
+
+DistributedSampler::DistributedSampler(std::uint64_t dataset_size, int world_size, int rank,
+                                       std::uint64_t seed)
+    : dataset_size_(dataset_size), world_size_(world_size), rank_(rank), seed_(seed) {
+  if (world_size < 1 || rank < 0 || rank >= world_size) {
+    throw std::invalid_argument("DistributedSampler: bad rank/world");
+  }
+  shard_size_ = dataset_size / static_cast<std::uint64_t>(world_size);
+  if (shard_size_ == 0) {
+    throw std::invalid_argument("DistributedSampler: dataset smaller than world size");
+  }
+}
+
+std::vector<std::uint64_t> DistributedSampler::epoch_indices(std::uint64_t epoch) const {
+  // Same permutation on every rank (seed depends only on epoch), then a
+  // strided slice per rank — Horovod/PyTorch DistributedSampler contract.
+  std::vector<std::uint64_t> all(dataset_size_);
+  std::iota(all.begin(), all.end(), 0);
+  util::Rng rng = util::Rng(seed_).child(epoch + 1);
+  for (std::uint64_t i = dataset_size_ - 1; i > 0; --i) {
+    const std::uint64_t j = rng.uniform_index(i + 1);
+    std::swap(all[i], all[j]);
+  }
+  std::vector<std::uint64_t> mine;
+  mine.reserve(shard_size_);
+  for (std::uint64_t i = 0; i < shard_size_; ++i) {
+    mine.push_back(all[i * static_cast<std::uint64_t>(world_size_) +
+                       static_cast<std::uint64_t>(rank_)]);
+  }
+  return mine;
+}
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes) * num_classes, 0) {
+  if (num_classes < 2) throw std::invalid_argument("ConfusionMatrix: need >= 2 classes");
+}
+
+void ConfusionMatrix::update(const std::vector<int>& prediction, const std::vector<int>& truth,
+                             int ignore_label) {
+  if (prediction.size() != truth.size()) {
+    throw std::invalid_argument("ConfusionMatrix: size mismatch");
+  }
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const int t = truth[i];
+    if (t == ignore_label) continue;
+    const int p = prediction[i];
+    if (t < 0 || t >= num_classes_ || p < 0 || p >= num_classes_) {
+      throw std::out_of_range("ConfusionMatrix: class id out of range");
+    }
+    ++counts_[static_cast<std::size_t>(t) * num_classes_ + p];
+  }
+}
+
+double ConfusionMatrix::iou(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::uint64_t tp = counts_[c * num_classes_ + c];
+  std::uint64_t truth_total = 0, pred_total = 0;
+  for (int k = 0; k < num_classes_; ++k) {
+    truth_total += counts_[c * num_classes_ + k];
+    pred_total += counts_[static_cast<std::size_t>(k) * num_classes_ + c];
+  }
+  const std::uint64_t union_total = truth_total + pred_total - tp;
+  if (union_total == 0) return 0.0;
+  return static_cast<double>(tp) / static_cast<double>(union_total);
+}
+
+double ConfusionMatrix::miou() const {
+  double total = 0.0;
+  int present = 0;
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    std::uint64_t appears = 0;
+    for (int k = 0; k < num_classes_; ++k) {
+      appears += counts_[static_cast<std::size_t>(cls) * num_classes_ + k] +
+                 counts_[static_cast<std::size_t>(k) * num_classes_ + cls];
+    }
+    if (appears == 0) continue;
+    total += iou(cls);
+    ++present;
+  }
+  return present == 0 ? 0.0 : total / present;
+}
+
+double ConfusionMatrix::pixel_accuracy() const {
+  std::uint64_t correct = 0, total = 0;
+  for (int t = 0; t < num_classes_; ++t) {
+    for (int p = 0; p < num_classes_; ++p) {
+      const std::uint64_t count = counts_[static_cast<std::size_t>(t) * num_classes_ + p];
+      total += count;
+      if (t == p) correct += count;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+void ConfusionMatrix::reset() { std::fill(counts_.begin(), counts_.end(), 0); }
+
+}  // namespace dlscale::data

@@ -1,0 +1,47 @@
+#include "dlscale/gpu/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlscale::gpu {
+
+DeviceSpec DeviceSpec::v100_summit() {
+  DeviceSpec spec;
+  spec.name = "V100-SXM3-16GB (Summit AC922)";
+  spec.peak_fp32_flops = 15.7e12;
+  spec.mem_bandwidth_Bps = 900e9;
+  spec.kernel_launch_s = 4e-6;
+  // CPU<->GPU on AC922 runs over NVLink2 (3 bricks, 50 GB/s/dir nominal);
+  // sustained copy bandwidth lands well above PCIe3 systems.
+  spec.h2d_bandwidth_Bps = 42e9;
+  spec.d2h_bandwidth_Bps = 42e9;
+  spec.d2d_bandwidth_Bps = 720e9;
+  spec.copy_latency_s = 8e-6;
+  spec.memory_bytes = std::size_t{16} << 30;
+  return spec;
+}
+
+ComputeModel::ComputeModel(DeviceSpec spec, double flop_efficiency)
+    : spec_(std::move(spec)), flop_efficiency_(flop_efficiency) {
+  if (flop_efficiency <= 0.0 || flop_efficiency > 1.0) {
+    throw std::invalid_argument("ComputeModel: flop_efficiency must be in (0, 1]");
+  }
+}
+
+double ComputeModel::kernel_time(double flops, double bytes_touched) const noexcept {
+  const double compute_s = flops / (flop_efficiency_ * spec_.peak_fp32_flops);
+  const double memory_s = bytes_touched / spec_.mem_bandwidth_Bps;
+  return spec_.kernel_launch_s + std::max(compute_s, memory_s);
+}
+
+double ComputeModel::copy_time(std::size_t bytes, CopyKind kind) const noexcept {
+  double bandwidth = spec_.d2d_bandwidth_Bps;
+  switch (kind) {
+    case CopyKind::kHostToDevice: bandwidth = spec_.h2d_bandwidth_Bps; break;
+    case CopyKind::kDeviceToHost: bandwidth = spec_.d2h_bandwidth_Bps; break;
+    case CopyKind::kDeviceToDevice: bandwidth = spec_.d2d_bandwidth_Bps; break;
+  }
+  return spec_.copy_latency_s + static_cast<double>(bytes) / bandwidth;
+}
+
+}  // namespace dlscale::gpu

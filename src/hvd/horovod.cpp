@@ -1,0 +1,430 @@
+#include "dlscale/hvd/horovod.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include <ostream>
+
+#include "dlscale/util/env.hpp"
+#include "dlscale/util/fp16.hpp"
+#include "dlscale/util/logging.hpp"
+
+namespace dlscale::hvd {
+
+namespace {
+
+constexpr std::size_t kCacheSlots = 4096;
+constexpr std::size_t kCacheWords = kCacheSlots / 64;
+
+
+/// Byte-stream writer/reader for the negotiation payloads.
+struct Writer {
+  std::vector<std::byte> out;
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* raw = reinterpret_cast<const std::byte*>(&value);
+    out.insert(out.end(), raw, raw + sizeof(T));
+  }
+  void put_name(const std::string& name) {
+    put<std::uint16_t>(static_cast<std::uint16_t>(name.size()));
+    const auto* raw = reinterpret_cast<const std::byte*>(name.data());
+    out.insert(out.end(), raw, raw + name.size());
+  }
+};
+
+struct Reader {
+  std::span<const std::byte> in;
+  std::size_t pos = 0;
+  template <typename T>
+  T get() {
+    T value{};
+    if (pos + sizeof(T) > in.size()) throw std::runtime_error("hvd: truncated payload");
+    std::memcpy(&value, in.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return value;
+  }
+  std::string get_name() {
+    const auto len = get<std::uint16_t>();
+    if (pos + len > in.size()) throw std::runtime_error("hvd: truncated name");
+    std::string name(reinterpret_cast<const char*>(in.data() + pos), len);
+    pos += len;
+    return name;
+  }
+};
+
+}  // namespace
+
+Knobs Knobs::from_env() { return from_env(Knobs{}); }
+
+Knobs Knobs::from_env(Knobs defaults) {
+  Knobs knobs = defaults;
+  knobs.fp16_allreduce = util::env_bool("HOROVOD_FP16_ALLREDUCE", defaults.fp16_allreduce);
+  knobs.fusion_threshold =
+      util::env_bytes("HOROVOD_FUSION_THRESHOLD", defaults.fusion_threshold);
+  // Horovod expresses cycle time in milliseconds.
+  knobs.cycle_time_s =
+      util::env_double("HOROVOD_CYCLE_TIME", defaults.cycle_time_s * 1e3) * 1e-3;
+  knobs.hierarchical_allreduce =
+      util::env_bool("HOROVOD_HIERARCHICAL_ALLREDUCE", defaults.hierarchical_allreduce);
+  const auto cache_capacity = util::env_int("HOROVOD_CACHE_CAPACITY", -1);
+  if (cache_capacity == 0) {
+    knobs.response_cache = false;
+  } else if (cache_capacity > 0) {
+    knobs.response_cache = true;
+  }
+  return knobs;
+}
+
+Knobs Knobs::paper_tuned() {
+  Knobs knobs;
+  knobs.fusion_threshold = 64 << 20;
+  knobs.cycle_time_s = 3.5e-3;
+  knobs.hierarchical_allreduce = true;
+  knobs.response_cache = true;
+  return knobs;
+}
+
+HorovodRuntime::HorovodRuntime(mpi::Communicator& comm, Knobs knobs, gpu::ComputeModel copy_model)
+    : comm_(comm), knobs_(knobs), copy_model_(std::move(copy_model)) {
+  if (knobs_.fusion_threshold == 0) knobs_.fusion_threshold = 1;  // per-tensor launches
+}
+
+void HorovodRuntime::submit(TensorRequest request) {
+  if (request.name.empty()) throw std::invalid_argument("hvd::submit: tensor needs a name");
+  if (request.bytes == 0) request.bytes = request.data.size_bytes();
+  if (request.bytes == 0) throw std::invalid_argument("hvd::submit: zero-size tensor");
+  if (pending_.contains(request.name)) {
+    throw std::logic_error("hvd::submit: tensor '" + request.name +
+                           "' already pending (synchronize before resubmitting)");
+  }
+  // Copy the key before moving the request: argument evaluation order is
+  // unspecified and the Pending construction moves request.name out.
+  std::string key = request.name;
+  submit_order_.push_back(key);
+  pending_.emplace(std::move(key), Pending{std::move(request), false});
+}
+
+std::vector<std::string> HorovodRuntime::collect_ready(double cycle_start) {
+  std::vector<std::string> fresh;
+  for (const std::string& name : submit_order_) {
+    auto it = pending_.find(name);
+    if (it == pending_.end()) continue;
+    Pending& entry = it->second;
+    if (entry.announced || entry.request.ready_at > cycle_start) continue;
+    if (knobs_.response_cache && cache_ids_.contains(name)) continue;  // bitvector path
+    entry.announced = true;
+    fresh.push_back(name);
+  }
+  return fresh;
+}
+
+void HorovodRuntime::note_cached(const std::string& name) {
+  if (!knobs_.response_cache) return;
+  if (cache_ids_.contains(name) || cache_names_.size() >= kCacheSlots) return;
+  cache_ids_.emplace(name, static_cast<std::uint32_t>(cache_names_.size()));
+  cache_names_.push_back(name);
+}
+
+bool HorovodRuntime::cycle() {
+  ++stats_.cycles;
+  // The background loop sleeps the remainder of the cycle period measured
+  // from the PREVIOUS cycle's start (Horovod's RunLoopOnce semantics): a
+  // round whose execution outlasts the period starts the next round
+  // immediately.
+  const double effective_cycle = std::max(knobs_.cycle_time_s, 1e-6);
+  const double cycle_start = std::max(comm_.now(), last_cycle_start_ + effective_cycle);
+  comm_.clock().bump_to(cycle_start);
+  last_cycle_start_ = cycle_start;
+
+  // ---- build this rank's report ----
+  const std::vector<std::string> fresh = collect_ready(cycle_start);
+  std::uint64_t bits[kCacheWords] = {};
+  if (knobs_.response_cache) {
+    for (const auto& [name, entry] : pending_) {
+      if (entry.request.ready_at > cycle_start) continue;
+      auto it = cache_ids_.find(name);
+      if (it == cache_ids_.end()) continue;
+      bits[it->second / 64] |= std::uint64_t{1} << (it->second % 64);
+    }
+  }
+  Writer report;
+  report.put<std::uint32_t>(static_cast<std::uint32_t>(fresh.size()));
+  report.put<std::uint32_t>(static_cast<std::uint32_t>(pending_.size()));
+  for (std::size_t w = 0; w < kCacheWords; ++w) report.put<std::uint64_t>(bits[w]);
+  for (const std::string& name : fresh) report.put_name(name);
+  stats_.control_bytes += report.out.size();
+
+  // ---- coordinator (rank 0) combines reports ----
+  const double negotiation_start = comm_.now();
+  const auto reports = comm_.gather_blobs(report.out, 0);
+  Writer response;
+  if (comm_.rank() == 0) {
+    std::uint64_t combined_bits[kCacheWords];
+    std::fill(std::begin(combined_bits), std::end(combined_bits), ~std::uint64_t{0});
+    bool any_fresh = false;
+    std::uint32_t max_pending = 0;
+    for (const auto& blob : reports) {
+      Reader reader{blob};
+      const auto fresh_count = reader.get<std::uint32_t>();
+      const auto pending_count = reader.get<std::uint32_t>();
+      max_pending = std::max(max_pending, pending_count);
+      for (std::size_t w = 0; w < kCacheWords; ++w) combined_bits[w] &= reader.get<std::uint64_t>();
+      any_fresh = any_fresh || fresh_count > 0;
+      for (std::uint32_t i = 0; i < fresh_count; ++i) {
+        const std::string name = reader.get_name();
+        ReadyState& state = ready_counts_[name];
+        if (state.count == 0) state.first_seen_cycle = stats_.cycles;
+        if (++state.count == comm_.size()) {
+          response_order_.push_back(name);
+          ready_counts_.erase(name);
+        }
+      }
+    }
+    // Stall check (HOROVOD_STALL_CHECK): a tensor announced by some ranks
+    // but not all for many cycles usually means diverged control flow.
+    if (knobs_.stall_warning_cycles > 0) {
+      for (auto& [name, state] : ready_counts_) {
+        if (!state.stall_warned &&
+            stats_.cycles - state.first_seen_cycle >= knobs_.stall_warning_cycles) {
+          state.stall_warned = true;
+          ++stats_.stall_warnings;
+          DLSCALE_WARN("hvd stall check: tensor '"
+                       << name << "' ready on " << state.count << "/" << comm_.size()
+                       << " ranks for " << (stats_.cycles - state.first_seen_cycle)
+                       << " cycles");
+        }
+      }
+    }
+    // Cached responses: slots ready on every rank, in slot order.
+    std::vector<std::uint32_t> cached_ready;
+    for (std::uint32_t slot = 0; slot < cache_names_.size(); ++slot) {
+      if (combined_bits[slot / 64] & (std::uint64_t{1} << (slot % 64))) cached_ready.push_back(slot);
+    }
+    const auto total_responses =
+        static_cast<std::uint32_t>(cached_ready.size() + response_order_.size());
+    const bool keep_going = max_pending > total_responses;
+    if (!any_fresh && total_responses > 0) ++stats_.cache_hit_cycles;
+
+    response.put<std::uint8_t>(keep_going ? 1 : 0);
+    response.put<std::uint32_t>(static_cast<std::uint32_t>(cached_ready.size()));
+    for (std::uint32_t slot : cached_ready) response.put<std::uint32_t>(slot);
+    response.put<std::uint32_t>(static_cast<std::uint32_t>(response_order_.size()));
+    for (const std::string& name : response_order_) response.put_name(name);
+    response_order_.clear();
+  }
+  const auto response_blob = comm_.bcast_blob(response.out, 0);
+  stats_.control_bytes += response_blob.size();
+  if (timeline_enabled_) {
+    timeline_.push_back({negotiation_start, comm_.now(),
+                         "cycle " + std::to_string(stats_.cycles), "negotiation"});
+  }
+
+  // ---- every rank decodes and executes the same response list ----
+  Reader reader{response_blob};
+  const bool keep_going = reader.get<std::uint8_t>() != 0;
+  std::vector<std::string> ordered;
+  const auto cached_count = reader.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < cached_count; ++i) {
+    ordered.push_back(cache_names_.at(reader.get<std::uint32_t>()));
+  }
+  const auto fresh_count = reader.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < fresh_count; ++i) {
+    const std::string name = reader.get_name();
+    note_cached(name);
+    ordered.push_back(name);
+  }
+  stats_.tensors_negotiated += ordered.size();
+
+  // Greedy fusion up to the threshold; an oversized tensor goes alone.
+  std::vector<std::string> batch;
+  std::size_t batch_bytes = 0;
+  auto flush = [&] {
+    if (batch.empty()) return;
+    execute_batch(batch);
+    batch.clear();
+    batch_bytes = 0;
+  };
+  for (const std::string& name : ordered) {
+    const auto it = pending_.find(name);
+    if (it == pending_.end()) {
+      throw std::logic_error("hvd: response for unknown tensor '" + name + "'");
+    }
+    const std::size_t bytes = it->second.request.bytes;
+    if (!batch.empty() && batch_bytes + bytes > knobs_.fusion_threshold) flush();
+    batch.push_back(name);
+    batch_bytes += bytes;
+    if (batch_bytes >= knobs_.fusion_threshold) flush();
+  }
+  flush();
+
+  return keep_going;
+}
+
+namespace {
+
+void half_sum(std::byte* acc_raw, const std::byte* in_raw, std::size_t n) {
+  auto* acc = reinterpret_cast<std::uint16_t*>(acc_raw);
+  const auto* in = reinterpret_cast<const std::uint16_t*>(in_raw);
+  for (std::size_t i = 0; i < n; ++i) acc[i] = util::half_add(acc[i], in[i]);
+}
+
+}  // namespace
+
+void HorovodRuntime::execute_batch(const std::vector<std::string>& names) {
+  ++stats_.fused_batches;
+  const double exec_start = comm_.now();
+  std::size_t total_bytes = 0;
+  bool has_data = false;
+  for (const std::string& name : names) {
+    const Pending& entry = pending_.at(name);
+    total_bytes += entry.request.bytes;
+    has_data = has_data || !entry.request.data.empty();
+  }
+  stats_.bytes_reduced += total_bytes;
+  const auto world = static_cast<float>(comm_.size());
+
+  const std::size_t wire_bytes = knobs_.fp16_allreduce ? total_bytes / 2 : total_bytes;
+  if (!has_data) {
+    // Timing-only: price the fusion-buffer pack/unpack copies (the fp16
+    // conversion rides the same copy kernels) and run the payload-free
+    // collective over the (possibly compressed) wire size.
+    if (names.size() > 1 && comm_.timing_enabled()) {
+      comm_.compute(2.0 * copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));
+    }
+    if (knobs_.hierarchical_allreduce) {
+      comm_.hierarchical_allreduce_sim(wire_bytes, mpi::MemSpace::kDevice, knobs_.algo);
+    } else {
+      comm_.allreduce_sim(wire_bytes, mpi::MemSpace::kDevice, knobs_.algo);
+    }
+  } else if (knobs_.fp16_allreduce) {
+    // Compressed path: pack fp32 -> fp16 into the fusion buffer, allreduce
+    // halves with a half-sum reducer, expand-and-average back.
+    const std::size_t elements = total_bytes / sizeof(float);
+    if (fusion_buffer_.size_bytes() < elements * 2) fusion_buffer_.resize(elements * 2);
+    auto halves = fusion_buffer_.as<std::uint16_t>();
+    std::size_t offset = 0;
+    for (const std::string& name : names) {
+      for (float x : pending_.at(name).request.data) {
+        halves[offset++] = util::float_to_half(x);
+      }
+    }
+    if (comm_.timing_enabled()) {
+      comm_.compute(copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));
+    }
+    static const mpi::Communicator::Reducer kHalfSum{2, &half_sum};
+    if (knobs_.hierarchical_allreduce) {
+      // Hierarchical path goes through the same custom reducer via the
+      // flat engine on each level; use flat allreduce for fp16 (the real
+      // implementation does the same: compression before MPI).
+      comm_.allreduce_custom(reinterpret_cast<std::byte*>(halves.data()), 2, offset, kHalfSum,
+                             mpi::MemSpace::kDevice, knobs_.algo);
+    } else {
+      comm_.allreduce_custom(reinterpret_cast<std::byte*>(halves.data()), 2, offset, kHalfSum,
+                             mpi::MemSpace::kDevice, knobs_.algo);
+    }
+    offset = 0;
+    for (const std::string& name : names) {
+      Pending& entry = pending_.at(name);
+      for (float& x : entry.request.data) {
+        x = util::half_to_float(halves[offset++]) / world;
+      }
+    }
+    if (comm_.timing_enabled()) {
+      comm_.compute(copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));
+    }
+  } else if (names.size() == 1) {
+    // Single tensor: reduce in place (Horovod skips the fusion buffer).
+    Pending& entry = pending_.at(names.front());
+    if (knobs_.hierarchical_allreduce) {
+      comm_.hierarchical_allreduce(entry.request.data, mpi::ReduceOp::kSum,
+                                   mpi::MemSpace::kDevice, knobs_.algo);
+    } else {
+      comm_.allreduce(entry.request.data, mpi::ReduceOp::kSum, mpi::MemSpace::kDevice,
+                      knobs_.algo);
+    }
+    for (float& x : entry.request.data) x /= world;
+  } else {
+    // Pack -> one allreduce -> unpack-and-average.
+    if (fusion_buffer_.size_bytes() < total_bytes) fusion_buffer_.resize(total_bytes);
+    auto buffer = fusion_buffer_.as<float>();
+    std::size_t offset = 0;
+    for (const std::string& name : names) {
+      const Pending& entry = pending_.at(name);
+      std::copy(entry.request.data.begin(), entry.request.data.end(), buffer.begin() + offset);
+      offset += entry.request.data.size();
+    }
+    if (comm_.timing_enabled()) {
+      comm_.compute(copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));
+    }
+    auto fused = buffer.subspan(0, offset);
+    if (knobs_.hierarchical_allreduce) {
+      comm_.hierarchical_allreduce(fused, mpi::ReduceOp::kSum, mpi::MemSpace::kDevice,
+                                   knobs_.algo);
+    } else {
+      comm_.allreduce(fused, mpi::ReduceOp::kSum, mpi::MemSpace::kDevice, knobs_.algo);
+    }
+    offset = 0;
+    for (const std::string& name : names) {
+      Pending& entry = pending_.at(name);
+      for (float& x : entry.request.data) x = buffer[offset++] / world;
+    }
+    if (comm_.timing_enabled()) {
+      comm_.compute(copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));
+    }
+  }
+
+  if (timeline_enabled_) {
+    timeline_.push_back({exec_start, comm_.now(),
+                         names.size() == 1 ? names.front()
+                                           : names.front() + " (+" +
+                                                 std::to_string(names.size() - 1) + " fused)",
+                         "allreduce"});
+  }
+  for (const std::string& name : names) {
+    pending_.erase(name);
+    std::erase(submit_order_, name);
+  }
+}
+
+void HorovodRuntime::broadcast(std::span<float> data, int root) {
+  comm_.bcast(std::as_writable_bytes(data), root, mpi::MemSpace::kDevice);
+}
+
+void HorovodRuntime::write_timeline(std::ostream& out) const {
+  out << "[";
+  bool first = true;
+  for (const TimelineEvent& event : timeline_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\": \"" << event.name << "\", \"cat\": \"" << event.phase
+        << "\", \"ph\": \"X\", \"ts\": " << event.start_s * 1e6
+        << ", \"dur\": " << (event.end_s - event.start_s) * 1e6
+        << ", \"pid\": 0, \"tid\": " << comm_.rank() << "}";
+  }
+  out << "\n]\n";
+}
+
+void HorovodRuntime::synchronize() {
+  // Safety valve against mismatched submissions across ranks (the
+  // negotiation would otherwise spin forever). Overridable for tests and
+  // debugging via DLSCALE_HVD_MAX_CYCLES.
+  static const std::uint64_t max_cycles = static_cast<std::uint64_t>(
+      util::env_int("DLSCALE_HVD_MAX_CYCLES", 1'000'000));
+  std::uint64_t local_cycles = 0;
+  bool keep_going = true;
+  while (keep_going) {
+    if (++local_cycles > max_cycles) {
+      throw std::runtime_error(
+          "hvd::synchronize: negotiation did not converge (mismatched submissions across "
+          "ranks?)");
+    }
+    keep_going = cycle();
+  }
+  if (!pending_.empty()) {
+    throw std::logic_error("hvd::synchronize: finished with tensors still pending");
+  }
+}
+
+}  // namespace dlscale::hvd

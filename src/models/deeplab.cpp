@@ -1,0 +1,156 @@
+#include "dlscale/models/deeplab.hpp"
+
+#include <stdexcept>
+
+namespace dlscale::models {
+
+namespace {
+
+nn::Conv2dSpec spec_s(int stride) { return {stride, 1, 1}; }
+nn::Conv2dSpec spec_d(int dilation) { return {1, dilation, dilation}; }
+nn::Conv2dSpec spec_1x1() { return {1, 0, 1}; }
+
+}  // namespace
+
+namespace {
+
+/// Encoder block factory: plain Conv-BN-ReLU or Xception-style separable.
+std::unique_ptr<nn::Layer> make_block(bool separable, const std::string& name, int in_c,
+                                      int out_c, nn::Conv2dSpec spec, util::Rng& rng) {
+  if (separable) {
+    return std::make_unique<nn::SeparableConvBnRelu>(name, in_c, out_c, spec, rng);
+  }
+  return std::make_unique<nn::ConvBnRelu>(name, in_c, out_c, 3, spec, rng);
+}
+
+}  // namespace
+
+MiniDeepLabV3Plus::MiniDeepLabV3Plus(Config config, util::Rng& rng)
+    : config_(config),
+      stem_("stem", config.in_channels, config.width, 3, spec_s(2), rng),
+      block1_(make_block(config.separable_backbone, "block1", config.width, 2 * config.width,
+                         spec_s(2), rng)),
+      block2_(make_block(config.separable_backbone, "block2", 2 * config.width, 4 * config.width,
+                         spec_s(2), rng)),
+      block3_(make_block(config.separable_backbone, "block3", 4 * config.width, 4 * config.width,
+                         spec_d(2), rng)),
+      aspp_1x1_("aspp.1x1", 4 * config.width, 2 * config.width, 1, spec_1x1(), rng),
+      aspp_r2_("aspp.r2", 4 * config.width, 2 * config.width, 3, spec_d(2), rng),
+      aspp_r4_("aspp.r4", 4 * config.width, 2 * config.width, 3, spec_d(4), rng),
+      aspp_pool_proj_("aspp.pool", 4 * config.width, 2 * config.width, 1, spec_1x1(), rng),
+      aspp_project_("aspp.project", 8 * config.width, 4 * config.width, 1, spec_1x1(), rng),
+      low_level_proj_("decoder.low_level", 2 * config.width, config.width, 1, spec_1x1(), rng),
+      decoder_conv_("decoder.conv", 5 * config.width, 2 * config.width, 3, spec_s(1), rng),
+      classifier_("classifier", 2 * config.width, config.num_classes, 1, spec_1x1(),
+                  /*bias=*/true, rng) {
+  if (config.input_size % 8 != 0) {
+    throw std::invalid_argument("MiniDeepLabV3Plus: input_size must be divisible by 8");
+  }
+}
+
+Tensor MiniDeepLabV3Plus::forward(const Tensor& images, bool train) {
+  const int full = config_.input_size;
+  const int quarter = full / 4;
+
+  // Encoder: /2 -> /4 (low-level tap) -> /8 -> /8 atrous.
+  const Tensor s0 = stem_.forward(images, train);
+  const Tensor s1 = block1_->forward(s0, train);
+  const Tensor s2 = block2_->forward(s1, train);
+  Tensor s3 = block3_->forward(s2, train);
+  const int aspp_h = s3.dim(2), aspp_w = s3.dim(3);
+
+  // ASPP: 1x1 + two atrous branches + image pooling, concat, project.
+  const Tensor a1 = aspp_1x1_.forward(s3, train);
+  const Tensor a2 = aspp_r2_.forward(s3, train);
+  const Tensor a3 = aspp_r4_.forward(s3, train);
+  const Tensor pooled = tensor::global_avg_pool(s3);
+  Tensor pool_small = aspp_pool_proj_.forward(pooled, train);
+  const Tensor pool_up = tensor::bilinear_resize(pool_small, aspp_h, aspp_w);
+  const Tensor cat_aspp =
+      tensor::concat_channels(tensor::concat_channels(tensor::concat_channels(a1, a2), a3),
+                              pool_up);
+  Tensor aspp_out = aspp_project_.forward(cat_aspp, train);
+
+  // Decoder: upsample x2, fuse the low-level feature, refine, classify.
+  const Tensor dec_up = tensor::bilinear_resize(aspp_out, quarter, quarter);
+  const Tensor low = low_level_proj_.forward(s1, train);
+  const Tensor cat_dec = tensor::concat_channels(dec_up, low);
+  const Tensor refined = decoder_conv_.forward(cat_dec, train);
+  Tensor logits_small = classifier_.forward(refined, train);
+  Tensor logits = tensor::bilinear_resize(logits_small, full, full);
+
+  if (train) {
+    cache_block3_out_ = std::move(s3);
+    cache_pool_small_ = std::move(pool_small);
+    cache_aspp_out_ = std::move(aspp_out);
+    cache_logits_small_ = std::move(logits_small);
+  }
+  return logits;
+}
+
+Tensor MiniDeepLabV3Plus::backward(const Tensor& grad_logits) {
+  if (cache_logits_small_.empty()) {
+    throw std::logic_error("MiniDeepLabV3Plus: backward before forward(train)");
+  }
+  const int w = config_.width;
+
+  // Decoder.
+  const Tensor g_logits_small = tensor::bilinear_resize_backward(cache_logits_small_, grad_logits);
+  const Tensor g_refined = classifier_.backward(g_logits_small);
+  const Tensor g_cat_dec = decoder_conv_.backward(g_refined);
+  Tensor g_dec_up, g_low;
+  tensor::split_channels(g_cat_dec, 4 * w, g_dec_up, g_low);
+  const Tensor g_s1_from_low = low_level_proj_.backward(g_low);
+  const Tensor g_aspp_out = tensor::bilinear_resize_backward(cache_aspp_out_, g_dec_up);
+
+  // ASPP.
+  const Tensor g_cat_aspp = aspp_project_.backward(g_aspp_out);
+  Tensor g_abc, g_pool_up;
+  tensor::split_channels(g_cat_aspp, 6 * w, g_abc, g_pool_up);
+  Tensor g_ab, g_a3;
+  tensor::split_channels(g_abc, 4 * w, g_ab, g_a3);
+  Tensor g_a1, g_a2;
+  tensor::split_channels(g_ab, 2 * w, g_a1, g_a2);
+
+  const Tensor g_pool_small = tensor::bilinear_resize_backward(cache_pool_small_, g_pool_up);
+  const Tensor g_pooled = aspp_pool_proj_.backward(g_pool_small);
+  Tensor g_s3 = tensor::global_avg_pool_backward(cache_block3_out_, g_pooled);
+  g_s3.add_(aspp_1x1_.backward(g_a1));
+  g_s3.add_(aspp_r2_.backward(g_a2));
+  g_s3.add_(aspp_r4_.backward(g_a3));
+
+  // Encoder.
+  const Tensor g_s2 = block3_->backward(g_s3);
+  Tensor g_s1 = block2_->backward(g_s2);
+  g_s1.add_(g_s1_from_low);
+  const Tensor g_s0 = block1_->backward(g_s1);
+  return stem_.backward(g_s0);
+}
+
+std::vector<Parameter*> MiniDeepLabV3Plus::parameters() {
+  std::vector<Parameter*> params;
+  auto append = [&params](std::vector<Parameter*> layer_params) {
+    for (Parameter* p : layer_params) params.push_back(p);
+  };
+  append(stem_.parameters());
+  append(block1_->parameters());
+  append(block2_->parameters());
+  append(block3_->parameters());
+  append(aspp_1x1_.parameters());
+  append(aspp_r2_.parameters());
+  append(aspp_r4_.parameters());
+  append(aspp_pool_proj_.parameters());
+  append(aspp_project_.parameters());
+  append(low_level_proj_.parameters());
+  append(decoder_conv_.parameters());
+  append(classifier_.parameters());
+  return params;
+}
+
+std::size_t MiniDeepLabV3Plus::parameter_count() {
+  std::size_t total = 0;
+  for (const Parameter* p : parameters()) total += p->numel();
+  return total;
+}
+
+}  // namespace dlscale::models

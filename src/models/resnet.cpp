@@ -1,0 +1,110 @@
+#include "dlscale/models/resnet.hpp"
+
+#include <stdexcept>
+
+namespace dlscale::models {
+
+namespace {
+
+nn::Conv2dSpec conv3(int stride) { return {stride, 1, 1}; }
+nn::Conv2dSpec conv1x1(int stride) { return {stride, 0, 1}; }
+
+}  // namespace
+
+MiniResNet::Block::Block(const std::string& name, int in_c, int out_c, int stride, util::Rng& rng)
+    : conv1(name + ".conv1", in_c, out_c, 3, conv3(stride), rng),
+      conv2(name + ".conv2", out_c, out_c, 3, conv3(1), /*bias=*/false, rng),
+      bn2(name + ".bn2", out_c),
+      relu_out(name + ".relu") {
+  if (in_c != out_c || stride != 1) {
+    proj = std::make_unique<nn::Conv2d>(name + ".proj", in_c, out_c, 1, conv1x1(stride),
+                                        /*bias=*/false, rng);
+    proj_bn = std::make_unique<nn::BatchNorm2d>(name + ".proj_bn", out_c);
+  }
+}
+
+Tensor MiniResNet::Block::forward(const Tensor& x, bool train) {
+  const Tensor h = conv1.forward(x, train);
+  Tensor h2 = bn2.forward(conv2.forward(h, train), train);
+  const Tensor skip =
+      proj ? proj_bn->forward(proj->forward(x, train), train) : x;
+  h2.add_(skip);
+  return relu_out.forward(h2, train);
+}
+
+Tensor MiniResNet::Block::backward(const Tensor& grad_out) {
+  const Tensor g_sum = relu_out.backward(grad_out);
+  Tensor g_x = conv1.backward(conv2.backward(bn2.backward(g_sum)));
+  if (proj) {
+    g_x.add_(proj->backward(proj_bn->backward(g_sum)));
+  } else {
+    g_x.add_(g_sum);
+  }
+  return g_x;
+}
+
+std::vector<nn::Parameter*> MiniResNet::Block::parameters() {
+  std::vector<Parameter*> params = conv1.parameters();
+  for (Parameter* p : conv2.parameters()) params.push_back(p);
+  for (Parameter* p : bn2.parameters()) params.push_back(p);
+  if (proj) {
+    for (Parameter* p : proj->parameters()) params.push_back(p);
+    for (Parameter* p : proj_bn->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+MiniResNet::MiniResNet(Config config, util::Rng& rng)
+    : config_(config),
+      stem_("stem", config.in_channels, config.width, 3, conv3(1), rng),
+      head_("head", 4 * config.width, config.num_classes, 1, conv1x1(1), /*bias=*/true, rng) {
+  if (config.input_size % 4 != 0) {
+    throw std::invalid_argument("MiniResNet: input_size must be divisible by 4");
+  }
+  const int w = config.width;
+  int in_c = w;
+  const int stage_channels[3] = {w, 2 * w, 4 * w};
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int block = 0; block < config.blocks_per_stage; ++block) {
+      const int stride = (stage > 0 && block == 0) ? 2 : 1;
+      const std::string name =
+          "stage" + std::to_string(stage + 1) + ".block" + std::to_string(block + 1);
+      blocks_.emplace_back(name, in_c, stage_channels[stage], stride, rng);
+      in_c = stage_channels[stage];
+    }
+  }
+}
+
+Tensor MiniResNet::forward(const Tensor& images, bool train) {
+  Tensor x = stem_.forward(images, train);
+  for (Block& block : blocks_) x = block.forward(x, train);
+  if (train) cache_pool_in_ = x;
+  const Tensor pooled = tensor::global_avg_pool(x);
+  return head_.forward(pooled, train);
+}
+
+Tensor MiniResNet::backward(const Tensor& grad_logits) {
+  if (cache_pool_in_.empty()) throw std::logic_error("MiniResNet: backward before forward(train)");
+  const Tensor g_pooled = head_.backward(grad_logits);
+  Tensor g = tensor::global_avg_pool_backward(cache_pool_in_, g_pooled);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) g = it->backward(g);
+  return stem_.backward(g);
+}
+
+std::vector<Parameter*> MiniResNet::parameters() {
+  std::vector<Parameter*> params;
+  for (Parameter* p : stem_.parameters()) params.push_back(p);
+  for (Block& block : blocks_) {
+    for (Parameter* p : block.parameters()) params.push_back(p);
+  }
+  for (Parameter* p : head_.parameters()) params.push_back(p);
+  return params;
+}
+
+std::size_t MiniResNet::parameter_count() {
+  std::size_t total = 0;
+  for (const Parameter* p : parameters()) total += p->numel();
+  return total;
+}
+
+}  // namespace dlscale::models

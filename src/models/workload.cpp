@@ -1,0 +1,239 @@
+#include "dlscale/models/workload.hpp"
+
+#include <stdexcept>
+
+namespace dlscale::models {
+
+double WorkloadSpec::total_fwd_flops() const {
+  double total = 0.0;
+  for (const auto& layer : layers) total += layer.fwd_flops;
+  return total;
+}
+
+double WorkloadSpec::total_bwd_flops() const {
+  double total = 0.0;
+  for (const auto& layer : layers) total += layer.bwd_flops;
+  return total;
+}
+
+std::size_t WorkloadSpec::total_param_bytes() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers) total += layer.param_bytes;
+  return total;
+}
+
+namespace {
+
+/// Incrementally builds a spec while tracking the activation resolution.
+class SpecBuilder {
+ public:
+  SpecBuilder(std::string name, int batch, int crop) : spec_{}, h_(crop), w_(crop) {
+    spec_.name = std::move(name);
+    spec_.batch_per_gpu = batch;
+    spec_.crop = crop;
+  }
+
+  /// Standard convolution; emits a conv-weight tensor and, when `bn`, a
+  /// batch-norm gamma/beta tensor (Horovod sees them as separate small
+  /// gradients, which matters for negotiation-overhead realism).
+  void conv(const std::string& name, int in_c, int out_c, int k, int stride, int dilation = 1,
+            bool bn = true) {
+    const int effective = dilation * (k - 1) + 1;
+    const int pad = effective / 2;
+    h_ = (h_ + 2 * pad - effective) / stride + 1;
+    w_ = (w_ + 2 * pad - effective) / stride + 1;
+    emit_conv(name, in_c, out_c, k, bn);
+  }
+
+  /// Depthwise-separable convolution (Xception building block): 3x3
+  /// depthwise followed by 1x1 pointwise, each with BN.
+  void sepconv(const std::string& name, int in_c, int out_c, int stride, int dilation = 1) {
+    const int effective = dilation * 2 + 1;
+    const int pad = effective / 2;
+    h_ = (h_ + 2 * pad - effective) / stride + 1;
+    w_ = (w_ + 2 * pad - effective) / stride + 1;
+    // Depthwise 3x3: one filter per input channel.
+    {
+      LayerSpec layer;
+      layer.name = name + ".dw";
+      layer.param_bytes = static_cast<std::size_t>(in_c) * 9 * 4;
+      layer.fwd_flops = flops_per_pos(static_cast<double>(in_c) * 9);
+      layer.bwd_flops = 2.0 * layer.fwd_flops;
+      layer.activation_bytes = activation_traffic(in_c);
+      spec_.layers.push_back(layer);
+      bn_layer(name + ".dw.bn", in_c);
+    }
+    emit_conv(name + ".pw", in_c, out_c, 1, /*bn=*/true);
+  }
+
+  /// Fully-connected head.
+  void fc(const std::string& name, int in_features, int out_features) {
+    LayerSpec layer;
+    layer.name = name;
+    layer.param_bytes = (static_cast<std::size_t>(in_features) * out_features + out_features) * 4;
+    layer.fwd_flops =
+        2.0 * in_features * out_features * static_cast<double>(spec_.batch_per_gpu);
+    layer.bwd_flops = 2.0 * layer.fwd_flops;
+    layer.activation_bytes = static_cast<double>(out_features) * spec_.batch_per_gpu * 4.0 * 3.0;
+    spec_.layers.push_back(layer);
+  }
+
+  /// Explicit pooling / resize (changes resolution, no parameters).
+  void set_resolution(int h, int w) {
+    h_ = h;
+    w_ = w;
+  }
+  void pool(int stride) {
+    h_ = h_ / stride;
+    w_ = w_ / stride;
+  }
+
+  [[nodiscard]] int h() const noexcept { return h_; }
+  [[nodiscard]] int w() const noexcept { return w_; }
+
+  WorkloadSpec take() { return std::move(spec_); }
+
+ private:
+  [[nodiscard]] double flops_per_pos(double macs_per_position) const {
+    return 2.0 * macs_per_position * h_ * w_ * spec_.batch_per_gpu;
+  }
+  [[nodiscard]] double activation_traffic(int out_c) const {
+    // Read + write + one re-read in backward, fp32.
+    return static_cast<double>(out_c) * h_ * w_ * spec_.batch_per_gpu * 4.0 * 3.0;
+  }
+
+  void emit_conv(const std::string& name, int in_c, int out_c, int k, bool bn) {
+    LayerSpec layer;
+    layer.name = name;
+    layer.param_bytes = static_cast<std::size_t>(out_c) * in_c * k * k * 4;
+    layer.fwd_flops = flops_per_pos(static_cast<double>(out_c) * in_c * k * k);
+    layer.bwd_flops = 2.0 * layer.fwd_flops;
+    layer.activation_bytes = activation_traffic(out_c);
+    spec_.layers.push_back(layer);
+    if (bn) bn_layer(name + ".bn", out_c);
+  }
+
+  void bn_layer(const std::string& name, int channels) {
+    LayerSpec layer;
+    layer.name = name;
+    layer.param_bytes = static_cast<std::size_t>(channels) * 2 * 4;
+    // BN costs ~10 ops per element.
+    layer.fwd_flops = 10.0 * channels * h_ * w_ * spec_.batch_per_gpu;
+    layer.bwd_flops = 2.0 * layer.fwd_flops;
+    layer.activation_bytes = activation_traffic(channels);
+    spec_.layers.push_back(layer);
+  }
+
+  WorkloadSpec spec_;
+  int h_;
+  int w_;
+};
+
+}  // namespace
+
+WorkloadSpec WorkloadSpec::deeplab_v3plus(int batch_per_gpu) {
+  if (batch_per_gpu < 1) throw std::invalid_argument("deeplab_v3plus: batch must be >= 1");
+  SpecBuilder b("DeepLab-v3+ (Xception-65, OS16, 513x513)", batch_per_gpu, 513);
+
+  // --- Entry flow ---
+  b.conv("entry.conv1", 3, 32, 3, 2);
+  b.conv("entry.conv2", 32, 64, 3, 1);
+  // Block 1 -> 128 channels, stride 2 (plus residual projection).
+  b.sepconv("entry.b1.sep1", 64, 128, 1);
+  b.sepconv("entry.b1.sep2", 128, 128, 1);
+  b.sepconv("entry.b1.sep3", 128, 128, 2);
+  b.conv("entry.b1.skip", 64, 128, 1, 1);  // resolution already advanced by sep3
+  const int low_level_h = b.h();  // decoder skip taps here (129x129, 128ch)
+  // Block 2 -> 256, stride 2.
+  b.sepconv("entry.b2.sep1", 128, 256, 1);
+  b.sepconv("entry.b2.sep2", 256, 256, 1);
+  b.sepconv("entry.b2.sep3", 256, 256, 2);
+  b.conv("entry.b2.skip", 128, 256, 1, 1);
+  // Block 3 -> 728, stride 2 (reaches OS16: 33x33).
+  b.sepconv("entry.b3.sep1", 256, 728, 1);
+  b.sepconv("entry.b3.sep2", 728, 728, 1);
+  b.sepconv("entry.b3.sep3", 728, 728, 2);
+  b.conv("entry.b3.skip", 256, 728, 1, 1);
+
+  // --- Middle flow: 16 residual blocks of 3 separable convs at 728 ---
+  for (int block = 0; block < 16; ++block) {
+    const std::string prefix = "middle.b" + std::to_string(block + 1);
+    b.sepconv(prefix + ".sep1", 728, 728, 1);
+    b.sepconv(prefix + ".sep2", 728, 728, 1);
+    b.sepconv(prefix + ".sep3", 728, 728, 1);
+  }
+
+  // --- Exit flow (dilated, no further stride at OS16) ---
+  b.sepconv("exit.b1.sep1", 728, 728, 1, 2);
+  b.sepconv("exit.b1.sep2", 728, 1024, 1, 2);
+  b.sepconv("exit.b1.sep3", 1024, 1024, 1, 2);
+  b.conv("exit.b1.skip", 728, 1024, 1, 1);
+  b.sepconv("exit.sep4", 1024, 1536, 1, 2);
+  b.sepconv("exit.sep5", 1536, 1536, 1, 2);
+  b.sepconv("exit.sep6", 1536, 2048, 1, 2);
+
+  // --- ASPP at 33x33 on 2048 channels ---
+  b.conv("aspp.branch1x1", 2048, 256, 1, 1);
+  b.conv("aspp.branch_r6", 2048, 256, 3, 1, 6);
+  b.conv("aspp.branch_r12", 2048, 256, 3, 1, 12);
+  b.conv("aspp.branch_r18", 2048, 256, 3, 1, 18);
+  {
+    // Image pooling branch: global pool -> 1x1 -> upsample. The 1x1 runs
+    // at 1x1 resolution, then features are broadcast back.
+    const int aspp_h = b.h(), aspp_w = b.w();
+    b.set_resolution(1, 1);
+    b.conv("aspp.image_pool", 2048, 256, 1, 1);
+    b.set_resolution(aspp_h, aspp_w);
+  }
+  b.conv("aspp.project", 1280, 256, 1, 1);
+
+  // --- Decoder at 129x129 ---
+  {
+    const int aspp_h = b.h(), aspp_w = b.w();
+    (void)aspp_h;
+    (void)aspp_w;
+    b.set_resolution(low_level_h, low_level_h);
+  }
+  b.conv("decoder.low_level", 128, 48, 1, 1);
+  b.conv("decoder.conv1", 304, 256, 3, 1);
+  b.conv("decoder.conv2", 256, 256, 3, 1);
+  b.conv("decoder.classifier", 256, 21, 1, 1, 1, /*bn=*/false);
+
+  return b.take();
+}
+
+WorkloadSpec WorkloadSpec::resnet50(int batch_per_gpu) {
+  if (batch_per_gpu < 1) throw std::invalid_argument("resnet50: batch must be >= 1");
+  SpecBuilder b("ResNet-50 (224x224)", batch_per_gpu, 224);
+
+  b.conv("conv1", 3, 64, 7, 2);
+  b.pool(2);  // 3x3 max pool stride 2 -> 56x56
+
+  struct Stage {
+    int blocks;
+    int mid;
+    int out;
+    int stride;
+  };
+  const Stage stages[] = {{3, 64, 256, 1}, {4, 128, 512, 2}, {6, 256, 1024, 2}, {3, 512, 2048, 2}};
+  int in_c = 64;
+  int stage_id = 1;
+  for (const Stage& stage : stages) {
+    for (int block = 0; block < stage.blocks; ++block) {
+      const std::string prefix =
+          "stage" + std::to_string(stage_id) + ".block" + std::to_string(block + 1);
+      const int stride = block == 0 ? stage.stride : 1;
+      b.conv(prefix + ".conv1", in_c, stage.mid, 1, 1);
+      b.conv(prefix + ".conv2", stage.mid, stage.mid, 3, stride);
+      b.conv(prefix + ".conv3", stage.mid, stage.out, 1, 1);
+      if (block == 0) b.conv(prefix + ".skip", in_c, stage.out, 1, 1);
+      in_c = stage.out;
+    }
+    ++stage_id;
+  }
+  b.set_resolution(1, 1);  // global average pool
+  b.fc("fc", 2048, 1000);
+  return b.take();
+}
+
+}  // namespace dlscale::models

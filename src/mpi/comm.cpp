@@ -1,0 +1,1040 @@
+#include "dlscale/mpi/comm.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "dlscale/util/logging.hpp"
+
+namespace dlscale::mpi {
+namespace {
+
+// Reserved tag space for internal collective traffic. User tags must stay
+// below this; per-channel FIFO matching makes tag reuse across successive
+// collectives safe (same guarantee real MPI relies on).
+constexpr int kTagBarrier = 0x41000000;
+constexpr int kTagBcast = 0x42000000;
+constexpr int kTagReduce = 0x43000000;
+constexpr int kTagRingRS = 0x44000000;
+constexpr int kTagRingAG = 0x45000000;
+constexpr int kTagRecDouble = 0x46000000;
+constexpr int kTagRabenRS = 0x47000000;
+constexpr int kTagRabenAG = 0x48000000;
+constexpr int kTagGather = 0x49000000;
+constexpr int kTagAllgather = 0x4A000000;
+constexpr int kTagBlobData = 0x4C000000;
+
+struct Message {
+  std::vector<std::byte> payload;
+  std::size_t logical_bytes = 0;
+  // Timing metadata (unused when the world runs with timing disabled).
+  double available_at = 0.0;  ///< virtual time the data lands at the receiver
+  double wire_s = 0.0;        ///< serialisation time (re-used if receiver is late)
+  double pipeline_extra_s = 0.0;  ///< staging-pipeline slack beyond the wire
+  double handshake_s = 0.0;
+  bool rendezvous = false;
+  int sender_global = -1;
+};
+
+struct MailKey {
+  std::uint64_t comm;
+  int src;
+  int dst;
+  int tag;
+  bool operator==(const MailKey&) const = default;
+};
+
+struct MailKeyHash {
+  std::size_t operator()(const MailKey& k) const noexcept {
+    std::uint64_t h = k.comm;
+    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(k.src + 1);
+    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(k.dst + 1);
+    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(k.tag + 1);
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+std::uint64_t mix_comm_id(std::uint64_t parent, std::uint64_t seq, int color) {
+  std::uint64_t h = parent ^ 0x2545F4914F6CDD1Dull;
+  h = (h + seq) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) + static_cast<std::uint64_t>(color + 7);
+  h *= 0x94D049BB133111EBull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+/// Thrown inside ranks blocked on communication when another rank fails;
+/// suppressed by run_world in favour of the original exception.
+struct WorldAborted : std::runtime_error {
+  WorldAborted() : std::runtime_error("simmpi world aborted") {}
+};
+
+class World {
+ public:
+  explicit World(const WorldOptions& options)
+      : options_(options),
+        cost_(options.topology, options.profile),
+        nic_(options.topology.nodes(), std::max(1, options.profile.rails)),
+        clocks_(static_cast<std::size_t>(options.topology.world_size())),
+        stats_(static_cast<std::size_t>(options.topology.world_size())),
+        shards_(static_cast<std::size_t>(options.topology.world_size())) {}
+
+  void post(const MailKey& key, Message message) {
+    Shard& shard = shards_[static_cast<std::size_t>(key.dst)];
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.boxes[key].push_back(std::move(message));
+    }
+    shard.cv.notify_all();
+  }
+
+  Message take(const MailKey& key) {
+    Shard& shard = shards_[static_cast<std::size_t>(key.dst)];
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.cv.wait(lock, [&] {
+      if (aborted_.load(std::memory_order_acquire)) return true;
+      auto it = shard.boxes.find(key);
+      return it != shard.boxes.end() && !it->second.empty();
+    });
+    if (aborted_.load(std::memory_order_acquire)) throw WorldAborted{};
+    auto it = shard.boxes.find(key);
+    Message message = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) shard.boxes.erase(it);
+    return message;
+  }
+
+  void abort() {
+    aborted_.store(true, std::memory_order_release);
+    for (Shard& shard : shards_) shard.cv.notify_all();
+  }
+
+  [[nodiscard]] VirtualClock& clock(int global_rank) {
+    return clocks_[static_cast<std::size_t>(global_rank)];
+  }
+  [[nodiscard]] CommStats& stats(int global_rank) {
+    return stats_[static_cast<std::size_t>(global_rank)];
+  }
+  [[nodiscard]] const net::CostModel& cost() const noexcept { return cost_; }
+  [[nodiscard]] net::NicContention& nic() noexcept { return nic_; }
+  [[nodiscard]] const WorldOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::unordered_map<MailKey, std::deque<Message>, MailKeyHash> boxes;
+  };
+
+  WorldOptions options_;
+  net::CostModel cost_;
+  net::NicContention nic_;
+  std::vector<VirtualClock> clocks_;
+  std::vector<CommStats> stats_;
+  std::vector<Shard> shards_;
+  std::atomic<bool> aborted_{false};
+};
+
+// ---------------------------------------------------------------------------
+// point-to-point
+// ---------------------------------------------------------------------------
+
+void Communicator::send(int dst, int tag, std::span<const std::byte> data, MemSpace space,
+                        std::size_t logical_bytes) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("send: bad destination rank");
+  const std::size_t logical = logical_bytes == kAuto ? data.size() : logical_bytes;
+  const int gsrc = global_rank();
+  const int gdst = global_rank_of(dst);
+
+  Message message;
+  message.payload.assign(data.begin(), data.end());
+  message.logical_bytes = logical;
+  message.sender_global = gsrc;
+
+  if (world_->options().timing) {
+    auto& clk = world_->clock(gsrc);
+    const double t0 = clk.now();
+    const net::TransferCost cost = world_->cost().message(gsrc, gdst, logical, space);
+    message.rendezvous = world_->cost().is_rendezvous(logical, space);
+    message.wire_s = cost.wire_s;
+    message.pipeline_extra_s = cost.pipeline_extra_s;
+    message.handshake_s = world_->cost().profile().rendezvous_handshake_s;
+    const double setup_done = t0 + cost.setup_s;
+    if (cost.inter_node) {
+      // The NIC DMA engine serialises the wire portion; the sender's CPU/GPU
+      // is released after setup.
+      message.available_at =
+          world_->nic().reserve(world_->cost().topology().node_of(gsrc),
+                                world_->cost().topology().node_of(gdst), setup_done, cost.wire_s,
+                                cost.striped) +
+          cost.pipeline_extra_s;
+      clk.advance(cost.setup_s);
+      world_->stats(gsrc).comm_time_s += cost.setup_s;
+    } else if (gsrc != gdst) {
+      // Intra-node NVLink/X-bus transfers are copy-engine DMA: the sender
+      // is released after setup, the wire runs in the background (full
+      // duplex — a rank can send and receive concurrently).
+      message.available_at = setup_done + cost.wire_s;
+      clk.advance(cost.setup_s);
+      world_->stats(gsrc).comm_time_s += cost.setup_s;
+    } else {
+      // Self-sends are plain local copies and occupy the rank.
+      message.available_at = setup_done + cost.wire_s;
+      clk.advance(cost.setup_s + cost.wire_s);
+      world_->stats(gsrc).comm_time_s += cost.setup_s + cost.wire_s;
+    }
+  }
+  world_->post(MailKey{comm_id_, my_index_, dst, tag}, std::move(message));
+}
+
+void Communicator::recv(int src, int tag, std::span<std::byte> out, MemSpace space,
+                        std::size_t logical_bytes) {
+  if (src < 0 || src >= size()) throw std::out_of_range("recv: bad source rank");
+  const MailKey key{comm_id_, src, my_index_, tag};
+  Message message = world_->take(key);
+
+  if (!message.payload.empty() || !out.empty()) {
+    if (message.payload.size() != out.size()) {
+      throw std::runtime_error("recv: size mismatch (got " +
+                               std::to_string(message.payload.size()) + " bytes, expected " +
+                               std::to_string(out.size()) + ")");
+    }
+    std::memcpy(out.data(), message.payload.data(), out.size());
+  }
+
+  const int grank = global_rank();
+  auto& st = world_->stats(grank);
+  ++st.messages;
+  st.bytes += logical_bytes == kAuto ? message.logical_bytes : logical_bytes;
+
+  if (world_->options().timing) {
+    auto& clk = world_->clock(grank);
+    const auto& profile = world_->cost().profile();
+    double r0 = clk.now() + profile.per_op_overhead_s;
+    if (space == MemSpace::kDevice) r0 += profile.device_op_overhead_s;
+    double completion;
+    if (message.rendezvous) {
+      // Transfer starts only once both sides have posted: if the receiver
+      // is late, serialisation replays from its arrival; the sender's
+      // buffer is held until completion, so bump its clock too.
+      completion = std::max(message.available_at,
+                            r0 + message.handshake_s + message.wire_s + message.pipeline_extra_s);
+      world_->clock(message.sender_global).bump_to(completion);
+    } else {
+      completion = std::max(message.available_at, r0);
+    }
+    const double before = clk.now();
+    clk.bump_to(completion);
+    st.comm_time_s += std::max(0.0, completion - before);
+  }
+}
+
+Communicator::Request Communicator::isend(int dst, int tag, std::span<const std::byte> data,
+                                          MemSpace space, std::size_t logical_bytes) {
+  send(dst, tag, data, space, logical_bytes);
+  return Request{};
+}
+
+Communicator::Request Communicator::irecv(int src, int tag, std::span<std::byte> out,
+                                          MemSpace space, std::size_t logical_bytes) {
+  return Request([this, src, tag, out, space, logical_bytes] {
+    recv(src, tag, out, space, logical_bytes);
+  });
+}
+
+void Communicator::sendrecv(int dst, int send_tag, std::span<const std::byte> send_data, int src,
+                            int recv_tag, std::span<std::byte> recv_data, MemSpace space,
+                            std::size_t send_logical, std::size_t recv_logical) {
+  // Sends are buffered, so posting the send first makes ring/exchange
+  // patterns deadlock-free, mirroring MPI_Sendrecv.
+  send(dst, send_tag, send_data, space, send_logical);
+  recv(src, recv_tag, recv_data, space, recv_logical);
+}
+
+std::vector<std::byte> Communicator::recv_dynamic(int src, int tag, MemSpace space) {
+  if (src < 0 || src >= size()) throw std::out_of_range("recv_dynamic: bad source rank");
+  const MailKey key{comm_id_, src, my_index_, tag};
+  Message message = world_->take(key);
+
+  const int grank = global_rank();
+  auto& st = world_->stats(grank);
+  ++st.messages;
+  st.bytes += message.logical_bytes;
+
+  if (world_->options().timing) {
+    auto& clk = world_->clock(grank);
+    const auto& profile = world_->cost().profile();
+    double r0 = clk.now() + profile.per_op_overhead_s;
+    if (space == MemSpace::kDevice) r0 += profile.device_op_overhead_s;
+    double completion;
+    if (message.rendezvous) {
+      completion = std::max(message.available_at,
+                            r0 + message.handshake_s + message.wire_s + message.pipeline_extra_s);
+      world_->clock(message.sender_global).bump_to(completion);
+    } else {
+      completion = std::max(message.available_at, r0);
+    }
+    const double before = clk.now();
+    clk.bump_to(completion);
+    st.comm_time_s += std::max(0.0, completion - before);
+  }
+  return std::move(message.payload);
+}
+
+void Communicator::send_blob(int dst, int tag, std::span<const std::byte> blob) {
+  send(dst, kTagBlobData + tag, blob);
+}
+
+std::vector<std::byte> Communicator::recv_blob(int src, int tag) {
+  return recv_dynamic(src, kTagBlobData + tag);
+}
+
+// ---------------------------------------------------------------------------
+// collectives
+// ---------------------------------------------------------------------------
+
+void Communicator::barrier() {
+  const int n = size();
+  if (n == 1) return;
+  int round = 0;
+  for (int k = 1; k < n; k <<= 1, ++round) {
+    const int dst = (my_index_ + k) % n;
+    const int src = (my_index_ - k % n + n) % n;
+    send(dst, kTagBarrier + round, {});
+    recv(src, kTagBarrier + round, {});
+  }
+}
+
+void Communicator::binomial_bcast(std::byte* data, std::size_t bytes, int root, MemSpace space,
+                                  std::size_t logical_bytes) {
+  const int n = size();
+  if (n == 1) return;
+  const int vrank = (my_index_ - root + n) % n;
+  std::span<std::byte> buf(data, data != nullptr ? bytes : 0);
+
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int src = ((vrank - mask) + root) % n;
+      recv(src, kTagBcast, buf, space, logical_bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int dst = ((vrank + mask) + root) % n;
+      send(dst, kTagBcast, buf, space, logical_bytes);
+    }
+    mask >>= 1;
+  }
+}
+
+void Communicator::bcast(std::span<std::byte> data, int root, MemSpace space,
+                         std::size_t logical_bytes) {
+  const std::size_t logical = logical_bytes == kAuto ? data.size() : logical_bytes;
+  binomial_bcast(data.data(), data.size(), root, space, logical);
+}
+
+std::vector<std::byte> Communicator::bcast_blob(std::span<const std::byte> blob, int root) {
+  // Binomial tree of dynamic messages: one message per edge regardless of
+  // payload size (no separate size phase).
+  const int n = size();
+  std::vector<std::byte> out;
+  if (my_index_ == root) out.assign(blob.begin(), blob.end());
+  if (n == 1) return out;
+  const int vrank = (my_index_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int src = ((vrank - mask) + root) % n;
+      out = recv_dynamic(src, kTagBcast + 3);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int dst = ((vrank + mask) + root) % n;
+      send(dst, kTagBcast + 3, out);
+    }
+    mask >>= 1;
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Communicator::gather_blobs(std::span<const std::byte> mine,
+                                                               int root) {
+  std::vector<std::vector<std::byte>> all;
+  if (my_index_ == root) {
+    all.resize(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      if (r == my_index_) {
+        all[static_cast<std::size_t>(r)].assign(mine.begin(), mine.end());
+      } else {
+        all[static_cast<std::size_t>(r)] = recv_blob(r, kTagGather);
+      }
+    }
+  } else {
+    send_blob(root, kTagGather, mine);
+  }
+  return all;
+}
+
+void Communicator::allgather(std::span<const std::byte> mine, std::span<std::byte> out,
+                             MemSpace space) {
+  const int n = size();
+  const std::size_t block = mine.size();
+  if (out.size() != block * static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("allgather: out must hold size() blocks");
+  }
+  std::copy(mine.begin(), mine.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(block * static_cast<std::size_t>(my_index_)));
+  if (n == 1) return;
+  const int right = (my_index_ + 1) % n;
+  const int left = (my_index_ - 1 + n) % n;
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_block = (my_index_ - step + n) % n;
+    const int recv_block = (my_index_ - step - 1 + n) % n;
+    sendrecv(right, kTagAllgather + step,
+             out.subspan(block * static_cast<std::size_t>(send_block), block), left,
+             kTagAllgather + step,
+             out.subspan(block * static_cast<std::size_t>(recv_block), block), space);
+  }
+}
+
+void Communicator::scatter(std::span<const std::byte> blocks, std::span<std::byte> mine,
+                           int root, MemSpace space) {
+  const int n = size();
+  const std::size_t block = mine.size();
+  if (my_index_ == root) {
+    if (blocks.size() != block * static_cast<std::size_t>(n)) {
+      throw std::invalid_argument("scatter: root blocks must hold size() blocks");
+    }
+    for (int r = 0; r < n; ++r) {
+      const auto src = blocks.subspan(block * static_cast<std::size_t>(r), block);
+      if (r == my_index_) {
+        std::copy(src.begin(), src.end(), mine.begin());
+      } else {
+        send(r, kTagBcast + 2, src, space);
+      }
+    }
+  } else {
+    recv(root, kTagBcast + 2, mine, space);
+  }
+}
+
+void Communicator::gather(std::span<const std::byte> mine, std::span<std::byte> blocks, int root,
+                          MemSpace space) {
+  const int n = size();
+  const std::size_t block = mine.size();
+  if (my_index_ == root) {
+    if (blocks.size() != block * static_cast<std::size_t>(n)) {
+      throw std::invalid_argument("gather: root blocks must hold size() blocks");
+    }
+    for (int r = 0; r < n; ++r) {
+      auto dst = blocks.subspan(block * static_cast<std::size_t>(r), block);
+      if (r == my_index_) {
+        std::copy(mine.begin(), mine.end(), dst.begin());
+      } else {
+        recv(r, kTagGather + 2, dst, space);
+      }
+    }
+  } else {
+    send(root, kTagGather + 2, mine, space);
+  }
+}
+
+void Communicator::alltoall(std::span<const std::byte> send_blocks,
+                            std::span<std::byte> recv_blocks, MemSpace space) {
+  const int n = size();
+  if (send_blocks.size() != recv_blocks.size() ||
+      send_blocks.size() % static_cast<std::size_t>(n) != 0) {
+    throw std::invalid_argument("alltoall: buffers must hold size() equal blocks");
+  }
+  const std::size_t block = send_blocks.size() / static_cast<std::size_t>(n);
+  // Own block is a local copy.
+  std::copy(send_blocks.begin() + static_cast<std::ptrdiff_t>(block * my_index_),
+            send_blocks.begin() + static_cast<std::ptrdiff_t>(block * (my_index_ + 1)),
+            recv_blocks.begin() + static_cast<std::ptrdiff_t>(block * my_index_));
+  // Pairwise exchange: at step s talk to rank ^ s (power-of-two worlds) or
+  // the (my + s, my - s) pairing otherwise.
+  for (int step = 1; step < n; ++step) {
+    const int dst = (my_index_ + step) % n;
+    const int src = (my_index_ - step + n) % n;
+    sendrecv(dst, kTagAllgather + 64 + step,
+             send_blocks.subspan(block * static_cast<std::size_t>(dst), block), src,
+             kTagAllgather + 64 + step,
+             recv_blocks.subspan(block * static_cast<std::size_t>(src), block), space);
+  }
+}
+
+void Communicator::reduce_compute(std::size_t bytes, MemSpace space, int src) {
+  if (!world_->options().timing || bytes == 0) return;
+  const auto& profile = world_->cost().profile();
+  double bw = profile.reduce_bw_host_Bps;
+  if (space == MemSpace::kDevice) {
+    // The incoming chunk only lands in host memory when it was staged:
+    // inter-node, above the GDR window, under a staging library.
+    const bool inter_node =
+        world_->cost().topology().hop(global_rank(), global_rank_of(src)) ==
+        net::HopClass::kInterNode;
+    const bool staged = profile.staged_reduce_on_host && inter_node && bytes > profile.gdr_limit;
+    bw = staged ? profile.reduce_bw_host_Bps : profile.reduce_bw_device_Bps;
+  }
+  const double dt = static_cast<double>(bytes) / bw;
+  world_->clock(global_rank()).advance(dt);
+  world_->stats(global_rank()).comm_time_s += dt;
+}
+
+namespace {
+
+/// Span over an element window of a buffer that may be null (timing-only).
+std::span<std::byte> window(std::byte* data, std::size_t elem_size, std::size_t off,
+                            std::size_t len) {
+  if (data == nullptr) return {};
+  return {data + off * elem_size, len * elem_size};
+}
+
+}  // namespace
+
+void Communicator::ring_allreduce(std::byte* data, std::size_t elem_size, std::size_t count,
+                                  const Reducer* reducer, MemSpace space) {
+  const int n = size();
+  if (n == 1 || count == 0) return;
+  // Element partition: first (count % n) segments get one extra element.
+  const std::size_t base = count / static_cast<std::size_t>(n);
+  const std::size_t extra = count % static_cast<std::size_t>(n);
+  auto seg_off = [&](int s) {
+    const auto u = static_cast<std::size_t>(s);
+    return u * base + std::min(u, extra);
+  };
+  auto seg_len = [&](int s) {
+    return base + (static_cast<std::size_t>(s) < extra ? 1 : 0);
+  };
+
+  std::vector<std::byte> tmp;
+  if (data != nullptr) tmp.resize((base + 1) * elem_size);
+  const int right = (my_index_ + 1) % n;
+  const int left = (my_index_ - 1 + n) % n;
+
+  // Phase 1: reduce-scatter.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_seg = (my_index_ - step + n) % n;
+    const int recv_seg = (my_index_ - step - 1 + n) % n;
+    const std::size_t send_bytes = seg_len(send_seg) * elem_size;
+    const std::size_t recv_bytes = seg_len(recv_seg) * elem_size;
+    std::span<std::byte> incoming =
+        data != nullptr ? std::span<std::byte>(tmp.data(), recv_bytes) : std::span<std::byte>{};
+    sendrecv(right, kTagRingRS + step, window(data, elem_size, seg_off(send_seg), seg_len(send_seg)),
+             left, kTagRingRS + step, incoming, space, send_bytes, recv_bytes);
+    if (data != nullptr && reducer != nullptr) {
+      reducer->apply(data + seg_off(recv_seg) * elem_size, tmp.data(), seg_len(recv_seg));
+    }
+    reduce_compute(recv_bytes, space, left);
+  }
+
+  // Phase 2: allgather.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_seg = (my_index_ + 1 - step + 2 * n) % n;
+    const int recv_seg = (my_index_ - step + n) % n;
+    sendrecv(right, kTagRingAG + step,
+             window(data, elem_size, seg_off(send_seg), seg_len(send_seg)), left,
+             kTagRingAG + step, window(data, elem_size, seg_off(recv_seg), seg_len(recv_seg)),
+             space, seg_len(send_seg) * elem_size, seg_len(recv_seg) * elem_size);
+  }
+}
+
+void Communicator::ring_reduce_scatter_phase(std::byte* data, std::size_t elem_size,
+                                             std::size_t count, const Reducer* reducer,
+                                             MemSpace space) {
+  const int n = size();
+  if (n == 1 || count == 0) return;
+  const std::size_t base = count / static_cast<std::size_t>(n);
+  const std::size_t extra = count % static_cast<std::size_t>(n);
+  auto seg_off = [&](int s) {
+    const auto u = static_cast<std::size_t>(s);
+    return u * base + std::min(u, extra);
+  };
+  auto seg_len = [&](int s) { return base + (static_cast<std::size_t>(s) < extra ? 1 : 0); };
+
+  std::vector<std::byte> tmp;
+  if (data != nullptr) tmp.resize((base + 1) * elem_size);
+  const int right = (my_index_ + 1) % n;
+  const int left = (my_index_ - 1 + n) % n;
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_seg = (my_index_ - step + n) % n;
+    const int recv_seg = (my_index_ - step - 1 + n) % n;
+    const std::size_t send_bytes = seg_len(send_seg) * elem_size;
+    const std::size_t recv_bytes = seg_len(recv_seg) * elem_size;
+    std::span<std::byte> incoming =
+        data != nullptr ? std::span<std::byte>(tmp.data(), recv_bytes) : std::span<std::byte>{};
+    sendrecv(right, kTagRingRS + 128 + step,
+             window(data, elem_size, seg_off(send_seg), seg_len(send_seg)), left,
+             kTagRingRS + 128 + step, incoming, space, send_bytes, recv_bytes);
+    if (data != nullptr && reducer != nullptr) {
+      reducer->apply(data + seg_off(recv_seg) * elem_size, tmp.data(), seg_len(recv_seg));
+    }
+    reduce_compute(recv_bytes, space, left);
+  }
+}
+
+void Communicator::recursive_doubling_allreduce(std::byte* data, std::size_t elem_size,
+                                                std::size_t count, const Reducer* reducer,
+                                                MemSpace space) {
+  const int n = size();
+  if (n == 1 || count == 0) return;
+  const std::size_t bytes = count * elem_size;
+  std::vector<std::byte> tmp;
+  if (data != nullptr) tmp.resize(bytes);
+  auto incoming = [&]() -> std::span<std::byte> {
+    return data != nullptr ? std::span<std::byte>(tmp) : std::span<std::byte>{};
+  };
+  auto apply = [&](int src) {
+    if (data != nullptr && reducer != nullptr) reducer->apply(data, tmp.data(), count);
+    reduce_compute(bytes, space, src);
+  };
+
+  int pof2 = 1;
+  while (pof2 * 2 <= n) pof2 *= 2;
+  const int rem = n - pof2;
+
+  // Fold the non-power-of-two remainder into the power-of-two core.
+  int newrank;
+  if (my_index_ < 2 * rem) {
+    if (my_index_ % 2 == 0) {
+      send(my_index_ + 1, kTagRecDouble, window(data, elem_size, 0, count), space, bytes);
+      newrank = -1;
+    } else {
+      recv(my_index_ - 1, kTagRecDouble, incoming(), space, bytes);
+      apply(my_index_ - 1);
+      newrank = my_index_ / 2;
+    }
+  } else {
+    newrank = my_index_ - rem;
+  }
+
+  if (newrank != -1) {
+    auto old_rank = [&](int nr) { return nr < rem ? nr * 2 + 1 : nr + rem; };
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner = old_rank(newrank ^ mask);
+      sendrecv(partner, kTagRecDouble + 16 + mask, window(data, elem_size, 0, count), partner,
+               kTagRecDouble + 16 + mask, incoming(), space, bytes, bytes);
+      apply(partner);
+    }
+  }
+
+  // Unfold: odd ranks return the result to their even partners.
+  if (my_index_ < 2 * rem) {
+    if (my_index_ % 2 == 0) {
+      recv(my_index_ + 1, kTagRecDouble + 1, window(data, elem_size, 0, count), space, bytes);
+    } else {
+      send(my_index_ - 1, kTagRecDouble + 1, window(data, elem_size, 0, count), space, bytes);
+    }
+  }
+}
+
+void Communicator::rabenseifner_allreduce(std::byte* data, std::size_t elem_size,
+                                          std::size_t count, const Reducer* reducer,
+                                          MemSpace space) {
+  const int n = size();
+  if (n == 1 || count == 0) return;
+  const std::size_t bytes = count * elem_size;
+
+  int pof2 = 1;
+  while (pof2 * 2 <= n) pof2 *= 2;
+  const int rem = n - pof2;
+  // For tiny counts the halving bookkeeping degenerates; fall back.
+  if (static_cast<std::size_t>(pof2) > count || pof2 < 2) {
+    recursive_doubling_allreduce(data, elem_size, count, reducer, space);
+    return;
+  }
+
+  std::vector<std::byte> tmp;
+  if (data != nullptr) tmp.resize(bytes);
+
+  // Fold remainder (same as recursive doubling).
+  int newrank;
+  if (my_index_ < 2 * rem) {
+    if (my_index_ % 2 == 0) {
+      send(my_index_ + 1, kTagRabenRS, window(data, elem_size, 0, count), space, bytes);
+      newrank = -1;
+    } else {
+      std::span<std::byte> incoming =
+          data != nullptr ? std::span<std::byte>(tmp.data(), bytes) : std::span<std::byte>{};
+      recv(my_index_ - 1, kTagRabenRS, incoming, space, bytes);
+      if (data != nullptr && reducer != nullptr) reducer->apply(data, tmp.data(), count);
+      reduce_compute(bytes, space, my_index_ - 1);
+      newrank = my_index_ / 2;
+    }
+  } else {
+    newrank = my_index_ - rem;
+  }
+
+  auto old_rank = [&](int nr) { return nr < rem ? nr * 2 + 1 : nr + rem; };
+
+  struct Level {
+    std::size_t pre_off, pre_len;   // window before this split
+    std::size_t kept_off, kept_len;  // my half after the split
+  };
+  std::vector<Level> levels;
+
+  if (newrank != -1) {
+    // Recursive-halving reduce-scatter.
+    std::size_t off = 0;
+    std::size_t len = count;
+    for (int dist = pof2 / 2; dist >= 1; dist /= 2) {
+      const int partner_new = newrank ^ dist;
+      const int partner = old_rank(partner_new);
+      const std::size_t lo = len / 2;
+      Level level{off, len, 0, 0};
+      std::size_t send_off, send_len, keep_off, keep_len;
+      if ((newrank & dist) == 0) {
+        keep_off = off;
+        keep_len = lo;
+        send_off = off + lo;
+        send_len = len - lo;
+      } else {
+        keep_off = off + lo;
+        keep_len = len - lo;
+        send_off = off;
+        send_len = lo;
+      }
+      std::span<std::byte> incoming =
+          data != nullptr ? std::span<std::byte>(tmp.data(), keep_len * elem_size)
+                          : std::span<std::byte>{};
+      sendrecv(partner, kTagRabenRS + 16 + dist, window(data, elem_size, send_off, send_len),
+               partner, kTagRabenRS + 16 + dist, incoming, space, send_len * elem_size,
+               keep_len * elem_size);
+      if (data != nullptr && reducer != nullptr) {
+        reducer->apply(data + keep_off * elem_size, tmp.data(), keep_len);
+      }
+      reduce_compute(keep_len * elem_size, space, partner);
+      level.kept_off = keep_off;
+      level.kept_len = keep_len;
+      levels.push_back(level);
+      off = keep_off;
+      len = keep_len;
+    }
+
+    // Recursive-doubling allgather: undo the splits in reverse order.
+    for (int i = static_cast<int>(levels.size()) - 1; i >= 0; --i) {
+      const Level& level = levels[static_cast<std::size_t>(i)];
+      const int dist = pof2 >> (i + 1);
+      const int partner = old_rank(newrank ^ dist);
+      // Partner holds the complement of my kept window within pre window.
+      std::size_t other_off, other_len;
+      if (level.kept_off == level.pre_off) {
+        other_off = level.pre_off + level.kept_len;
+        other_len = level.pre_len - level.kept_len;
+      } else {
+        other_off = level.pre_off;
+        other_len = level.pre_len - level.kept_len;
+      }
+      sendrecv(partner, kTagRabenAG + 16 + dist,
+               window(data, elem_size, level.kept_off, level.kept_len), partner,
+               kTagRabenAG + 16 + dist, window(data, elem_size, other_off, other_len), space,
+               level.kept_len * elem_size, other_len * elem_size);
+    }
+  }
+
+  // Unfold remainder.
+  if (my_index_ < 2 * rem) {
+    if (my_index_ % 2 == 0) {
+      recv(my_index_ + 1, kTagRabenAG + 1, window(data, elem_size, 0, count), space, bytes);
+    } else {
+      send(my_index_ - 1, kTagRabenAG + 1, window(data, elem_size, 0, count), space, bytes);
+    }
+  }
+}
+
+void Communicator::reduce_bytes(std::byte* data, std::size_t elem_size, std::size_t count,
+                                const Reducer* reducer, int root, MemSpace space) {
+  const int n = size();
+  if (n == 1 || count == 0) return;
+  const std::size_t bytes = count * elem_size;
+  std::vector<std::byte> tmp;
+  if (data != nullptr) tmp.resize(bytes);
+  const int vrank = (my_index_ - root + n) % n;
+
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) == 0) {
+      const int vpartner = vrank | mask;
+      if (vpartner < n) {
+        const int partner = (vpartner + root) % n;
+        std::span<std::byte> incoming =
+            data != nullptr ? std::span<std::byte>(tmp) : std::span<std::byte>{};
+        recv(partner, kTagReduce, incoming, space, bytes);
+        if (data != nullptr && reducer != nullptr) reducer->apply(data, tmp.data(), count);
+        reduce_compute(bytes, space, partner);
+      }
+    } else {
+      const int partner = ((vrank & ~mask) + root) % n;
+      send(partner, kTagReduce, window(data, elem_size, 0, count), space, bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void Communicator::allreduce_bytes(std::byte* data, std::size_t elem_size, std::size_t count,
+                                   const Reducer* reducer, MemSpace space, AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kRing: ring_allreduce(data, elem_size, count, reducer, space); return;
+    case AllreduceAlgo::kRecursiveDoubling:
+      recursive_doubling_allreduce(data, elem_size, count, reducer, space);
+      return;
+    case AllreduceAlgo::kRabenseifner:
+      rabenseifner_allreduce(data, elem_size, count, reducer, space);
+      return;
+  }
+}
+
+void Communicator::ring_reduce_to_root(std::byte* data, std::size_t elem_size, std::size_t count,
+                                       const Reducer* reducer, MemSpace space) {
+  const int n = size();
+  if (n == 1 || count == 0) return;
+  // Phase 1: ring reduce-scatter (pipelined, bandwidth-optimal) so every
+  // rank owns one fully-reduced segment...
+  const std::size_t base = count / static_cast<std::size_t>(n);
+  const std::size_t extra = count % static_cast<std::size_t>(n);
+  auto seg_off = [&](int s) {
+    const auto u = static_cast<std::size_t>(s);
+    return u * base + std::min(u, extra);
+  };
+  auto seg_len = [&](int s) { return base + (static_cast<std::size_t>(s) < extra ? 1 : 0); };
+
+  std::vector<std::byte> tmp;
+  if (data != nullptr) tmp.resize((base + 1) * elem_size);
+  const int right = (my_index_ + 1) % n;
+  const int left = (my_index_ - 1 + n) % n;
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_seg = (my_index_ - step + n) % n;
+    const int recv_seg = (my_index_ - step - 1 + n) % n;
+    const std::size_t send_bytes = seg_len(send_seg) * elem_size;
+    const std::size_t recv_bytes = seg_len(recv_seg) * elem_size;
+    std::span<std::byte> incoming =
+        data != nullptr ? std::span<std::byte>(tmp.data(), recv_bytes) : std::span<std::byte>{};
+    sendrecv(right, kTagRingRS + step, window(data, elem_size, seg_off(send_seg), seg_len(send_seg)),
+             left, kTagRingRS + step, incoming, space, send_bytes, recv_bytes);
+    if (data != nullptr && reducer != nullptr) {
+      reducer->apply(data + seg_off(recv_seg) * elem_size, tmp.data(), seg_len(recv_seg));
+    }
+    reduce_compute(recv_bytes, space, left);
+  }
+  // ...Phase 2: gather the reduced segments at root 0. After n-1 steps,
+  // rank r owns segment (r + 1) mod n fully reduced.
+  const int owned = (my_index_ + 1) % n;
+  if (my_index_ == 0) {
+    for (int r = 1; r < n; ++r) {
+      const int seg = (r + 1) % n;
+      if (seg_len(seg) == 0) continue;
+      recv(r, kTagGather + 1, window(data, elem_size, seg_off(seg), seg_len(seg)), space,
+           seg_len(seg) * elem_size);
+    }
+  } else if (seg_len(owned) > 0) {
+    send(0, kTagGather + 1, window(data, elem_size, seg_off(owned), seg_len(owned)), space,
+         seg_len(owned) * elem_size);
+  }
+}
+
+void Communicator::scatter_allgather_bcast(std::byte* data, std::size_t elem_size,
+                                           std::size_t count, MemSpace space) {
+  const int n = size();
+  if (n == 1 || count == 0) return;
+  // Large-message broadcast as scatter + ring allgather (van de Geijn),
+  // moving ~2x the data total instead of log2(n)x.
+  const std::size_t base = count / static_cast<std::size_t>(n);
+  const std::size_t extra = count % static_cast<std::size_t>(n);
+  auto seg_off = [&](int s) {
+    const auto u = static_cast<std::size_t>(s);
+    return u * base + std::min(u, extra);
+  };
+  auto seg_len = [&](int s) { return base + (static_cast<std::size_t>(s) < extra ? 1 : 0); };
+
+  if (my_index_ == 0) {
+    for (int r = 1; r < n; ++r) {
+      if (seg_len(r) == 0) continue;
+      send(r, kTagBcast + 1, window(data, elem_size, seg_off(r), seg_len(r)), space,
+           seg_len(r) * elem_size);
+    }
+  } else if (seg_len(my_index_) > 0) {
+    recv(0, kTagBcast + 1, window(data, elem_size, seg_off(my_index_), seg_len(my_index_)), space,
+         seg_len(my_index_) * elem_size);
+  }
+
+  const int right = (my_index_ + 1) % n;
+  const int left = (my_index_ - 1 + n) % n;
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_seg = (my_index_ - step + n) % n;
+    const int recv_seg = (my_index_ - step - 1 + n) % n;
+    sendrecv(right, kTagRingAG + step,
+             window(data, elem_size, seg_off(send_seg), seg_len(send_seg)), left,
+             kTagRingAG + step, window(data, elem_size, seg_off(recv_seg), seg_len(recv_seg)),
+             space, seg_len(send_seg) * elem_size, seg_len(recv_seg) * elem_size);
+  }
+}
+
+void Communicator::hierarchical_bytes(std::byte* data, std::size_t elem_size, std::size_t count,
+                                      const Reducer* reducer, MemSpace space,
+                                      std::optional<AllreduceAlgo> leader_algo) {
+  const auto& topo = world_->cost().topology();
+  // Lazily build cached node/leader communicators the first time every
+  // member reaches this path (collectively consistent because SPMD order).
+  if (!hier_built_) {
+    node_comm_ = std::make_shared<Communicator>(split(topo.node_of(global_rank())));
+    const bool leader = node_comm_->rank() == 0;
+    leader_comm_ = std::make_shared<Communicator>(split(leader ? 0 : -1));
+    hier_built_ = true;
+  }
+  const std::size_t bytes = count * elem_size;
+  // Pipelined intra-node phases (reduce-scatter based) keep the NVLink
+  // stage bandwidth-optimal, mirroring the NCCL-backed intra-node path
+  // real hierarchical Horovod uses. Small payloads use the tree variants.
+  const bool pipelined = bytes >= (256 << 10);
+  if (pipelined) {
+    node_comm_->ring_reduce_to_root(data, elem_size, count, reducer, space);
+  } else {
+    node_comm_->reduce_bytes(data, elem_size, count, reducer, 0, space);
+  }
+  if (leader_comm_->valid()) {
+    const AllreduceAlgo algo = leader_algo.value_or(
+        profile().allreduce_algo(bytes, space == MemSpace::kDevice, leader_comm_->size()));
+    leader_comm_->allreduce_bytes(data, elem_size, count, reducer, space, algo);
+  }
+  if (pipelined) {
+    node_comm_->scatter_allgather_bcast(data, elem_size, count, space);
+  } else {
+    node_comm_->binomial_bcast(data, data != nullptr ? bytes : 0, 0, space, bytes);
+  }
+}
+
+void Communicator::allreduce_custom(std::byte* data, std::size_t elem_size, std::size_t count,
+                                    const Reducer& reducer, MemSpace space,
+                                    std::optional<AllreduceAlgo> algo) {
+  if (reducer.elem_size != elem_size) {
+    throw std::invalid_argument("allreduce_custom: reducer element size mismatch");
+  }
+  const AllreduceAlgo chosen = algo.value_or(
+      profile().allreduce_algo(count * elem_size, space == MemSpace::kDevice, size()));
+  allreduce_bytes(data, elem_size, count, &reducer, space, chosen);
+}
+
+void Communicator::allreduce_sim(std::size_t bytes, MemSpace space,
+                                 std::optional<AllreduceAlgo> algo) {
+  const std::size_t count = (bytes + 3) / 4;
+  const AllreduceAlgo chosen =
+      algo.value_or(profile().allreduce_algo(bytes, space == MemSpace::kDevice, size()));
+  allreduce_bytes(nullptr, 4, count, nullptr, space, chosen);
+}
+
+void Communicator::hierarchical_allreduce_sim(std::size_t bytes, MemSpace space,
+                                              std::optional<AllreduceAlgo> leader_algo) {
+  const std::size_t count = (bytes + 3) / 4;
+  hierarchical_bytes(nullptr, 4, count, nullptr, space, leader_algo);
+}
+
+Communicator Communicator::split(int color) {
+  const std::uint64_t seq = ++split_seq_;
+  std::int32_t mine = color;
+  auto blobs = gather_blobs(std::as_bytes(std::span<const std::int32_t, 1>(&mine, 1)), 0);
+  std::vector<std::int32_t> colors(static_cast<std::size_t>(size()));
+  if (my_index_ == 0) {
+    for (int r = 0; r < size(); ++r) {
+      std::memcpy(&colors[static_cast<std::size_t>(r)], blobs[static_cast<std::size_t>(r)].data(),
+                  sizeof(std::int32_t));
+    }
+  }
+  const auto colors_blob = bcast_blob(std::as_bytes(std::span<const std::int32_t>(colors)), 0);
+  std::memcpy(colors.data(), colors_blob.data(), colors_blob.size());
+
+  if (color < 0) return Communicator(world_, 0, {}, -1);
+
+  std::vector<int> group_global;
+  int my_new_index = -1;
+  for (int r = 0; r < size(); ++r) {
+    if (colors[static_cast<std::size_t>(r)] == color) {
+      if (r == my_index_) my_new_index = static_cast<int>(group_global.size());
+      group_global.push_back(members_[static_cast<std::size_t>(r)]);
+    }
+  }
+  return Communicator(world_, mix_comm_id(comm_id_, seq, color), std::move(group_global),
+                      my_new_index);
+}
+
+// ---------------------------------------------------------------------------
+// time & introspection
+// ---------------------------------------------------------------------------
+
+void Communicator::compute(double seconds) {
+  if (seconds < 0) throw std::invalid_argument("compute: negative duration");
+  if (world_->options().timing) world_->clock(global_rank()).advance(seconds);
+}
+
+double Communicator::now() const { return world_->clock(global_rank()).now(); }
+
+VirtualClock& Communicator::clock() { return world_->clock(global_rank()); }
+
+const net::Topology& Communicator::topology() const { return world_->cost().topology(); }
+
+const net::MpiProfile& Communicator::profile() const { return world_->cost().profile(); }
+
+bool Communicator::timing_enabled() const { return world_->options().timing; }
+
+CommStats Communicator::stats() const { return world_->stats(global_rank()); }
+
+// ---------------------------------------------------------------------------
+// world runner
+// ---------------------------------------------------------------------------
+
+void run_world(const WorldOptions& options, const std::function<void(Communicator&)>& body) {
+  const int world_size = options.topology.world_size();
+  World world(options);
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world_size));
+  for (int rank = 0; rank < world_size; ++rank) {
+    threads.emplace_back([&, rank] {
+      util::set_thread_log_rank(rank);
+      std::vector<int> members(static_cast<std::size_t>(world_size));
+      for (int r = 0; r < world_size; ++r) members[static_cast<std::size_t>(r)] = r;
+      Communicator comm(&world, 1, std::move(members), rank);
+      try {
+        body(comm);
+      } catch (const WorldAborted&) {
+        // Secondary failure caused by another rank's abort; ignore.
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        world.abort();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void run_world(int world_size, const std::function<void(Communicator&)>& body) {
+  WorldOptions options;
+  options.topology = net::Topology::single_node(world_size);
+  options.profile = net::MpiProfile::ideal();
+  options.timing = false;
+  run_world(options, body);
+}
+
+}  // namespace dlscale::mpi

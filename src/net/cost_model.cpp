@@ -1,0 +1,201 @@
+#include "dlscale/net/cost_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dlscale::net {
+
+CostModel::CostModel(Topology topology, MpiProfile profile)
+    : topology_(std::move(topology)), profile_(std::move(profile)) {}
+
+TransferCost CostModel::message(int src, int dst, std::size_t bytes, MemSpace space) const {
+  const HopClass hop = topology_.hop(src, dst);
+  TransferCost cost;
+  cost.setup_s = profile_.per_op_overhead_s;
+  if (space == MemSpace::kDevice) {
+    if (!profile_.cuda_aware) {
+      throw std::logic_error("CostModel: profile '" + profile_.name +
+                             "' cannot transfer device buffers");
+    }
+    cost.setup_s += profile_.device_op_overhead_s;
+  }
+
+  switch (hop) {
+    case HopClass::kSelf:
+      cost.setup_s += profile_.self.latency_s;
+      cost.wire_s = static_cast<double>(bytes) / profile_.self.bandwidth_Bps;
+      return cost;
+    case HopClass::kIntraSocket:
+      cost.setup_s += profile_.nvlink.latency_s;
+      cost.wire_s = static_cast<double>(bytes) / profile_.nvlink.bandwidth_Bps;
+      return cost;
+    case HopClass::kInterSocket:
+      cost.setup_s += profile_.xbus.latency_s;
+      cost.wire_s = static_cast<double>(bytes) / profile_.xbus.bandwidth_Bps;
+      return cost;
+    case HopClass::kInterNode:
+      break;
+  }
+
+  // Inter-node: choose GPUDirect vs host-staged path for device buffers.
+  cost.inter_node = true;
+  double bandwidth = profile_.ib.bandwidth_Bps;
+  cost.setup_s += profile_.ib.latency_s;
+  cost.striped = profile_.rails > 1 && bytes >= profile_.rail_stripe_min;
+  if (cost.striped) bandwidth *= static_cast<double>(profile_.rails);
+  cost.wire_s = static_cast<double>(bytes) / bandwidth;
+  if (space == MemSpace::kDevice && bytes > profile_.gdr_limit) {
+    // Host-staged pipeline: the end-to-end rate is the staging pipeline's,
+    // but the NIC is only occupied for the wire portion; the slack is a
+    // per-message delay (separate processes' pipelines run concurrently).
+    cost.setup_s += profile_.staging_overhead_s;
+    const double pipeline_s =
+        static_cast<double>(bytes) / std::min(bandwidth, profile_.staging_bandwidth_Bps);
+    cost.pipeline_extra_s = pipeline_s - cost.wire_s;
+  }
+  if (is_rendezvous(bytes, space)) cost.setup_s += profile_.rendezvous_handshake_s;
+  return cost;
+}
+
+double CostModel::control_latency(int src, int dst) const {
+  const HopClass hop = topology_.hop(src, dst);
+  double latency = profile_.per_op_overhead_s;
+  switch (hop) {
+    case HopClass::kSelf: latency += profile_.self.latency_s; break;
+    case HopClass::kIntraSocket: latency += profile_.nvlink.latency_s; break;
+    case HopClass::kInterSocket: latency += profile_.xbus.latency_s; break;
+    case HopClass::kInterNode: latency += profile_.ib.latency_s; break;
+  }
+  return latency;
+}
+
+bool CostModel::is_rendezvous(std::size_t bytes, MemSpace space) const noexcept {
+  const std::size_t threshold = space == MemSpace::kDevice ? profile_.eager_threshold_device
+                                                           : profile_.eager_threshold_host;
+  return bytes > threshold;
+}
+
+namespace {
+// Reservations older than this behind the newest booking are forgotten;
+// near-synchronous collective traffic never looks back this far.
+constexpr double kPruneWindowS = 0.25;
+}  // namespace
+
+NicContention::NicContention(int nodes, int rails) : rails_(rails) {
+  if (nodes < 1 || rails < 1) throw std::invalid_argument("NicContention: nodes/rails must be >= 1");
+  rail_state_.assign(static_cast<std::size_t>(nodes), std::vector<Rail>(rails));
+}
+
+double NicContention::earliest_gap(const Rail& rail, double ready, double wire) {
+  double candidate = ready;
+  for (const auto& [start, end] : rail.busy) {
+    if (end <= candidate) continue;
+    if (start >= candidate + wire) break;  // gap before this interval fits
+    candidate = std::max(candidate, end);
+  }
+  return candidate;
+}
+
+double NicContention::earliest_common_gap(const std::vector<const Rail*>& rails, double ready,
+                                          double wire) {
+  double candidate = ready;
+  // Fixpoint: each pass moves the candidate past at least one busy
+  // interval, so this terminates in O(total intervals).
+  for (;;) {
+    bool moved = false;
+    for (const Rail* rail : rails) {
+      const double start = earliest_gap(*rail, candidate, wire);
+      if (start > candidate) {
+        candidate = start;
+        moved = true;
+      }
+    }
+    if (!moved) return candidate;
+  }
+}
+
+void NicContention::insert(Rail& rail, double start, double wire) {
+  const double end = start + wire;
+  auto it = std::lower_bound(rail.busy.begin(), rail.busy.end(), std::make_pair(start, end));
+  it = rail.busy.insert(it, {start, end});
+  // Merge with neighbours touching this interval.
+  if (it != rail.busy.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= it->first) {
+      prev->second = std::max(prev->second, it->second);
+      it = rail.busy.erase(it);
+      it = std::prev(it);
+    }
+  }
+  auto next = std::next(it);
+  if (next != rail.busy.end() && it->second >= next->first) {
+    it->second = std::max(it->second, next->second);
+    rail.busy.erase(next);
+  }
+}
+
+void NicContention::prune(double horizon) {
+  for (auto& node : rail_state_) {
+    for (Rail& rail : node) {
+      auto it = rail.busy.begin();
+      while (it != rail.busy.end() && it->second < horizon) ++it;
+      rail.busy.erase(rail.busy.begin(), it);
+    }
+  }
+}
+
+double NicContention::reserve(int src_node, int dst_node, double ready_s, double wire_s,
+                              bool striped) {
+  if (src_node == dst_node) {
+    throw std::logic_error("NicContention: intra-node transfer should not reserve NIC rails");
+  }
+  // Control-plane messages do not consume rail bandwidth.
+  if (wire_s <= 0.0) return ready_s;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& src = rail_state_[static_cast<std::size_t>(src_node)];
+  auto& dst = rail_state_[static_cast<std::size_t>(dst_node)];
+
+  double start = 0.0;
+  if (striped) {
+    std::vector<const Rail*> all;
+    for (const Rail& rail : src) all.push_back(&rail);
+    for (const Rail& rail : dst) all.push_back(&rail);
+    start = earliest_common_gap(all, ready_s, wire_s);
+    for (Rail& rail : src) insert(rail, start, wire_s);
+    for (Rail& rail : dst) insert(rail, start, wire_s);
+  } else {
+    // Try every (src rail, dst rail) pair; take the earliest joint gap.
+    std::size_t best_s = 0, best_d = 0;
+    start = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < src.size(); ++s) {
+      for (std::size_t d = 0; d < dst.size(); ++d) {
+        const double t = earliest_common_gap({&src[s], &dst[d]}, ready_s, wire_s);
+        if (t < start) {
+          start = t;
+          best_s = s;
+          best_d = d;
+        }
+      }
+    }
+    insert(src[best_s], start, wire_s);
+    insert(dst[best_d], start, wire_s);
+  }
+
+  const double done = start + wire_s;
+  if (done > max_end_) {
+    max_end_ = done;
+    prune(max_end_ - kPruneWindowS);
+  }
+  return done;
+}
+
+void NicContention::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& node : rail_state_)
+    for (Rail& rail : node) rail.busy.clear();
+  max_end_ = 0.0;
+}
+
+}  // namespace dlscale::net

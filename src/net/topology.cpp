@@ -1,0 +1,47 @@
+#include "dlscale/net/topology.hpp"
+
+#include <sstream>
+
+namespace dlscale::net {
+
+const char* to_string(HopClass hop) noexcept {
+  switch (hop) {
+    case HopClass::kSelf: return "self";
+    case HopClass::kIntraSocket: return "intra-socket (NVLink)";
+    case HopClass::kInterSocket: return "inter-socket (X-bus)";
+    case HopClass::kInterNode: return "inter-node (IB)";
+  }
+  return "?";
+}
+
+Topology::Topology(int nodes, int gpus_per_node, int gpus_per_socket)
+    : nodes_(nodes), gpus_per_node_(gpus_per_node), gpus_per_socket_(gpus_per_socket) {
+  if (nodes < 1) throw std::invalid_argument("Topology: nodes must be >= 1");
+  if (gpus_per_node < 1) throw std::invalid_argument("Topology: gpus_per_node must be >= 1");
+  if (gpus_per_socket < 1 || gpus_per_socket > gpus_per_node) {
+    throw std::invalid_argument("Topology: gpus_per_socket must be in [1, gpus_per_node]");
+  }
+  if (gpus_per_node % gpus_per_socket != 0) {
+    throw std::invalid_argument("Topology: gpus_per_node must be a multiple of gpus_per_socket");
+  }
+}
+
+HopClass Topology::hop(int a, int b) const {
+  check_rank(a);
+  check_rank(b);
+  if (a == b) return HopClass::kSelf;
+  if (node_of(a) != node_of(b)) return HopClass::kInterNode;
+  if (socket_of_local(local_rank(a)) != socket_of_local(local_rank(b))) {
+    return HopClass::kInterSocket;
+  }
+  return HopClass::kIntraSocket;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream out;
+  out << nodes_ << " node(s) x " << gpus_per_node_ << " GPU(s) (" << gpus_per_socket_
+      << " per socket) = " << world_size() << " ranks";
+  return out.str();
+}
+
+}  // namespace dlscale::net

@@ -1,0 +1,197 @@
+#include "dlscale/nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlscale::nn {
+
+// ---- Conv2d ----
+
+Conv2d::Conv2d(std::string layer_name, int in_channels, int out_channels, int kernel,
+               Conv2dSpec spec, bool bias, util::Rng& rng)
+    : name_(std::move(layer_name)),
+      spec_(spec),
+      has_bias_(bias),
+      weight_(name_ + ".weight", Tensor::he_init({out_channels, in_channels, kernel, kernel}, rng)),
+      bias_(name_ + ".bias", Tensor::zeros({out_channels})) {}
+
+Tensor Conv2d::forward(const Tensor& input, bool train) {
+  if (train) cached_input_ = input;
+  return tensor::conv2d(input, weight_.value, has_bias_ ? &bias_.value : nullptr, spec_);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) throw std::logic_error(name_ + ": backward before forward(train)");
+  return tensor::conv2d_backward(cached_input_, weight_.value, grad_out, spec_, weight_.grad,
+                                 has_bias_ ? &bias_.grad : nullptr);
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+// ---- BatchNorm2d ----
+
+BatchNorm2d::BatchNorm2d(std::string layer_name, int channels, float momentum, float eps)
+    : name_(std::move(layer_name)),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(name_ + ".gamma", Tensor::full({channels}, 1.0f)),
+      beta_(name_ + ".beta", Tensor::zeros({channels})),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::full({channels}, 1.0f)) {}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+  return tensor::batchnorm2d(input, gamma_.value, beta_.value, running_mean_, running_var_, train,
+                             momentum_, eps_, train ? &cache_ : nullptr);
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  if (cache_.x_hat.empty()) throw std::logic_error(name_ + ": backward before forward(train)");
+  return tensor::batchnorm2d_backward(grad_out, cache_, gamma_.value, gamma_.grad, beta_.grad);
+}
+
+std::vector<Parameter*> BatchNorm2d::parameters() { return {&gamma_, &beta_}; }
+
+// ---- ReLU ----
+
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  if (train) cached_input_ = input;
+  return tensor::relu(input);
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  return tensor::relu_backward(cached_input_, grad_out);
+}
+
+// ---- MaxPool2d ----
+
+Tensor MaxPool2d::forward(const Tensor& input, bool train) {
+  if (train) cached_input_ = input;
+  return tensor::maxpool2d(input, kernel_, stride_, argmax_);
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  return tensor::maxpool2d_backward(cached_input_, grad_out, kernel_, stride_, argmax_);
+}
+
+// ---- BilinearResize ----
+
+Tensor BilinearResize::forward(const Tensor& input, bool train) {
+  if (train) cached_input_ = input;
+  return tensor::bilinear_resize(input, out_h_, out_w_);
+}
+
+Tensor BilinearResize::backward(const Tensor& grad_out) {
+  return tensor::bilinear_resize_backward(cached_input_, grad_out);
+}
+
+// ---- DepthwiseConv2d ----
+
+DepthwiseConv2d::DepthwiseConv2d(std::string layer_name, int channels, int kernel,
+                                 Conv2dSpec spec, util::Rng& rng)
+    : name_(std::move(layer_name)),
+      spec_(spec),
+      weight_(name_ + ".weight", [&] {
+        // He init with fan_in = kernel^2 (one input channel per filter).
+        const float stddev = std::sqrt(2.0f / static_cast<float>(kernel * kernel));
+        return Tensor::randn({channels, 1, kernel, kernel}, rng, stddev);
+      }()) {}
+
+Tensor DepthwiseConv2d::forward(const Tensor& input, bool train) {
+  if (train) cached_input_ = input;
+  return tensor::depthwise_conv2d(input, weight_.value, spec_);
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) throw std::logic_error(name_ + ": backward before forward(train)");
+  return tensor::depthwise_conv2d_backward(cached_input_, weight_.value, grad_out, spec_,
+                                           weight_.grad);
+}
+
+std::vector<Parameter*> DepthwiseConv2d::parameters() { return {&weight_}; }
+
+// ---- SeparableConvBnRelu ----
+
+SeparableConvBnRelu::SeparableConvBnRelu(std::string layer_name, int in_channels,
+                                         int out_channels, Conv2dSpec depthwise_spec,
+                                         util::Rng& rng)
+    : name_(std::move(layer_name)),
+      depthwise_(name_ + ".dw", in_channels, 3, depthwise_spec, rng),
+      bn_dw_(name_ + ".dw_bn", in_channels),
+      pointwise_(name_ + ".pw", in_channels, out_channels, 1, Conv2dSpec{1, 0, 1},
+                 /*bias=*/false, rng),
+      bn_pw_(name_ + ".pw_bn", out_channels),
+      relu_(name_ + ".relu") {}
+
+Tensor SeparableConvBnRelu::forward(const Tensor& input, bool train) {
+  Tensor x = depthwise_.forward(input, train);
+  x = bn_dw_.forward(x, train);
+  x = pointwise_.forward(x, train);
+  x = bn_pw_.forward(x, train);
+  return relu_.forward(x, train);
+}
+
+Tensor SeparableConvBnRelu::backward(const Tensor& grad_out) {
+  Tensor g = relu_.backward(grad_out);
+  g = bn_pw_.backward(g);
+  g = pointwise_.backward(g);
+  g = bn_dw_.backward(g);
+  return depthwise_.backward(g);
+}
+
+std::vector<Parameter*> SeparableConvBnRelu::parameters() {
+  std::vector<Parameter*> params = depthwise_.parameters();
+  for (Parameter* p : bn_dw_.parameters()) params.push_back(p);
+  for (Parameter* p : pointwise_.parameters()) params.push_back(p);
+  for (Parameter* p : bn_pw_.parameters()) params.push_back(p);
+  return params;
+}
+
+// ---- ConvBnRelu ----
+
+ConvBnRelu::ConvBnRelu(std::string layer_name, int in_channels, int out_channels, int kernel,
+                       Conv2dSpec spec, util::Rng& rng)
+    : name_(std::move(layer_name)),
+      conv_(name_ + ".conv", in_channels, out_channels, kernel, spec, /*bias=*/false, rng),
+      bn_(name_ + ".bn", out_channels),
+      relu_(name_ + ".relu") {}
+
+Tensor ConvBnRelu::forward(const Tensor& input, bool train) {
+  return relu_.forward(bn_.forward(conv_.forward(input, train), train), train);
+}
+
+Tensor ConvBnRelu::backward(const Tensor& grad_out) {
+  return conv_.backward(bn_.backward(relu_.backward(grad_out)));
+}
+
+std::vector<Parameter*> ConvBnRelu::parameters() {
+  std::vector<Parameter*> params = conv_.parameters();
+  for (Parameter* p : bn_.parameters()) params.push_back(p);
+  return params;
+}
+
+// ---- Sequential ----
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace dlscale::nn

@@ -1,0 +1,66 @@
+#include "dlscale/nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlscale::nn {
+
+double PolySchedule::lr_at(long iter) const {
+  if (max_iters <= 0) return base_lr;
+  const double progress = std::min(1.0, static_cast<double>(iter) / static_cast<double>(max_iters));
+  return base_lr * std::pow(1.0 - progress, power);
+}
+
+SgdMomentum::SgdMomentum(std::vector<Parameter*> params, Config config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    if (p == nullptr) throw std::invalid_argument("SgdMomentum: null parameter");
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+double SgdMomentum::grad_norm() const {
+  double sum_sq = 0.0;
+  for (const Parameter* p : params_) {
+    for (float g : p->grad.data()) sum_sq += static_cast<double>(g) * g;
+  }
+  return std::sqrt(sum_sq);
+}
+
+void SgdMomentum::step(double lr) {
+  // Global-norm gradient clipping (applied once, before any update).
+  double clip_scale = 1.0;
+  if (config_.clip_grad_norm > 0.0) {
+    const double norm = grad_norm();
+    if (norm > config_.clip_grad_norm) clip_scale = config_.clip_grad_norm / norm;
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& v = velocity_[i];
+    auto value = p.value.data();
+    auto grad = p.grad.data();
+    auto vel = v.data();
+    const auto wd = static_cast<float>(config_.weight_decay);
+    const auto mu = static_cast<float>(config_.momentum);
+    const auto eta = static_cast<float>(lr);
+    const auto cs = static_cast<float>(clip_scale);
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const float g = cs * grad[j] + wd * value[j];
+      vel[j] = mu * vel[j] + g;
+      value[j] -= eta * vel[j];
+    }
+  }
+}
+
+void SgdMomentum::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+std::size_t SgdMomentum::total_parameters() const noexcept {
+  std::size_t total = 0;
+  for (const Parameter* p : params_) total += p->numel();
+  return total;
+}
+
+}  // namespace dlscale::nn

@@ -1,0 +1,655 @@
+#include "dlscale/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dlscale::tensor {
+
+namespace {
+
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// matmul family
+// ---------------------------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require(a.ndim() == 2 && b.ndim() == 2, "matmul: 2D operands required");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "matmul: inner dimensions differ");
+  Tensor c({m, n});
+  const float* pa = a.ptr();
+  const float* pb = b.ptr();
+  float* pc = c.ptr();
+  // ikj loop order: unit-stride inner loop over both B and C rows.
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = pa[static_cast<std::size_t>(i) * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + static_cast<std::size_t>(kk) * n;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  require(a.ndim() == 2 && b.ndim() == 2, "matmul_tn: 2D operands required");
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "matmul_tn: inner dimensions differ");
+  Tensor c({m, n});
+  const float* pa = a.ptr();
+  const float* pb = b.ptr();
+  float* pc = c.ptr();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = pa + static_cast<std::size_t>(kk) * m;
+    const float* brow = pb + static_cast<std::size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  require(a.ndim() == 2 && b.ndim() == 2, "matmul_nt: 2D operands required");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  require(b.dim(1) == k, "matmul_nt: inner dimensions differ");
+  Tensor c({m, n});
+  const float* pa = a.ptr();
+  const float* pb = b.ptr();
+  float* pc = c.ptr();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<std::size_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[static_cast<std::size_t>(i) * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// convolution
+// ---------------------------------------------------------------------------
+
+Tensor im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec& spec) {
+  require(input.ndim() == 4, "im2col: input must be (N,C,H,W)");
+  const int channels = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int out_h = spec.out_extent(h, kh);
+  const int out_w = spec.out_extent(w, kw);
+  require(out_h > 0 && out_w > 0, "im2col: empty output");
+  Tensor cols({channels * kh * kw, out_h * out_w});
+  float* pc = cols.ptr();
+  const int patch = out_h * out_w;
+  for (int c = 0; c < channels; ++c) {
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        const int row = (c * kh + ky) * kw + kx;
+        float* dst = pc + static_cast<std::size_t>(row) * patch;
+        for (int oy = 0; oy < out_h; ++oy) {
+          const int iy = oy * spec.stride - spec.pad + ky * spec.dilation;
+          for (int ox = 0; ox < out_w; ++ox) {
+            const int ix = ox * spec.stride - spec.pad + kx * spec.dilation;
+            dst[oy * out_w + ox] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                       ? input.at(sample, c, iy, ix)
+                                       : 0.0f;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+void col2im(const Tensor& cols, Tensor& grad_input, int sample, int kh, int kw,
+            const Conv2dSpec& spec) {
+  const int channels = grad_input.dim(1), h = grad_input.dim(2), w = grad_input.dim(3);
+  const int out_h = spec.out_extent(h, kh);
+  const int out_w = spec.out_extent(w, kw);
+  require(cols.dim(0) == channels * kh * kw && cols.dim(1) == out_h * out_w,
+          "col2im: shape mismatch");
+  const float* pc = cols.ptr();
+  const int patch = out_h * out_w;
+  for (int c = 0; c < channels; ++c) {
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        const int row = (c * kh + ky) * kw + kx;
+        const float* src = pc + static_cast<std::size_t>(row) * patch;
+        for (int oy = 0; oy < out_h; ++oy) {
+          const int iy = oy * spec.stride - spec.pad + ky * spec.dilation;
+          if (iy < 0 || iy >= h) continue;
+          for (int ox = 0; ox < out_w; ++ox) {
+            const int ix = ox * spec.stride - spec.pad + kx * spec.dilation;
+            if (ix < 0 || ix >= w) continue;
+            grad_input.at(sample, c, iy, ix) += src[oy * out_w + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
+              const Conv2dSpec& spec) {
+  require(input.ndim() == 4 && weight.ndim() == 4, "conv2d: 4D input/weight required");
+  const int batch = input.dim(0), in_c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int out_c = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  require(weight.dim(1) == in_c, "conv2d: channel mismatch");
+  if (bias != nullptr) require(static_cast<int>(bias->numel()) == out_c, "conv2d: bias size");
+  const int out_h = spec.out_extent(h, kh);
+  const int out_w = spec.out_extent(w, kw);
+  require(out_h > 0 && out_w > 0, "conv2d: empty output");
+
+  const Tensor w2d = weight.reshaped({out_c, in_c * kh * kw});
+  Tensor output({batch, out_c, out_h, out_w});
+  const int patch = out_h * out_w;
+  for (int n = 0; n < batch; ++n) {
+    const Tensor cols = im2col(input, n, kh, kw, spec);
+    const Tensor prod = matmul(w2d, cols);  // (out_c, patch)
+    float* dst = output.ptr() + static_cast<std::size_t>(n) * out_c * patch;
+    std::copy(prod.ptr(), prod.ptr() + prod.numel(), dst);
+  }
+  if (bias != nullptr) {
+    for (int n = 0; n < batch; ++n) {
+      for (int o = 0; o < out_c; ++o) {
+        const float b = (*bias)[static_cast<std::size_t>(o)];
+        float* dst =
+            output.ptr() + (static_cast<std::size_t>(n) * out_c + o) * patch;
+        for (int i = 0; i < patch; ++i) dst[i] += b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& grad_out,
+                       const Conv2dSpec& spec, Tensor& grad_weight, Tensor* grad_bias) {
+  const int batch = input.dim(0), in_c = input.dim(1);
+  const int out_c = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  const int out_h = grad_out.dim(2), out_w = grad_out.dim(3);
+  require(same_shape(grad_weight, weight), "conv2d_backward: grad_weight shape");
+  const int patch = out_h * out_w;
+
+  const Tensor w2d = weight.reshaped({out_c, in_c * kh * kw});
+  Tensor grad_w2d = grad_weight.reshaped({out_c, in_c * kh * kw});
+  Tensor grad_input({batch, in_c, input.dim(2), input.dim(3)});
+
+  for (int n = 0; n < batch; ++n) {
+    // View this sample's grad_out as (out_c, patch).
+    Tensor go({out_c, patch});
+    std::copy(grad_out.ptr() + static_cast<std::size_t>(n) * out_c * patch,
+              grad_out.ptr() + static_cast<std::size_t>(n + 1) * out_c * patch, go.ptr());
+    const Tensor cols = im2col(input, n, kh, kw, spec);
+    // dW += go * cols^T
+    const Tensor dw = matmul_nt(go, cols);
+    grad_w2d.add_(dw);
+    // dX_cols = W^T * go, folded back with col2im.
+    const Tensor dcols = matmul_tn(w2d, go);
+    col2im(dcols, grad_input, n, kh, kw, spec);
+  }
+  // Write the accumulated 2D gradient back into the 4D tensor.
+  std::copy(grad_w2d.ptr(), grad_w2d.ptr() + grad_w2d.numel(), grad_weight.ptr());
+
+  if (grad_bias != nullptr) {
+    for (int n = 0; n < batch; ++n) {
+      for (int o = 0; o < out_c; ++o) {
+        const float* src =
+            grad_out.ptr() + (static_cast<std::size_t>(n) * out_c + o) * patch;
+        float acc = 0.0f;
+        for (int i = 0; i < patch; ++i) acc += src[i];
+        (*grad_bias)[static_cast<std::size_t>(o)] += acc;
+      }
+    }
+  }
+  return grad_input;
+}
+
+
+Tensor depthwise_conv2d(const Tensor& input, const Tensor& weight, const Conv2dSpec& spec) {
+  require(input.ndim() == 4 && weight.ndim() == 4, "depthwise_conv2d: 4D input/weight required");
+  const int batch = input.dim(0), channels = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int kh = weight.dim(2), kw = weight.dim(3);
+  require(weight.dim(0) == channels && weight.dim(1) == 1,
+          "depthwise_conv2d: weight must be (C,1,kh,kw)");
+  const int out_h = spec.out_extent(h, kh);
+  const int out_w = spec.out_extent(w, kw);
+  require(out_h > 0 && out_w > 0, "depthwise_conv2d: empty output");
+
+  Tensor out({batch, channels, out_h, out_w});
+  for (int n = 0; n < batch; ++n)
+    for (int c = 0; c < channels; ++c)
+      for (int oy = 0; oy < out_h; ++oy)
+        for (int ox = 0; ox < out_w; ++ox) {
+          float acc = 0.0f;
+          for (int ky = 0; ky < kh; ++ky) {
+            const int iy = oy * spec.stride - spec.pad + ky * spec.dilation;
+            if (iy < 0 || iy >= h) continue;
+            for (int kx = 0; kx < kw; ++kx) {
+              const int ix = ox * spec.stride - spec.pad + kx * spec.dilation;
+              if (ix < 0 || ix >= w) continue;
+              acc += input.at(n, c, iy, ix) * weight.at(c, 0, ky, kx);
+            }
+          }
+          out.at(n, c, oy, ox) = acc;
+        }
+  return out;
+}
+
+Tensor depthwise_conv2d_backward(const Tensor& input, const Tensor& weight,
+                                 const Tensor& grad_out, const Conv2dSpec& spec,
+                                 Tensor& grad_weight) {
+  const int batch = input.dim(0), channels = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int kh = weight.dim(2), kw = weight.dim(3);
+  const int out_h = grad_out.dim(2), out_w = grad_out.dim(3);
+  require(same_shape(grad_weight, weight), "depthwise_conv2d_backward: grad_weight shape");
+
+  Tensor grad_input(input.shape());
+  for (int n = 0; n < batch; ++n)
+    for (int c = 0; c < channels; ++c)
+      for (int oy = 0; oy < out_h; ++oy)
+        for (int ox = 0; ox < out_w; ++ox) {
+          const float g = grad_out.at(n, c, oy, ox);
+          if (g == 0.0f) continue;
+          for (int ky = 0; ky < kh; ++ky) {
+            const int iy = oy * spec.stride - spec.pad + ky * spec.dilation;
+            if (iy < 0 || iy >= h) continue;
+            for (int kx = 0; kx < kw; ++kx) {
+              const int ix = ox * spec.stride - spec.pad + kx * spec.dilation;
+              if (ix < 0 || ix >= w) continue;
+              grad_input.at(n, c, iy, ix) += g * weight.at(c, 0, ky, kx);
+              grad_weight.at(c, 0, ky, kx) += g * input.at(n, c, iy, ix);
+            }
+          }
+        }
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// activations / normalisation
+// ---------------------------------------------------------------------------
+
+Tensor relu(const Tensor& x) {
+  Tensor out = x;
+  for (std::size_t i = 0; i < out.numel(); ++i) out[i] = std::max(0.0f, out[i]);
+  return out;
+}
+
+Tensor relu_backward(const Tensor& x, const Tensor& grad_out) {
+  require(same_shape(x, grad_out), "relu_backward: shape mismatch");
+  Tensor grad = grad_out;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    if (x[i] <= 0.0f) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor batchnorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta, Tensor& running_mean,
+                   Tensor& running_var, bool train, float momentum, float eps,
+                   BatchNormCache* cache) {
+  require(x.ndim() == 4, "batchnorm2d: input must be (N,C,H,W)");
+  const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
+  require(static_cast<int>(gamma.numel()) == channels, "batchnorm2d: gamma size");
+  const std::size_t per_channel = static_cast<std::size_t>(batch) * h * w;
+
+  Tensor out(x.shape());
+  std::vector<float> mean(static_cast<std::size_t>(channels));
+  std::vector<float> inv_std(static_cast<std::size_t>(channels));
+
+  for (int c = 0; c < channels; ++c) {
+    double m = 0.0, v = 0.0;
+    if (train) {
+      for (int n = 0; n < batch; ++n)
+        for (int y = 0; y < h; ++y)
+          for (int xx = 0; xx < w; ++xx) m += x.at(n, c, y, xx);
+      m /= static_cast<double>(per_channel);
+      for (int n = 0; n < batch; ++n)
+        for (int y = 0; y < h; ++y)
+          for (int xx = 0; xx < w; ++xx) {
+            const double d = x.at(n, c, y, xx) - m;
+            v += d * d;
+          }
+      v /= static_cast<double>(per_channel);
+      running_mean[static_cast<std::size_t>(c)] =
+          (1.0f - momentum) * running_mean[static_cast<std::size_t>(c)] +
+          momentum * static_cast<float>(m);
+      running_var[static_cast<std::size_t>(c)] =
+          (1.0f - momentum) * running_var[static_cast<std::size_t>(c)] +
+          momentum * static_cast<float>(v);
+    } else {
+      m = running_mean[static_cast<std::size_t>(c)];
+      v = running_var[static_cast<std::size_t>(c)];
+    }
+    mean[static_cast<std::size_t>(c)] = static_cast<float>(m);
+    inv_std[static_cast<std::size_t>(c)] = static_cast<float>(1.0 / std::sqrt(v + eps));
+  }
+
+  Tensor x_hat(x.shape());
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const float m = mean[static_cast<std::size_t>(c)];
+      const float is = inv_std[static_cast<std::size_t>(c)];
+      const float g = gamma[static_cast<std::size_t>(c)];
+      const float b = beta[static_cast<std::size_t>(c)];
+      for (int y = 0; y < h; ++y) {
+        for (int xx = 0; xx < w; ++xx) {
+          const float xh = (x.at(n, c, y, xx) - m) * is;
+          x_hat.at(n, c, y, xx) = xh;
+          out.at(n, c, y, xx) = g * xh + b;
+        }
+      }
+    }
+  }
+  if (cache != nullptr) {
+    cache->x_hat = std::move(x_hat);
+    cache->mean = std::move(mean);
+    cache->inv_std = std::move(inv_std);
+  }
+  return out;
+}
+
+Tensor batchnorm2d_backward(const Tensor& grad_out, const BatchNormCache& cache,
+                            const Tensor& gamma, Tensor& grad_gamma, Tensor& grad_beta) {
+  const Tensor& x_hat = cache.x_hat;
+  require(same_shape(grad_out, x_hat), "batchnorm2d_backward: shape mismatch");
+  const int batch = grad_out.dim(0), channels = grad_out.dim(1), h = grad_out.dim(2),
+            w = grad_out.dim(3);
+  const auto per_channel = static_cast<float>(static_cast<std::size_t>(batch) * h * w);
+
+  Tensor grad_in(grad_out.shape());
+  for (int c = 0; c < channels; ++c) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int n = 0; n < batch; ++n)
+      for (int y = 0; y < h; ++y)
+        for (int xx = 0; xx < w; ++xx) {
+          const float dy = grad_out.at(n, c, y, xx);
+          sum_dy += dy;
+          sum_dy_xhat += dy * x_hat.at(n, c, y, xx);
+        }
+    grad_beta[static_cast<std::size_t>(c)] += static_cast<float>(sum_dy);
+    grad_gamma[static_cast<std::size_t>(c)] += static_cast<float>(sum_dy_xhat);
+
+    const float g = gamma[static_cast<std::size_t>(c)];
+    const float is = cache.inv_std[static_cast<std::size_t>(c)];
+    const float mean_dy = static_cast<float>(sum_dy) / per_channel;
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat) / per_channel;
+    for (int n = 0; n < batch; ++n)
+      for (int y = 0; y < h; ++y)
+        for (int xx = 0; xx < w; ++xx) {
+          const float dy = grad_out.at(n, c, y, xx);
+          const float xh = x_hat.at(n, c, y, xx);
+          grad_in.at(n, c, y, xx) = g * is * (dy - mean_dy - xh * mean_dy_xhat);
+        }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------------
+// pooling / resize
+// ---------------------------------------------------------------------------
+
+Tensor maxpool2d(const Tensor& x, int kernel, int stride, std::vector<int>& argmax) {
+  require(x.ndim() == 4, "maxpool2d: input must be (N,C,H,W)");
+  const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int out_h = (h - kernel) / stride + 1;
+  const int out_w = (w - kernel) / stride + 1;
+  require(out_h > 0 && out_w > 0, "maxpool2d: empty output");
+  Tensor out({batch, channels, out_h, out_w});
+  argmax.assign(out.numel(), 0);
+  std::size_t idx = 0;
+  for (int n = 0; n < batch; ++n)
+    for (int c = 0; c < channels; ++c)
+      for (int oy = 0; oy < out_h; ++oy)
+        for (int ox = 0; ox < out_w; ++ox, ++idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_pos = 0;
+          for (int ky = 0; ky < kernel; ++ky)
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int iy = oy * stride + ky;
+              const int ix = ox * stride + kx;
+              const float v = x.at(n, c, iy, ix);
+              if (v > best) {
+                best = v;
+                best_pos = iy * w + ix;
+              }
+            }
+          out[idx] = best;
+          argmax[idx] = best_pos;
+        }
+  return out;
+}
+
+Tensor maxpool2d_backward(const Tensor& x, const Tensor& grad_out, int kernel, int stride,
+                          const std::vector<int>& argmax) {
+  (void)kernel;
+  (void)stride;
+  require(grad_out.numel() == argmax.size(), "maxpool2d_backward: argmax size");
+  const int channels = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor grad_in(x.shape());
+  const int batch = grad_out.dim(0);
+  const int out_hw = grad_out.dim(2) * grad_out.dim(3);
+  std::size_t idx = 0;
+  for (int n = 0; n < batch; ++n)
+    for (int c = 0; c < channels; ++c)
+      for (int i = 0; i < out_hw; ++i, ++idx) {
+        const int pos = argmax[idx];
+        grad_in.at(n, c, pos / w, pos % w) += grad_out[idx];
+      }
+  (void)h;
+  return grad_in;
+}
+
+Tensor global_avg_pool(const Tensor& x) {
+  require(x.ndim() == 4, "global_avg_pool: input must be (N,C,H,W)");
+  const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor out({batch, channels, 1, 1});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int n = 0; n < batch; ++n)
+    for (int c = 0; c < channels; ++c) {
+      double acc = 0.0;
+      for (int y = 0; y < h; ++y)
+        for (int xx = 0; xx < w; ++xx) acc += x.at(n, c, y, xx);
+      out.at(n, c, 0, 0) = static_cast<float>(acc) * inv;
+    }
+  return out;
+}
+
+Tensor global_avg_pool_backward(const Tensor& x, const Tensor& grad_out) {
+  const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor grad_in(x.shape());
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int n = 0; n < batch; ++n)
+    for (int c = 0; c < channels; ++c) {
+      const float g = grad_out.at(n, c, 0, 0) * inv;
+      for (int y = 0; y < h; ++y)
+        for (int xx = 0; xx < w; ++xx) grad_in.at(n, c, y, xx) = g;
+    }
+  return grad_in;
+}
+
+namespace {
+
+/// Sample position mapping for align_corners=true bilinear resize.
+inline float src_pos(int out_idx, int in_extent, int out_extent) {
+  if (out_extent == 1) return 0.0f;
+  return static_cast<float>(out_idx) * static_cast<float>(in_extent - 1) /
+         static_cast<float>(out_extent - 1);
+}
+
+}  // namespace
+
+Tensor bilinear_resize(const Tensor& x, int out_h, int out_w) {
+  require(x.ndim() == 4, "bilinear_resize: input must be (N,C,H,W)");
+  const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor out({batch, channels, out_h, out_w});
+  for (int oy = 0; oy < out_h; ++oy) {
+    const float fy = src_pos(oy, h, out_h);
+    const int y0 = static_cast<int>(fy);
+    const int y1 = std::min(y0 + 1, h - 1);
+    const float wy = fy - static_cast<float>(y0);
+    for (int ox = 0; ox < out_w; ++ox) {
+      const float fx = src_pos(ox, w, out_w);
+      const int x0 = static_cast<int>(fx);
+      const int x1 = std::min(x0 + 1, w - 1);
+      const float wx = fx - static_cast<float>(x0);
+      for (int n = 0; n < batch; ++n)
+        for (int c = 0; c < channels; ++c) {
+          const float v = (1 - wy) * ((1 - wx) * x.at(n, c, y0, x0) + wx * x.at(n, c, y0, x1)) +
+                          wy * ((1 - wx) * x.at(n, c, y1, x0) + wx * x.at(n, c, y1, x1));
+          out.at(n, c, oy, ox) = v;
+        }
+    }
+  }
+  return out;
+}
+
+Tensor bilinear_resize_backward(const Tensor& x, const Tensor& grad_out) {
+  const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int out_h = grad_out.dim(2), out_w = grad_out.dim(3);
+  Tensor grad_in(x.shape());
+  for (int oy = 0; oy < out_h; ++oy) {
+    const float fy = src_pos(oy, h, out_h);
+    const int y0 = static_cast<int>(fy);
+    const int y1 = std::min(y0 + 1, h - 1);
+    const float wy = fy - static_cast<float>(y0);
+    for (int ox = 0; ox < out_w; ++ox) {
+      const float fx = src_pos(ox, w, out_w);
+      const int x0 = static_cast<int>(fx);
+      const int x1 = std::min(x0 + 1, w - 1);
+      const float wx = fx - static_cast<float>(x0);
+      for (int n = 0; n < batch; ++n)
+        for (int c = 0; c < channels; ++c) {
+          const float g = grad_out.at(n, c, oy, ox);
+          grad_in.at(n, c, y0, x0) += (1 - wy) * (1 - wx) * g;
+          grad_in.at(n, c, y0, x1) += (1 - wy) * wx * g;
+          grad_in.at(n, c, y1, x0) += wy * (1 - wx) * g;
+          grad_in.at(n, c, y1, x1) += wy * wx * g;
+        }
+    }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------------
+// structure
+// ---------------------------------------------------------------------------
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  require(a.ndim() == 4 && b.ndim() == 4, "concat_channels: 4D inputs required");
+  require(a.dim(0) == b.dim(0) && a.dim(2) == b.dim(2) && a.dim(3) == b.dim(3),
+          "concat_channels: N/H/W must match");
+  const int batch = a.dim(0), ca = a.dim(1), cb = b.dim(1), h = a.dim(2), w = a.dim(3);
+  Tensor out({batch, ca + cb, h, w});
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  for (int n = 0; n < batch; ++n) {
+    std::copy(a.ptr() + static_cast<std::size_t>(n) * ca * plane,
+              a.ptr() + static_cast<std::size_t>(n + 1) * ca * plane,
+              out.ptr() + static_cast<std::size_t>(n) * (ca + cb) * plane);
+    std::copy(b.ptr() + static_cast<std::size_t>(n) * cb * plane,
+              b.ptr() + static_cast<std::size_t>(n + 1) * cb * plane,
+              out.ptr() + static_cast<std::size_t>(n) * (ca + cb) * plane + ca * plane);
+  }
+  return out;
+}
+
+void split_channels(const Tensor& grad_out, int channels_a, Tensor& grad_a, Tensor& grad_b) {
+  const int batch = grad_out.dim(0), total = grad_out.dim(1), h = grad_out.dim(2),
+            w = grad_out.dim(3);
+  const int channels_b = total - channels_a;
+  grad_a = Tensor({batch, channels_a, h, w});
+  grad_b = Tensor({batch, channels_b, h, w});
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  for (int n = 0; n < batch; ++n) {
+    std::copy(grad_out.ptr() + static_cast<std::size_t>(n) * total * plane,
+              grad_out.ptr() + static_cast<std::size_t>(n) * total * plane + channels_a * plane,
+              grad_a.ptr() + static_cast<std::size_t>(n) * channels_a * plane);
+    std::copy(grad_out.ptr() + static_cast<std::size_t>(n) * total * plane + channels_a * plane,
+              grad_out.ptr() + static_cast<std::size_t>(n + 1) * total * plane,
+              grad_b.ptr() + static_cast<std::size_t>(n) * channels_b * plane);
+  }
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  require(same_shape(a, b), "add: shape mismatch");
+  Tensor out = a;
+  out.add_(b);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// loss
+// ---------------------------------------------------------------------------
+
+float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                            int ignore_label, Tensor& grad) {
+  require(logits.ndim() == 4, "softmax_cross_entropy: logits must be (N,K,H,W)");
+  const int batch = logits.dim(0), classes = logits.dim(1), h = logits.dim(2), w = logits.dim(3);
+  require(labels.size() == static_cast<std::size_t>(batch) * h * w,
+          "softmax_cross_entropy: label count mismatch");
+  grad = Tensor(logits.shape());
+
+  double loss = 0.0;
+  std::size_t counted = 0;
+  std::vector<float> probs(static_cast<std::size_t>(classes));
+  for (int n = 0; n < batch; ++n) {
+    for (int y = 0; y < h; ++y) {
+      for (int xx = 0; xx < w; ++xx) {
+        const int label = labels[(static_cast<std::size_t>(n) * h + y) * w + xx];
+        if (label == ignore_label) continue;
+        require(label >= 0 && label < classes, "softmax_cross_entropy: label out of range");
+        float max_logit = -std::numeric_limits<float>::infinity();
+        for (int k = 0; k < classes; ++k) max_logit = std::max(max_logit, logits.at(n, k, y, xx));
+        double denom = 0.0;
+        for (int k = 0; k < classes; ++k) {
+          probs[static_cast<std::size_t>(k)] = std::exp(logits.at(n, k, y, xx) - max_logit);
+          denom += probs[static_cast<std::size_t>(k)];
+        }
+        const double inv = 1.0 / denom;
+        loss -= std::log(probs[static_cast<std::size_t>(label)] * inv);
+        for (int k = 0; k < classes; ++k) {
+          grad.at(n, k, y, xx) =
+              static_cast<float>(probs[static_cast<std::size_t>(k)] * inv) - (k == label ? 1.0f : 0.0f);
+        }
+        ++counted;
+      }
+    }
+  }
+  if (counted == 0) return 0.0f;
+  const float scale = 1.0f / static_cast<float>(counted);
+  grad.scale_(scale);
+  return static_cast<float>(loss) * scale;
+}
+
+std::vector<int> argmax_channels(const Tensor& logits) {
+  const int batch = logits.dim(0), classes = logits.dim(1), h = logits.dim(2), w = logits.dim(3);
+  std::vector<int> out(static_cast<std::size_t>(batch) * h * w);
+  for (int n = 0; n < batch; ++n)
+    for (int y = 0; y < h; ++y)
+      for (int xx = 0; xx < w; ++xx) {
+        int best = 0;
+        float best_value = logits.at(n, 0, y, xx);
+        for (int k = 1; k < classes; ++k) {
+          const float v = logits.at(n, k, y, xx);
+          if (v > best_value) {
+            best_value = v;
+            best = k;
+          }
+        }
+        out[(static_cast<std::size_t>(n) * h + y) * w + xx] = best;
+      }
+  return out;
+}
+
+}  // namespace dlscale::tensor

@@ -1,0 +1,90 @@
+#include "dlscale/tensor/tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlscale::tensor {
+
+namespace {
+
+std::size_t checked_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d <= 0) throw std::invalid_argument("Tensor: dimensions must be positive");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)), data_(checked_numel(shape_)) {}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i != 0) out << 'x';
+    out << shape_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+Tensor Tensor::reshaped(std::vector<int> shape) const {
+  if (checked_numel(shape) != numel()) {
+    throw std::invalid_argument("reshaped: element count mismatch");
+  }
+  Tensor out;
+  out.shape_ = std::move(shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::add_(const Tensor& other) {
+  if (!same_shape(*this, other)) throw std::invalid_argument("add_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::scale_(float s) {
+  for (float& x : data_) x *= s;
+}
+
+float Tensor::sum() const {
+  double total = 0.0;
+  for (float x : data_) total += x;
+  return static_cast<float>(total);
+}
+
+float Tensor::abs_max() const {
+  float best = 0.0f;
+  for (float x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data_) x = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::he_init(std::vector<int> shape, util::Rng& rng) {
+  if (shape.size() != 4) throw std::invalid_argument("he_init: expected (O, C, kh, kw)");
+  const double fan_in = static_cast<double>(shape[1]) * shape[2] * shape[3];
+  const double stddev = std::sqrt(2.0 / fan_in);
+  return randn(std::move(shape), rng, static_cast<float>(stddev));
+}
+
+bool same_shape(const Tensor& a, const Tensor& b) noexcept { return a.shape() == b.shape(); }
+
+}  // namespace dlscale::tensor

@@ -1,0 +1,77 @@
+#include "dlscale/train/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace dlscale::train {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x444C5343;  // "DLSC"
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open '" + path + "' for writing");
+  write_pod(out, kMagic);
+  write_pod(out, static_cast<std::uint32_t>(params.size()));
+  for (const nn::Parameter* p : params) {
+    write_pod(out, static_cast<std::uint32_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_pod(out, static_cast<std::uint32_t>(p->value.shape().size()));
+    for (int d : p->value.shape()) write_pod(out, static_cast<std::int32_t>(d));
+    out.write(reinterpret_cast<const char*>(p->value.ptr()),
+              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("checkpoint: write failed for '" + path + "'");
+}
+
+void load_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open '" + path + "'");
+  if (read_pod<std::uint32_t>(in) != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic in '" + path + "'");
+  }
+  const auto count = read_pod<std::uint32_t>(in);
+  if (count != params.size()) {
+    throw std::runtime_error("checkpoint: parameter count mismatch (file has " +
+                             std::to_string(count) + ", model has " +
+                             std::to_string(params.size()) + ")");
+  }
+  for (nn::Parameter* p : params) {
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (name != p->name) {
+      throw std::runtime_error("checkpoint: expected parameter '" + p->name + "', found '" +
+                               name + "'");
+    }
+    const auto ndim = read_pod<std::uint32_t>(in);
+    std::vector<int> shape(ndim);
+    for (auto& d : shape) d = read_pod<std::int32_t>(in);
+    if (shape != p->value.shape()) {
+      throw std::runtime_error("checkpoint: shape mismatch for '" + name + "'");
+    }
+    in.read(reinterpret_cast<char*>(p->value.ptr()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("checkpoint: truncated data for '" + name + "'");
+  }
+}
+
+}  // namespace dlscale::train

@@ -1,0 +1,94 @@
+#include "dlscale/util/env.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dlscale::util {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  std::int64_t value = 0;
+  const auto* begin = raw->data();
+  const auto* end = begin + raw->size();
+  const auto result = std::from_chars(begin, end, value);
+  if (result.ec != std::errc{} || result.ptr != end) return fallback;
+  return value;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw->c_str(), &end);
+  if (end == raw->c_str() || *end != '\0') return fallback;
+  return value;
+}
+
+bool env_bool(const std::string& name, bool fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  std::string lowered;
+  lowered.reserve(raw->size());
+  for (char c : *raw) lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lowered == "1" || lowered == "true" || lowered == "yes" || lowered == "on") return true;
+  if (lowered == "0" || lowered == "false" || lowered == "no" || lowered == "off") return false;
+  return fallback;
+}
+
+std::optional<std::uint64_t> parse_bytes(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, value);
+  if (result.ec != std::errc{}) return std::nullopt;
+  std::string_view suffix(result.ptr, static_cast<size_t>(end - result.ptr));
+  auto upper = [](std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    return out;
+  };
+  const std::string s = upper(suffix);
+  if (s.empty() || s == "B") return value;
+  if (s == "K" || s == "KB" || s == "KIB") return value << 10;
+  if (s == "M" || s == "MB" || s == "MIB") return value << 20;
+  if (s == "G" || s == "GB" || s == "GIB") return value << 30;
+  return std::nullopt;
+}
+
+std::uint64_t env_bytes(const std::string& name, std::uint64_t fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  const auto parsed = parse_bytes(*raw);
+  return parsed.value_or(fallback);
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0 || std::floor(value) == value) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", value, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace dlscale::util

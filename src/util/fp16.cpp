@@ -1,0 +1,75 @@
+#include "dlscale/util/fp16.hpp"
+
+#include <cstring>
+
+namespace dlscale::util {
+
+std::uint16_t float_to_half(float value) noexcept {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+
+  const std::uint16_t sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000u);
+  const std::uint32_t exponent = (bits >> 23) & 0xFFu;
+  std::uint32_t mantissa = bits & 0x7FFFFFu;
+
+  if (exponent == 0xFF) {  // inf / NaN
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mantissa != 0 ? 0x200u : 0u));
+  }
+
+  // Re-bias: half exponent = float exponent - 127 + 15.
+  const int new_exponent = static_cast<int>(exponent) - 127 + 15;
+  if (new_exponent >= 0x1F) {  // overflow -> infinity
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (new_exponent <= 0) {
+    // Subnormal half (or underflow to zero). Shift in the implicit bit and
+    // round to nearest even.
+    if (new_exponent < -10) return sign;  // too small even for subnormals
+    mantissa |= 0x800000u;
+    const int shift = 14 - new_exponent;  // 24-bit mantissa -> 10-bit field
+    const std::uint32_t rounded =
+        (mantissa >> shift) +
+        (((mantissa >> (shift - 1)) & 1u) &
+         (((mantissa & ((1u << (shift - 1)) - 1u)) != 0 || ((mantissa >> shift) & 1u)) ? 1u : 0u));
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+
+  // Normal half: round the 23-bit mantissa to 10 bits, nearest even.
+  std::uint32_t half_bits =
+      static_cast<std::uint32_t>(new_exponent << 10) | (mantissa >> 13);
+  const std::uint32_t round_bit = (mantissa >> 12) & 1u;
+  const std::uint32_t sticky = (mantissa & 0xFFFu) != 0;
+  if (round_bit && (sticky || (half_bits & 1u))) ++half_bits;  // may carry into exponent: fine
+  return static_cast<std::uint16_t>(sign | half_bits);
+}
+
+float half_to_float(std::uint16_t half) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(half & 0x8000u) << 16;
+  const std::uint32_t exponent = (half >> 10) & 0x1Fu;
+  std::uint32_t mantissa = half & 0x3FFu;
+
+  std::uint32_t bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal: normalise.
+      int e = -1;
+      std::uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | static_cast<std::uint32_t>((127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
+    }
+  } else if (exponent == 0x1F) {
+    bits = sign | 0x7F800000u | (mantissa << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  float value;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+}  // namespace dlscale::util

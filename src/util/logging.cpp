@@ -1,0 +1,87 @@
+#include "dlscale/util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace dlscale::util {
+namespace {
+
+std::atomic<LogLevel> g_level{[] {
+  const char* env = std::getenv("DLSCALE_LOG_LEVEL");
+  return env != nullptr ? parse_log_level(env) : LogLevel::kInfo;
+}()};
+
+thread_local int t_rank = -1;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel parse_log_level(std::string_view text) noexcept {
+  auto eq = [&](std::string_view want) {
+    if (text.size() != want.size()) return false;
+    for (size_t i = 0; i < text.size(); ++i) {
+      const char c = text[i] >= 'A' && text[i] <= 'Z' ? char(text[i] - 'A' + 'a') : text[i];
+      if (c != want[i]) return false;
+    }
+    return true;
+  };
+  if (eq("trace")) return LogLevel::kTrace;
+  if (eq("debug")) return LogLevel::kDebug;
+  if (eq("info")) return LogLevel::kInfo;
+  if (eq("warn") || eq("warning")) return LogLevel::kWarn;
+  if (eq("error")) return LogLevel::kError;
+  if (eq("off") || eq("none")) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void set_thread_log_rank(int rank) noexcept { t_rank = rank; }
+
+namespace detail {
+
+void emit(LogLevel level, std::string_view message) {
+  using clock = std::chrono::system_clock;
+  const auto now = clock::now();
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now.time_since_epoch()).count() %
+      1'000'000;
+  const std::time_t secs = clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  if (t_rank >= 0) {
+    std::fprintf(stderr, "[%02d:%02d:%02d.%06ld] [%s] [rank %d] %.*s\n", tm_buf.tm_hour,
+                 tm_buf.tm_min, tm_buf.tm_sec, static_cast<long>(us), level_name(level), t_rank,
+                 static_cast<int>(message.size()), message.data());
+  } else {
+    std::fprintf(stderr, "[%02d:%02d:%02d.%06ld] [%s] %.*s\n", tm_buf.tm_hour, tm_buf.tm_min,
+                 tm_buf.tm_sec, static_cast<long>(us), level_name(level),
+                 static_cast<int>(message.size()), message.data());
+  }
+}
+
+}  // namespace detail
+}  // namespace dlscale::util

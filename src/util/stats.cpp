@@ -1,0 +1,59 @@
+#include "dlscale/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlscale::util {
+
+void RunningStats::add(double sample) {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  // Welford's online update keeps the variance numerically stable.
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningStats::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::stddev() const noexcept {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double mean(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : samples) total += s;
+  return total / static_cast<double>(samples.size());
+}
+
+double geomean(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double s : samples) {
+    if (s <= 0.0) return 0.0;
+    log_sum += std::log(s);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+}  // namespace dlscale::util

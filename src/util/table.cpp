@@ -1,0 +1,104 @@
+#include "dlscale/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlscale::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) {
+  if (!rows_.empty()) throw std::logic_error("Table: header must be set before rows");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width " + std::to_string(row.size()) +
+                                " does not match header width " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string Table::num(long long value) { return std::to_string(value); }
+
+std::string Table::pct(double fraction01, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, fraction01 * 100.0);
+  return buf;
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  auto rule = [&] {
+    out << '+';
+    for (auto w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << ' ' << cell << std::string(widths[i] - cell.size() + 1, ' ') << '|';
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  rule();
+  if (!header_.empty()) {
+    emit_row(header_);
+    rule();
+  }
+  for (const auto& row : rows_) emit_row(row);
+  rule();
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << ',';
+      out << quote(row[i]);
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print(std::FILE* stream) const {
+  const std::string rendered = to_ascii();
+  std::fwrite(rendered.data(), 1, rendered.size(), stream);
+  std::fflush(stream);
+}
+
+}  // namespace dlscale::util

@@ -1,0 +1,253 @@
+#include "dlscale/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dd = dlscale::data;
+
+TEST(SyntheticShapes, DeterministicAcrossCalls) {
+  dd::SyntheticShapes dataset({.image_size = 32, .num_classes = 6, .seed = 42});
+  const auto a = dataset.make(17);
+  const auto b = dataset.make(17);
+  for (std::size_t i = 0; i < a.image.numel(); ++i) ASSERT_FLOAT_EQ(a.image[i], b.image[i]);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(SyntheticShapes, DifferentIndicesDiffer) {
+  dd::SyntheticShapes dataset({.image_size = 32, .seed = 42});
+  const auto a = dataset.make(1);
+  const auto b = dataset.make(2);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.image.numel(); ++i) differing += a.image[i] != b.image[i];
+  EXPECT_GT(differing, a.image.numel() / 2);
+}
+
+TEST(SyntheticShapes, LabelsInRange) {
+  dd::SyntheticShapes dataset({.image_size = 32, .num_classes = 6, .seed = 1});
+  for (std::uint64_t index = 0; index < 20; ++index) {
+    for (int label : dataset.make(index).labels) {
+      EXPECT_GE(label, 0);
+      EXPECT_LT(label, 6);
+    }
+  }
+}
+
+TEST(SyntheticShapes, ContainsForegroundAndBackground) {
+  dd::SyntheticShapes dataset({.image_size = 48, .num_classes = 6, .seed = 3});
+  std::set<int> seen;
+  for (std::uint64_t index = 0; index < 30; ++index) {
+    for (int label : dataset.make(index).labels) seen.insert(label);
+  }
+  EXPECT_TRUE(seen.contains(0));
+  // All five shape classes appear somewhere in 30 images.
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(SyntheticShapes, ShapePixelsHaveClassColour) {
+  dd::SyntheticShapes dataset({.image_size = 48, .num_classes = 6, .noise = 0.0f, .seed = 5});
+  const auto sample = dataset.make(2);
+  // With zero noise, any disk pixel (class 1) must be exactly the class
+  // colour (0.9, -0.4, -0.4).
+  for (int y = 0; y < 48; ++y)
+    for (int x = 0; x < 48; ++x) {
+      if (sample.labels[static_cast<std::size_t>(y) * 48 + x] == 1) {
+        EXPECT_FLOAT_EQ(sample.image.at(0, 0, y, x), 0.9f);
+        EXPECT_FLOAT_EQ(sample.image.at(0, 1, y, x), -0.4f);
+      }
+    }
+}
+
+TEST(SyntheticShapes, BatchStacksSamples) {
+  dd::SyntheticShapes dataset({.image_size = 16, .seed = 7});
+  const auto batch = dataset.make_batch({3, 9});
+  EXPECT_EQ(batch.image.dim(0), 2);
+  EXPECT_EQ(batch.labels.size(), 2u * 16 * 16);
+  const auto single = dataset.make(9);
+  for (int c = 0; c < 3; ++c)
+    for (int y = 0; y < 16; ++y)
+      for (int x = 0; x < 16; ++x) {
+        ASSERT_FLOAT_EQ(batch.image.at(1, c, y, x), single.image.at(0, c, y, x));
+      }
+}
+
+TEST(SyntheticShapes, InvalidConfigThrows) {
+  EXPECT_THROW(dd::SyntheticShapes({.num_classes = 1}), std::invalid_argument);
+  EXPECT_THROW(dd::SyntheticShapes({.num_classes = 9}), std::invalid_argument);
+  EXPECT_THROW(dd::SyntheticShapes({.image_size = 4}), std::invalid_argument);
+  dd::SyntheticShapes ok({});
+  EXPECT_THROW(ok.make_batch({}), std::invalid_argument);
+}
+
+TEST(DistributedSampler, ShardsAreDisjointAndCoverPermutation) {
+  constexpr int kWorld = 4;
+  constexpr std::uint64_t kData = 100;
+  std::set<std::uint64_t> all;
+  for (int rank = 0; rank < kWorld; ++rank) {
+    dd::DistributedSampler sampler(kData, kWorld, rank, 11);
+    const auto mine = sampler.epoch_indices(0);
+    EXPECT_EQ(mine.size(), 25u);
+    for (auto index : mine) {
+      EXPECT_TRUE(all.insert(index).second) << "index " << index << " seen twice";
+      EXPECT_LT(index, kData);
+    }
+  }
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(DistributedSampler, EpochsReshuffle) {
+  dd::DistributedSampler sampler(100, 1, 0, 11);
+  const auto e0 = sampler.epoch_indices(0);
+  const auto e1 = sampler.epoch_indices(1);
+  EXPECT_NE(e0, e1);
+  // Same epoch is reproducible.
+  EXPECT_EQ(e0, sampler.epoch_indices(0));
+}
+
+TEST(DistributedSampler, SameSeedConsistentAcrossRanksView) {
+  // Rank r's shard must equal the full permutation's strided slice —
+  // verified by comparing against the world-size-1 sampler with the same
+  // seed.
+  dd::DistributedSampler full(40, 1, 0, 5);
+  const auto perm = full.epoch_indices(3);
+  for (int rank = 0; rank < 4; ++rank) {
+    dd::DistributedSampler sharded(40, 4, rank, 5);
+    const auto mine = sharded.epoch_indices(3);
+    ASSERT_EQ(mine.size(), 10u);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      EXPECT_EQ(mine[i], perm[i * 4 + static_cast<std::size_t>(rank)]);
+    }
+  }
+}
+
+TEST(DistributedSampler, InvalidArgsThrow) {
+  EXPECT_THROW(dd::DistributedSampler(10, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(dd::DistributedSampler(10, 4, 4, 1), std::invalid_argument);
+  EXPECT_THROW(dd::DistributedSampler(3, 4, 0, 1), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, PerfectPrediction) {
+  dd::ConfusionMatrix confusion(3);
+  confusion.update({0, 1, 2, 1}, {0, 1, 2, 1});
+  EXPECT_DOUBLE_EQ(confusion.miou(), 1.0);
+  EXPECT_DOUBLE_EQ(confusion.pixel_accuracy(), 1.0);
+}
+
+TEST(ConfusionMatrix, KnownMiou) {
+  dd::ConfusionMatrix confusion(2);
+  // truth: [0,0,1,1], pred: [0,1,1,1]
+  confusion.update({0, 1, 1, 1}, {0, 0, 1, 1});
+  // class 0: tp=1, union = 2 (truth) + 1 (pred) - 1 = 2 -> 0.5
+  // class 1: tp=2, union = 2 + 3 - 2 = 3 -> 2/3
+  EXPECT_NEAR(confusion.iou(0), 0.5, 1e-12);
+  EXPECT_NEAR(confusion.iou(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(confusion.miou(), (0.5 + 2.0 / 3.0) / 2.0, 1e-12);
+  EXPECT_NEAR(confusion.pixel_accuracy(), 0.75, 1e-12);
+}
+
+TEST(ConfusionMatrix, IgnoreLabelSkipped) {
+  dd::ConfusionMatrix confusion(2);
+  confusion.update({0, 1}, {0, 255});
+  EXPECT_DOUBLE_EQ(confusion.pixel_accuracy(), 1.0);
+}
+
+TEST(ConfusionMatrix, AbsentClassExcludedFromMean) {
+  dd::ConfusionMatrix confusion(3);
+  confusion.update({0, 0}, {0, 0});  // class 1, 2 never appear
+  EXPECT_DOUBLE_EQ(confusion.miou(), 1.0);
+}
+
+TEST(ConfusionMatrix, MergeViaCounts) {
+  dd::ConfusionMatrix a(2), b(2), merged(2);
+  a.update({0, 1}, {0, 0});
+  b.update({1, 1}, {1, 0});
+  merged.update({0, 1}, {0, 0});
+  merged.update({1, 1}, {1, 0});
+  for (std::size_t i = 0; i < a.counts().size(); ++i) {
+    a.counts()[i] += b.counts()[i];
+  }
+  EXPECT_DOUBLE_EQ(a.miou(), merged.miou());
+}
+
+TEST(ConfusionMatrix, ErrorsOnBadInput) {
+  dd::ConfusionMatrix confusion(2);
+  EXPECT_THROW(confusion.update({0}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(confusion.update({5}, {0}), std::out_of_range);
+  EXPECT_THROW(dd::ConfusionMatrix(1), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, ResetClears) {
+  dd::ConfusionMatrix confusion(2);
+  confusion.update({0}, {1});
+  confusion.reset();
+  confusion.update({0, 1}, {0, 1});
+  EXPECT_DOUBLE_EQ(confusion.miou(), 1.0);
+}
+
+TEST(Augmentation, DoubleFlipIsIdentity) {
+  dd::SyntheticShapes dataset({.image_size = 16, .seed = 61});
+  auto sample = dataset.make_batch({0, 1});
+  const auto original_image = sample.image;
+  const auto original_labels = sample.labels;
+  dd::flip_horizontal(sample);
+  dd::flip_horizontal(sample);
+  for (std::size_t i = 0; i < original_image.numel(); ++i) {
+    ASSERT_FLOAT_EQ(sample.image[i], original_image[i]);
+  }
+  EXPECT_EQ(sample.labels, original_labels);
+}
+
+TEST(Augmentation, FlipMovesLabelsWithPixels) {
+  dd::SyntheticShapes dataset({.image_size = 16, .seed = 62});
+  auto sample = dataset.make(3);
+  const auto before = sample;
+  dd::flip_horizontal(sample);
+  const int size = 16;
+  for (int y = 0; y < size; ++y)
+    for (int x = 0; x < size; ++x) {
+      EXPECT_EQ(sample.labels[static_cast<std::size_t>(y) * size + x],
+                before.labels[static_cast<std::size_t>(y) * size + (size - 1 - x)]);
+      EXPECT_FLOAT_EQ(sample.image.at(0, 0, y, x), before.image.at(0, 0, y, size - 1 - x));
+    }
+}
+
+TEST(Augmentation, TranslateShiftsContentAndFillsBackground) {
+  dd::SyntheticShapes dataset({.image_size = 16, .noise = 0.0f, .seed = 63});
+  auto sample = dataset.make(1);
+  const auto before = sample;
+  dd::translate(sample, 2, -3);
+  const int size = 16;
+  // Interior pixels come from the shifted source.
+  EXPECT_EQ(sample.labels[static_cast<std::size_t>(5) * size + 4],
+            before.labels[static_cast<std::size_t>(3) * size + 7]);
+  // Vacated band is background.
+  for (int x = 0; x < size; ++x) {
+    EXPECT_EQ(sample.labels[static_cast<std::size_t>(0) * size + x], 0);
+    EXPECT_EQ(sample.labels[static_cast<std::size_t>(1) * size + x], 0);
+  }
+}
+
+TEST(Augmentation, DeterministicFromRng) {
+  dd::SyntheticShapes dataset({.image_size = 16, .seed = 64});
+  auto a = dataset.make(5);
+  auto b = dataset.make(5);
+  dlscale::util::Rng rng_a(77), rng_b(77);
+  dd::augment(a, rng_a);
+  dd::augment(b, rng_b);
+  EXPECT_EQ(a.labels, b.labels);
+  for (std::size_t i = 0; i < a.image.numel(); ++i) ASSERT_FLOAT_EQ(a.image[i], b.image[i]);
+}
+
+TEST(Augmentation, ZeroShiftOnlyFlips) {
+  dd::SyntheticShapes dataset({.image_size = 16, .seed = 65});
+  auto sample = dataset.make(2);
+  const auto before = sample;
+  dlscale::util::Rng rng(1);
+  dd::augment(sample, rng, /*max_shift=*/0);
+  // Either identical or exactly the flip — never anything else.
+  auto flipped = before;
+  dd::flip_horizontal(flipped);
+  const bool is_identity = sample.labels == before.labels;
+  const bool is_flip = sample.labels == flipped.labels;
+  EXPECT_TRUE(is_identity || is_flip);
+}

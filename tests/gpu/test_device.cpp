@@ -1,0 +1,65 @@
+#include "dlscale/gpu/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg = dlscale::gpu;
+
+TEST(DeviceSpec, V100Envelope) {
+  const auto spec = dg::DeviceSpec::v100_summit();
+  EXPECT_NEAR(spec.peak_fp32_flops, 15.7e12, 1e9);
+  EXPECT_NEAR(spec.mem_bandwidth_Bps, 900e9, 1e6);
+  EXPECT_EQ(spec.memory_bytes, std::size_t{16} << 30);
+}
+
+TEST(ComputeModel, RejectsBadEfficiency) {
+  const auto spec = dg::DeviceSpec::v100_summit();
+  EXPECT_THROW(dg::ComputeModel(spec, 0.0), std::invalid_argument);
+  EXPECT_THROW(dg::ComputeModel(spec, 1.5), std::invalid_argument);
+}
+
+TEST(ComputeModel, ComputeBoundKernel) {
+  const dg::ComputeModel model(dg::DeviceSpec::v100_summit(), 0.5);
+  // 1 TFLOP of work, tiny memory traffic: time ~ flops / (0.5 * peak).
+  const double t = model.kernel_time(1e12, 1e6);
+  EXPECT_NEAR(t, 1e12 / (0.5 * 15.7e12) + 4e-6, 1e-6);
+}
+
+TEST(ComputeModel, MemoryBoundKernel) {
+  const dg::ComputeModel model(dg::DeviceSpec::v100_summit(), 0.5);
+  // Tiny arithmetic over 9 GB of traffic: time ~ bytes / mem bw = 10 ms.
+  const double t = model.kernel_time(1e6, 9e9);
+  EXPECT_NEAR(t, 9e9 / 900e9, 1e-4);
+}
+
+TEST(ComputeModel, LaunchOverheadFloorsSmallKernels) {
+  const dg::ComputeModel model(dg::DeviceSpec::v100_summit(), 0.5);
+  EXPECT_GE(model.kernel_time(1.0, 1.0), 4e-6);
+}
+
+TEST(ComputeModel, CopyKindsUseTheirBandwidths) {
+  const dg::ComputeModel model(dg::DeviceSpec::v100_summit(), 0.5);
+  const std::size_t gb = 1 << 30;
+  const double h2d = model.copy_time(gb, dg::CopyKind::kHostToDevice);
+  const double d2d = model.copy_time(gb, dg::CopyKind::kDeviceToDevice);
+  EXPECT_GT(h2d, d2d);  // NVLink host attach is still slower than HBM
+  EXPECT_NEAR(h2d, 8e-6 + static_cast<double>(gb) / 42e9, 1e-6);
+}
+
+TEST(DeviceBuffer, TypedViews) {
+  dg::DeviceBuffer buffer(16 * sizeof(float));
+  auto floats = buffer.as<float>();
+  ASSERT_EQ(floats.size(), 16u);
+  for (std::size_t i = 0; i < floats.size(); ++i) floats[i] = static_cast<float>(i);
+  const auto& const_buffer = buffer;
+  auto read = const_buffer.as<float>();
+  EXPECT_FLOAT_EQ(read[7], 7.0f);
+  EXPECT_EQ(buffer.size_bytes(), 64u);
+}
+
+TEST(DeviceBuffer, ResizePreservesNothingButSizeIsRight) {
+  dg::DeviceBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  buffer.resize(128);
+  EXPECT_EQ(buffer.size_bytes(), 128u);
+  EXPECT_FALSE(buffer.empty());
+}

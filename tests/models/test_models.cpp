@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dlscale/models/deeplab.hpp"
+#include "dlscale/models/resnet.hpp"
+#include "dlscale/nn/optimizer.hpp"
+
+namespace dmo = dlscale::models;
+namespace dt = dlscale::tensor;
+namespace du = dlscale::util;
+
+TEST(MiniDeepLab, OutputShapeMatchesInput) {
+  du::Rng rng(1);
+  dmo::MiniDeepLabV3Plus model({.in_channels = 3, .num_classes = 5, .input_size = 32, .width = 8},
+                               rng);
+  const auto x = dt::Tensor::randn({2, 3, 32, 32}, rng);
+  const auto logits = model.forward(x, false);
+  EXPECT_EQ(logits.dim(0), 2);
+  EXPECT_EQ(logits.dim(1), 5);
+  EXPECT_EQ(logits.dim(2), 32);
+  EXPECT_EQ(logits.dim(3), 32);
+}
+
+TEST(MiniDeepLab, InvalidInputSizeThrows) {
+  du::Rng rng(1);
+  EXPECT_THROW(dmo::MiniDeepLabV3Plus({.input_size = 30}, rng), std::invalid_argument);
+}
+
+TEST(MiniDeepLab, BackwardProducesFiniteGrads) {
+  du::Rng rng(2);
+  dmo::MiniDeepLabV3Plus model({.num_classes = 4, .input_size = 16, .width = 4}, rng);
+  const auto x = dt::Tensor::randn({2, 3, 16, 16}, rng);
+  const auto logits = model.forward(x, true);
+  const auto g = model.backward(dt::Tensor::full(logits.shape(), 0.01f));
+  EXPECT_TRUE(dt::same_shape(g, x));
+  for (auto* p : model.parameters()) {
+    EXPECT_TRUE(std::isfinite(p->grad.sum())) << p->name;
+  }
+}
+
+TEST(MiniDeepLab, BackwardBeforeForwardThrows) {
+  du::Rng rng(3);
+  dmo::MiniDeepLabV3Plus model({.input_size = 16, .width = 4}, rng);
+  EXPECT_THROW(model.backward(dt::Tensor({1, 6, 16, 16})), std::logic_error);
+}
+
+TEST(MiniDeepLab, ParameterOrderDeterministicAcrossInstances) {
+  du::Rng rng1(7), rng2(7);
+  dmo::MiniDeepLabV3Plus a({.input_size = 16, .width = 4}, rng1);
+  dmo::MiniDeepLabV3Plus b({.input_size = 16, .width = 4}, rng2);
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i]->name, pb[i]->name);
+    ASSERT_EQ(pa[i]->numel(), pb[i]->numel());
+    // Same seed -> identical initial weights (replica consistency).
+    for (std::size_t j = 0; j < pa[i]->numel(); ++j) {
+      ASSERT_FLOAT_EQ(pa[i]->value[j], pb[i]->value[j]) << pa[i]->name;
+    }
+  }
+}
+
+TEST(MiniDeepLab, TrainingStepReducesLossOnTinyProblem) {
+  du::Rng rng(11);
+  dmo::MiniDeepLabV3Plus model({.num_classes = 2, .input_size = 16, .width = 4}, rng);
+  dlscale::nn::SgdMomentum opt(model.parameters(), {.momentum = 0.9, .weight_decay = 0.0});
+
+  // One fixed image whose left half is class 0 and right half class 1.
+  du::Rng data_rng(12);
+  const auto x = dt::Tensor::randn({2, 3, 16, 16}, data_rng);
+  std::vector<int> labels(2 * 16 * 16);
+  for (int n = 0; n < 2; ++n)
+    for (int h = 0; h < 16; ++h)
+      for (int w = 0; w < 16; ++w) labels[(n * 16 + h) * 16 + w] = w < 8 ? 0 : 1;
+
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 12; ++step) {
+    opt.zero_grad();
+    const auto logits = model.forward(x, true);
+    dt::Tensor grad;
+    const float loss = dt::softmax_cross_entropy(logits, labels, 255, grad);
+    model.backward(grad);
+    opt.step(0.05);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.8f) << "first " << first_loss << " last " << last_loss;
+}
+
+TEST(MiniResNet, OutputShape) {
+  du::Rng rng(13);
+  dmo::MiniResNet model({.num_classes = 10, .input_size = 16, .width = 8, .blocks_per_stage = 1},
+                        rng);
+  const auto x = dt::Tensor::randn({3, 3, 16, 16}, rng);
+  const auto logits = model.forward(x, false);
+  EXPECT_EQ(logits.dim(0), 3);
+  EXPECT_EQ(logits.dim(1), 10);
+  EXPECT_EQ(logits.dim(2), 1);
+}
+
+TEST(MiniResNet, ResidualPathGradientsFlow) {
+  du::Rng rng(17);
+  dmo::MiniResNet model({.num_classes = 4, .input_size = 16, .width = 4, .blocks_per_stage = 2},
+                        rng);
+  const auto x = dt::Tensor::randn({2, 3, 16, 16}, rng);
+  const auto logits = model.forward(x, true);
+  const auto g = model.backward(dt::Tensor::full(logits.shape(), 1.0f));
+  EXPECT_TRUE(dt::same_shape(g, x));
+  // Every parameter must receive some gradient signal.
+  std::size_t nonzero = 0;
+  for (auto* p : model.parameters()) {
+    if (p->grad.abs_max() > 0.0f) ++nonzero;
+  }
+  EXPECT_GT(nonzero, model.parameters().size() * 3 / 4);
+}
+
+TEST(MiniResNet, LearnsTwoClassToy) {
+  du::Rng rng(19);
+  dmo::MiniResNet model({.num_classes = 2, .input_size = 8, .width = 4, .blocks_per_stage = 1},
+                        rng);
+  dlscale::nn::SgdMomentum opt(model.parameters(), {.momentum = 0.9, .weight_decay = 0.0});
+  // Class 0: negative-mean images; class 1: positive-mean.
+  dt::Tensor x({4, 3, 8, 8});
+  std::vector<int> labels{0, 1, 0, 1};
+  du::Rng data_rng(20);
+  for (int n = 0; n < 4; ++n) {
+    const float offset = labels[static_cast<std::size_t>(n)] == 0 ? -0.5f : 0.5f;
+    for (int c = 0; c < 3; ++c)
+      for (int h = 0; h < 8; ++h)
+        for (int w = 0; w < 8; ++w)
+          x.at(n, c, h, w) = offset + static_cast<float>(data_rng.normal(0.0, 0.1));
+  }
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 15; ++step) {
+    opt.zero_grad();
+    const auto logits = model.forward(x, true);
+    dt::Tensor grad;
+    const float loss = dt::softmax_cross_entropy(logits, labels, 255, grad);
+    model.backward(grad);
+    opt.step(0.05);
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(MiniModels, ParameterCounts) {
+  du::Rng rng(23);
+  dmo::MiniDeepLabV3Plus dl({.input_size = 16, .width = 4}, rng);
+  EXPECT_GT(dl.parameter_count(), 1000u);
+  dmo::MiniResNet rn({.input_size = 16, .width = 4, .blocks_per_stage = 1}, rng);
+  EXPECT_GT(rn.parameter_count(), 1000u);
+}
+
+TEST(MiniDeepLab, SeparableBackboneTrains) {
+  du::Rng rng(29);
+  dmo::MiniDeepLabV3Plus model({.in_channels = 3, .num_classes = 3, .input_size = 16,
+                                .width = 4, .separable_backbone = true},
+                               rng);
+  const auto x = dt::Tensor::randn({2, 3, 16, 16}, rng);
+  const auto logits = model.forward(x, true);
+  EXPECT_EQ(logits.dim(1), 3);
+  const auto g = model.backward(dt::Tensor::full(logits.shape(), 0.01f));
+  EXPECT_TRUE(dt::same_shape(g, x));
+  for (auto* p : model.parameters()) {
+    EXPECT_TRUE(std::isfinite(p->grad.sum())) << p->name;
+  }
+}
+
+TEST(MiniDeepLab, SeparableBackboneHasFewerParameters) {
+  du::Rng rng1(31), rng2(31);
+  dmo::MiniDeepLabV3Plus plain({.input_size = 16, .width = 8}, rng1);
+  dmo::MiniDeepLabV3Plus xception(
+      {.input_size = 16, .width = 8, .separable_backbone = true}, rng2);
+  // The whole point of Xception-style separable convolutions.
+  EXPECT_LT(xception.parameter_count(), plain.parameter_count());
+}

@@ -1,0 +1,75 @@
+#include "dlscale/models/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmo = dlscale::models;
+
+TEST(WorkloadSpec, DeepLabParamCountNearPublished) {
+  const auto spec = dmo::WorkloadSpec::deeplab_v3plus(1);
+  // DeepLab-v3+ with Xception-65: ~54.6M parameters (fp32 -> ~218 MB).
+  const double params = static_cast<double>(spec.total_param_bytes()) / 4.0;
+  EXPECT_GT(params, 40e6);
+  EXPECT_LT(params, 65e6);
+}
+
+TEST(WorkloadSpec, ResNet50ParamCountNearPublished) {
+  const auto spec = dmo::WorkloadSpec::resnet50(1);
+  const double params = static_cast<double>(spec.total_param_bytes()) / 4.0;
+  // ResNet-50: 25.6M parameters.
+  EXPECT_NEAR(params, 25.6e6, 3e6);
+}
+
+TEST(WorkloadSpec, ResNet50FlopsNearPublished) {
+  const auto spec = dmo::WorkloadSpec::resnet50(1);
+  // ~4.1 GMACs = ~8.2 GFLOPs forward per 224x224 image.
+  EXPECT_GT(spec.total_fwd_flops(), 6.5e9);
+  EXPECT_LT(spec.total_fwd_flops(), 10.0e9);
+}
+
+TEST(WorkloadSpec, DeepLabIsFarMoreExpensivePerImage) {
+  const auto dlv3 = dmo::WorkloadSpec::deeplab_v3plus(1);
+  const auto rn50 = dmo::WorkloadSpec::resnet50(1);
+  // The paper's motivating observation: segmentation training is ~45x
+  // slower per image (6.7 vs 300 img/s). FLOP ratio should be the same
+  // order of magnitude.
+  const double ratio = dlv3.total_fwd_flops() / rn50.total_fwd_flops();
+  EXPECT_GT(ratio, 20.0);
+  EXPECT_LT(ratio, 90.0);
+}
+
+TEST(WorkloadSpec, FlopsScaleLinearlyWithBatch) {
+  const auto b1 = dmo::WorkloadSpec::deeplab_v3plus(1);
+  const auto b4 = dmo::WorkloadSpec::deeplab_v3plus(4);
+  EXPECT_NEAR(b4.total_fwd_flops() / b1.total_fwd_flops(), 4.0, 1e-9);
+  // Parameters do not scale with batch.
+  EXPECT_EQ(b1.total_param_bytes(), b4.total_param_bytes());
+}
+
+TEST(WorkloadSpec, BackwardIsTwiceForward) {
+  const auto spec = dmo::WorkloadSpec::deeplab_v3plus(2);
+  EXPECT_NEAR(spec.total_bwd_flops() / spec.total_fwd_flops(), 2.0, 1e-9);
+}
+
+TEST(WorkloadSpec, ManyGradientTensors) {
+  // Horovod negotiates per-tensor; DLv3+ has hundreds of gradients
+  // (conv weights + batch-norm pairs).
+  const auto dlv3 = dmo::WorkloadSpec::deeplab_v3plus(1);
+  EXPECT_GT(dlv3.num_tensors(), 150u);
+  const auto rn50 = dmo::WorkloadSpec::resnet50(1);
+  EXPECT_GT(rn50.num_tensors(), 100u);
+}
+
+TEST(WorkloadSpec, LayersHavePositiveCosts) {
+  for (const auto& spec :
+       {dmo::WorkloadSpec::deeplab_v3plus(2), dmo::WorkloadSpec::resnet50(8)}) {
+    for (const auto& layer : spec.layers) {
+      EXPECT_GT(layer.fwd_flops, 0.0) << spec.name << ": " << layer.name;
+      EXPECT_GT(layer.param_bytes, 0u) << spec.name << ": " << layer.name;
+    }
+  }
+}
+
+TEST(WorkloadSpec, InvalidBatchThrows) {
+  EXPECT_THROW(dmo::WorkloadSpec::deeplab_v3plus(0), std::invalid_argument);
+  EXPECT_THROW(dmo::WorkloadSpec::resnet50(-1), std::invalid_argument);
+}

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dlscale/mpi/comm.hpp"
+
+namespace dm = dlscale::mpi;
+
+TEST(Nonblocking, ExchangePattern) {
+  // The classic deadlock-prone bidirectional exchange, written the MPI
+  // way: post both irecvs, send, then wait.
+  dm::run_world(2, [](dm::Communicator& comm) {
+    const int peer = 1 - comm.rank();
+    std::vector<float> mine(64, static_cast<float>(comm.rank() + 1));
+    std::vector<float> theirs(64);
+    auto recv_request =
+        comm.irecv(peer, 5, std::as_writable_bytes(std::span<float>(theirs)));
+    (void)comm.isend(peer, 5, std::as_bytes(std::span<const float>(mine)));
+    recv_request.wait();
+    EXPECT_FLOAT_EQ(theirs[0], static_cast<float>(peer + 1));
+  });
+}
+
+TEST(Nonblocking, IsendIsImmediatelyComplete) {
+  dm::run_world(2, [](dm::Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> data(16);
+      auto request = comm.isend(1, 9, data);
+      EXPECT_TRUE(request.completed());
+    } else {
+      std::vector<std::byte> data(16);
+      comm.recv(0, 9, data);
+    }
+  });
+}
+
+TEST(Nonblocking, WaitIsIdempotent) {
+  dm::run_world(2, [](dm::Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 2, 42);
+    } else {
+      int value = 0;
+      auto request = comm.irecv(0, 2, std::as_writable_bytes(std::span<int, 1>(&value, 1)));
+      EXPECT_FALSE(request.completed());
+      request.wait();
+      EXPECT_TRUE(request.completed());
+      request.wait();  // no-op
+      EXPECT_EQ(value, 42);
+    }
+  });
+}
+
+TEST(Nonblocking, WaitAllCompletesInOrder) {
+  dm::run_world(4, [](dm::Communicator& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value(0, 7, comm.rank() * 10);
+    } else {
+      std::vector<int> values(3);
+      std::vector<dm::Communicator::Request> requests;
+      for (int r = 1; r < 4; ++r) {
+        requests.push_back(comm.irecv(
+            r, 7, std::as_writable_bytes(std::span<int, 1>(&values[r - 1], 1))));
+      }
+      dm::Communicator::wait_all(requests);
+      EXPECT_EQ(values[0], 10);
+      EXPECT_EQ(values[1], 20);
+      EXPECT_EQ(values[2], 30);
+    }
+  });
+}
+
+TEST(Nonblocking, DefaultRequestIsComplete) {
+  dm::Communicator::Request request;
+  EXPECT_TRUE(request.completed());
+  request.wait();
+  SUCCEED();
+}

@@ -1,0 +1,168 @@
+#include "dlscale/net/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dn = dlscale::net;
+
+namespace {
+
+dn::CostModel make_model(dn::MpiProfile profile, int nodes = 2) {
+  return dn::CostModel(dn::Topology::summit(nodes), std::move(profile));
+}
+
+}  // namespace
+
+TEST(CostModel, IntraSocketUsesNvlink) {
+  const auto model = make_model(dn::MpiProfile::mvapich2_gdr_like());
+  const auto cost = model.message(0, 1, 1 << 20, dn::MemSpace::kHost);
+  EXPECT_FALSE(cost.inter_node);
+  // 1 MiB over ~46 GB/s is tens of microseconds.
+  EXPECT_GT(cost.wire_s, 1e-5);
+  EXPECT_LT(cost.wire_s, 1e-4);
+}
+
+TEST(CostModel, InterNodeFlagsIbUsage) {
+  const auto model = make_model(dn::MpiProfile::mvapich2_gdr_like());
+  const auto cost = model.message(0, 6, 1 << 20, dn::MemSpace::kHost);
+  EXPECT_TRUE(cost.inter_node);
+}
+
+TEST(CostModel, LargeDeviceMessageStagesUnderSpectrum) {
+  const auto spectrum = make_model(dn::MpiProfile::spectrum_like());
+  const auto mvapich = make_model(dn::MpiProfile::mvapich2_gdr_like());
+  const std::size_t bytes = 4 << 20;  // 4 MiB: above Spectrum's GDR limit, below MVAPICH's
+  const double t_spectrum = spectrum.message(0, 6, bytes, dn::MemSpace::kDevice).total();
+  const double t_mvapich = mvapich.message(0, 6, bytes, dn::MemSpace::kDevice).total();
+  // Spectrum's staged pipeline is several times slower at this size.
+  EXPECT_GT(t_spectrum, 2.5 * t_mvapich);
+}
+
+TEST(CostModel, HostPathsAreComparableAcrossLibraries) {
+  const auto spectrum = make_model(dn::MpiProfile::spectrum_like());
+  const auto mvapich = make_model(dn::MpiProfile::mvapich2_gdr_like());
+  const std::size_t bytes = 256 << 10;
+  const double t_spectrum = spectrum.message(0, 6, bytes, dn::MemSpace::kHost).total();
+  const double t_mvapich = mvapich.message(0, 6, bytes, dn::MemSpace::kHost).total();
+  // Host traffic does not stage; the gap should stay small (< 2x).
+  EXPECT_LT(t_spectrum / t_mvapich, 2.0);
+}
+
+TEST(CostModel, StripingEngagesAboveThreshold) {
+  const auto model = make_model(dn::MpiProfile::mvapich2_gdr_like());
+  EXPECT_FALSE(model.message(0, 6, 512 << 10, dn::MemSpace::kHost).striped);
+  EXPECT_TRUE(model.message(0, 6, 2 << 20, dn::MemSpace::kHost).striped);
+}
+
+TEST(CostModel, StripedBandwidthScalesWithRails) {
+  const auto model = make_model(dn::MpiProfile::mvapich2_gdr_like());
+  const auto just_below = model.message(0, 6, (1 << 20) - 1, dn::MemSpace::kHost);
+  const auto just_above = model.message(0, 6, 1 << 20, dn::MemSpace::kHost);
+  EXPECT_NEAR(just_below.wire_s / just_above.wire_s, 2.0, 0.01);
+}
+
+TEST(CostModel, RendezvousThresholdRespectsSpace) {
+  const auto model = make_model(dn::MpiProfile::mvapich2_gdr_like());
+  EXPECT_FALSE(model.is_rendezvous(16 << 10, dn::MemSpace::kDevice));
+  EXPECT_TRUE(model.is_rendezvous(64 << 10, dn::MemSpace::kDevice));
+  EXPECT_FALSE(model.is_rendezvous(64 << 10, dn::MemSpace::kHost));
+  EXPECT_TRUE(model.is_rendezvous(128 << 10, dn::MemSpace::kHost));
+}
+
+TEST(CostModel, ControlLatencyOrdersByDistance) {
+  const auto model = make_model(dn::MpiProfile::spectrum_like());
+  const double self = model.control_latency(0, 0);
+  const double nvlink = model.control_latency(0, 1);
+  const double internode = model.control_latency(0, 6);
+  EXPECT_LT(self, nvlink);
+  EXPECT_LT(nvlink, internode + 1e-9);
+}
+
+TEST(NicContention, SerialisesConcurrentTransfers) {
+  dn::NicContention nic(2, 1);
+  const double first = nic.reserve(0, 1, 0.0, 1.0, false);
+  const double second = nic.reserve(0, 1, 0.0, 1.0, false);
+  EXPECT_DOUBLE_EQ(first, 1.0);
+  EXPECT_DOUBLE_EQ(second, 2.0);
+}
+
+TEST(NicContention, IndependentNodePairsDoNotConflict) {
+  dn::NicContention nic(4, 1);
+  const double a = nic.reserve(0, 1, 0.0, 1.0, false);
+  const double b = nic.reserve(2, 3, 0.0, 1.0, false);
+  EXPECT_DOUBLE_EQ(a, 1.0);
+  EXPECT_DOUBLE_EQ(b, 1.0);
+}
+
+TEST(NicContention, TwoRailsCarryTwoTransfers) {
+  dn::NicContention nic(2, 2);
+  EXPECT_DOUBLE_EQ(nic.reserve(0, 1, 0.0, 1.0, false), 1.0);
+  EXPECT_DOUBLE_EQ(nic.reserve(0, 1, 0.0, 1.0, false), 1.0);
+  EXPECT_DOUBLE_EQ(nic.reserve(0, 1, 0.0, 1.0, false), 2.0);
+}
+
+TEST(NicContention, StripedTransferOccupiesAllRails) {
+  dn::NicContention nic(2, 2);
+  EXPECT_DOUBLE_EQ(nic.reserve(0, 1, 0.0, 1.0, true), 1.0);
+  // Nothing can start before the striped transfer finishes.
+  EXPECT_DOUBLE_EQ(nic.reserve(0, 1, 0.0, 0.5, false), 1.5);
+}
+
+TEST(NicContention, ResetClearsTimelines) {
+  dn::NicContention nic(2, 1);
+  (void)nic.reserve(0, 1, 0.0, 5.0, false);
+  nic.reset();
+  EXPECT_DOUBLE_EQ(nic.reserve(0, 1, 0.0, 1.0, false), 1.0);
+}
+
+TEST(NicContention, IntraNodeReservationThrows) {
+  dn::NicContention nic(2, 1);
+  EXPECT_THROW(nic.reserve(1, 1, 0.0, 1.0, false), std::logic_error);
+}
+
+TEST(CostModel, NonCudaAwareProfileRejectsDeviceBuffers) {
+  auto profile = dn::MpiProfile::spectrum_like();
+  profile.cuda_aware = false;
+  const auto model = make_model(profile);
+  EXPECT_THROW((void)model.message(0, 6, 1024, dn::MemSpace::kDevice), std::logic_error);
+}
+
+TEST(CostModel, StagedDevicePathIsPipelineDelayNotNicOccupancy) {
+  // Spectrum's 4 MiB device transfer: the NIC is busy only for the wire
+  // portion; the staging slack appears as pipeline_extra_s.
+  const auto model = make_model(dn::MpiProfile::spectrum_like());
+  const std::size_t bytes = 4 << 20;
+  const auto cost = model.message(0, 6, bytes, dn::MemSpace::kDevice);
+  const double wire_expected =
+      static_cast<double>(bytes) / dn::MpiProfile::spectrum_like().ib.bandwidth_Bps;
+  EXPECT_NEAR(cost.wire_s, wire_expected, 1e-6);
+  EXPECT_GT(cost.pipeline_extra_s, cost.wire_s);  // staging dominates end-to-end
+  const double total_expected =
+      static_cast<double>(bytes) / dn::MpiProfile::spectrum_like().staging_bandwidth_Bps;
+  EXPECT_NEAR(cost.wire_s + cost.pipeline_extra_s, total_expected, 1e-5);
+}
+
+TEST(CostModel, GdrPathHasNoPipelineExtra) {
+  const auto model = make_model(dn::MpiProfile::mvapich2_gdr_like());
+  const auto cost = model.message(0, 6, 4 << 20, dn::MemSpace::kDevice);  // within GDR window
+  EXPECT_DOUBLE_EQ(cost.pipeline_extra_s, 0.0);
+}
+
+TEST(NicContention, BackfillsEarlierGaps) {
+  // A booking made later in real time but ready earlier in virtual time
+  // must slot into the free gap before existing reservations.
+  dn::NicContention nic(2, 1);
+  EXPECT_DOUBLE_EQ(nic.reserve(0, 1, 10.0, 1.0, false), 11.0);
+  // Ready at t=0, 1s long: fits entirely before the [10, 11) booking.
+  EXPECT_DOUBLE_EQ(nic.reserve(0, 1, 0.0, 1.0, false), 1.0);
+  // Ready at t=9.5: the gap [9.5, 10) is too small; queues after 11.
+  EXPECT_DOUBLE_EQ(nic.reserve(0, 1, 9.5, 1.0, false), 12.0);
+}
+
+TEST(NicContention, ZeroWireControlMessagesAreFree) {
+  dn::NicContention nic(2, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(nic.reserve(0, 1, 5.0 + i, 0.0, false), 5.0 + i);
+  }
+  // The rails are still completely free.
+  EXPECT_DOUBLE_EQ(nic.reserve(0, 1, 0.0, 1.0, false), 1.0);
+}

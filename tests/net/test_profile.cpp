@@ -1,0 +1,82 @@
+#include "dlscale/net/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dn = dlscale::net;
+
+TEST(LinkParams, AlphaBetaTime) {
+  const dn::LinkParams link{1e-6, 1e9};
+  EXPECT_DOUBLE_EQ(link.time(0), 1e-6);
+  EXPECT_DOUBLE_EQ(link.time(1'000'000), 1e-6 + 1e-3);
+}
+
+TEST(MpiProfile, FactoriesHaveNames) {
+  EXPECT_EQ(dn::MpiProfile::spectrum_like().name, "SpectrumMPI");
+  EXPECT_EQ(dn::MpiProfile::mvapich2_gdr_like().name, "MVAPICH2-GDR");
+  EXPECT_EQ(dn::MpiProfile::ideal().name, "ideal");
+}
+
+// The relationships below are the load-bearing facts the reproduction
+// depends on; if a calibration edit breaks one of them, every downstream
+// figure silently changes shape.
+
+TEST(MpiProfile, GdrWindowIsMuchLargerInMvapich) {
+  const auto spectrum = dn::MpiProfile::spectrum_like();
+  const auto mvapich = dn::MpiProfile::mvapich2_gdr_like();
+  EXPECT_GT(mvapich.gdr_limit, 100 * spectrum.gdr_limit);
+}
+
+TEST(MpiProfile, MvapichStagingPipelineIsFaster) {
+  const auto spectrum = dn::MpiProfile::spectrum_like();
+  const auto mvapich = dn::MpiProfile::mvapich2_gdr_like();
+  EXPECT_GT(mvapich.staging_bandwidth_Bps, 2 * spectrum.staging_bandwidth_Bps);
+  EXPECT_LT(mvapich.staging_overhead_s, spectrum.staging_overhead_s);
+}
+
+TEST(MpiProfile, MvapichHasLowerDeviceOpOverhead) {
+  EXPECT_LT(dn::MpiProfile::mvapich2_gdr_like().device_op_overhead_s,
+            dn::MpiProfile::spectrum_like().device_op_overhead_s);
+}
+
+TEST(MpiProfile, OnlyMvapichStripesAcrossRails) {
+  // Summit is dual-rail for both libraries, but only MVAPICH2-GDR stripes
+  // a single large message across both rails.
+  const auto mvapich = dn::MpiProfile::mvapich2_gdr_like();
+  const auto spectrum = dn::MpiProfile::spectrum_like();
+  EXPECT_EQ(mvapich.rails, 2);
+  EXPECT_EQ(spectrum.rails, 2);
+  EXPECT_LT(mvapich.rail_stripe_min, std::size_t{1} << 30);
+  EXPECT_EQ(spectrum.rail_stripe_min, ~std::size_t{0});
+}
+
+TEST(MpiProfile, SpectrumDeviceCollectivesAvoidRing) {
+  const auto spectrum = dn::MpiProfile::spectrum_like();
+  EXPECT_EQ(spectrum.allreduce_algo(64 << 20, /*device=*/false), dn::AllreduceAlgo::kRing);
+  EXPECT_EQ(spectrum.allreduce_algo(64 << 20, /*device=*/true), dn::AllreduceAlgo::kRabenseifner);
+  const auto mvapich = dn::MpiProfile::mvapich2_gdr_like();
+  EXPECT_EQ(mvapich.allreduce_algo(64 << 20, /*device=*/true), dn::AllreduceAlgo::kRing);
+}
+
+TEST(MpiProfile, AllreduceAlgoSelection) {
+  const auto p = dn::MpiProfile::mvapich2_gdr_like();
+  EXPECT_EQ(p.allreduce_algo(1024), dn::AllreduceAlgo::kRecursiveDoubling);
+  EXPECT_EQ(p.allreduce_algo(64 << 10), dn::AllreduceAlgo::kRabenseifner);
+  EXPECT_EQ(p.allreduce_algo(16 << 20), dn::AllreduceAlgo::kRing);
+}
+
+TEST(MpiProfile, IdealIsEffectivelyFree) {
+  const auto p = dn::MpiProfile::ideal();
+  EXPECT_DOUBLE_EQ(p.per_op_overhead_s, 0.0);
+  EXPECT_DOUBLE_EQ(p.ib.latency_s, 0.0);
+  EXPECT_LT(p.ib.time(1 << 30), 1e-6);
+}
+
+TEST(MpiProfile, RingAbandonedWhenSegmentsTooSmall) {
+  const auto p = dn::MpiProfile::mvapich2_gdr_like();
+  // 1 MiB over 132 ranks -> ~8 KiB segments: below min_ring_chunk.
+  EXPECT_EQ(p.allreduce_algo(1 << 20, false, 132), dn::AllreduceAlgo::kRabenseifner);
+  // Same size over 12 ranks -> ~85 KiB segments: ring stays.
+  EXPECT_EQ(p.allreduce_algo(1 << 20, false, 12), dn::AllreduceAlgo::kRing);
+  // Large messages keep the ring even at 132 ranks.
+  EXPECT_EQ(p.allreduce_algo(64 << 20, false, 132), dn::AllreduceAlgo::kRing);
+}

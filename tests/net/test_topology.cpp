@@ -1,0 +1,71 @@
+#include "dlscale/net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dn = dlscale::net;
+
+TEST(Topology, SummitShape) {
+  const auto topo = dn::Topology::summit(22);
+  EXPECT_EQ(topo.world_size(), 132);
+  EXPECT_EQ(topo.nodes(), 22);
+  EXPECT_EQ(topo.gpus_per_node(), 6);
+  EXPECT_EQ(topo.gpus_per_socket(), 3);
+}
+
+TEST(Topology, BlockPlacement) {
+  const auto topo = dn::Topology::summit(2);
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(5), 0);
+  EXPECT_EQ(topo.node_of(6), 1);
+  EXPECT_EQ(topo.local_rank(7), 1);
+  EXPECT_EQ(topo.local_rank(0), 0);
+}
+
+TEST(Topology, SocketAssignment) {
+  const auto topo = dn::Topology::summit(1);
+  EXPECT_EQ(topo.socket_of_local(0), 0);
+  EXPECT_EQ(topo.socket_of_local(2), 0);
+  EXPECT_EQ(topo.socket_of_local(3), 1);
+  EXPECT_EQ(topo.socket_of_local(5), 1);
+}
+
+TEST(Topology, HopClassification) {
+  const auto topo = dn::Topology::summit(2);
+  EXPECT_EQ(topo.hop(0, 0), dn::HopClass::kSelf);
+  EXPECT_EQ(topo.hop(0, 2), dn::HopClass::kIntraSocket);
+  EXPECT_EQ(topo.hop(0, 4), dn::HopClass::kInterSocket);
+  EXPECT_EQ(topo.hop(0, 6), dn::HopClass::kInterNode);
+  EXPECT_EQ(topo.hop(11, 5), dn::HopClass::kInterNode);
+}
+
+TEST(Topology, SameNode) {
+  const auto topo = dn::Topology::summit(2);
+  EXPECT_TRUE(topo.same_node(0, 5));
+  EXPECT_FALSE(topo.same_node(5, 6));
+}
+
+TEST(Topology, SingleNodeFactory) {
+  const auto topo = dn::Topology::single_node(4);
+  EXPECT_EQ(topo.world_size(), 4);
+  EXPECT_EQ(topo.hop(0, 3), dn::HopClass::kIntraSocket);
+}
+
+TEST(Topology, InvalidArgumentsThrow) {
+  EXPECT_THROW(dn::Topology(0, 6, 3), std::invalid_argument);
+  EXPECT_THROW(dn::Topology(1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(dn::Topology(1, 6, 4), std::invalid_argument);
+  EXPECT_THROW(dn::Topology(1, 6, 7), std::invalid_argument);
+}
+
+TEST(Topology, RankOutOfRangeThrows) {
+  const auto topo = dn::Topology::summit(1);
+  EXPECT_THROW((void)topo.node_of(6), std::out_of_range);
+  EXPECT_THROW((void)topo.node_of(-1), std::out_of_range);
+  EXPECT_THROW((void)topo.hop(0, 6), std::out_of_range);
+}
+
+TEST(Topology, DescribeMentionsShape) {
+  const auto text = dn::Topology::summit(22).describe();
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_NE(text.find("132"), std::string::npos);
+}

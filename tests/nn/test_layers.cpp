@@ -1,0 +1,155 @@
+#include "dlscale/nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dn = dlscale::nn;
+namespace dt = dlscale::tensor;
+namespace du = dlscale::util;
+
+namespace {
+
+double sum_all(const dt::Tensor& t) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) s += t[i];
+  return s;
+}
+
+}  // namespace
+
+TEST(Conv2dLayer, ShapesAndParameters) {
+  du::Rng rng(1);
+  dn::Conv2d conv("c", 3, 8, 3, {2, 1, 1}, true, rng);
+  const auto params = conv.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->name, "c.weight");
+  EXPECT_EQ(params[0]->numel(), 8u * 3 * 3 * 3);
+  EXPECT_EQ(params[1]->numel(), 8u);
+  const auto x = dt::Tensor::randn({2, 3, 8, 8}, rng);
+  const auto y = conv.forward(x, true);
+  EXPECT_EQ(y.dim(1), 8);
+  EXPECT_EQ(y.dim(2), 4);
+}
+
+TEST(Conv2dLayer, BackwardBeforeForwardThrows) {
+  du::Rng rng(1);
+  dn::Conv2d conv("c", 1, 1, 1, {1, 0, 1}, false, rng);
+  EXPECT_THROW(conv.backward(dt::Tensor({1, 1, 1, 1})), std::logic_error);
+}
+
+TEST(Conv2dLayer, GradientsAccumulateAcrossBackwardCalls) {
+  du::Rng rng(2);
+  dn::Conv2d conv("c", 1, 1, 1, {1, 0, 1}, false, rng);
+  const auto x = dt::Tensor::full({1, 1, 2, 2}, 1.0f);
+  const auto g = dt::Tensor::full({1, 1, 2, 2}, 1.0f);
+  (void)conv.forward(x, true);
+  (void)conv.backward(g);
+  const float after_one = conv.parameters()[0]->grad[0];
+  (void)conv.forward(x, true);
+  (void)conv.backward(g);
+  EXPECT_FLOAT_EQ(conv.parameters()[0]->grad[0], 2.0f * after_one);
+}
+
+TEST(BatchNormLayer, TrainThenEvalConsistency) {
+  du::Rng rng(3);
+  dn::BatchNorm2d bn("bn", 4);
+  const auto x = dt::Tensor::randn({8, 4, 3, 3}, rng);
+  // Train several times so running stats converge toward batch stats.
+  dt::Tensor y;
+  for (int i = 0; i < 200; ++i) y = bn.forward(x, true);
+  const auto y_eval = bn.forward(x, false);
+  for (std::size_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], y_eval[i], 0.1f);
+}
+
+TEST(SequentialContainer, ForwardBackwardThroughStack) {
+  du::Rng rng(4);
+  dn::Sequential seq("net");
+  seq.emplace<dn::ConvBnRelu>("b1", 3, 8, 3, dn::Conv2dSpec{1, 1, 1}, rng);
+  seq.emplace<dn::ConvBnRelu>("b2", 8, 4, 3, dn::Conv2dSpec{1, 1, 1}, rng);
+  EXPECT_EQ(seq.size(), 2u);
+  const auto x = dt::Tensor::randn({2, 3, 6, 6}, rng);
+  const auto y = seq.forward(x, true);
+  EXPECT_EQ(y.dim(1), 4);
+  const auto g = seq.backward(dt::Tensor::full(y.shape(), 1.0f));
+  EXPECT_TRUE(dt::same_shape(g, x));
+  // conv w/o bias + bn gamma/beta per block = 3 params per block.
+  EXPECT_EQ(seq.parameters().size(), 6u);
+}
+
+TEST(ConvBnReluBlock, EndToEndGradientIsFinite) {
+  du::Rng rng(5);
+  dn::ConvBnRelu block("b", 2, 3, 3, dn::Conv2dSpec{1, 1, 1}, rng);
+  const auto x = dt::Tensor::randn({2, 2, 4, 4}, rng);
+  const auto y = block.forward(x, true);
+  const auto g = block.backward(dt::Tensor::full(y.shape(), 0.5f));
+  EXPECT_TRUE(dt::same_shape(g, x));
+  for (dn::Parameter* p : block.parameters()) {
+    EXPECT_TRUE(std::isfinite(p->grad.sum())) << p->name;
+  }
+}
+
+TEST(MaxPoolLayer, HalvesResolution) {
+  du::Rng rng(6);
+  dn::MaxPool2d pool("p", 2, 2);
+  const auto x = dt::Tensor::randn({1, 2, 6, 6}, rng);
+  const auto y = pool.forward(x, true);
+  EXPECT_EQ(y.dim(2), 3);
+  const auto g = pool.backward(dt::Tensor::full(y.shape(), 1.0f));
+  EXPECT_NEAR(sum_all(g), sum_all(dt::Tensor::full(y.shape(), 1.0f)), 1e-5);
+}
+
+TEST(BilinearResizeLayer, RoundTripShape) {
+  du::Rng rng(7);
+  dn::BilinearResize up("u", 8, 8);
+  const auto x = dt::Tensor::randn({1, 3, 4, 4}, rng);
+  const auto y = up.forward(x, true);
+  EXPECT_EQ(y.dim(2), 8);
+  const auto g = up.backward(dt::Tensor::full(y.shape(), 1.0f));
+  EXPECT_TRUE(dt::same_shape(g, x));
+}
+
+TEST(Parameter, ZeroGrad) {
+  dn::Parameter p("w", dt::Tensor::full({4}, 1.0f));
+  p.grad.fill(3.0f);
+  p.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad.sum(), 0.0f);
+  EXPECT_FLOAT_EQ(p.value.sum(), 4.0f);  // values untouched
+}
+
+TEST(DepthwiseLayer, ForwardBackwardShapes) {
+  du::Rng rng(8);
+  dn::DepthwiseConv2d layer("dw", 4, 3, {1, 1, 1}, rng);
+  const auto x = dt::Tensor::randn({2, 4, 6, 6}, rng);
+  const auto y = layer.forward(x, true);
+  EXPECT_TRUE(dt::same_shape(y, x));
+  const auto g = layer.backward(dt::Tensor::full(y.shape(), 1.0f));
+  EXPECT_TRUE(dt::same_shape(g, x));
+  ASSERT_EQ(layer.parameters().size(), 1u);
+  EXPECT_EQ(layer.parameters()[0]->numel(), 4u * 9);
+}
+
+TEST(SeparableLayer, ParameterCountBeatsFullConv) {
+  du::Rng rng(9);
+  dn::SeparableConvBnRelu separable("sep", 32, 64, {1, 1, 1}, rng);
+  dn::ConvBnRelu full("full", 32, 64, 3, {1, 1, 1}, rng);
+  auto count = [](std::vector<dn::Parameter*> params) {
+    std::size_t total = 0;
+    for (auto* p : params) total += p->numel();
+    return total;
+  };
+  // 32*9 + 32*64 + BN  vs  32*64*9 + BN: the separable block is much smaller.
+  EXPECT_LT(count(separable.parameters()), count(full.parameters()) / 3);
+}
+
+TEST(SeparableLayer, TrainsEndToEnd) {
+  du::Rng rng(10);
+  dn::SeparableConvBnRelu layer("sep", 3, 8, {2, 1, 1}, rng);
+  const auto x = dt::Tensor::randn({2, 3, 8, 8}, rng);
+  const auto y = layer.forward(x, true);
+  EXPECT_EQ(y.dim(1), 8);
+  EXPECT_EQ(y.dim(2), 4);
+  const auto g = layer.backward(dt::Tensor::full(y.shape(), 0.1f));
+  EXPECT_TRUE(dt::same_shape(g, x));
+  for (auto* p : layer.parameters()) {
+    EXPECT_TRUE(std::isfinite(p->grad.sum())) << p->name;
+  }
+}

@@ -1,0 +1,112 @@
+#include "dlscale/nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dn = dlscale::nn;
+namespace dt = dlscale::tensor;
+
+TEST(PolySchedule, EndpointsAndMonotonicity) {
+  dn::PolySchedule sched{0.007, 0.9, 1000};
+  EXPECT_DOUBLE_EQ(sched.lr_at(0), 0.007);
+  EXPECT_NEAR(sched.lr_at(1000), 0.0, 1e-12);
+  double prev = sched.lr_at(0);
+  for (long i = 100; i <= 1000; i += 100) {
+    const double lr = sched.lr_at(i);
+    EXPECT_LT(lr, prev);
+    prev = lr;
+  }
+}
+
+TEST(PolySchedule, ClampsPastEnd) {
+  dn::PolySchedule sched{0.01, 0.9, 100};
+  EXPECT_DOUBLE_EQ(sched.lr_at(500), 0.0);
+}
+
+TEST(PolySchedule, PowerOneIsLinear) {
+  dn::PolySchedule sched{1.0, 1.0, 10};
+  EXPECT_NEAR(sched.lr_at(5), 0.5, 1e-12);
+}
+
+TEST(SgdMomentum, PlainSgdStep) {
+  dn::Parameter p("w", dt::Tensor::full({2}, 1.0f));
+  p.grad.fill(0.5f);
+  dn::SgdMomentum opt({&p}, {.momentum = 0.0, .weight_decay = 0.0});
+  opt.step(0.1);
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(SgdMomentum, MomentumAccumulates) {
+  dn::Parameter p("w", dt::Tensor::zeros({1}));
+  dn::SgdMomentum opt({&p}, {.momentum = 0.9, .weight_decay = 0.0});
+  p.grad.fill(1.0f);
+  opt.step(1.0);  // v=1, w=-1
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-6);
+  opt.step(1.0);  // v=1.9, w=-2.9
+  EXPECT_NEAR(p.value[0], -2.9f, 1e-6);
+}
+
+TEST(SgdMomentum, WeightDecayPullsTowardZero) {
+  dn::Parameter p("w", dt::Tensor::full({1}, 10.0f));
+  p.grad.fill(0.0f);
+  dn::SgdMomentum opt({&p}, {.momentum = 0.0, .weight_decay = 0.1});
+  opt.step(1.0);
+  EXPECT_NEAR(p.value[0], 10.0f - 1.0f, 1e-5);
+}
+
+TEST(SgdMomentum, ZeroGradClearsAll) {
+  dn::Parameter a("a", dt::Tensor::zeros({3})), b("b", dt::Tensor::zeros({2}));
+  a.grad.fill(1.0f);
+  b.grad.fill(2.0f);
+  dn::SgdMomentum opt({&a, &b}, {});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad.sum(), 0.0f);
+  EXPECT_FLOAT_EQ(b.grad.sum(), 0.0f);
+}
+
+TEST(SgdMomentum, TotalParameters) {
+  dn::Parameter a("a", dt::Tensor::zeros({3, 4})), b("b", dt::Tensor::zeros({5}));
+  dn::SgdMomentum opt({&a, &b}, {});
+  EXPECT_EQ(opt.total_parameters(), 17u);
+}
+
+TEST(SgdMomentum, NullParameterThrows) {
+  EXPECT_THROW(dn::SgdMomentum({nullptr}, {}), std::invalid_argument);
+}
+
+TEST(SgdMomentum, ConvergesOnQuadratic) {
+  // Minimise f(w) = 0.5*(w-3)^2 with gradient w-3.
+  dn::Parameter p("w", dt::Tensor::zeros({1}));
+  dn::SgdMomentum opt({&p}, {.momentum = 0.9, .weight_decay = 0.0});
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    p.grad[0] = p.value[0] - 3.0f;
+    opt.step(0.05);
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 1e-3);
+}
+
+TEST(SgdMomentum, GradNormIsGlobalL2) {
+  dn::Parameter a("a", dt::Tensor::zeros({2})), b("b", dt::Tensor::zeros({1}));
+  a.grad[0] = 3.0f;
+  a.grad[1] = 0.0f;
+  b.grad[0] = 4.0f;
+  dn::SgdMomentum opt({&a, &b}, {});
+  EXPECT_NEAR(opt.grad_norm(), 5.0, 1e-6);
+}
+
+TEST(SgdMomentum, ClippingScalesLargeGradients) {
+  dn::Parameter p("w", dt::Tensor::zeros({1}));
+  p.grad[0] = 10.0f;
+  dn::SgdMomentum opt({&p}, {.momentum = 0.0, .weight_decay = 0.0, .clip_grad_norm = 1.0});
+  opt.step(1.0);
+  // Gradient clipped to norm 1 -> update of exactly -1.
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-6);
+}
+
+TEST(SgdMomentum, ClippingLeavesSmallGradientsAlone) {
+  dn::Parameter p("w", dt::Tensor::zeros({1}));
+  p.grad[0] = 0.5f;
+  dn::SgdMomentum opt({&p}, {.momentum = 0.0, .weight_decay = 0.0, .clip_grad_norm = 1.0});
+  opt.step(1.0);
+  EXPECT_NEAR(p.value[0], -0.5f, 1e-6);
+}

@@ -1,0 +1,468 @@
+#include "dlscale/tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dt = dlscale::tensor;
+namespace du = dlscale::util;
+
+TEST(Matmul, KnownProduct) {
+  dt::Tensor a({2, 3}), b({3, 2});
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  for (int i = 0; i < 6; ++i) a[static_cast<std::size_t>(i)] = static_cast<float>(i + 1);
+  for (int i = 0; i < 6; ++i) b[static_cast<std::size_t>(i)] = static_cast<float>(i + 7);
+  const auto c = dt::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matmul, TransposedVariantsAgree) {
+  du::Rng rng(3);
+  const auto a = dt::Tensor::randn({4, 5}, rng);
+  const auto b = dt::Tensor::randn({4, 6}, rng);
+  // matmul_tn(a, b) == a^T b. Build a^T explicitly and compare.
+  dt::Tensor at({5, 4});
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 5; ++j) at.at(j, i) = a.at(i, j);
+  const auto direct = dt::matmul(at, b);
+  const auto fused = dt::matmul_tn(a, b);
+  for (std::size_t i = 0; i < direct.numel(); ++i) EXPECT_NEAR(direct[i], fused[i], 1e-5);
+
+  // matmul_nt(a, c) == a c^T.
+  const auto c = dt::Tensor::randn({7, 5}, rng);
+  dt::Tensor ct({5, 7});
+  for (int i = 0; i < 7; ++i)
+    for (int j = 0; j < 5; ++j) ct.at(j, i) = c.at(i, j);
+  const auto direct2 = dt::matmul(a, ct);
+  const auto fused2 = dt::matmul_nt(a, c);
+  for (std::size_t i = 0; i < direct2.numel(); ++i) EXPECT_NEAR(direct2[i], fused2[i], 1e-5);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  EXPECT_THROW(dt::matmul(dt::Tensor({2, 3}), dt::Tensor({4, 2})), std::invalid_argument);
+}
+
+TEST(Conv2d, IdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  du::Rng rng(5);
+  const auto x = dt::Tensor::randn({1, 1, 4, 4}, rng);
+  auto w = dt::Tensor::full({1, 1, 1, 1}, 1.0f);
+  const auto y = dt::conv2d(x, w, nullptr, {1, 0, 1});
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, KnownSum3x3) {
+  // All-ones input and all-ones 3x3 kernel with pad 1: interior outputs 9.
+  const auto x = dt::Tensor::full({1, 1, 5, 5}, 1.0f);
+  const auto w = dt::Tensor::full({1, 1, 3, 3}, 1.0f);
+  const auto y = dt::conv2d(x, w, nullptr, {1, 1, 1});
+  EXPECT_EQ(y.dim(2), 5);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2, 2), 9.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.0f);  // corner sees 2x2 window
+}
+
+TEST(Conv2d, StrideAndOutputShape) {
+  const auto x = dt::Tensor::full({2, 3, 8, 8}, 1.0f);
+  du::Rng rng(1);
+  const auto w = dt::Tensor::randn({4, 3, 3, 3}, rng);
+  const auto y = dt::conv2d(x, w, nullptr, {2, 1, 1});
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 4);
+  EXPECT_EQ(y.dim(2), 4);
+  EXPECT_EQ(y.dim(3), 4);
+}
+
+TEST(Conv2d, DilationMatchesManual) {
+  // Dilated 3x3 (rate 2) samples every other pixel: effective 5x5 window.
+  dt::Tensor x({1, 1, 5, 5});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i);
+  const auto w = dt::Tensor::full({1, 1, 3, 3}, 1.0f);
+  const auto y = dt::conv2d(x, w, nullptr, {1, 2, 2});
+  EXPECT_EQ(y.dim(2), 5);
+  // Centre output = sum of x at positions (0,0),(0,2),(0,4),(2,0)... = corners+centre grid
+  float want = 0.0f;
+  for (int iy : {0, 2, 4})
+    for (int ix : {0, 2, 4}) want += x.at(0, 0, iy, ix);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2, 2), want);
+}
+
+TEST(Conv2d, BiasIsAdded) {
+  const auto x = dt::Tensor::full({1, 1, 2, 2}, 0.0f);
+  const auto w = dt::Tensor::full({2, 1, 1, 1}, 1.0f);
+  dt::Tensor bias({2});
+  bias[0] = 0.5f;
+  bias[1] = -1.5f;
+  const auto y = dt::conv2d(x, w, &bias, {1, 0, 1});
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 1, 1), -1.5f);
+}
+
+// --- numerical gradient checks ---
+
+namespace {
+
+// Central-difference derivative of a scalar loss wrt one element.
+template <typename LossFn>
+double numeric_grad(dt::Tensor& param, std::size_t index, const LossFn& loss, float eps = 1e-3f) {
+  const float saved = param[index];
+  param[index] = saved + eps;
+  const double up = loss();
+  param[index] = saved - eps;
+  const double down = loss();
+  param[index] = saved;
+  return (up - down) / (2.0 * eps);
+}
+
+double sum_all(const dt::Tensor& t) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) s += t[i];
+  return s;
+}
+
+}  // namespace
+
+TEST(Conv2dBackward, GradInputMatchesNumeric) {
+  du::Rng rng(11);
+  auto x = dt::Tensor::randn({1, 2, 5, 5}, rng);
+  const auto w = dt::Tensor::randn({3, 2, 3, 3}, rng);
+  const dt::Conv2dSpec spec{1, 1, 1};
+  // Loss = sum(conv(x, w)) -> upstream grad is all ones.
+  const auto y = dt::conv2d(x, w, nullptr, spec);
+  const auto grad_out = dt::Tensor::full(y.shape(), 1.0f);
+  dt::Tensor grad_w(w.shape());
+  const auto grad_x = dt::conv2d_backward(x, w, grad_out, spec, grad_w, nullptr);
+  auto loss = [&] { return sum_all(dt::conv2d(x, w, nullptr, spec)); };
+  for (std::size_t i : {std::size_t{0}, std::size_t{12}, std::size_t{24}, std::size_t{49}}) {
+    EXPECT_NEAR(grad_x[i], numeric_grad(x, i, loss), 2e-2) << "input index " << i;
+  }
+}
+
+TEST(Conv2dBackward, GradWeightMatchesNumeric) {
+  du::Rng rng(13);
+  const auto x = dt::Tensor::randn({2, 2, 5, 5}, rng);
+  auto w = dt::Tensor::randn({3, 2, 3, 3}, rng);
+  const dt::Conv2dSpec spec{2, 1, 1};
+  const auto y = dt::conv2d(x, w, nullptr, spec);
+  const auto grad_out = dt::Tensor::full(y.shape(), 1.0f);
+  dt::Tensor grad_w(w.shape());
+  (void)dt::conv2d_backward(x, w, grad_out, spec, grad_w, nullptr);
+  auto loss = [&] { return sum_all(dt::conv2d(x, w, nullptr, spec)); };
+  for (std::size_t i : {std::size_t{0}, std::size_t{17}, std::size_t{53}}) {
+    EXPECT_NEAR(grad_w[i], numeric_grad(w, i, loss), 2e-2) << "weight index " << i;
+  }
+}
+
+TEST(Conv2dBackward, DilatedGradMatchesNumeric) {
+  du::Rng rng(17);
+  auto x = dt::Tensor::randn({1, 1, 6, 6}, rng);
+  const auto w = dt::Tensor::randn({2, 1, 3, 3}, rng);
+  const dt::Conv2dSpec spec{1, 2, 2};  // atrous
+  const auto y = dt::conv2d(x, w, nullptr, spec);
+  const auto grad_out = dt::Tensor::full(y.shape(), 1.0f);
+  dt::Tensor grad_w(w.shape());
+  const auto grad_x = dt::conv2d_backward(x, w, grad_out, spec, grad_w, nullptr);
+  auto loss = [&] { return sum_all(dt::conv2d(x, w, nullptr, spec)); };
+  for (std::size_t i : {std::size_t{0}, std::size_t{18}, std::size_t{35}}) {
+    EXPECT_NEAR(grad_x[i], numeric_grad(x, i, loss), 2e-2);
+  }
+}
+
+TEST(Conv2dBackward, GradBiasIsSumOfGradOut) {
+  du::Rng rng(19);
+  const auto x = dt::Tensor::randn({2, 1, 4, 4}, rng);
+  const auto w = dt::Tensor::randn({2, 1, 3, 3}, rng);
+  dt::Tensor bias({2});
+  const dt::Conv2dSpec spec{1, 1, 1};
+  const auto y = dt::conv2d(x, w, &bias, spec);
+  const auto grad_out = dt::Tensor::full(y.shape(), 1.0f);
+  dt::Tensor grad_w(w.shape()), grad_b({2});
+  (void)dt::conv2d_backward(x, w, grad_out, spec, grad_w, &grad_b);
+  // Each output channel has 2*4*4 positions of grad 1.
+  EXPECT_FLOAT_EQ(grad_b[0], 32.0f);
+  EXPECT_FLOAT_EQ(grad_b[1], 32.0f);
+}
+
+TEST(Relu, ForwardAndBackward) {
+  dt::Tensor x({4});
+  x[0] = -1.0f;
+  x[1] = 0.0f;
+  x[2] = 2.0f;
+  x[3] = -0.5f;
+  const auto y = dt::relu(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  const auto g = dt::relu_backward(x, dt::Tensor::full({4}, 1.0f));
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], 0.0f);  // subgradient at 0 taken as 0
+  EXPECT_FLOAT_EQ(g[2], 1.0f);
+}
+
+TEST(BatchNorm, NormalisesPerChannel) {
+  du::Rng rng(23);
+  const auto x = dt::Tensor::randn({4, 2, 3, 3}, rng);
+  const auto gamma = dt::Tensor::full({2}, 1.0f);
+  const auto beta = dt::Tensor::zeros({2});
+  auto running_mean = dt::Tensor::zeros({2});
+  auto running_var = dt::Tensor::full({2}, 1.0f);
+  dt::BatchNormCache cache;
+  const auto y = dt::batchnorm2d(x, gamma, beta, running_mean, running_var, true, 0.1f, 1e-5f,
+                                 &cache);
+  // Output per channel: mean ~0, var ~1.
+  for (int c = 0; c < 2; ++c) {
+    double m = 0.0, v = 0.0;
+    for (int n = 0; n < 4; ++n)
+      for (int h = 0; h < 3; ++h)
+        for (int w = 0; w < 3; ++w) m += y.at(n, c, h, w);
+    m /= 36.0;
+    for (int n = 0; n < 4; ++n)
+      for (int h = 0; h < 3; ++h)
+        for (int w = 0; w < 3; ++w) {
+          const double d = y.at(n, c, h, w) - m;
+          v += d * d;
+        }
+    v /= 36.0;
+    EXPECT_NEAR(m, 0.0, 1e-5);
+    EXPECT_NEAR(v, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStats) {
+  const auto x = dt::Tensor::full({1, 1, 2, 2}, 4.0f);
+  const auto gamma = dt::Tensor::full({1}, 1.0f);
+  const auto beta = dt::Tensor::zeros({1});
+  auto running_mean = dt::Tensor::full({1}, 2.0f);
+  auto running_var = dt::Tensor::full({1}, 4.0f);
+  const auto y =
+      dt::batchnorm2d(x, gamma, beta, running_mean, running_var, false, 0.1f, 0.0f, nullptr);
+  // (4 - 2) / sqrt(4) = 1.
+  EXPECT_NEAR(y.at(0, 0, 0, 0), 1.0f, 1e-5);
+  // Running stats untouched in eval mode.
+  EXPECT_FLOAT_EQ(running_mean[0], 2.0f);
+}
+
+TEST(BatchNormBackward, MatchesNumeric) {
+  du::Rng rng(29);
+  auto x = dt::Tensor::randn({3, 2, 2, 2}, rng);
+  auto gamma = dt::Tensor::full({2}, 1.3f);
+  const auto beta = dt::Tensor::zeros({2});
+  auto rm = dt::Tensor::zeros({2});
+  auto rv = dt::Tensor::full({2}, 1.0f);
+
+  // Loss = weighted sum so the gradient is non-uniform across elements.
+  auto weighted = [](const dt::Tensor& t) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < t.numel(); ++i) s += (static_cast<double>(i % 5) - 2.0) * t[i];
+    return s;
+  };
+  auto loss = [&] {
+    auto rm2 = rm, rv2 = rv;
+    return weighted(dt::batchnorm2d(x, gamma, beta, rm2, rv2, true, 0.1f, 1e-5f, nullptr));
+  };
+
+  dt::BatchNormCache cache;
+  auto rm3 = rm, rv3 = rv;
+  const auto y = dt::batchnorm2d(x, gamma, beta, rm3, rv3, true, 0.1f, 1e-5f, &cache);
+  dt::Tensor grad_out(y.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i)
+    grad_out[i] = static_cast<float>(static_cast<double>(i % 5) - 2.0);
+  dt::Tensor grad_gamma({2}), grad_beta({2});
+  const auto grad_x = dt::batchnorm2d_backward(grad_out, cache, gamma, grad_gamma, grad_beta);
+
+  for (std::size_t i : {std::size_t{0}, std::size_t{7}, std::size_t{15}, std::size_t{23}}) {
+    EXPECT_NEAR(grad_x[i], numeric_grad(x, i, loss), 3e-2) << "x index " << i;
+  }
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}}) {
+    EXPECT_NEAR(grad_gamma[i], numeric_grad(gamma, i, loss), 3e-2) << "gamma index " << i;
+  }
+}
+
+TEST(MaxPool, ForwardAndBackwardRouting) {
+  dt::Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  std::vector<int> argmax;
+  const auto y = dt::maxpool2d(x, 2, 2, argmax);
+  EXPECT_EQ(y.dim(2), 2);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 15.0f);
+  const auto g = dt::maxpool2d_backward(x, dt::Tensor::full(y.shape(), 1.0f), 2, 2, argmax);
+  EXPECT_FLOAT_EQ(g[5], 1.0f);
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[15], 1.0f);
+}
+
+TEST(GlobalAvgPool, ForwardBackward) {
+  dt::Tensor x({1, 2, 2, 2});
+  for (std::size_t i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  const auto y = dt::global_avg_pool(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 5.5f);
+  dt::Tensor grad_out({1, 2, 1, 1});
+  grad_out[0] = 4.0f;
+  grad_out[1] = 8.0f;
+  const auto g = dt::global_avg_pool_backward(x, grad_out);
+  EXPECT_FLOAT_EQ(g.at(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(g.at(0, 1, 0, 0), 2.0f);
+}
+
+TEST(BilinearResize, UpsampleCorners) {
+  dt::Tensor x({1, 1, 2, 2});
+  x.at(0, 0, 0, 0) = 0.0f;
+  x.at(0, 0, 0, 1) = 1.0f;
+  x.at(0, 0, 1, 0) = 2.0f;
+  x.at(0, 0, 1, 1) = 3.0f;
+  const auto y = dt::bilinear_resize(x, 3, 3);
+  // align_corners=true keeps corner values fixed and puts exact midpoints
+  // in between.
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2, 2), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 1.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 0.5f);
+}
+
+TEST(BilinearResize, DownsampleAndBackwardConservesMass) {
+  du::Rng rng(31);
+  const auto x = dt::Tensor::randn({1, 1, 5, 5}, rng);
+  const auto y = dt::bilinear_resize(x, 3, 3);
+  const auto grad = dt::bilinear_resize_backward(x, dt::Tensor::full(y.shape(), 1.0f));
+  // The adjoint distributes each output's unit gradient over its source
+  // taps with weights summing to 1 -> total mass equals #outputs.
+  EXPECT_NEAR(grad.sum(), 9.0f, 1e-4);
+}
+
+TEST(BilinearResize, IdentityWhenSameSize) {
+  du::Rng rng(37);
+  const auto x = dt::Tensor::randn({1, 2, 4, 4}, rng);
+  const auto y = dt::bilinear_resize(x, 4, 4);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(ConcatSplit, RoundTrip) {
+  du::Rng rng(41);
+  const auto a = dt::Tensor::randn({2, 3, 4, 4}, rng);
+  const auto b = dt::Tensor::randn({2, 5, 4, 4}, rng);
+  const auto cat = dt::concat_channels(a, b);
+  EXPECT_EQ(cat.dim(1), 8);
+  EXPECT_FLOAT_EQ(cat.at(1, 2, 3, 3), a.at(1, 2, 3, 3));
+  EXPECT_FLOAT_EQ(cat.at(1, 4, 0, 0), b.at(1, 1, 0, 0));
+  dt::Tensor ga, gb;
+  dt::split_channels(cat, 3, ga, gb);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(ga[i], a[i]);
+  for (std::size_t i = 0; i < b.numel(); ++i) EXPECT_FLOAT_EQ(gb[i], b[i]);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogK) {
+  const auto logits = dt::Tensor::zeros({1, 4, 2, 2});
+  const std::vector<int> labels(4, 1);
+  dt::Tensor grad;
+  const float loss = dt::softmax_cross_entropy(logits, labels, 255, grad);
+  EXPECT_NEAR(loss, std::log(4.0f), 1e-5);
+  // Gradient: p - one_hot = 0.25 everywhere except 0.25-1 at the label.
+  EXPECT_NEAR(grad.at(0, 1, 0, 0), (0.25f - 1.0f) / 4.0f, 1e-6);
+  EXPECT_NEAR(grad.at(0, 0, 0, 0), 0.25f / 4.0f, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, IgnoreLabelSkipsPixels) {
+  const auto logits = dt::Tensor::zeros({1, 2, 1, 2});
+  dt::Tensor grad;
+  const float loss = dt::softmax_cross_entropy(logits, {0, 255}, 255, grad);
+  EXPECT_NEAR(loss, std::log(2.0f), 1e-5);
+  EXPECT_FLOAT_EQ(grad.at(0, 0, 0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(grad.at(0, 1, 0, 1), 0.0f);
+}
+
+TEST(SoftmaxCrossEntropy, GradMatchesNumeric) {
+  du::Rng rng(43);
+  auto logits = dt::Tensor::randn({1, 3, 2, 2}, rng);
+  const std::vector<int> labels{0, 2, 1, 255};
+  dt::Tensor grad;
+  (void)dt::softmax_cross_entropy(logits, labels, 255, grad);
+  auto loss = [&] {
+    dt::Tensor g;
+    return static_cast<double>(dt::softmax_cross_entropy(logits, labels, 255, g));
+  };
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_NEAR(grad[i], numeric_grad(logits, i, loss), 2e-3) << "logit " << i;
+  }
+}
+
+TEST(ArgmaxChannels, PicksLargest) {
+  dt::Tensor logits({1, 3, 1, 2});
+  logits.at(0, 0, 0, 0) = 1.0f;
+  logits.at(0, 1, 0, 0) = 5.0f;
+  logits.at(0, 2, 0, 0) = 3.0f;
+  logits.at(0, 2, 0, 1) = 9.0f;
+  const auto pred = dt::argmax_channels(logits);
+  EXPECT_EQ(pred[0], 1);
+  EXPECT_EQ(pred[1], 2);
+}
+
+TEST(Im2Col, RoundTripAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property used
+  // by the conv backward pass.
+  du::Rng rng(47);
+  const auto x = dt::Tensor::randn({1, 2, 4, 4}, rng);
+  const dt::Conv2dSpec spec{1, 1, 1};
+  const auto cols = dt::im2col(x, 0, 3, 3, spec);
+  const auto y = dt::Tensor::randn(cols.shape(), rng);
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) lhs += static_cast<double>(cols[i]) * y[i];
+  dt::Tensor back({1, 2, 4, 4});
+  dt::col2im(y, back, 0, 3, 3, spec);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(DepthwiseConv, MatchesGroupedFullConv) {
+  // A depthwise conv equals a full conv whose weight is zero outside the
+  // diagonal channel blocks.
+  du::Rng rng(51);
+  const auto x = dt::Tensor::randn({2, 3, 6, 6}, rng);
+  const auto dw = dt::Tensor::randn({3, 1, 3, 3}, rng);
+  dt::Tensor full({3, 3, 3, 3});
+  for (int c = 0; c < 3; ++c)
+    for (int ky = 0; ky < 3; ++ky)
+      for (int kx = 0; kx < 3; ++kx) full.at(c, c, ky, kx) = dw.at(c, 0, ky, kx);
+  const dt::Conv2dSpec spec{1, 1, 1};
+  const auto a = dt::depthwise_conv2d(x, dw, spec);
+  const auto b = dt::conv2d(x, full, nullptr, spec);
+  ASSERT_TRUE(dt::same_shape(a, b));
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_NEAR(a[i], b[i], 1e-5);
+}
+
+TEST(DepthwiseConv, StrideAndDilation) {
+  du::Rng rng(53);
+  const auto x = dt::Tensor::randn({1, 2, 8, 8}, rng);
+  const auto w = dt::Tensor::randn({2, 1, 3, 3}, rng);
+  const auto strided = dt::depthwise_conv2d(x, w, {2, 1, 1});
+  EXPECT_EQ(strided.dim(2), 4);
+  const auto dilated = dt::depthwise_conv2d(x, w, {1, 2, 2});
+  EXPECT_EQ(dilated.dim(2), 8);
+}
+
+TEST(DepthwiseConvBackward, MatchesNumeric) {
+  du::Rng rng(57);
+  auto x = dt::Tensor::randn({1, 2, 5, 5}, rng);
+  auto w = dt::Tensor::randn({2, 1, 3, 3}, rng);
+  const dt::Conv2dSpec spec{1, 1, 1};
+  const auto y = dt::depthwise_conv2d(x, w, spec);
+  const auto grad_out = dt::Tensor::full(y.shape(), 1.0f);
+  dt::Tensor grad_w(w.shape());
+  const auto grad_x = dt::depthwise_conv2d_backward(x, w, grad_out, spec, grad_w);
+  auto loss = [&] { return sum_all(dt::depthwise_conv2d(x, w, spec)); };
+  for (std::size_t i : {std::size_t{0}, std::size_t{13}, std::size_t{31}, std::size_t{49}}) {
+    EXPECT_NEAR(grad_x[i], numeric_grad(x, i, loss), 2e-2) << "x index " << i;
+  }
+  for (std::size_t i : {std::size_t{0}, std::size_t{9}, std::size_t{17}}) {
+    EXPECT_NEAR(grad_w[i], numeric_grad(w, i, loss), 2e-2) << "w index " << i;
+  }
+}
+
+TEST(DepthwiseConv, RejectsBadWeightShape) {
+  const auto x = dt::Tensor::full({1, 2, 4, 4}, 1.0f);
+  const auto bad = dt::Tensor::full({2, 2, 3, 3}, 1.0f);
+  EXPECT_THROW(dt::depthwise_conv2d(x, bad, {1, 1, 1}), std::invalid_argument);
+}

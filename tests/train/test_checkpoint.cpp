@@ -1,0 +1,71 @@
+#include "dlscale/train/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dlscale/models/deeplab.hpp"
+
+namespace dt = dlscale::train;
+namespace dmo = dlscale::models;
+
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  TempFile file("dlscale_ckpt_roundtrip.bin");
+  dlscale::util::Rng rng_a(1), rng_b(2);
+  dmo::MiniDeepLabV3Plus source({.input_size = 16, .width = 4}, rng_a);
+  dmo::MiniDeepLabV3Plus target({.input_size = 16, .width = 4}, rng_b);
+
+  dt::save_checkpoint(source.parameters(), file.path);
+  dt::load_checkpoint(target.parameters(), file.path);
+
+  const auto src_params = source.parameters();
+  const auto dst_params = target.parameters();
+  for (std::size_t i = 0; i < src_params.size(); ++i) {
+    for (std::size_t j = 0; j < src_params[i]->numel(); ++j) {
+      ASSERT_FLOAT_EQ(src_params[i]->value[j], dst_params[i]->value[j])
+          << src_params[i]->name;
+    }
+  }
+}
+
+TEST(Checkpoint, MismatchedArchitectureThrows) {
+  TempFile file("dlscale_ckpt_mismatch.bin");
+  dlscale::util::Rng rng(1);
+  dmo::MiniDeepLabV3Plus small({.input_size = 16, .width = 4}, rng);
+  dmo::MiniDeepLabV3Plus big({.input_size = 16, .width = 8}, rng);
+  dt::save_checkpoint(small.parameters(), file.path);
+  EXPECT_THROW(dt::load_checkpoint(big.parameters(), file.path), std::runtime_error);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  dlscale::util::Rng rng(1);
+  dmo::MiniDeepLabV3Plus model({.input_size = 16, .width = 4}, rng);
+  EXPECT_THROW(dt::load_checkpoint(model.parameters(), "/nonexistent/dir/ckpt.bin"),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, CorruptMagicThrows) {
+  TempFile file("dlscale_ckpt_corrupt.bin");
+  {
+    std::FILE* f = std::fopen(file.path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "not a checkpoint";
+    std::fwrite(junk, 1, sizeof junk, f);
+    std::fclose(f);
+  }
+  dlscale::util::Rng rng(1);
+  dmo::MiniDeepLabV3Plus model({.input_size = 16, .width = 4}, rng);
+  EXPECT_THROW(dt::load_checkpoint(model.parameters(), file.path), std::runtime_error);
+}

@@ -1,0 +1,40 @@
+#include "dlscale/util/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace du = dlscale::util;
+
+TEST(Barrier, SingleParticipantNeverBlocks) {
+  du::Barrier barrier(1);
+  barrier.arrive_and_wait();
+  barrier.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(Barrier, SynchronisesPhases) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  du::Barrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier every thread must observe the full round's count.
+        if (counter.load() < (round + 1) * kThreads) failed.store(true);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kThreads * kRounds);
+}

@@ -1,0 +1,94 @@
+#include "dlscale/util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace du = dlscale::util;
+
+namespace {
+
+struct ScopedEnv {
+  std::string name;
+  ScopedEnv(const std::string& n, const std::string& value) : name(n) {
+    ::setenv(n.c_str(), value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name.c_str()); }
+};
+
+}  // namespace
+
+TEST(Env, StringUnsetReturnsNullopt) {
+  EXPECT_FALSE(du::env_string("DLSCALE_TEST_DEFINITELY_UNSET").has_value());
+}
+
+TEST(Env, StringSetReturnsValue) {
+  ScopedEnv guard("DLSCALE_TEST_STR", "hello");
+  EXPECT_EQ(du::env_string("DLSCALE_TEST_STR").value(), "hello");
+}
+
+TEST(Env, IntParsesAndFallsBack) {
+  ScopedEnv guard("DLSCALE_TEST_INT", "42");
+  EXPECT_EQ(du::env_int("DLSCALE_TEST_INT", 7), 42);
+  EXPECT_EQ(du::env_int("DLSCALE_TEST_UNSET_INT", 7), 7);
+}
+
+TEST(Env, IntRejectsGarbage) {
+  ScopedEnv guard("DLSCALE_TEST_INT", "12abc");
+  EXPECT_EQ(du::env_int("DLSCALE_TEST_INT", 7), 7);
+}
+
+TEST(Env, NegativeInt) {
+  ScopedEnv guard("DLSCALE_TEST_INT", "-3");
+  EXPECT_EQ(du::env_int("DLSCALE_TEST_INT", 7), -3);
+}
+
+TEST(Env, DoubleParses) {
+  ScopedEnv guard("DLSCALE_TEST_DBL", "3.5");
+  EXPECT_DOUBLE_EQ(du::env_double("DLSCALE_TEST_DBL", 1.0), 3.5);
+  EXPECT_DOUBLE_EQ(du::env_double("DLSCALE_TEST_UNSET_DBL", 1.0), 1.0);
+}
+
+TEST(Env, BoolAcceptsCommonSpellings) {
+  for (const char* truthy : {"1", "true", "TRUE", "yes", "on"}) {
+    ScopedEnv guard("DLSCALE_TEST_BOOL", truthy);
+    EXPECT_TRUE(du::env_bool("DLSCALE_TEST_BOOL", false)) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "no", "OFF"}) {
+    ScopedEnv guard("DLSCALE_TEST_BOOL", falsy);
+    EXPECT_FALSE(du::env_bool("DLSCALE_TEST_BOOL", true)) << falsy;
+  }
+}
+
+TEST(Env, BoolFallsBackOnGarbage) {
+  ScopedEnv guard("DLSCALE_TEST_BOOL", "maybe");
+  EXPECT_TRUE(du::env_bool("DLSCALE_TEST_BOOL", true));
+  EXPECT_FALSE(du::env_bool("DLSCALE_TEST_BOOL", false));
+}
+
+TEST(ParseBytes, PlainNumber) { EXPECT_EQ(du::parse_bytes("12345").value(), 12345u); }
+
+TEST(ParseBytes, Suffixes) {
+  EXPECT_EQ(du::parse_bytes("64MB").value(), 64ull << 20);
+  EXPECT_EQ(du::parse_bytes("64mb").value(), 64ull << 20);
+  EXPECT_EQ(du::parse_bytes("8K").value(), 8ull << 10);
+  EXPECT_EQ(du::parse_bytes("2GiB").value(), 2ull << 30);
+  EXPECT_EQ(du::parse_bytes("100B").value(), 100u);
+}
+
+TEST(ParseBytes, RejectsInvalid) {
+  EXPECT_FALSE(du::parse_bytes("").has_value());
+  EXPECT_FALSE(du::parse_bytes("MB").has_value());
+  EXPECT_FALSE(du::parse_bytes("12XB").has_value());
+}
+
+TEST(EnvBytes, HorovodFusionThresholdConvention) {
+  ScopedEnv guard("HOROVOD_FUSION_THRESHOLD_TEST", "67108864");
+  EXPECT_EQ(du::env_bytes("HOROVOD_FUSION_THRESHOLD_TEST", 0), 64ull << 20);
+}
+
+TEST(FormatBytes, HumanReadable) {
+  EXPECT_EQ(du::format_bytes(512), "512 B");
+  EXPECT_EQ(du::format_bytes(64ull << 20), "64 MiB");
+  EXPECT_EQ(du::format_bytes((1ull << 30) + (1ull << 29)), "1.50 GiB");
+}

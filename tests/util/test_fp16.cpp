@@ -1,0 +1,82 @@
+#include "dlscale/util/fp16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace du = dlscale::util;
+
+TEST(Fp16, ExactSmallValues) {
+  // Values exactly representable in half round-trip bit-perfectly.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_FLOAT_EQ(du::half_to_float(du::float_to_half(v)), v) << v;
+  }
+}
+
+TEST(Fp16, RoundTripRelativeError) {
+  // Arbitrary values round-trip within half precision (2^-11 relative).
+  for (float v : {3.14159f, -2.71828f, 123.456f, 0.001f, -9999.0f}) {
+    const float back = du::half_to_float(du::float_to_half(v));
+    EXPECT_NEAR(back, v, std::abs(v) * 1.0f / 1024.0f) << v;
+  }
+}
+
+TEST(Fp16, SignedZero) {
+  EXPECT_EQ(du::float_to_half(0.0f), 0x0000);
+  EXPECT_EQ(du::float_to_half(-0.0f), 0x8000);
+  EXPECT_EQ(du::half_to_float(0x8000), -0.0f);
+}
+
+TEST(Fp16, Infinities) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(du::float_to_half(inf), 0x7C00);
+  EXPECT_EQ(du::float_to_half(-inf), 0xFC00);
+  EXPECT_TRUE(std::isinf(du::half_to_float(0x7C00)));
+  // Overflow beyond half max (65504) saturates to infinity.
+  EXPECT_EQ(du::float_to_half(70000.0f), 0x7C00);
+}
+
+TEST(Fp16, NaN) {
+  const std::uint16_t half_nan = du::float_to_half(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_EQ(half_nan & 0x7C00, 0x7C00);
+  EXPECT_NE(half_nan & 0x03FF, 0);
+  EXPECT_TRUE(std::isnan(du::half_to_float(half_nan)));
+}
+
+TEST(Fp16, Subnormals) {
+  // Smallest positive subnormal half = 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(du::float_to_half(tiny), 0x0001);
+  EXPECT_FLOAT_EQ(du::half_to_float(0x0001), tiny);
+  // Below half's range underflows to zero.
+  EXPECT_EQ(du::float_to_half(std::ldexp(1.0f, -26)), 0x0000);
+  // Largest subnormal.
+  const float max_subnormal = std::ldexp(1023.0f, -24);
+  EXPECT_EQ(du::float_to_half(max_subnormal), 0x03FF);
+  EXPECT_FLOAT_EQ(du::half_to_float(0x03FF), max_subnormal);
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 sits exactly between 1.0 and the next half (1 + 2^-10);
+  // nearest-even rounds down to 1.0.
+  EXPECT_EQ(du::float_to_half(1.0f + std::ldexp(1.0f, -11)), du::float_to_half(1.0f));
+  // Slightly above the midpoint rounds up.
+  EXPECT_EQ(du::float_to_half(1.0f + std::ldexp(1.2f, -11)),
+            static_cast<std::uint16_t>(du::float_to_half(1.0f) + 1));
+}
+
+TEST(Fp16, HalfAdd) {
+  const auto a = du::float_to_half(1.5f);
+  const auto b = du::float_to_half(2.25f);
+  EXPECT_FLOAT_EQ(du::half_to_float(du::half_add(a, b)), 3.75f);
+}
+
+TEST(Fp16, ExhaustiveRoundTripThroughFloat) {
+  // Every finite half converts to float and back to the identical bits.
+  for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+    const auto half = static_cast<std::uint16_t>(bits);
+    if ((half & 0x7C00) == 0x7C00) continue;  // skip inf/NaN payload checks
+    EXPECT_EQ(du::float_to_half(du::half_to_float(half)), half) << std::hex << bits;
+  }
+}

@@ -1,0 +1,66 @@
+#include "dlscale/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace du = dlscale::util;
+
+TEST(RunningStats, EmptyIsZero) {
+  du::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  du::RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  du::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance is 32/7.
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(du::percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(du::percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(du::percentile(v, 100), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(du::percentile(v, 25), 2.5);
+}
+
+TEST(Percentile, EmptyIsZero) { EXPECT_DOUBLE_EQ(du::percentile({}, 50), 0.0); }
+
+TEST(Mean, Basic) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(du::mean(v), 2.0);
+  EXPECT_DOUBLE_EQ(du::mean({}), 0.0);
+}
+
+TEST(Geomean, Basic) {
+  const std::vector<double> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(du::geomean(v), 4.0, 1e-12);
+}
+
+TEST(Geomean, NonPositiveYieldsZero) {
+  const std::vector<double> v{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(du::geomean(v), 0.0);
+}

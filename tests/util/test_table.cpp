@@ -1,0 +1,52 @@
+#include "dlscale/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace du = dlscale::util;
+
+TEST(Table, AsciiContainsHeaderAndCells) {
+  du::Table t("demo");
+  t.set_header({"gpus", "img/s"});
+  t.add_row({"1", "6.7"});
+  t.add_row({"132", "812.4"});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("demo"), std::string::npos);
+  EXPECT_NE(ascii.find("gpus"), std::string::npos);
+  EXPECT_NE(ascii.find("812.4"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  du::Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, HeaderAfterRowsThrows) {
+  du::Table t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.set_header({"b"}), std::logic_error);
+}
+
+TEST(Table, CsvQuoting) {
+  du::Table t;
+  t.set_header({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(du::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(du::Table::num(7LL), "7");
+  EXPECT_EQ(du::Table::pct(0.923, 1), "92.3%");
+}
+
+TEST(Table, RowsCount) {
+  du::Table t;
+  t.set_header({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+}
