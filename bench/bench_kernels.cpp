@@ -6,11 +6,26 @@
 #include "dlscale/mpi/comm.hpp"
 #include "dlscale/tensor/ops.hpp"
 #include "dlscale/util/rng.hpp"
+#include "dlscale/util/thread_pool.hpp"
 
 namespace dt = dlscale::tensor;
 namespace dm = dlscale::mpi;
+namespace du = dlscale::util;
 
 namespace {
+
+/// Pins the kernel pool to `threads` for one benchmark run and restores
+/// the previous setting on destruction (thread-count sweeps).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads) : prev_(du::global_thread_count()) {
+    du::set_global_thread_count(threads);
+  }
+  ~ScopedThreads() { du::set_global_thread_count(prev_); }
+
+ private:
+  int prev_;
+};
 
 void BM_Conv2dForward(benchmark::State& state) {
   const int channels = static_cast<int>(state.range(0));
@@ -112,5 +127,56 @@ void BM_MatmulSquare(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
 BENCHMARK(BM_MatmulSquare)->Arg(64)->Arg(128)->Arg(256);
+
+// GEMMs at the shapes the full-scale DLv3+ conv layers lower to via
+// im2col: (out_c) x (in_c*kh*kw) times (in_c*kh*kw) x (out_h*out_w).
+// 33x33 is the 513-input encoder output at stride 16.
+void BM_GemmDLv3Shape(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  dlscale::util::Rng rng(1);
+  const auto a = dt::Tensor::randn({m, k}, rng);
+  const auto b = dt::Tensor::randn({k, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * k * n);
+}
+BENCHMARK(BM_GemmDLv3Shape)
+    ->Args({256, 2304, 1089})   // ASPP 3x3 atrous branch: 256ch <- 256ch*3*3
+    ->Args({256, 1280, 1089})   // ASPP projection 1x1: 256ch <- 5*256ch
+    ->Args({48, 256, 16641});   // decoder low-level 1x1 at stride 4 (129x129)
+
+// Thread-count sweep on a DLv3+-like conv block (the speedup the whole
+// PR exists for). Run with -DCMAKE_BUILD_TYPE=Release; Arg = pool size.
+void BM_Conv2dForwardThreads(benchmark::State& state) {
+  ScopedThreads scoped(static_cast<int>(state.range(0)));
+  dlscale::util::Rng rng(1);
+  const auto x = dt::Tensor::randn({2, 64, 33, 33}, rng);
+  const auto w = dt::Tensor::he_init({64, 64, 3, 3}, rng);
+  const dt::Conv2dSpec spec{1, 2, 2};  // atrous rate 2, "same" output
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt::conv2d(x, w, nullptr, spec));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // images/s
+}
+BENCHMARK(BM_Conv2dForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Conv2dBackwardThreads(benchmark::State& state) {
+  ScopedThreads scoped(static_cast<int>(state.range(0)));
+  dlscale::util::Rng rng(1);
+  const auto x = dt::Tensor::randn({2, 64, 33, 33}, rng);
+  const auto w = dt::Tensor::he_init({64, 64, 3, 3}, rng);
+  const dt::Conv2dSpec spec{1, 2, 2};
+  const auto y = dt::conv2d(x, w, nullptr, spec);
+  const auto grad_out = dt::Tensor::full(y.shape(), 1.0f);
+  for (auto _ : state) {
+    dt::Tensor grad_w(w.shape());
+    benchmark::DoNotOptimize(dt::conv2d_backward(x, w, grad_out, spec, grad_w, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_Conv2dBackwardThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace

@@ -1,8 +1,24 @@
 #!/bin/sh
 # Runs every paper-reproduction bench in experiment order and tees the
 # output; used to produce bench_output.txt for EXPERIMENTS.md.
+#
+# Build the tree with -DCMAKE_BUILD_TYPE=Release first; kernel numbers
+# from an unoptimized build are meaningless. DLSCALE_NUM_THREADS controls
+# the tensor-kernel pool (bench_kernels also sweeps it explicitly).
 set -e
 BUILD="${1:-build}"
+
+if [ -f "$BUILD/CMakeCache.txt" ]; then
+  build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")
+  case "$build_type" in
+    Release|RelWithDebInfo) ;;
+    *)
+      echo "WARNING: $BUILD was configured with CMAKE_BUILD_TYPE='$build_type'." >&2
+      echo "WARNING: configure with -DCMAKE_BUILD_TYPE=Release before trusting bench numbers." >&2
+      ;;
+  esac
+fi
+
 for b in bench_single_gpu bench_allreduce_latency bench_scaling bench_tuning_sweep \
          bench_accuracy_parity bench_hierarchical bench_gdr_path bench_fusion_stats bench_resnet_scaling bench_fp16_compression \
          bench_kernels; do

@@ -6,6 +6,13 @@
 // upsampling), channel concat, and per-pixel softmax cross-entropy with
 // an ignore label. Layout is NCHW throughout; conv weights are
 // (O, C, kh, kw).
+//
+// Threading: hot kernels parallelise over the shared util::ThreadPool
+// (DLSCALE_NUM_THREADS, see util/thread_pool.hpp). Partitioning preserves
+// each output element's serial accumulation order, so results are bitwise
+// identical at any thread count — the property the E6 gradient-parity
+// experiment depends on. Nested calls (a kernel invoked from inside a
+// pool worker) run inline and serial.
 #pragma once
 
 #include <optional>
@@ -43,9 +50,17 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b);
 /// Unfold input (C,H,W window grid) into a (C*kh*kw) x (outH*outW) matrix
 /// for one sample. Exposed for testing.
 Tensor im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec& spec);
+/// Raw-buffer variant writing into caller-owned storage of
+/// (C*kh*kw) * (outH*outW) floats — the conv kernels use this with a
+/// reusable scratch arena to avoid per-sample allocation.
+void im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec& spec,
+            float* cols);
 /// Fold a (C*kh*kw) x (outH*outW) matrix back, accumulating into
 /// `grad_input` at `sample`. Inverse-adjoint of im2col.
 void col2im(const Tensor& cols, Tensor& grad_input, int sample, int kh, int kw,
+            const Conv2dSpec& spec);
+/// Raw-buffer variant of col2im (shape implied by grad_input and spec).
+void col2im(const float* cols, Tensor& grad_input, int sample, int kh, int kw,
             const Conv2dSpec& spec);
 
 /// Forward convolution: input (N,C,H,W), weight (O,C,kh,kw), optional

@@ -1,0 +1,82 @@
+// Shared worker pool for the tensor kernels.
+//
+// The mini DeepLab-v3+ that backs the accuracy-parity experiment runs on
+// real CPU kernels (src/tensor/ops.cpp); this pool lets those kernels use
+// every core while staying composable with simmpi's ranks-as-threads
+// runtime. Design constraints, in order:
+//
+//  1. **Bounded parallelism.** One lazy global pool, sized by
+//     DLSCALE_NUM_THREADS (default: hardware_concurrency). N rank threads
+//     calling kernels concurrently share the same workers — an 8-rank
+//     training test never spawns 8 pools.
+//  2. **No deadlock on nesting.** A parallel_for issued from inside a pool
+//     worker (a kernel calling another kernel) runs inline and serial.
+//     Rank threads are *callers*, not workers, so they still fan out.
+//  3. **Caller always makes progress.** The submitting thread participates
+//     in its own job, claiming chunks alongside the workers. If every
+//     worker is busy with other callers' jobs, the caller simply executes
+//     all chunks itself — saturation degrades to serial, never blocks.
+//  4. **Determinism.** Chunk boundaries are a pure function of
+//     (begin, end, grain) — never of the thread count — so a kernel that
+//     accumulates per-chunk partials in chunk order produces bitwise
+//     identical results at any DLSCALE_NUM_THREADS setting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+namespace dlscale::util {
+
+/// Fixed-size worker pool with a chunked parallel-for primitive.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller of parallel_for is the
+  /// remaining participant). `threads <= 1` means fully serial.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured parallelism (workers + caller); >= 1.
+  [[nodiscard]] int size() const noexcept { return threads_; }
+
+  /// Runs fn(lo, hi) over disjoint chunks covering [begin, end), each at
+  /// most `grain` long. Chunk c covers
+  ///   [begin + c*grain, min(begin + (c+1)*grain, end))
+  /// regardless of pool size. Blocks until every chunk has run; the first
+  /// exception thrown by fn is rethrown on the calling thread (remaining
+  /// chunks still execute). Empty ranges return immediately. Calls from a
+  /// pool worker run inline as a single fn(begin, end).
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// True when the current thread is one of this pool's workers.
+  [[nodiscard]] static bool in_worker() noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int threads_;
+};
+
+/// The process-wide pool, created on first use and sized by
+/// DLSCALE_NUM_THREADS (default: std::thread::hardware_concurrency).
+ThreadPool& global_pool();
+
+/// Parallelism of the global pool without forcing its creation when a
+/// serial answer suffices.
+int global_thread_count();
+
+/// Re-sizes the global pool (tests and bench thread sweeps). Must not be
+/// called while any parallel_for is in flight.
+void set_global_thread_count(int threads);
+
+/// Convenience: global_pool().parallel_for(...).
+inline void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                         const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  global_pool().parallel_for(begin, end, grain, fn);
+}
+
+}  // namespace dlscale::util

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dlscale/util/thread_pool.hpp"
+
 namespace dlscale::nn {
 
 double PolySchedule::lr_at(long iter) const {
@@ -45,11 +47,15 @@ void SgdMomentum::step(double lr) {
     const auto mu = static_cast<float>(config_.momentum);
     const auto eta = static_cast<float>(lr);
     const auto cs = static_cast<float>(clip_scale);
-    for (std::size_t j = 0; j < value.size(); ++j) {
-      const float g = cs * grad[j] + wd * value[j];
-      vel[j] = mu * vel[j] + g;
-      value[j] -= eta * vel[j];
-    }
+    // Elementwise, so safe to fan out over the kernel thread pool.
+    util::parallel_for(0, static_cast<std::int64_t>(value.size()), 1 << 15,
+                       [&](std::int64_t j0, std::int64_t j1) {
+                         for (std::int64_t j = j0; j < j1; ++j) {
+                           const float g = cs * grad[j] + wd * value[j];
+                           vel[j] = mu * vel[j] + g;
+                           value[j] -= eta * vel[j];
+                         }
+                       });
   }
 }
 

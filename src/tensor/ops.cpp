@@ -2,8 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "dlscale/util/thread_pool.hpp"
+
+// Threading model (see DESIGN.md §6): every hot kernel fans out over the
+// shared util::ThreadPool via parallel_for. Work is partitioned so that
+// each output element is produced by exactly one chunk with a serial
+// reduction order fixed by the data layout — chunk boundaries depend only
+// on shapes and grain constants, never on the thread count — so results
+// are bitwise identical at any DLSCALE_NUM_THREADS setting (the property
+// the E6 gradient-parity experiment relies on). Kernels invoked from
+// inside a pool worker (nested calls) run inline and serial.
 
 namespace dlscale::tensor {
 
@@ -11,6 +24,100 @@ namespace {
 
 void require(bool condition, const char* message) {
   if (!condition) throw std::invalid_argument(message);
+}
+
+/// Floor/ceil integer division for possibly-negative numerators
+/// (positive divisors), used to clip im2col column ranges.
+inline int div_floor(int a, int b) {
+  const int q = a / b, r = a % b;
+  return (r != 0 && (r < 0) != (b < 0)) ? q - 1 : q;
+}
+inline int div_ceil(int a, int b) { return -div_floor(-a, b); }
+
+/// Chunk length for parallelising `rows` units of `work_per_row` fused
+/// mul-adds each: targets ~64k ops per chunk so pool dispatch overhead is
+/// amortised. Pure function of the shape — never of the thread count.
+inline std::int64_t row_grain(std::int64_t rows, std::int64_t work_per_row) {
+  constexpr std::int64_t kTargetOps = 1 << 16;
+  if (rows <= 1) return 1;
+  const std::int64_t grain =
+      work_per_row > 0 ? (kTargetOps + work_per_row - 1) / work_per_row : rows;
+  return std::clamp<std::int64_t>(grain, 1, rows);
+}
+
+/// Grain for elementwise sweeps.
+constexpr std::int64_t kElemGrain = 1 << 15;
+
+/// Per-thread scratch for per-sample column matrices in conv backward;
+/// grows monotonically and is reused across samples and training steps.
+float* sample_scratch(std::size_t n) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+/// Per-caller scratch holding the *batched* im2col matrix (all samples'
+/// columns side by side); reused across conv calls and iterations.
+float* batched_cols_scratch(std::size_t n) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+// ---- raw GEMM microkernels -------------------------------------------------
+//
+// All three keep the seed kernels' per-element accumulation order (k
+// ascending, zeros in A skipped), so the parallel wrappers below are
+// bitwise-stable however the row space is partitioned. The k loop is
+// blocked (kKC rows of B at a time) so the streamed B panel stays cache
+// resident across the row loop.
+
+constexpr int kKC = 128;
+
+/// c(rows x n) += a(rows x k) * b(k x n); c must be pre-zeroed for a
+/// plain product. ikj order with a unit-stride inner loop.
+void gemm_nn(const float* a, const float* b, float* c, int rows, int k, int n) {
+  for (int kb = 0; kb < k; kb += kKC) {
+    const int kend = std::min(k, kb + kKC);
+    for (int i = 0; i < rows; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int kk = kb; kk < kend; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + static_cast<std::size_t>(kk) * n;
+        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+/// c(cols_lo..cols_hi of A^T's row space) += A^T * B for a(k x m),
+/// b(k x n): computes rows [i0, i1) of the (m x n) product.
+void gemm_tn(const float* a, const float* b, float* c, int i0, int i1, int m, int k, int n) {
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a + static_cast<std::size_t>(kk) * m;
+    const float* brow = b + static_cast<std::size_t>(kk) * n;
+    for (int i = i0; i < i1; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(i - i0) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+/// c(rows x n) += a(rows x k) * b(n x k)^T — dot-product form.
+void gemm_nt_acc(const float* a, const float* b, float* c, int rows, int k, int n) {
+  for (int i = 0; i < rows; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      c[static_cast<std::size_t>(i) * n + j] += acc;
+    }
+  }
 }
 
 }  // namespace
@@ -27,16 +134,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.ptr();
   const float* pb = b.ptr();
   float* pc = c.ptr();
-  // ikj loop order: unit-stride inner loop over both B and C rows.
-  for (int i = 0; i < m; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = pa[static_cast<std::size_t>(i) * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + static_cast<std::size_t>(kk) * n;
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  util::parallel_for(0, m, row_grain(m, static_cast<std::int64_t>(k) * n),
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       gemm_nn(pa + i0 * k, pb, pc + i0 * n, static_cast<int>(i1 - i0), k, n);
+                     });
   return c;
 }
 
@@ -48,16 +149,11 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pa = a.ptr();
   const float* pb = b.ptr();
   float* pc = c.ptr();
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = pa + static_cast<std::size_t>(kk) * m;
-    const float* brow = pb + static_cast<std::size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  util::parallel_for(0, m, row_grain(m, static_cast<std::int64_t>(k) * n),
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       gemm_tn(pa, pb, pc + i0 * n, static_cast<int>(i0), static_cast<int>(i1), m,
+                               k, n);
+                     });
   return c;
 }
 
@@ -69,21 +165,56 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.ptr();
   const float* pb = b.ptr();
   float* pc = c.ptr();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<std::size_t>(i) * k;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = pb + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      pc[static_cast<std::size_t>(i) * n + j] = acc;
-    }
-  }
+  util::parallel_for(0, m, row_grain(m, static_cast<std::int64_t>(k) * n),
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       gemm_nt_acc(pa + i0 * k, pb, pc + i0 * n, static_cast<int>(i1 - i0), k, n);
+                     });
   return c;
 }
 
 // ---------------------------------------------------------------------------
 // convolution
 // ---------------------------------------------------------------------------
+
+void im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec& spec,
+            float* cols) {
+  const int channels = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int out_h = spec.out_extent(h, kh);
+  const int out_w = spec.out_extent(w, kw);
+  const int patch = out_h * out_w;
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const float* base = input.ptr() + static_cast<std::size_t>(sample) * channels * plane;
+  for (int c = 0; c < channels; ++c) {
+    const float* src_plane = base + static_cast<std::size_t>(c) * plane;
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        const int row = (c * kh + ky) * kw + kx;
+        float* dst = cols + static_cast<std::size_t>(row) * patch;
+        // ix = ox*stride + x_off; clip to the [0, w) window once per row.
+        const int x_off = kx * spec.dilation - spec.pad;
+        const int ox0 = std::min(out_w, std::max(0, div_ceil(-x_off, spec.stride)));
+        const int ox1 =
+            std::max(ox0, std::min(out_w, div_floor(w - 1 - x_off, spec.stride) + 1));
+        for (int oy = 0; oy < out_h; ++oy) {
+          const int iy = oy * spec.stride - spec.pad + ky * spec.dilation;
+          float* drow = dst + static_cast<std::size_t>(oy) * out_w;
+          if (iy < 0 || iy >= h) {
+            std::fill(drow, drow + out_w, 0.0f);
+            continue;
+          }
+          const float* srow = src_plane + static_cast<std::size_t>(iy) * w;
+          std::fill(drow, drow + ox0, 0.0f);
+          if (spec.stride == 1) {
+            std::copy(srow + ox0 + x_off, srow + ox1 + x_off, drow + ox0);
+          } else {
+            for (int ox = ox0; ox < ox1; ++ox) drow[ox] = srow[ox * spec.stride + x_off];
+          }
+          std::fill(drow + ox1, drow + out_w, 0.0f);
+        }
+      }
+    }
+  }
+}
 
 Tensor im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec& spec) {
   require(input.ndim() == 4, "im2col: input must be (N,C,H,W)");
@@ -92,26 +223,38 @@ Tensor im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec&
   const int out_w = spec.out_extent(w, kw);
   require(out_h > 0 && out_w > 0, "im2col: empty output");
   Tensor cols({channels * kh * kw, out_h * out_w});
-  float* pc = cols.ptr();
+  im2col(input, sample, kh, kw, spec, cols.ptr());
+  return cols;
+}
+
+void col2im(const float* cols, Tensor& grad_input, int sample, int kh, int kw,
+            const Conv2dSpec& spec) {
+  const int channels = grad_input.dim(1), h = grad_input.dim(2), w = grad_input.dim(3);
+  const int out_h = spec.out_extent(h, kh);
+  const int out_w = spec.out_extent(w, kw);
   const int patch = out_h * out_w;
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  float* base = grad_input.ptr() + static_cast<std::size_t>(sample) * channels * plane;
   for (int c = 0; c < channels; ++c) {
+    float* dst_plane = base + static_cast<std::size_t>(c) * plane;
     for (int ky = 0; ky < kh; ++ky) {
       for (int kx = 0; kx < kw; ++kx) {
         const int row = (c * kh + ky) * kw + kx;
-        float* dst = pc + static_cast<std::size_t>(row) * patch;
+        const float* src = cols + static_cast<std::size_t>(row) * patch;
+        const int x_off = kx * spec.dilation - spec.pad;
+        const int ox0 = std::min(out_w, std::max(0, div_ceil(-x_off, spec.stride)));
+        const int ox1 =
+            std::max(ox0, std::min(out_w, div_floor(w - 1 - x_off, spec.stride) + 1));
         for (int oy = 0; oy < out_h; ++oy) {
           const int iy = oy * spec.stride - spec.pad + ky * spec.dilation;
-          for (int ox = 0; ox < out_w; ++ox) {
-            const int ix = ox * spec.stride - spec.pad + kx * spec.dilation;
-            dst[oy * out_w + ox] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
-                                       ? input.at(sample, c, iy, ix)
-                                       : 0.0f;
-          }
+          if (iy < 0 || iy >= h) continue;
+          const float* srow = src + static_cast<std::size_t>(oy) * out_w;
+          float* drow = dst_plane + static_cast<std::size_t>(iy) * w;
+          for (int ox = ox0; ox < ox1; ++ox) drow[ox * spec.stride + x_off] += srow[ox];
         }
       }
     }
   }
-  return cols;
 }
 
 void col2im(const Tensor& cols, Tensor& grad_input, int sample, int kh, int kw,
@@ -121,25 +264,7 @@ void col2im(const Tensor& cols, Tensor& grad_input, int sample, int kh, int kw,
   const int out_w = spec.out_extent(w, kw);
   require(cols.dim(0) == channels * kh * kw && cols.dim(1) == out_h * out_w,
           "col2im: shape mismatch");
-  const float* pc = cols.ptr();
-  const int patch = out_h * out_w;
-  for (int c = 0; c < channels; ++c) {
-    for (int ky = 0; ky < kh; ++ky) {
-      for (int kx = 0; kx < kw; ++kx) {
-        const int row = (c * kh + ky) * kw + kx;
-        const float* src = pc + static_cast<std::size_t>(row) * patch;
-        for (int oy = 0; oy < out_h; ++oy) {
-          const int iy = oy * spec.stride - spec.pad + ky * spec.dilation;
-          if (iy < 0 || iy >= h) continue;
-          for (int ox = 0; ox < out_w; ++ox) {
-            const int ix = ox * spec.stride - spec.pad + kx * spec.dilation;
-            if (ix < 0 || ix >= w) continue;
-            grad_input.at(sample, c, iy, ix) += src[oy * out_w + ox];
-          }
-        }
-      }
-    }
-  }
+  col2im(cols.ptr(), grad_input, sample, kh, kw, spec);
 }
 
 Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
@@ -153,25 +278,44 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
   const int out_w = spec.out_extent(w, kw);
   require(out_h > 0 && out_w > 0, "conv2d: empty output");
 
-  const Tensor w2d = weight.reshaped({out_c, in_c * kh * kw});
-  Tensor output({batch, out_c, out_h, out_w});
+  const int kdim = in_c * kh * kw;
   const int patch = out_h * out_w;
-  for (int n = 0; n < batch; ++n) {
-    const Tensor cols = im2col(input, n, kh, kw, spec);
-    const Tensor prod = matmul(w2d, cols);  // (out_c, patch)
-    float* dst = output.ptr() + static_cast<std::size_t>(n) * out_c * patch;
-    std::copy(prod.ptr(), prod.ptr() + prod.numel(), dst);
-  }
-  if (bias != nullptr) {
-    for (int n = 0; n < batch; ++n) {
-      for (int o = 0; o < out_c; ++o) {
-        const float b = (*bias)[static_cast<std::size_t>(o)];
-        float* dst =
-            output.ptr() + (static_cast<std::size_t>(n) * out_c + o) * patch;
-        for (int i = 0; i < patch; ++i) dst[i] += b;
-      }
+  const std::size_t cols_stride = static_cast<std::size_t>(kdim) * patch;
+  float* cols = batched_cols_scratch(cols_stride * static_cast<std::size_t>(batch));
+
+  // Phase 1: batched im2col, parallel over samples.
+  util::parallel_for(0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t n = n0; n < n1; ++n) {
+      im2col(input, static_cast<int>(n), kh, kw, spec, cols + cols_stride * n);
     }
-  }
+  });
+
+  // Phase 2: output GEMM, parallel over (sample, output-channel block).
+  const Tensor w2d = weight.reshaped({out_c, kdim});
+  Tensor output({batch, out_c, out_h, out_w});
+  const float* pw = w2d.ptr();
+  const float* pbias = bias != nullptr ? bias->ptr() : nullptr;
+  float* pout = output.ptr();
+  const std::int64_t ocb = row_grain(out_c, static_cast<std::int64_t>(kdim) * patch);
+  const std::int64_t blocks = (out_c + ocb - 1) / ocb;
+  util::parallel_for(0, static_cast<std::int64_t>(batch) * blocks, 1,
+                     [&](std::int64_t t0, std::int64_t t1) {
+                       for (std::int64_t t = t0; t < t1; ++t) {
+                         const std::int64_t n = t / blocks;
+                         const int o0 = static_cast<int>((t % blocks) * ocb);
+                         const int o1 = std::min(out_c, o0 + static_cast<int>(ocb));
+                         float* dst = pout + (static_cast<std::size_t>(n) * out_c + o0) * patch;
+                         gemm_nn(pw + static_cast<std::size_t>(o0) * kdim, cols + cols_stride * n,
+                                 dst, o1 - o0, kdim, patch);
+                         if (pbias != nullptr) {
+                           for (int o = o0; o < o1; ++o) {
+                             float* row = pout + (static_cast<std::size_t>(n) * out_c + o) * patch;
+                             const float b = pbias[o];
+                             for (int i = 0; i < patch; ++i) row[i] += b;
+                           }
+                         }
+                       }
+                     });
   return output;
 }
 
@@ -182,41 +326,65 @@ Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& 
   const int out_h = grad_out.dim(2), out_w = grad_out.dim(3);
   require(same_shape(grad_weight, weight), "conv2d_backward: grad_weight shape");
   const int patch = out_h * out_w;
+  const int kdim = in_c * kh * kw;
+  const std::size_t cols_stride = static_cast<std::size_t>(kdim) * patch;
 
-  const Tensor w2d = weight.reshaped({out_c, in_c * kh * kw});
-  Tensor grad_w2d = grad_weight.reshaped({out_c, in_c * kh * kw});
+  const Tensor w2d = weight.reshaped({out_c, kdim});
   Tensor grad_input({batch, in_c, input.dim(2), input.dim(3)});
+  const float* pw = w2d.ptr();
+  const float* pgo = grad_out.ptr();
+  float* cols = batched_cols_scratch(cols_stride * static_cast<std::size_t>(batch));
 
-  for (int n = 0; n < batch; ++n) {
-    // View this sample's grad_out as (out_c, patch).
-    Tensor go({out_c, patch});
-    std::copy(grad_out.ptr() + static_cast<std::size_t>(n) * out_c * patch,
-              grad_out.ptr() + static_cast<std::size_t>(n + 1) * out_c * patch, go.ptr());
-    const Tensor cols = im2col(input, n, kh, kw, spec);
-    // dW += go * cols^T
-    const Tensor dw = matmul_nt(go, cols);
-    grad_w2d.add_(dw);
-    // dX_cols = W^T * go, folded back with col2im.
-    const Tensor dcols = matmul_tn(w2d, go);
-    col2im(dcols, grad_input, n, kh, kw, spec);
-  }
-  // Write the accumulated 2D gradient back into the 4D tensor.
-  std::copy(grad_w2d.ptr(), grad_w2d.ptr() + grad_w2d.numel(), grad_weight.ptr());
+  // Phase 1: batched im2col, parallel over samples.
+  util::parallel_for(0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t n = n0; n < n1; ++n) {
+      im2col(input, static_cast<int>(n), kh, kw, spec, cols + cols_stride * n);
+    }
+  });
+
+  // Phase 2: dW += sum_n go_n * cols_n^T, parallel over output-channel
+  // rows; each row accumulates over samples in ascending order so the
+  // result matches the serial per-sample add_ exactly.
+  float* pgw = grad_weight.ptr();  // (out_c, kdim) view of the 4D tensor
+  util::parallel_for(0, out_c, row_grain(out_c, static_cast<std::int64_t>(batch) * kdim * patch),
+                     [&](std::int64_t o0, std::int64_t o1) {
+                       for (int n = 0; n < batch; ++n) {
+                         gemm_nt_acc(pgo + (static_cast<std::size_t>(n) * out_c + o0) * patch,
+                                     cols + cols_stride * n,
+                                     pgw + static_cast<std::size_t>(o0) * kdim,
+                                     static_cast<int>(o1 - o0), patch, kdim);
+                       }
+                     });
+
+  // Phase 3: dX = col2im(W^T * go_n), parallel over samples with a
+  // per-thread dcols scratch reused across samples.
+  util::parallel_for(0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t n = n0; n < n1; ++n) {
+      float* dcols = sample_scratch(cols_stride);
+      std::fill(dcols, dcols + cols_stride, 0.0f);
+      gemm_tn(pw, pgo + static_cast<std::size_t>(n) * out_c * patch, dcols, 0, kdim, kdim, out_c,
+              patch);
+      col2im(dcols, grad_input, static_cast<int>(n), kh, kw, spec);
+    }
+  });
 
   if (grad_bias != nullptr) {
-    for (int n = 0; n < batch; ++n) {
-      for (int o = 0; o < out_c; ++o) {
-        const float* src =
-            grad_out.ptr() + (static_cast<std::size_t>(n) * out_c + o) * patch;
-        float acc = 0.0f;
-        for (int i = 0; i < patch; ++i) acc += src[i];
-        (*grad_bias)[static_cast<std::size_t>(o)] += acc;
-      }
-    }
+    float* pgb = grad_bias->ptr();
+    util::parallel_for(0, out_c, row_grain(out_c, static_cast<std::int64_t>(batch) * patch),
+                       [&](std::int64_t o0, std::int64_t o1) {
+                         for (std::int64_t o = o0; o < o1; ++o) {
+                           for (int n = 0; n < batch; ++n) {
+                             const float* src =
+                                 pgo + (static_cast<std::size_t>(n) * out_c + o) * patch;
+                             float acc = 0.0f;
+                             for (int i = 0; i < patch; ++i) acc += src[i];
+                             pgb[o] += acc;
+                           }
+                         }
+                       });
   }
   return grad_input;
 }
-
 
 Tensor depthwise_conv2d(const Tensor& input, const Tensor& weight, const Conv2dSpec& spec) {
   require(input.ndim() == 4 && weight.ndim() == 4, "depthwise_conv2d: 4D input/weight required");
@@ -229,22 +397,36 @@ Tensor depthwise_conv2d(const Tensor& input, const Tensor& weight, const Conv2dS
   require(out_h > 0 && out_w > 0, "depthwise_conv2d: empty output");
 
   Tensor out({batch, channels, out_h, out_w});
-  for (int n = 0; n < batch; ++n)
-    for (int c = 0; c < channels; ++c)
-      for (int oy = 0; oy < out_h; ++oy)
-        for (int ox = 0; ox < out_w; ++ox) {
-          float acc = 0.0f;
-          for (int ky = 0; ky < kh; ++ky) {
-            const int iy = oy * spec.stride - spec.pad + ky * spec.dilation;
-            if (iy < 0 || iy >= h) continue;
-            for (int kx = 0; kx < kw; ++kx) {
-              const int ix = ox * spec.stride - spec.pad + kx * spec.dilation;
-              if (ix < 0 || ix >= w) continue;
-              acc += input.at(n, c, iy, ix) * weight.at(c, 0, ky, kx);
+  const std::size_t in_plane = static_cast<std::size_t>(h) * w;
+  const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
+  const float* pin = input.ptr();
+  const float* pwt = weight.ptr();
+  float* pout = out.ptr();
+  const std::int64_t planes = static_cast<std::int64_t>(batch) * channels;
+  util::parallel_for(
+      0, planes, row_grain(planes, static_cast<std::int64_t>(out_plane) * kh * kw),
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const int c = static_cast<int>(p % channels);
+          const float* src = pin + static_cast<std::size_t>(p) * in_plane;
+          const float* wt = pwt + static_cast<std::size_t>(c) * kh * kw;
+          float* dst = pout + static_cast<std::size_t>(p) * out_plane;
+          for (int oy = 0; oy < out_h; ++oy)
+            for (int ox = 0; ox < out_w; ++ox) {
+              float acc = 0.0f;
+              for (int ky = 0; ky < kh; ++ky) {
+                const int iy = oy * spec.stride - spec.pad + ky * spec.dilation;
+                if (iy < 0 || iy >= h) continue;
+                for (int kx = 0; kx < kw; ++kx) {
+                  const int ix = ox * spec.stride - spec.pad + kx * spec.dilation;
+                  if (ix < 0 || ix >= w) continue;
+                  acc += src[static_cast<std::size_t>(iy) * w + ix] * wt[ky * kw + kx];
+                }
+              }
+              dst[static_cast<std::size_t>(oy) * out_w + ox] = acc;
             }
-          }
-          out.at(n, c, oy, ox) = acc;
         }
+      });
   return out;
 }
 
@@ -257,23 +439,45 @@ Tensor depthwise_conv2d_backward(const Tensor& input, const Tensor& weight,
   require(same_shape(grad_weight, weight), "depthwise_conv2d_backward: grad_weight shape");
 
   Tensor grad_input(input.shape());
-  for (int n = 0; n < batch; ++n)
-    for (int c = 0; c < channels; ++c)
-      for (int oy = 0; oy < out_h; ++oy)
-        for (int ox = 0; ox < out_w; ++ox) {
-          const float g = grad_out.at(n, c, oy, ox);
-          if (g == 0.0f) continue;
-          for (int ky = 0; ky < kh; ++ky) {
-            const int iy = oy * spec.stride - spec.pad + ky * spec.dilation;
-            if (iy < 0 || iy >= h) continue;
-            for (int kx = 0; kx < kw; ++kx) {
-              const int ix = ox * spec.stride - spec.pad + kx * spec.dilation;
-              if (ix < 0 || ix >= w) continue;
-              grad_input.at(n, c, iy, ix) += g * weight.at(c, 0, ky, kx);
-              grad_weight.at(c, 0, ky, kx) += g * input.at(n, c, iy, ix);
-            }
+  const std::size_t in_plane = static_cast<std::size_t>(h) * w;
+  const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
+  const float* pin = input.ptr();
+  const float* pwt = weight.ptr();
+  const float* pgo = grad_out.ptr();
+  float* pgi = grad_input.ptr();
+  float* pgw = grad_weight.ptr();
+  // Parallel over channels: each chunk owns its channels' grad_weight
+  // filters and grad_input planes; samples accumulate in ascending order.
+  util::parallel_for(
+      0, channels,
+      row_grain(channels, static_cast<std::int64_t>(batch) * out_plane * kh * kw),
+      [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          const float* wt = pwt + static_cast<std::size_t>(c) * kh * kw;
+          float* gw = pgw + static_cast<std::size_t>(c) * kh * kw;
+          for (int n = 0; n < batch; ++n) {
+            const std::size_t plane_idx = static_cast<std::size_t>(n) * channels + c;
+            const float* src = pin + plane_idx * in_plane;
+            const float* go = pgo + plane_idx * out_plane;
+            float* gi = pgi + plane_idx * in_plane;
+            for (int oy = 0; oy < out_h; ++oy)
+              for (int ox = 0; ox < out_w; ++ox) {
+                const float g = go[static_cast<std::size_t>(oy) * out_w + ox];
+                if (g == 0.0f) continue;
+                for (int ky = 0; ky < kh; ++ky) {
+                  const int iy = oy * spec.stride - spec.pad + ky * spec.dilation;
+                  if (iy < 0 || iy >= h) continue;
+                  for (int kx = 0; kx < kw; ++kx) {
+                    const int ix = ox * spec.stride - spec.pad + kx * spec.dilation;
+                    if (ix < 0 || ix >= w) continue;
+                    gi[static_cast<std::size_t>(iy) * w + ix] += g * wt[ky * kw + kx];
+                    gw[ky * kw + kx] += g * src[static_cast<std::size_t>(iy) * w + ix];
+                  }
+                }
+              }
           }
         }
+      });
   return grad_input;
 }
 
@@ -283,16 +487,25 @@ Tensor depthwise_conv2d_backward(const Tensor& input, const Tensor& weight,
 
 Tensor relu(const Tensor& x) {
   Tensor out = x;
-  for (std::size_t i = 0; i < out.numel(); ++i) out[i] = std::max(0.0f, out[i]);
+  float* p = out.ptr();
+  util::parallel_for(0, static_cast<std::int64_t>(out.numel()), kElemGrain,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       for (std::int64_t i = i0; i < i1; ++i) p[i] = std::max(0.0f, p[i]);
+                     });
   return out;
 }
 
 Tensor relu_backward(const Tensor& x, const Tensor& grad_out) {
   require(same_shape(x, grad_out), "relu_backward: shape mismatch");
   Tensor grad = grad_out;
-  for (std::size_t i = 0; i < grad.numel(); ++i) {
-    if (x[i] <= 0.0f) grad[i] = 0.0f;
-  }
+  const float* px = x.ptr();
+  float* pg = grad.ptr();
+  util::parallel_for(0, static_cast<std::int64_t>(grad.numel()), kElemGrain,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       for (std::int64_t i = i0; i < i1; ++i) {
+                         if (px[i] <= 0.0f) pg[i] = 0.0f;
+                       }
+                     });
   return grad;
 }
 
@@ -302,56 +515,74 @@ Tensor batchnorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta, Ten
   require(x.ndim() == 4, "batchnorm2d: input must be (N,C,H,W)");
   const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
   require(static_cast<int>(gamma.numel()) == channels, "batchnorm2d: gamma size");
-  const std::size_t per_channel = static_cast<std::size_t>(batch) * h * w;
+  const std::size_t hw = static_cast<std::size_t>(h) * w;
+  const std::size_t per_channel = static_cast<std::size_t>(batch) * hw;
 
   Tensor out(x.shape());
   std::vector<float> mean(static_cast<std::size_t>(channels));
   std::vector<float> inv_std(static_cast<std::size_t>(channels));
+  const float* px = x.ptr();
 
-  for (int c = 0; c < channels; ++c) {
-    double m = 0.0, v = 0.0;
-    if (train) {
-      for (int n = 0; n < batch; ++n)
-        for (int y = 0; y < h; ++y)
-          for (int xx = 0; xx < w; ++xx) m += x.at(n, c, y, xx);
-      m /= static_cast<double>(per_channel);
-      for (int n = 0; n < batch; ++n)
-        for (int y = 0; y < h; ++y)
-          for (int xx = 0; xx < w; ++xx) {
-            const double d = x.at(n, c, y, xx) - m;
-            v += d * d;
+  // Per-channel statistics: each channel is reduced serially inside one
+  // chunk (sample-major order, matching the serial kernel bit for bit).
+  util::parallel_for(
+      0, channels, row_grain(channels, static_cast<std::int64_t>(per_channel) * 2),
+      [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          double m = 0.0, v = 0.0;
+          if (train) {
+            for (int n = 0; n < batch; ++n) {
+              const float* p = px + (static_cast<std::size_t>(n) * channels + c) * hw;
+              for (std::size_t i = 0; i < hw; ++i) m += p[i];
+            }
+            m /= static_cast<double>(per_channel);
+            for (int n = 0; n < batch; ++n) {
+              const float* p = px + (static_cast<std::size_t>(n) * channels + c) * hw;
+              for (std::size_t i = 0; i < hw; ++i) {
+                const double d = p[i] - m;
+                v += d * d;
+              }
+            }
+            v /= static_cast<double>(per_channel);
+            running_mean[static_cast<std::size_t>(c)] =
+                (1.0f - momentum) * running_mean[static_cast<std::size_t>(c)] +
+                momentum * static_cast<float>(m);
+            running_var[static_cast<std::size_t>(c)] =
+                (1.0f - momentum) * running_var[static_cast<std::size_t>(c)] +
+                momentum * static_cast<float>(v);
+          } else {
+            m = running_mean[static_cast<std::size_t>(c)];
+            v = running_var[static_cast<std::size_t>(c)];
           }
-      v /= static_cast<double>(per_channel);
-      running_mean[static_cast<std::size_t>(c)] =
-          (1.0f - momentum) * running_mean[static_cast<std::size_t>(c)] +
-          momentum * static_cast<float>(m);
-      running_var[static_cast<std::size_t>(c)] =
-          (1.0f - momentum) * running_var[static_cast<std::size_t>(c)] +
-          momentum * static_cast<float>(v);
-    } else {
-      m = running_mean[static_cast<std::size_t>(c)];
-      v = running_var[static_cast<std::size_t>(c)];
-    }
-    mean[static_cast<std::size_t>(c)] = static_cast<float>(m);
-    inv_std[static_cast<std::size_t>(c)] = static_cast<float>(1.0 / std::sqrt(v + eps));
-  }
+          mean[static_cast<std::size_t>(c)] = static_cast<float>(m);
+          inv_std[static_cast<std::size_t>(c)] = static_cast<float>(1.0 / std::sqrt(v + eps));
+        }
+      });
 
   Tensor x_hat(x.shape());
-  for (int n = 0; n < batch; ++n) {
-    for (int c = 0; c < channels; ++c) {
-      const float m = mean[static_cast<std::size_t>(c)];
-      const float is = inv_std[static_cast<std::size_t>(c)];
-      const float g = gamma[static_cast<std::size_t>(c)];
-      const float b = beta[static_cast<std::size_t>(c)];
-      for (int y = 0; y < h; ++y) {
-        for (int xx = 0; xx < w; ++xx) {
-          const float xh = (x.at(n, c, y, xx) - m) * is;
-          x_hat.at(n, c, y, xx) = xh;
-          out.at(n, c, y, xx) = g * xh + b;
-        }
-      }
-    }
-  }
+  float* pxh = x_hat.ptr();
+  float* pout = out.ptr();
+  const float* pg = gamma.ptr();
+  const float* pb = beta.ptr();
+  const std::int64_t planes = static_cast<std::int64_t>(batch) * channels;
+  util::parallel_for(0, planes, row_grain(planes, static_cast<std::int64_t>(hw)),
+                     [&](std::int64_t p0, std::int64_t p1) {
+                       for (std::int64_t p = p0; p < p1; ++p) {
+                         const auto c = static_cast<std::size_t>(p % channels);
+                         const float m = mean[c];
+                         const float is = inv_std[c];
+                         const float g = pg[c];
+                         const float b = pb[c];
+                         const float* src = px + static_cast<std::size_t>(p) * hw;
+                         float* xh = pxh + static_cast<std::size_t>(p) * hw;
+                         float* dst = pout + static_cast<std::size_t>(p) * hw;
+                         for (std::size_t i = 0; i < hw; ++i) {
+                           const float v = (src[i] - m) * is;
+                           xh[i] = v;
+                           dst[i] = g * v + b;
+                         }
+                       }
+                     });
   if (cache != nullptr) {
     cache->x_hat = std::move(x_hat);
     cache->mean = std::move(mean);
@@ -366,33 +597,45 @@ Tensor batchnorm2d_backward(const Tensor& grad_out, const BatchNormCache& cache,
   require(same_shape(grad_out, x_hat), "batchnorm2d_backward: shape mismatch");
   const int batch = grad_out.dim(0), channels = grad_out.dim(1), h = grad_out.dim(2),
             w = grad_out.dim(3);
-  const auto per_channel = static_cast<float>(static_cast<std::size_t>(batch) * h * w);
+  const std::size_t hw = static_cast<std::size_t>(h) * w;
+  const auto per_channel = static_cast<float>(static_cast<std::size_t>(batch) * hw);
 
   Tensor grad_in(grad_out.shape());
-  for (int c = 0; c < channels; ++c) {
-    double sum_dy = 0.0, sum_dy_xhat = 0.0;
-    for (int n = 0; n < batch; ++n)
-      for (int y = 0; y < h; ++y)
-        for (int xx = 0; xx < w; ++xx) {
-          const float dy = grad_out.at(n, c, y, xx);
-          sum_dy += dy;
-          sum_dy_xhat += dy * x_hat.at(n, c, y, xx);
-        }
-    grad_beta[static_cast<std::size_t>(c)] += static_cast<float>(sum_dy);
-    grad_gamma[static_cast<std::size_t>(c)] += static_cast<float>(sum_dy_xhat);
+  const float* pgo = grad_out.ptr();
+  const float* pxh = x_hat.ptr();
+  float* pgi = grad_in.ptr();
+  util::parallel_for(
+      0, channels, row_grain(channels, static_cast<std::int64_t>(batch) * hw * 2),
+      [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          double sum_dy = 0.0, sum_dy_xhat = 0.0;
+          for (int n = 0; n < batch; ++n) {
+            const std::size_t off = (static_cast<std::size_t>(n) * channels + c) * hw;
+            const float* dy = pgo + off;
+            const float* xh = pxh + off;
+            for (std::size_t i = 0; i < hw; ++i) {
+              sum_dy += dy[i];
+              sum_dy_xhat += dy[i] * xh[i];
+            }
+          }
+          grad_beta[static_cast<std::size_t>(c)] += static_cast<float>(sum_dy);
+          grad_gamma[static_cast<std::size_t>(c)] += static_cast<float>(sum_dy_xhat);
 
-    const float g = gamma[static_cast<std::size_t>(c)];
-    const float is = cache.inv_std[static_cast<std::size_t>(c)];
-    const float mean_dy = static_cast<float>(sum_dy) / per_channel;
-    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat) / per_channel;
-    for (int n = 0; n < batch; ++n)
-      for (int y = 0; y < h; ++y)
-        for (int xx = 0; xx < w; ++xx) {
-          const float dy = grad_out.at(n, c, y, xx);
-          const float xh = x_hat.at(n, c, y, xx);
-          grad_in.at(n, c, y, xx) = g * is * (dy - mean_dy - xh * mean_dy_xhat);
+          const float g = gamma[static_cast<std::size_t>(c)];
+          const float is = cache.inv_std[static_cast<std::size_t>(c)];
+          const float mean_dy = static_cast<float>(sum_dy) / per_channel;
+          const float mean_dy_xhat = static_cast<float>(sum_dy_xhat) / per_channel;
+          for (int n = 0; n < batch; ++n) {
+            const std::size_t off = (static_cast<std::size_t>(n) * channels + c) * hw;
+            const float* dy = pgo + off;
+            const float* xh = pxh + off;
+            float* gi = pgi + off;
+            for (std::size_t i = 0; i < hw; ++i) {
+              gi[i] = g * is * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+            }
+          }
         }
-  }
+      });
   return grad_in;
 }
 
@@ -408,26 +651,41 @@ Tensor maxpool2d(const Tensor& x, int kernel, int stride, std::vector<int>& argm
   require(out_h > 0 && out_w > 0, "maxpool2d: empty output");
   Tensor out({batch, channels, out_h, out_w});
   argmax.assign(out.numel(), 0);
-  std::size_t idx = 0;
-  for (int n = 0; n < batch; ++n)
-    for (int c = 0; c < channels; ++c)
-      for (int oy = 0; oy < out_h; ++oy)
-        for (int ox = 0; ox < out_w; ++ox, ++idx) {
-          float best = -std::numeric_limits<float>::infinity();
-          int best_pos = 0;
-          for (int ky = 0; ky < kernel; ++ky)
-            for (int kx = 0; kx < kernel; ++kx) {
-              const int iy = oy * stride + ky;
-              const int ix = ox * stride + kx;
-              const float v = x.at(n, c, iy, ix);
-              if (v > best) {
-                best = v;
-                best_pos = iy * w + ix;
+  const std::size_t in_plane = static_cast<std::size_t>(h) * w;
+  const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
+  const float* px = x.ptr();
+  float* pout = out.ptr();
+  int* pargmax = argmax.data();
+  const std::int64_t planes = static_cast<std::int64_t>(batch) * channels;
+  util::parallel_for(
+      0, planes, row_grain(planes, static_cast<std::int64_t>(out_plane) * kernel * kernel),
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const float* src = px + static_cast<std::size_t>(p) * in_plane;
+          float* dst = pout + static_cast<std::size_t>(p) * out_plane;
+          int* am = pargmax + static_cast<std::size_t>(p) * out_plane;
+          std::size_t idx = 0;
+          for (int oy = 0; oy < out_h; ++oy)
+            for (int ox = 0; ox < out_w; ++ox, ++idx) {
+              float best = -std::numeric_limits<float>::infinity();
+              int best_pos = 0;
+              for (int ky = 0; ky < kernel; ++ky) {
+                const int iy = oy * stride + ky;
+                const float* srow = src + static_cast<std::size_t>(iy) * w;
+                for (int kx = 0; kx < kernel; ++kx) {
+                  const int ix = ox * stride + kx;
+                  const float v = srow[ix];
+                  if (v > best) {
+                    best = v;
+                    best_pos = iy * w + ix;
+                  }
+                }
               }
+              dst[idx] = best;
+              am[idx] = best_pos;
             }
-          out[idx] = best;
-          argmax[idx] = best_pos;
         }
+      });
   return out;
 }
 
@@ -439,15 +697,21 @@ Tensor maxpool2d_backward(const Tensor& x, const Tensor& grad_out, int kernel, i
   const int channels = x.dim(1), h = x.dim(2), w = x.dim(3);
   Tensor grad_in(x.shape());
   const int batch = grad_out.dim(0);
-  const int out_hw = grad_out.dim(2) * grad_out.dim(3);
-  std::size_t idx = 0;
-  for (int n = 0; n < batch; ++n)
-    for (int c = 0; c < channels; ++c)
-      for (int i = 0; i < out_hw; ++i, ++idx) {
-        const int pos = argmax[idx];
-        grad_in.at(n, c, pos / w, pos % w) += grad_out[idx];
-      }
-  (void)h;
+  const std::size_t out_plane = static_cast<std::size_t>(grad_out.dim(2)) * grad_out.dim(3);
+  const std::size_t in_plane = static_cast<std::size_t>(h) * w;
+  const float* pgo = grad_out.ptr();
+  const int* pargmax = argmax.data();
+  float* pgi = grad_in.ptr();
+  const std::int64_t planes = static_cast<std::int64_t>(batch) * channels;
+  util::parallel_for(0, planes, row_grain(planes, static_cast<std::int64_t>(out_plane)),
+                     [&](std::int64_t p0, std::int64_t p1) {
+                       for (std::int64_t p = p0; p < p1; ++p) {
+                         const float* go = pgo + static_cast<std::size_t>(p) * out_plane;
+                         const int* am = pargmax + static_cast<std::size_t>(p) * out_plane;
+                         float* gi = pgi + static_cast<std::size_t>(p) * in_plane;
+                         for (std::size_t i = 0; i < out_plane; ++i) gi[am[i]] += go[i];
+                       }
+                     });
   return grad_in;
 }
 
@@ -455,27 +719,39 @@ Tensor global_avg_pool(const Tensor& x) {
   require(x.ndim() == 4, "global_avg_pool: input must be (N,C,H,W)");
   const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
   Tensor out({batch, channels, 1, 1});
+  const std::size_t hw = static_cast<std::size_t>(h) * w;
   const float inv = 1.0f / static_cast<float>(h * w);
-  for (int n = 0; n < batch; ++n)
-    for (int c = 0; c < channels; ++c) {
-      double acc = 0.0;
-      for (int y = 0; y < h; ++y)
-        for (int xx = 0; xx < w; ++xx) acc += x.at(n, c, y, xx);
-      out.at(n, c, 0, 0) = static_cast<float>(acc) * inv;
-    }
+  const float* px = x.ptr();
+  float* pout = out.ptr();
+  const std::int64_t planes = static_cast<std::int64_t>(batch) * channels;
+  util::parallel_for(0, planes, row_grain(planes, static_cast<std::int64_t>(hw)),
+                     [&](std::int64_t p0, std::int64_t p1) {
+                       for (std::int64_t p = p0; p < p1; ++p) {
+                         const float* src = px + static_cast<std::size_t>(p) * hw;
+                         double acc = 0.0;
+                         for (std::size_t i = 0; i < hw; ++i) acc += src[i];
+                         pout[p] = static_cast<float>(acc) * inv;
+                       }
+                     });
   return out;
 }
 
 Tensor global_avg_pool_backward(const Tensor& x, const Tensor& grad_out) {
   const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
   Tensor grad_in(x.shape());
+  const std::size_t hw = static_cast<std::size_t>(h) * w;
   const float inv = 1.0f / static_cast<float>(h * w);
-  for (int n = 0; n < batch; ++n)
-    for (int c = 0; c < channels; ++c) {
-      const float g = grad_out.at(n, c, 0, 0) * inv;
-      for (int y = 0; y < h; ++y)
-        for (int xx = 0; xx < w; ++xx) grad_in.at(n, c, y, xx) = g;
-    }
+  const float* pgo = grad_out.ptr();
+  float* pgi = grad_in.ptr();
+  const std::int64_t planes = static_cast<std::int64_t>(batch) * channels;
+  util::parallel_for(0, planes, row_grain(planes, static_cast<std::int64_t>(hw)),
+                     [&](std::int64_t p0, std::int64_t p1) {
+                       for (std::int64_t p = p0; p < p1; ++p) {
+                         const float g = pgo[p] * inv;
+                         float* dst = pgi + static_cast<std::size_t>(p) * hw;
+                         for (std::size_t i = 0; i < hw; ++i) dst[i] = g;
+                       }
+                     });
   return grad_in;
 }
 
@@ -488,30 +764,56 @@ inline float src_pos(int out_idx, int in_extent, int out_extent) {
          static_cast<float>(out_extent - 1);
 }
 
+struct ResizeAxis {
+  std::vector<int> lo, hi;
+  std::vector<float> frac;
+  ResizeAxis(int in_extent, int out_extent) {
+    lo.resize(static_cast<std::size_t>(out_extent));
+    hi.resize(static_cast<std::size_t>(out_extent));
+    frac.resize(static_cast<std::size_t>(out_extent));
+    for (int o = 0; o < out_extent; ++o) {
+      const float f = src_pos(o, in_extent, out_extent);
+      const int i0 = static_cast<int>(f);
+      lo[static_cast<std::size_t>(o)] = i0;
+      hi[static_cast<std::size_t>(o)] = std::min(i0 + 1, in_extent - 1);
+      frac[static_cast<std::size_t>(o)] = f - static_cast<float>(i0);
+    }
+  }
+};
+
 }  // namespace
 
 Tensor bilinear_resize(const Tensor& x, int out_h, int out_w) {
   require(x.ndim() == 4, "bilinear_resize: input must be (N,C,H,W)");
   const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
   Tensor out({batch, channels, out_h, out_w});
-  for (int oy = 0; oy < out_h; ++oy) {
-    const float fy = src_pos(oy, h, out_h);
-    const int y0 = static_cast<int>(fy);
-    const int y1 = std::min(y0 + 1, h - 1);
-    const float wy = fy - static_cast<float>(y0);
-    for (int ox = 0; ox < out_w; ++ox) {
-      const float fx = src_pos(ox, w, out_w);
-      const int x0 = static_cast<int>(fx);
-      const int x1 = std::min(x0 + 1, w - 1);
-      const float wx = fx - static_cast<float>(x0);
-      for (int n = 0; n < batch; ++n)
-        for (int c = 0; c < channels; ++c) {
-          const float v = (1 - wy) * ((1 - wx) * x.at(n, c, y0, x0) + wx * x.at(n, c, y0, x1)) +
-                          wy * ((1 - wx) * x.at(n, c, y1, x0) + wx * x.at(n, c, y1, x1));
-          out.at(n, c, oy, ox) = v;
+  const ResizeAxis ay(h, out_h), ax(w, out_w);
+  const std::size_t in_plane = static_cast<std::size_t>(h) * w;
+  const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
+  const float* px = x.ptr();
+  float* pout = out.ptr();
+  const std::int64_t planes = static_cast<std::int64_t>(batch) * channels;
+  util::parallel_for(
+      0, planes, row_grain(planes, static_cast<std::int64_t>(out_plane) * 4),
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const float* src = px + static_cast<std::size_t>(p) * in_plane;
+          float* dst = pout + static_cast<std::size_t>(p) * out_plane;
+          for (int oy = 0; oy < out_h; ++oy) {
+            const float* r0 = src + static_cast<std::size_t>(ay.lo[static_cast<std::size_t>(oy)]) * w;
+            const float* r1 = src + static_cast<std::size_t>(ay.hi[static_cast<std::size_t>(oy)]) * w;
+            const float wy = ay.frac[static_cast<std::size_t>(oy)];
+            float* drow = dst + static_cast<std::size_t>(oy) * out_w;
+            for (int ox = 0; ox < out_w; ++ox) {
+              const int x0 = ax.lo[static_cast<std::size_t>(ox)];
+              const int x1 = ax.hi[static_cast<std::size_t>(ox)];
+              const float wx = ax.frac[static_cast<std::size_t>(ox)];
+              drow[ox] = (1 - wy) * ((1 - wx) * r0[x0] + wx * r0[x1]) +
+                         wy * ((1 - wx) * r1[x0] + wx * r1[x1]);
+            }
+          }
         }
-    }
-  }
+      });
   return out;
 }
 
@@ -519,26 +821,36 @@ Tensor bilinear_resize_backward(const Tensor& x, const Tensor& grad_out) {
   const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int out_h = grad_out.dim(2), out_w = grad_out.dim(3);
   Tensor grad_in(x.shape());
-  for (int oy = 0; oy < out_h; ++oy) {
-    const float fy = src_pos(oy, h, out_h);
-    const int y0 = static_cast<int>(fy);
-    const int y1 = std::min(y0 + 1, h - 1);
-    const float wy = fy - static_cast<float>(y0);
-    for (int ox = 0; ox < out_w; ++ox) {
-      const float fx = src_pos(ox, w, out_w);
-      const int x0 = static_cast<int>(fx);
-      const int x1 = std::min(x0 + 1, w - 1);
-      const float wx = fx - static_cast<float>(x0);
-      for (int n = 0; n < batch; ++n)
-        for (int c = 0; c < channels; ++c) {
-          const float g = grad_out.at(n, c, oy, ox);
-          grad_in.at(n, c, y0, x0) += (1 - wy) * (1 - wx) * g;
-          grad_in.at(n, c, y0, x1) += (1 - wy) * wx * g;
-          grad_in.at(n, c, y1, x0) += wy * (1 - wx) * g;
-          grad_in.at(n, c, y1, x1) += wy * wx * g;
+  const ResizeAxis ay(h, out_h), ax(w, out_w);
+  const std::size_t in_plane = static_cast<std::size_t>(h) * w;
+  const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
+  const float* pgo = grad_out.ptr();
+  float* pgi = grad_in.ptr();
+  const std::int64_t planes = static_cast<std::int64_t>(batch) * channels;
+  util::parallel_for(
+      0, planes, row_grain(planes, static_cast<std::int64_t>(out_plane) * 4),
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const float* go = pgo + static_cast<std::size_t>(p) * out_plane;
+          float* gi = pgi + static_cast<std::size_t>(p) * in_plane;
+          for (int oy = 0; oy < out_h; ++oy) {
+            float* r0 = gi + static_cast<std::size_t>(ay.lo[static_cast<std::size_t>(oy)]) * w;
+            float* r1 = gi + static_cast<std::size_t>(ay.hi[static_cast<std::size_t>(oy)]) * w;
+            const float wy = ay.frac[static_cast<std::size_t>(oy)];
+            const float* grow = go + static_cast<std::size_t>(oy) * out_w;
+            for (int ox = 0; ox < out_w; ++ox) {
+              const int x0 = ax.lo[static_cast<std::size_t>(ox)];
+              const int x1 = ax.hi[static_cast<std::size_t>(ox)];
+              const float wx = ax.frac[static_cast<std::size_t>(ox)];
+              const float g = grow[ox];
+              r0[x0] += (1 - wy) * (1 - wx) * g;
+              r0[x1] += (1 - wy) * wx * g;
+              r1[x0] += wy * (1 - wx) * g;
+              r1[x1] += wy * wx * g;
+            }
+          }
         }
-    }
-  }
+      });
   return grad_in;
 }
 
@@ -584,7 +896,12 @@ void split_channels(const Tensor& grad_out, int channels_a, Tensor& grad_a, Tens
 Tensor add(const Tensor& a, const Tensor& b) {
   require(same_shape(a, b), "add: shape mismatch");
   Tensor out = a;
-  out.add_(b);
+  const float* pb = b.ptr();
+  float* po = out.ptr();
+  util::parallel_for(0, static_cast<std::int64_t>(out.numel()), kElemGrain,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       for (std::int64_t i = i0; i < i1; ++i) po[i] += pb[i];
+                     });
   return out;
 }
 
@@ -600,55 +917,88 @@ float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels
           "softmax_cross_entropy: label count mismatch");
   grad = Tensor(logits.shape());
 
+  const std::size_t hw = static_cast<std::size_t>(h) * w;
+  const float* pl = logits.ptr();
+  float* pg = grad.ptr();
+  // Per-sample partials combined in sample order below: deterministic for
+  // any thread count because the chunking is per sample.
+  std::vector<double> sample_loss(static_cast<std::size_t>(batch), 0.0);
+  std::vector<std::size_t> sample_counted(static_cast<std::size_t>(batch), 0);
+  util::parallel_for(
+      0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+        std::vector<float> probs(static_cast<std::size_t>(classes));
+        for (std::int64_t n = n0; n < n1; ++n) {
+          const float* ln = pl + static_cast<std::size_t>(n) * classes * hw;
+          float* gn = pg + static_cast<std::size_t>(n) * classes * hw;
+          double loss = 0.0;
+          std::size_t counted = 0;
+          for (std::size_t i = 0; i < hw; ++i) {
+            const int label = labels[static_cast<std::size_t>(n) * hw + i];
+            if (label == ignore_label) continue;
+            require(label >= 0 && label < classes, "softmax_cross_entropy: label out of range");
+            float max_logit = -std::numeric_limits<float>::infinity();
+            for (int k = 0; k < classes; ++k) {
+              max_logit = std::max(max_logit, ln[static_cast<std::size_t>(k) * hw + i]);
+            }
+            double denom = 0.0;
+            for (int k = 0; k < classes; ++k) {
+              probs[static_cast<std::size_t>(k)] =
+                  std::exp(ln[static_cast<std::size_t>(k) * hw + i] - max_logit);
+              denom += probs[static_cast<std::size_t>(k)];
+            }
+            const double inv = 1.0 / denom;
+            loss -= std::log(probs[static_cast<std::size_t>(label)] * inv);
+            for (int k = 0; k < classes; ++k) {
+              gn[static_cast<std::size_t>(k) * hw + i] =
+                  static_cast<float>(probs[static_cast<std::size_t>(k)] * inv) -
+                  (k == label ? 1.0f : 0.0f);
+            }
+            ++counted;
+          }
+          sample_loss[static_cast<std::size_t>(n)] = loss;
+          sample_counted[static_cast<std::size_t>(n)] = counted;
+        }
+      });
+
   double loss = 0.0;
   std::size_t counted = 0;
-  std::vector<float> probs(static_cast<std::size_t>(classes));
   for (int n = 0; n < batch; ++n) {
-    for (int y = 0; y < h; ++y) {
-      for (int xx = 0; xx < w; ++xx) {
-        const int label = labels[(static_cast<std::size_t>(n) * h + y) * w + xx];
-        if (label == ignore_label) continue;
-        require(label >= 0 && label < classes, "softmax_cross_entropy: label out of range");
-        float max_logit = -std::numeric_limits<float>::infinity();
-        for (int k = 0; k < classes; ++k) max_logit = std::max(max_logit, logits.at(n, k, y, xx));
-        double denom = 0.0;
-        for (int k = 0; k < classes; ++k) {
-          probs[static_cast<std::size_t>(k)] = std::exp(logits.at(n, k, y, xx) - max_logit);
-          denom += probs[static_cast<std::size_t>(k)];
-        }
-        const double inv = 1.0 / denom;
-        loss -= std::log(probs[static_cast<std::size_t>(label)] * inv);
-        for (int k = 0; k < classes; ++k) {
-          grad.at(n, k, y, xx) =
-              static_cast<float>(probs[static_cast<std::size_t>(k)] * inv) - (k == label ? 1.0f : 0.0f);
-        }
-        ++counted;
-      }
-    }
+    loss += sample_loss[static_cast<std::size_t>(n)];
+    counted += sample_counted[static_cast<std::size_t>(n)];
   }
   if (counted == 0) return 0.0f;
   const float scale = 1.0f / static_cast<float>(counted);
-  grad.scale_(scale);
+  util::parallel_for(0, static_cast<std::int64_t>(grad.numel()), kElemGrain,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       for (std::int64_t i = i0; i < i1; ++i) pg[i] *= scale;
+                     });
   return static_cast<float>(loss) * scale;
 }
 
 std::vector<int> argmax_channels(const Tensor& logits) {
   const int batch = logits.dim(0), classes = logits.dim(1), h = logits.dim(2), w = logits.dim(3);
-  std::vector<int> out(static_cast<std::size_t>(batch) * h * w);
-  for (int n = 0; n < batch; ++n)
-    for (int y = 0; y < h; ++y)
-      for (int xx = 0; xx < w; ++xx) {
+  const std::size_t hw = static_cast<std::size_t>(h) * w;
+  std::vector<int> out(static_cast<std::size_t>(batch) * hw);
+  const float* pl = logits.ptr();
+  int* po = out.data();
+  util::parallel_for(0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t n = n0; n < n1; ++n) {
+      const float* ln = pl + static_cast<std::size_t>(n) * classes * hw;
+      int* dst = po + static_cast<std::size_t>(n) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
         int best = 0;
-        float best_value = logits.at(n, 0, y, xx);
+        float best_value = ln[i];
         for (int k = 1; k < classes; ++k) {
-          const float v = logits.at(n, k, y, xx);
+          const float v = ln[static_cast<std::size_t>(k) * hw + i];
           if (v > best_value) {
             best_value = v;
             best = k;
           }
         }
-        out[(static_cast<std::size_t>(n) * h + y) * w + xx] = best;
+        dst[i] = best;
       }
+    }
+  });
   return out;
 }
 

@@ -1,0 +1,188 @@
+#include "dlscale/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dlscale/util/env.hpp"
+
+namespace dlscale::util {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+/// Shared state of one parallel_for call. Heap-allocated and reference
+/// counted so queued tasks that fire after the job already finished (all
+/// chunks claimed by faster participants) can no-op safely.
+struct Job {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  std::int64_t chunks = 0;
+  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+
+  std::atomic<std::int64_t> next{0};  ///< next unclaimed chunk index
+  std::atomic<std::int64_t> done{0};  ///< chunks fully executed
+
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::exception_ptr error;  ///< first exception thrown by fn
+
+  /// Claims and runs chunks until none are left. Returns after
+  /// contributing; does not wait for other participants.
+  void work() {
+    for (;;) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::int64_t lo = begin + c * grain;
+      const std::int64_t hi = std::min(lo + grain, end);
+      try {
+        (*fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard<std::mutex> lock(mutex);  // pair with the waiter
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable wake;
+  std::deque<std::shared_ptr<Job>> queue;
+  std::vector<std::thread> workers;
+  bool stopping = false;
+
+  void worker_loop() {
+    t_in_worker = true;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (stopping && queue.empty()) return;
+        job = queue.front();
+        // Keep the job visible until its chunks run out so several
+        // workers can join it; pop only when nothing is left to claim.
+        if (job->next.load(std::memory_order_relaxed) >= job->chunks) {
+          queue.pop_front();
+          continue;
+        }
+      }
+      job->work();
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!queue.empty() && queue.front() == job) queue.pop_front();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl), threads_(std::max(1, threads)) {
+  const int workers = threads_ - 1;
+  impl_->workers.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->wake.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+bool ThreadPool::in_worker() noexcept { return t_in_worker; }
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                              const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t range = end - begin;
+  // Serial paths: single-participant pool, a range that fits one chunk,
+  // or a nested call from a worker (running inline avoids deadlock).
+  // Chunk-by-chunk even when serial, so the chunking a caller observes
+  // is a pure function of (begin, end, grain) at every pool size.
+  if (threads_ <= 1 || range <= grain || t_in_worker) {
+    for (std::int64_t lo = begin; lo < end; lo += grain) {
+      fn(lo, std::min(lo + grain, end));
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->chunks = (range + grain - 1) / grain;
+  job->fn = &fn;
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(job);
+  }
+  impl_->wake.notify_all();
+
+  // The caller participates; when workers are saturated by other
+  // callers' jobs this loop simply executes every chunk itself.
+  job->work();
+
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->all_done.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) == job->chunks;
+  });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_pool_threads = 0;  ///< 0 = not yet configured
+
+int default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const auto knob = env_int("DLSCALE_NUM_THREADS", hw == 0 ? 1 : static_cast<std::int64_t>(hw));
+  return static_cast<int>(std::max<std::int64_t>(1, knob));
+}
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) {
+    if (g_pool_threads == 0) g_pool_threads = default_thread_count();
+    g_pool = std::make_unique<ThreadPool>(g_pool_threads);
+  }
+  return *g_pool;
+}
+
+int global_thread_count() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool_threads == 0) g_pool_threads = default_thread_count();
+  return g_pool_threads;
+}
+
+void set_global_thread_count(int threads) {
+  threads = std::max(1, threads);
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool_threads == threads && g_pool) return;
+  g_pool.reset();  // joins workers; callers must be quiescent
+  g_pool_threads = threads;
+}
+
+}  // namespace dlscale::util

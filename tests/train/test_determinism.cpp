@@ -1,0 +1,116 @@
+// Thread-count determinism regression: the kernels partition work so that
+// every output element keeps its serial accumulation order, so training
+// must be *bitwise* reproducible across DLSCALE_NUM_THREADS settings.
+// This protects the E6 gradient-parity property — if a kernel ever starts
+// combining partial sums in a thread-dependent order, these tests fail.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "dlscale/data/dataset.hpp"
+#include "dlscale/models/deeplab.hpp"
+#include "dlscale/nn/optimizer.hpp"
+#include "dlscale/tensor/ops.hpp"
+#include "dlscale/train/trainer.hpp"
+#include "dlscale/util/thread_pool.hpp"
+
+namespace dd = dlscale::data;
+namespace dmo = dlscale::models;
+namespace dn = dlscale::nn;
+namespace dt = dlscale::tensor;
+namespace dtr = dlscale::train;
+namespace du = dlscale::util;
+namespace dm = dlscale::mpi;
+
+namespace {
+
+struct RunResult {
+  std::vector<float> losses;
+  std::vector<float> params;
+};
+
+/// Five SGD steps of the mini DLv3+ at a given global pool size.
+RunResult train_five_steps(int threads) {
+  du::set_global_thread_count(threads);
+  du::Rng rng(7);
+  dmo::MiniDeepLabV3Plus model({.in_channels = 3, .num_classes = 4, .input_size = 16, .width = 4},
+                               rng);
+  dn::SgdMomentum optimizer(model.parameters(), {});
+  const dd::SyntheticShapes dataset(
+      {.image_size = 16, .num_classes = 4, .max_shapes = 2, .noise = 0.1f, .seed = 99});
+
+  RunResult result;
+  for (int step = 0; step < 5; ++step) {
+    const dd::Sample batch =
+        dataset.make_batch({static_cast<std::uint64_t>(2 * step),
+                            static_cast<std::uint64_t>(2 * step + 1)});
+    optimizer.zero_grad();
+    const dt::Tensor logits = model.forward(batch.image, /*train=*/true);
+    dt::Tensor grad;
+    const float loss = dt::softmax_cross_entropy(logits, batch.labels, 255, grad);
+    model.backward(grad);
+    optimizer.step(0.05);
+    result.losses.push_back(loss);
+  }
+  for (dn::Parameter* p : model.parameters()) {
+    for (float v : p->value.data()) result.params.push_back(v);
+  }
+  return result;
+}
+
+void expect_bitwise_equal(const std::vector<float>& a, const std::vector<float>& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint32_t>(a[i]) != std::bit_cast<std::uint32_t>(b[i])) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u) << what << ": " << mismatches << " of " << a.size()
+                            << " values differ between thread counts";
+}
+
+}  // namespace
+
+TEST(Determinism, TrainingBitwiseIdenticalAcrossThreadCounts) {
+  const RunResult serial = train_five_steps(1);
+  const RunResult threaded = train_five_steps(4);
+  du::set_global_thread_count(1);
+  expect_bitwise_equal(serial.losses, threaded.losses, "per-step losses");
+  expect_bitwise_equal(serial.params, threaded.params, "final parameters");
+}
+
+TEST(Determinism, DistributedTrainingBitwiseIdenticalAcrossThreadCounts) {
+  // Rank threads sharing the global pool must not change results either.
+  dtr::TrainConfig config;
+  config.model = {.in_channels = 3, .num_classes = 4, .input_size = 16, .width = 4};
+  config.dataset = {.image_size = 16, .num_classes = 4, .max_shapes = 2, .noise = 0.1f,
+                    .seed = 99};
+  config.train_samples = 16;
+  config.eval_samples = 4;
+  config.batch_per_rank = 2;
+  config.epochs = 1;
+  config.knobs.cycle_time_s = 1e-4;
+
+  auto run = [&](int threads) {
+    du::set_global_thread_count(threads);
+    std::vector<double> losses;
+    dm::run_world(2, [&](dm::Communicator& comm) {
+      const auto report = dtr::train_distributed(comm, config);
+      if (comm.rank() == 0) {
+        for (const auto& e : report.epochs) losses.push_back(e.train_loss);
+      }
+    });
+    return losses;
+  };
+
+  const auto serial = run(1);
+  const auto threaded = run(4);
+  du::set_global_thread_count(1);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial[i]), std::bit_cast<std::uint64_t>(threaded[i]))
+        << "epoch " << i << " loss differs between thread counts";
+  }
+}

@@ -1,0 +1,134 @@
+#include "dlscale/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace du = dlscale::util;
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  du::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(101);
+  pool.parallel_for(1, 101, 7, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  EXPECT_EQ(hits[0].load(), 0);  // begin=1: index 0 untouched
+  for (std::size_t i = 1; i <= 100; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  du::ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  pool.parallel_for(9, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeRunsInline) {
+  du::ThreadPool pool(4);
+  int calls = 0;
+  std::int64_t seen_lo = -1, seen_hi = -1;
+  pool.parallel_for(2, 10, 100, [&](std::int64_t lo, std::int64_t hi) {
+    ++calls;  // single inline invocation: no synchronisation needed
+    seen_lo = lo;
+    seen_hi = hi;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_lo, 2);
+  EXPECT_EQ(seen_hi, 10);
+}
+
+TEST(ThreadPool, ChunkBoundariesIndependentOfThreadCount) {
+  // The determinism contract: chunking is a pure function of
+  // (begin, end, grain), never of the pool size.
+  auto boundaries = [](int threads) {
+    du::ThreadPool pool(threads);
+    std::mutex m;
+    std::vector<std::pair<std::int64_t, std::int64_t>> out;
+    pool.parallel_for(0, 1000, 64, [&](std::int64_t lo, std::int64_t hi) {
+      std::lock_guard<std::mutex> lock(m);
+      out.emplace_back(lo, hi);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const auto one = boundaries(1);
+  EXPECT_EQ(one, boundaries(2));
+  EXPECT_EQ(one, boundaries(8));
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  du::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100, 1,
+                                 [&](std::int64_t lo, std::int64_t) {
+                                   if (lo == 41) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SerialPoolStillPropagatesExceptions) {
+  du::ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(0, 10, 1,
+                                 [&](std::int64_t, std::int64_t) {
+                                   throw std::invalid_argument("serial boom");
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, NestedSubmissionRunsInlineWithoutDeadlock) {
+  du::ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::atomic<int> inner_calls{0};
+  pool.parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    // A kernel calling another kernel from inside a worker (or from the
+    // participating caller): must complete without waiting on the pool.
+    pool.parallel_for(0, 10, 2, [&](std::int64_t lo, std::int64_t hi) {
+      inner_calls.fetch_add(1);
+      inner_total.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 80);  // 8 outer chunks x 10 inner items
+}
+
+TEST(ThreadPool, ConcurrentCallersShareOnePool) {
+  // The simmpi-rank case: several plain threads (not pool workers) issue
+  // parallel_for against the same pool concurrently. All must finish and
+  // each must see its full range.
+  du::ThreadPool pool(2);
+  constexpr int kCallers = 8;
+  std::vector<std::int64_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      std::atomic<std::int64_t> sum{0};
+      pool.parallel_for(0, 1000, 16, [&](std::int64_t lo, std::int64_t hi) {
+        std::int64_t s = 0;
+        for (std::int64_t i = lo; i < hi; ++i) s += i;
+        sum.fetch_add(s);
+      });
+      sums[static_cast<std::size_t>(t)] = sum.load();
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (int t = 0; t < kCallers; ++t) EXPECT_EQ(sums[static_cast<std::size_t>(t)], 499500);
+}
+
+TEST(ThreadPool, GlobalPoolResizable) {
+  du::set_global_thread_count(3);
+  EXPECT_EQ(du::global_thread_count(), 3);
+  EXPECT_EQ(du::global_pool().size(), 3);
+  std::atomic<int> n{0};
+  du::parallel_for(0, 32, 4, [&](std::int64_t lo, std::int64_t hi) {
+    n.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(n.load(), 32);
+  du::set_global_thread_count(1);
+  EXPECT_EQ(du::global_pool().size(), 1);
+}
