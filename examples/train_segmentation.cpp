@@ -2,16 +2,16 @@
 // workload in miniature, on real (synthetic) data with real gradients.
 //
 // Trains the mini DeepLab-v3+ on the shape-segmentation dataset across 4
-// data-parallel ranks, with all gradient traffic flowing through the
-// Horovod core, then saves/restores a checkpoint and verifies the
-// restored model scores identically.
+// data-parallel ranks, with every gradient streamed into the Horovod core
+// as backward finalizes it, then demonstrates a full Trainer-state
+// checkpoint: save mid-run, restore, continue, verify the result matches
+// an uninterrupted run exactly.
 //
 // Usage: ./build/examples/train_segmentation [ranks] [epochs]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
-#include "dlscale/train/checkpoint.hpp"
 #include "dlscale/train/trainer.hpp"
 #include "dlscale/util/table.hpp"
 
@@ -63,22 +63,32 @@ int main(int argc, char** argv) {
               report.parameter_count, report.steps,
               static_cast<unsigned long long>(report.hvd_stats.fused_batches));
 
-  // Checkpoint round-trip: retrain the weights serially for demonstration,
-  // save, restore into a fresh model, verify evaluation matches.
-  std::printf("\nCheckpoint round-trip...\n");
-  util::Rng rng(config.seed);
-  models::MiniDeepLabV3Plus model(config.model, rng);
-  const data::SyntheticShapes dataset(config.dataset);
-  const std::string path = "/tmp/dlscale_example_ckpt.bin";
-  train::save_checkpoint(model.parameters(), path);
-  util::Rng rng2(config.seed + 1);  // different init
-  models::MiniDeepLabV3Plus restored(config.model, rng2);
-  train::load_checkpoint(restored.parameters(), path);
-  const auto [miou_a, acc_a] =
-      train::evaluate(model, dataset, config.train_samples, config.eval_samples, 4);
-  const auto [miou_b, acc_b] =
-      train::evaluate(restored, dataset, config.train_samples, config.eval_samples, 4);
-  std::printf("original mIOU %.4f, restored mIOU %.4f -> %s\n", miou_a, miou_b,
+  // Checkpoint round-trip through the Trainer: train half the epochs
+  // serially, save the FULL training state (weights, BatchNorm running
+  // stats, SGD momentum, step counters), restore into a fresh Trainer and
+  // finish; compare against one uninterrupted run of the same schedule.
+  std::printf("\nTrainer checkpoint round-trip (serial reference)...\n");
+  auto serial_config = config;
+  serial_config.epochs = 2;
+  const std::string path = "/tmp/dlscale_example_trainer_state.bin";
+
+  train::NoComm uninterrupted_hook;
+  train::Trainer uninterrupted(serial_config, uninterrupted_hook);
+  const auto full_run = uninterrupted.run();
+
+  train::NoComm first_hook;
+  train::Trainer first_half(serial_config, first_hook);
+  first_half.train_epoch();
+  first_half.save_state(path);
+
+  train::NoComm resumed_hook;
+  train::Trainer resumed(serial_config, resumed_hook);
+  resumed.load_state(path);
+  const auto resumed_run = resumed.run();
+
+  const double miou_a = full_run.final_miou();
+  const double miou_b = resumed_run.final_miou();
+  std::printf("uninterrupted mIOU %.4f, save/restore/continue mIOU %.4f -> %s\n", miou_a, miou_b,
               miou_a == miou_b ? "identical (checkpoint OK)" : "MISMATCH");
   std::remove(path.c_str());
   return miou_a == miou_b ? 0 : 1;

@@ -36,11 +36,16 @@ class MiniDeepLabV3Plus {
   Tensor forward(const Tensor& images, bool train);
 
   /// Backprop from d(loss)/d(logits); accumulates parameter gradients and
-  /// returns the (unused) input gradient.
-  Tensor backward(const Tensor& grad_logits);
+  /// returns the (unused) input gradient. When `sink` is non-null, streams
+  /// backward costs and finalized gradients in exact reverse parameters()
+  /// order (see nn::GradSink).
+  Tensor backward(const Tensor& grad_logits, nn::GradSink* sink = nullptr);
 
   /// All learnable parameters in a stable order (same on every rank).
   [[nodiscard]] std::vector<Parameter*> parameters();
+
+  /// Non-learnable state (BatchNorm running stats) for checkpointing.
+  [[nodiscard]] std::vector<nn::NamedTensor> buffers();
 
   [[nodiscard]] std::size_t parameter_count();
   [[nodiscard]] const Config& config() const noexcept { return config_; }

@@ -29,8 +29,12 @@ class MiniResNet {
 
   /// Class logits of shape (N, num_classes, 1, 1).
   Tensor forward(const Tensor& images, bool train);
-  Tensor backward(const Tensor& grad_logits);
+  /// Backprop; with a non-null `sink`, streams backward costs and
+  /// finalized gradients in exact reverse parameters() order.
+  Tensor backward(const Tensor& grad_logits, nn::GradSink* sink = nullptr);
   [[nodiscard]] std::vector<Parameter*> parameters();
+  /// Non-learnable state (BatchNorm running stats) for checkpointing.
+  [[nodiscard]] std::vector<nn::NamedTensor> buffers();
   [[nodiscard]] std::size_t parameter_count();
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
@@ -47,8 +51,9 @@ class MiniResNet {
 
     Block(const std::string& name, int in_c, int out_c, int stride, util::Rng& rng);
     Tensor forward(const Tensor& x, bool train);
-    Tensor backward(const Tensor& grad_out);
+    Tensor backward(const Tensor& grad_out, nn::GradSink* sink);
     std::vector<Parameter*> parameters();
+    std::vector<nn::NamedTensor> buffers();
   };
 
   Config config_;

@@ -1,9 +1,15 @@
 // Layer abstraction with explicit forward/backward and named parameters.
 //
 // Layers cache whatever their backward pass needs during forward; the
-// model owner calls backward in exact reverse order (the trainer relies
-// on this to emit gradients in backprop order, which is what Horovod's
-// fusion machinery sees in real frameworks).
+// model owner calls backward in exact reverse order. Backward optionally
+// streams into a GradSink: every layer reports the roofline cost of its
+// backward kernels and notifies the sink the moment each parameter's
+// gradient is finalized. Across a full model backward the notifications
+// arrive in the EXACT REVERSE of the model's parameters() order — the
+// staggered, backprop-ordered gradient stream Horovod's fusion machinery
+// sees in real frameworks (the trainer stamps each notification with a
+// virtual ready time and submits it to the Horovod runtime immediately,
+// so negotiation/fusion cycles overlap the remaining backward compute).
 #pragma once
 
 #include <memory>
@@ -33,6 +39,32 @@ struct Parameter {
   void zero_grad() { grad.zero(); }
 };
 
+/// A named non-learnable tensor (e.g. BatchNorm running statistics):
+/// belongs in checkpoints, never in gradient traffic.
+struct NamedTensor {
+  std::string name;
+  Tensor* tensor = nullptr;
+};
+
+/// Observer of a backward pass. Layers drive it in backprop order:
+/// `backward_cost` once per primitive layer as its backward kernels
+/// retire (roofline inputs for a virtual timeline), then `grad_ready`
+/// for each parameter whose gradient is final and may be consumed (e.g.
+/// submitted for allreduce). Within one layer parameters are notified in
+/// reverse parameters() order, so a whole-model backward emits the exact
+/// reverse of the model's parameters() sequence.
+class GradSink {
+ public:
+  virtual ~GradSink() = default;
+
+  /// A layer's backward kernels retired: `flops` of arithmetic over
+  /// `bytes_touched` of memory traffic.
+  virtual void backward_cost(double flops, double bytes_touched) = 0;
+
+  /// `param.grad` holds this step's final accumulated gradient.
+  virtual void grad_ready(Parameter& param) = 0;
+};
+
 /// Base class for stateful layers.
 class Layer {
  public:
@@ -41,14 +73,25 @@ class Layer {
   /// Compute output; caches activations needed by backward when `train`.
   virtual Tensor forward(const Tensor& input, bool train) = 0;
 
-  /// Propagate gradient; accumulates into parameter grads.
-  virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// Propagate gradient; accumulates into parameter grads. When `sink`
+  /// is non-null, reports backward cost and finalized parameter
+  /// gradients in backprop order (see GradSink).
+  Tensor backward(const Tensor& grad_out, GradSink* sink = nullptr) {
+    return do_backward(grad_out, sink);
+  }
 
   /// Learnable parameters (possibly empty). Pointers remain valid for the
   /// layer's lifetime.
   virtual std::vector<Parameter*> parameters() { return {}; }
 
+  /// Non-learnable state to checkpoint (possibly empty). Pointers remain
+  /// valid for the layer's lifetime.
+  virtual std::vector<NamedTensor> buffers() { return {}; }
+
   [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  virtual Tensor do_backward(const Tensor& grad_out, GradSink* sink) = 0;
 };
 
 /// 2D convolution (optionally dilated/atrous), He-initialised.
@@ -58,11 +101,13 @@ class Conv2d final : public Layer {
          bool bias, util::Rng& rng);
 
   Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return name_; }
 
   [[nodiscard]] const Conv2dSpec& spec() const noexcept { return spec_; }
+
+ protected:
+  Tensor do_backward(const Tensor& grad_out, GradSink* sink) override;
 
  private:
   std::string name_;
@@ -79,12 +124,15 @@ class BatchNorm2d final : public Layer {
   BatchNorm2d(std::string layer_name, int channels, float momentum = 0.1f, float eps = 1e-5f);
 
   Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<NamedTensor> buffers() override;
   [[nodiscard]] std::string name() const override { return name_; }
 
   [[nodiscard]] const Tensor& running_mean() const noexcept { return running_mean_; }
   [[nodiscard]] const Tensor& running_var() const noexcept { return running_var_; }
+
+ protected:
+  Tensor do_backward(const Tensor& grad_out, GradSink* sink) override;
 
  private:
   std::string name_;
@@ -102,8 +150,10 @@ class ReLU final : public Layer {
  public:
   explicit ReLU(std::string layer_name) : name_(std::move(layer_name)) {}
   Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return name_; }
+
+ protected:
+  Tensor do_backward(const Tensor& grad_out, GradSink* sink) override;
 
  private:
   std::string name_;
@@ -116,8 +166,10 @@ class MaxPool2d final : public Layer {
   MaxPool2d(std::string layer_name, int kernel, int stride)
       : name_(std::move(layer_name)), kernel_(kernel), stride_(stride) {}
   Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return name_; }
+
+ protected:
+  Tensor do_backward(const Tensor& grad_out, GradSink* sink) override;
 
  private:
   std::string name_;
@@ -133,13 +185,15 @@ class BilinearResize final : public Layer {
   BilinearResize(std::string layer_name, int out_h, int out_w)
       : name_(std::move(layer_name)), out_h_(out_h), out_w_(out_w) {}
   Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return name_; }
 
   void set_output_size(int out_h, int out_w) {
     out_h_ = out_h;
     out_w_ = out_w;
   }
+
+ protected:
+  Tensor do_backward(const Tensor& grad_out, GradSink* sink) override;
 
  private:
   std::string name_;
@@ -154,9 +208,11 @@ class DepthwiseConv2d final : public Layer {
   DepthwiseConv2d(std::string layer_name, int channels, int kernel, Conv2dSpec spec,
                   util::Rng& rng);
   Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return name_; }
+
+ protected:
+  Tensor do_backward(const Tensor& grad_out, GradSink* sink) override;
 
  private:
   std::string name_;
@@ -173,9 +229,12 @@ class SeparableConvBnRelu final : public Layer {
   SeparableConvBnRelu(std::string layer_name, int in_channels, int out_channels,
                       Conv2dSpec depthwise_spec, util::Rng& rng);
   Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<NamedTensor> buffers() override;
   [[nodiscard]] std::string name() const override { return name_; }
+
+ protected:
+  Tensor do_backward(const Tensor& grad_out, GradSink* sink) override;
 
  private:
   std::string name_;
@@ -192,9 +251,12 @@ class ConvBnRelu final : public Layer {
   ConvBnRelu(std::string layer_name, int in_channels, int out_channels, int kernel,
              Conv2dSpec spec, util::Rng& rng);
   Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<NamedTensor> buffers() override;
   [[nodiscard]] std::string name() const override { return name_; }
+
+ protected:
+  Tensor do_backward(const Tensor& grad_out, GradSink* sink) override;
 
  private:
   std::string name_;
@@ -218,10 +280,13 @@ class Sequential final : public Layer {
   }
 
   Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<NamedTensor> buffers() override;
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] std::size_t size() const noexcept { return layers_.size(); }
+
+ protected:
+  Tensor do_backward(const Tensor& grad_out, GradSink* sink) override;
 
  private:
   std::string name_;

@@ -44,6 +44,10 @@ class SgdMomentum {
   [[nodiscard]] const std::vector<Parameter*>& parameters() const noexcept { return params_; }
   [[nodiscard]] std::size_t total_parameters() const noexcept;
 
+  /// Momentum buffers, parallel to parameters(); mutable so checkpoints
+  /// can restore optimizer state.
+  [[nodiscard]] std::vector<Tensor>& velocity() noexcept { return velocity_; }
+
  private:
   std::vector<Parameter*> params_;
   Config config_;

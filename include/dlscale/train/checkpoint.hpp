@@ -1,8 +1,9 @@
-// Checkpoint serialisation for model parameters.
+// Checkpoint serialisation for named tensors (model parameters, BatchNorm
+// running stats, optimizer state, trainer progress).
 //
-// Simple self-describing binary format: magic, parameter count, then per
-// parameter {name, shape, float data}. Loading validates names and shapes
-// against the live model so a mismatched architecture fails loudly.
+// Simple self-describing binary format: magic, tensor count, then per
+// tensor {name, shape, float data}. Loading validates names and shapes
+// against the live tensors so a mismatched architecture fails loudly.
 #pragma once
 
 #include <string>
@@ -12,11 +13,17 @@
 
 namespace dlscale::train {
 
-/// Write all parameters to `path`. Throws std::runtime_error on I/O error.
-void save_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path);
+/// Write all tensors to `path` in list order. Throws std::runtime_error on
+/// I/O error.
+void save_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string& path);
 
-/// Load parameters from `path` into the live model (names and shapes must
-/// match exactly). Throws on mismatch or I/O error.
+/// Load tensors from `path` into the live storage (names, order and shapes
+/// must match exactly). Throws on mismatch or I/O error.
+void load_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string& path);
+
+/// Parameter-only convenience wrappers over save_tensors/load_tensors
+/// (identical on-disk format).
+void save_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path);
 void load_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path);
 
 }  // namespace dlscale::train

@@ -1,21 +1,28 @@
-// Distributed training driver: the Horovod-style data-parallel loop.
+// Unified training driver: one Trainer, pluggable communication.
 //
 // Each rank holds a full model replica (identically initialised from a
 // shared seed, exactly like Horovod's broadcast of initial state), draws
 // its shard of every epoch through the DistributedSampler, runs
-// forward/backward on the real mini DeepLab-v3+, registers every
-// parameter gradient with the Horovod runtime, synchronizes (gradient
-// averaging), and applies SGD with the poly schedule. Metrics (loss,
-// confusion matrix) are reduced across ranks through the same simmpi
+// forward/backward on the real mini DeepLab-v3+, and applies SGD with the
+// poly schedule. Communication is a CommHook strategy: HorovodHook
+// streams every finalized gradient out of `model.backward` into the
+// Horovod runtime the moment it is ready — in reverse layer order, each
+// stamped with a virtual ready time accumulated from per-layer roofline
+// backward costs (mirroring perf::profile_iteration) — so negotiation
+// and fusion cycles overlap the remaining backward compute in virtual
+// time. NoComm is the serial reference: same loop, no communication.
+// Metrics (loss, confusion matrix) are reduced through the same simmpi
 // collectives the gradients use.
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dlscale/data/dataset.hpp"
+#include "dlscale/gpu/device.hpp"
 #include "dlscale/hvd/horovod.hpp"
 #include "dlscale/models/deeplab.hpp"
 #include "dlscale/mpi/comm.hpp"
@@ -43,6 +50,9 @@ struct TrainConfig {
   /// Apply random flip/translation augmentation to training batches
   /// (DeepLab-recipe style). Deterministic per (rank, epoch, step).
   bool augment = false;
+  /// Fraction of V100 peak the backward kernels sustain in the roofline
+  /// model that stamps virtual gradient ready times during backward.
+  double virtual_flop_efficiency = 0.25;
 };
 
 /// Per-epoch results (rank-0 view after metric reduction).
@@ -63,6 +73,154 @@ struct TrainReport {
   [[nodiscard]] double final_miou() const {
     return epochs.empty() ? 0.0 : epochs.back().eval_miou;
   }
+};
+
+/// GradSink that accumulates a virtual backward timeline from per-layer
+/// roofline costs and forwards each finalized gradient — stamped with its
+/// ready time — to a submit callback. This is what turns `backward` into
+/// the staggered, backprop-ordered gradient stream Horovod negotiates
+/// over (the real-training analogue of perf::profile_iteration).
+class TimedGradStream final : public nn::GradSink {
+ public:
+  using SubmitFn = std::function<void(nn::Parameter&, double ready_at)>;
+
+  TimedGradStream(gpu::ComputeModel gpu, SubmitFn submit)
+      : gpu_(gpu), submit_(std::move(submit)) {}
+
+  /// Rewind the timeline to `start_s` (virtual seconds, typically the
+  /// communicator clock) before each backward pass.
+  void begin_step(double start_s) {
+    start_ = start_s;
+    elapsed_ = 0.0;
+  }
+
+  void backward_cost(double flops, double bytes_touched) override {
+    elapsed_ += gpu_.kernel_time(flops, bytes_touched);
+  }
+
+  void grad_ready(nn::Parameter& param) override { submit_(param, start_ + elapsed_); }
+
+  /// Virtual seconds of backward compute accumulated since begin_step.
+  [[nodiscard]] double elapsed() const noexcept { return elapsed_; }
+
+ private:
+  gpu::ComputeModel gpu_;
+  SubmitFn submit_;
+  double start_ = 0.0;
+  double elapsed_ = 0.0;
+};
+
+/// Communication strategy plugged into the Trainer. The distributed
+/// implementation wires gradients into the Horovod runtime; the serial
+/// one is a no-op with world size 1.
+class CommHook {
+ public:
+  virtual ~CommHook() = default;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// Distribute rank-0's parameter values to all ranks (hvd.broadcast).
+  virtual void broadcast_parameters(const std::vector<nn::Parameter*>& params) = 0;
+
+  /// Sink for the upcoming backward pass, or nullptr when gradients need
+  /// no streaming. Called once per step, before model.backward.
+  virtual nn::GradSink* begin_step() = 0;
+
+  /// Drain outstanding gradient traffic (hvd.synchronize); after this the
+  /// parameter grads hold the world-averaged values.
+  virtual void finish_step() = 0;
+
+  virtual void allreduce_sum(std::span<double> values) = 0;
+  virtual void allreduce_sum(std::span<std::int64_t> values) = 0;
+
+  [[nodiscard]] virtual hvd::RuntimeStats stats() const = 0;
+};
+
+/// Serial (no communication) hook: world of one, everything a no-op.
+class NoComm final : public CommHook {
+ public:
+  [[nodiscard]] int rank() const override { return 0; }
+  [[nodiscard]] int size() const override { return 1; }
+  void broadcast_parameters(const std::vector<nn::Parameter*>&) override {}
+  nn::GradSink* begin_step() override { return nullptr; }
+  void finish_step() override {}
+  void allreduce_sum(std::span<double>) override {}
+  void allreduce_sum(std::span<std::int64_t>) override {}
+  [[nodiscard]] hvd::RuntimeStats stats() const override { return {}; }
+};
+
+/// Data-parallel hook over the Horovod runtime: begin_step rewinds a
+/// TimedGradStream to the communicator clock; each grad_ready submits
+/// {name, grad, bytes, staggered ready_at} to the runtime; finish_step
+/// synchronizes (gradient averaging).
+class HorovodHook final : public CommHook {
+ public:
+  HorovodHook(mpi::Communicator& comm, const TrainConfig& config);
+
+  [[nodiscard]] int rank() const override;
+  [[nodiscard]] int size() const override;
+  void broadcast_parameters(const std::vector<nn::Parameter*>& params) override;
+  nn::GradSink* begin_step() override;
+  void finish_step() override;
+  void allreduce_sum(std::span<double> values) override;
+  void allreduce_sum(std::span<std::int64_t> values) override;
+  [[nodiscard]] hvd::RuntimeStats stats() const override;
+
+  [[nodiscard]] hvd::HorovodRuntime& runtime() noexcept { return runtime_; }
+
+ private:
+  mpi::Communicator& comm_;
+  hvd::HorovodRuntime runtime_;
+  TimedGradStream stream_;
+};
+
+/// One data-parallel training run on this rank. Collective when driven by
+/// a HorovodHook: every rank constructs a Trainer over the same config
+/// and calls the same methods in the same order.
+class Trainer {
+ public:
+  Trainer(const TrainConfig& config, CommHook& hook);
+
+  /// One optimisation step (forward, streamed backward, gradient
+  /// averaging, SGD update) at learning rate `lr`; returns the loss.
+  float train_step(const data::Sample& batch, double lr);
+
+  /// One epoch: the rank's train shard, metric reduction, distributed
+  /// evaluation of the held-out slice. Appends to the report.
+  EpochReport train_epoch();
+
+  /// Train the remaining epochs (all of them on a fresh Trainer; the
+  /// leftover after load_state on a restored one) and return the report.
+  TrainReport run();
+
+  /// Checkpoint the full training state — parameters, BatchNorm running
+  /// stats, SGD momentum, step/epoch counters — so a restored Trainer
+  /// continues bitwise-identically to an uninterrupted run.
+  void save_state(const std::string& path);
+  void load_state(const std::string& path);
+
+  [[nodiscard]] models::MiniDeepLabV3Plus& model() noexcept { return model_; }
+  [[nodiscard]] const TrainReport& report() const noexcept { return report_; }
+  [[nodiscard]] long global_step() const noexcept { return global_step_; }
+  [[nodiscard]] long steps_per_epoch() const noexcept { return steps_per_epoch_; }
+  [[nodiscard]] int next_epoch() const noexcept { return next_epoch_; }
+
+ private:
+  [[nodiscard]] std::vector<nn::NamedTensor> state_tensors();
+
+  TrainConfig config_;
+  CommHook& hook_;
+  models::MiniDeepLabV3Plus model_;
+  nn::SgdMomentum optimizer_;
+  data::SyntheticShapes dataset_;
+  data::DistributedSampler sampler_;
+  nn::PolySchedule schedule_;
+  long steps_per_epoch_ = 0;
+  long global_step_ = 0;
+  int next_epoch_ = 0;
+  tensor::Tensor progress_;  ///< {global_step, next_epoch} for checkpoints
+  TrainReport report_;
 };
 
 /// Runs data-parallel training of the mini DeepLab-v3+ on this rank.

@@ -88,23 +88,34 @@ Tensor MiniDeepLabV3Plus::forward(const Tensor& images, bool train) {
   return logits;
 }
 
-Tensor MiniDeepLabV3Plus::backward(const Tensor& grad_logits) {
+Tensor MiniDeepLabV3Plus::backward(const Tensor& grad_logits, nn::GradSink* sink) {
   if (cache_logits_small_.empty()) {
     throw std::logic_error("MiniDeepLabV3Plus: backward before forward(train)");
   }
   const int w = config_.width;
+  // Hand-written tensor ops (resize/pool/split) have no Layer to report
+  // their backward cost; charge a light elementwise pass per call.
+  auto glue_cost = [sink](const Tensor& g) {
+    if (sink != nullptr) {
+      sink->backward_cost(8.0 * static_cast<double>(g.numel()),
+                          8.0 * static_cast<double>(g.numel()));
+    }
+  };
 
-  // Decoder.
+  // Decoder. Sub-layer order is the exact reverse of parameters() so the
+  // sink sees gradients in true backprop (reverse-parameters) order.
+  glue_cost(grad_logits);
   const Tensor g_logits_small = tensor::bilinear_resize_backward(cache_logits_small_, grad_logits);
-  const Tensor g_refined = classifier_.backward(g_logits_small);
-  const Tensor g_cat_dec = decoder_conv_.backward(g_refined);
+  const Tensor g_refined = classifier_.backward(g_logits_small, sink);
+  const Tensor g_cat_dec = decoder_conv_.backward(g_refined, sink);
   Tensor g_dec_up, g_low;
   tensor::split_channels(g_cat_dec, 4 * w, g_dec_up, g_low);
-  const Tensor g_s1_from_low = low_level_proj_.backward(g_low);
+  const Tensor g_s1_from_low = low_level_proj_.backward(g_low, sink);
+  glue_cost(g_dec_up);
   const Tensor g_aspp_out = tensor::bilinear_resize_backward(cache_aspp_out_, g_dec_up);
 
   // ASPP.
-  const Tensor g_cat_aspp = aspp_project_.backward(g_aspp_out);
+  const Tensor g_cat_aspp = aspp_project_.backward(g_aspp_out, sink);
   Tensor g_abc, g_pool_up;
   tensor::split_channels(g_cat_aspp, 6 * w, g_abc, g_pool_up);
   Tensor g_ab, g_a3;
@@ -112,19 +123,20 @@ Tensor MiniDeepLabV3Plus::backward(const Tensor& grad_logits) {
   Tensor g_a1, g_a2;
   tensor::split_channels(g_ab, 2 * w, g_a1, g_a2);
 
+  glue_cost(g_pool_up);
   const Tensor g_pool_small = tensor::bilinear_resize_backward(cache_pool_small_, g_pool_up);
-  const Tensor g_pooled = aspp_pool_proj_.backward(g_pool_small);
+  const Tensor g_pooled = aspp_pool_proj_.backward(g_pool_small, sink);
   Tensor g_s3 = tensor::global_avg_pool_backward(cache_block3_out_, g_pooled);
-  g_s3.add_(aspp_1x1_.backward(g_a1));
-  g_s3.add_(aspp_r2_.backward(g_a2));
-  g_s3.add_(aspp_r4_.backward(g_a3));
+  g_s3.add_(aspp_r4_.backward(g_a3, sink));
+  g_s3.add_(aspp_r2_.backward(g_a2, sink));
+  g_s3.add_(aspp_1x1_.backward(g_a1, sink));
 
   // Encoder.
-  const Tensor g_s2 = block3_->backward(g_s3);
-  Tensor g_s1 = block2_->backward(g_s2);
+  const Tensor g_s2 = block3_->backward(g_s3, sink);
+  Tensor g_s1 = block2_->backward(g_s2, sink);
   g_s1.add_(g_s1_from_low);
-  const Tensor g_s0 = block1_->backward(g_s1);
-  return stem_.backward(g_s0);
+  const Tensor g_s0 = block1_->backward(g_s1, sink);
+  return stem_.backward(g_s0, sink);
 }
 
 std::vector<Parameter*> MiniDeepLabV3Plus::parameters() {
@@ -145,6 +157,26 @@ std::vector<Parameter*> MiniDeepLabV3Plus::parameters() {
   append(decoder_conv_.parameters());
   append(classifier_.parameters());
   return params;
+}
+
+std::vector<nn::NamedTensor> MiniDeepLabV3Plus::buffers() {
+  std::vector<nn::NamedTensor> bufs;
+  auto append = [&bufs](std::vector<nn::NamedTensor> layer_bufs) {
+    for (nn::NamedTensor b : layer_bufs) bufs.push_back(b);
+  };
+  append(stem_.buffers());
+  append(block1_->buffers());
+  append(block2_->buffers());
+  append(block3_->buffers());
+  append(aspp_1x1_.buffers());
+  append(aspp_r2_.buffers());
+  append(aspp_r4_.buffers());
+  append(aspp_pool_proj_.buffers());
+  append(aspp_project_.buffers());
+  append(low_level_proj_.buffers());
+  append(decoder_conv_.buffers());
+  append(classifier_.buffers());
+  return bufs;
 }
 
 std::size_t MiniDeepLabV3Plus::parameter_count() {

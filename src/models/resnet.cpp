@@ -32,11 +32,17 @@ Tensor MiniResNet::Block::forward(const Tensor& x, bool train) {
   return relu_out.forward(h2, train);
 }
 
-Tensor MiniResNet::Block::backward(const Tensor& grad_out) {
-  const Tensor g_sum = relu_out.backward(grad_out);
-  Tensor g_x = conv1.backward(conv2.backward(bn2.backward(g_sum)));
+Tensor MiniResNet::Block::backward(const Tensor& grad_out, nn::GradSink* sink) {
+  const Tensor g_sum = relu_out.backward(grad_out, sink);
+  // Projection branch first: its parameters come last in parameters(), so
+  // the sink sees gradients in exact reverse-parameters order. The g_x +
+  // skip accumulation below keeps the pre-refactor operand order, so the
+  // result stays bitwise identical.
+  Tensor g_skip;
+  if (proj) g_skip = proj->backward(proj_bn->backward(g_sum, sink), sink);
+  Tensor g_x = conv1.backward(conv2.backward(bn2.backward(g_sum, sink), sink), sink);
   if (proj) {
-    g_x.add_(proj->backward(proj_bn->backward(g_sum)));
+    g_x.add_(g_skip);
   } else {
     g_x.add_(g_sum);
   }
@@ -52,6 +58,15 @@ std::vector<nn::Parameter*> MiniResNet::Block::parameters() {
     for (Parameter* p : proj_bn->parameters()) params.push_back(p);
   }
   return params;
+}
+
+std::vector<nn::NamedTensor> MiniResNet::Block::buffers() {
+  std::vector<nn::NamedTensor> bufs = conv1.buffers();
+  for (nn::NamedTensor b : bn2.buffers()) bufs.push_back(b);
+  if (proj_bn) {
+    for (nn::NamedTensor b : proj_bn->buffers()) bufs.push_back(b);
+  }
+  return bufs;
 }
 
 MiniResNet::MiniResNet(Config config, util::Rng& rng)
@@ -83,12 +98,15 @@ Tensor MiniResNet::forward(const Tensor& images, bool train) {
   return head_.forward(pooled, train);
 }
 
-Tensor MiniResNet::backward(const Tensor& grad_logits) {
+Tensor MiniResNet::backward(const Tensor& grad_logits, nn::GradSink* sink) {
   if (cache_pool_in_.empty()) throw std::logic_error("MiniResNet: backward before forward(train)");
-  const Tensor g_pooled = head_.backward(grad_logits);
+  const Tensor g_pooled = head_.backward(grad_logits, sink);
   Tensor g = tensor::global_avg_pool_backward(cache_pool_in_, g_pooled);
-  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) g = it->backward(g);
-  return stem_.backward(g);
+  if (sink != nullptr) {
+    sink->backward_cost(static_cast<double>(g.numel()), 8.0 * static_cast<double>(g.numel()));
+  }
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) g = it->backward(g, sink);
+  return stem_.backward(g, sink);
 }
 
 std::vector<Parameter*> MiniResNet::parameters() {
@@ -99,6 +117,15 @@ std::vector<Parameter*> MiniResNet::parameters() {
   }
   for (Parameter* p : head_.parameters()) params.push_back(p);
   return params;
+}
+
+std::vector<nn::NamedTensor> MiniResNet::buffers() {
+  std::vector<nn::NamedTensor> bufs = stem_.buffers();
+  for (Block& block : blocks_) {
+    for (nn::NamedTensor b : block.buffers()) bufs.push_back(b);
+  }
+  for (nn::NamedTensor b : head_.buffers()) bufs.push_back(b);
+  return bufs;
 }
 
 std::size_t MiniResNet::parameter_count() {

@@ -5,6 +5,29 @@
 
 namespace dlscale::nn {
 
+namespace {
+
+constexpr double kBytesPerFloat = 4.0;
+
+double bytes_of(const Tensor& t) { return kBytesPerFloat * static_cast<double>(t.numel()); }
+
+// Roofline inputs for a backward pass: grad-input plus grad-weight cost
+// roughly twice the forward arithmetic, over twice the activation
+// traffic (read grad_out + cached input, write grad_in + param grads).
+void report_backward_cost(GradSink* sink, double fwd_flops, double activation_bytes) {
+  if (sink != nullptr) sink->backward_cost(2.0 * fwd_flops, 2.0 * activation_bytes);
+}
+
+// Notify finalized parameter gradients in REVERSE parameters() order so a
+// whole-model backward emits the exact reverse of parameters(). Skips
+// notification when sink is null.
+void notify_reversed(GradSink* sink, const std::vector<Parameter*>& params) {
+  if (sink == nullptr) return;
+  for (auto it = params.rbegin(); it != params.rend(); ++it) sink->grad_ready(**it);
+}
+
+}  // namespace
+
 // ---- Conv2d ----
 
 Conv2d::Conv2d(std::string layer_name, int in_channels, int out_channels, int kernel,
@@ -20,10 +43,16 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   return tensor::conv2d(input, weight_.value, has_bias_ ? &bias_.value : nullptr, spec_);
 }
 
-Tensor Conv2d::backward(const Tensor& grad_out) {
+Tensor Conv2d::do_backward(const Tensor& grad_out, GradSink* sink) {
   if (cached_input_.empty()) throw std::logic_error(name_ + ": backward before forward(train)");
-  return tensor::conv2d_backward(cached_input_, weight_.value, grad_out, spec_, weight_.grad,
-                                 has_bias_ ? &bias_.grad : nullptr);
+  Tensor grad_in = tensor::conv2d_backward(cached_input_, weight_.value, grad_out, spec_,
+                                           weight_.grad, has_bias_ ? &bias_.grad : nullptr);
+  const double macs_per_output = static_cast<double>(weight_.value.dim(1)) *
+                                 weight_.value.dim(2) * weight_.value.dim(3);
+  report_backward_cost(sink, 2.0 * static_cast<double>(grad_out.numel()) * macs_per_output,
+                       bytes_of(cached_input_) + bytes_of(grad_out));
+  notify_reversed(sink, parameters());
+  return grad_in;
 }
 
 std::vector<Parameter*> Conv2d::parameters() {
@@ -47,12 +76,21 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
                              momentum_, eps_, train ? &cache_ : nullptr);
 }
 
-Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+Tensor BatchNorm2d::do_backward(const Tensor& grad_out, GradSink* sink) {
   if (cache_.x_hat.empty()) throw std::logic_error(name_ + ": backward before forward(train)");
-  return tensor::batchnorm2d_backward(grad_out, cache_, gamma_.value, gamma_.grad, beta_.grad);
+  Tensor grad_in = tensor::batchnorm2d_backward(grad_out, cache_, gamma_.value, gamma_.grad,
+                                                beta_.grad);
+  report_backward_cost(sink, 8.0 * static_cast<double>(grad_out.numel()),
+                       2.0 * bytes_of(grad_out));
+  notify_reversed(sink, parameters());
+  return grad_in;
 }
 
 std::vector<Parameter*> BatchNorm2d::parameters() { return {&gamma_, &beta_}; }
+
+std::vector<NamedTensor> BatchNorm2d::buffers() {
+  return {{name_ + ".running_mean", &running_mean_}, {name_ + ".running_var", &running_var_}};
+}
 
 // ---- ReLU ----
 
@@ -61,8 +99,10 @@ Tensor ReLU::forward(const Tensor& input, bool train) {
   return tensor::relu(input);
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
-  return tensor::relu_backward(cached_input_, grad_out);
+Tensor ReLU::do_backward(const Tensor& grad_out, GradSink* sink) {
+  Tensor grad_in = tensor::relu_backward(cached_input_, grad_out);
+  report_backward_cost(sink, static_cast<double>(grad_out.numel()), 2.0 * bytes_of(grad_out));
+  return grad_in;
 }
 
 // ---- MaxPool2d ----
@@ -72,8 +112,11 @@ Tensor MaxPool2d::forward(const Tensor& input, bool train) {
   return tensor::maxpool2d(input, kernel_, stride_, argmax_);
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_out) {
-  return tensor::maxpool2d_backward(cached_input_, grad_out, kernel_, stride_, argmax_);
+Tensor MaxPool2d::do_backward(const Tensor& grad_out, GradSink* sink) {
+  Tensor grad_in = tensor::maxpool2d_backward(cached_input_, grad_out, kernel_, stride_, argmax_);
+  report_backward_cost(sink, static_cast<double>(grad_out.numel()),
+                       bytes_of(cached_input_) + bytes_of(grad_out));
+  return grad_in;
 }
 
 // ---- BilinearResize ----
@@ -83,8 +126,11 @@ Tensor BilinearResize::forward(const Tensor& input, bool train) {
   return tensor::bilinear_resize(input, out_h_, out_w_);
 }
 
-Tensor BilinearResize::backward(const Tensor& grad_out) {
-  return tensor::bilinear_resize_backward(cached_input_, grad_out);
+Tensor BilinearResize::do_backward(const Tensor& grad_out, GradSink* sink) {
+  Tensor grad_in = tensor::bilinear_resize_backward(cached_input_, grad_out);
+  report_backward_cost(sink, 8.0 * static_cast<double>(grad_out.numel()),
+                       bytes_of(cached_input_) + bytes_of(grad_out));
+  return grad_in;
 }
 
 // ---- DepthwiseConv2d ----
@@ -104,10 +150,15 @@ Tensor DepthwiseConv2d::forward(const Tensor& input, bool train) {
   return tensor::depthwise_conv2d(input, weight_.value, spec_);
 }
 
-Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
+Tensor DepthwiseConv2d::do_backward(const Tensor& grad_out, GradSink* sink) {
   if (cached_input_.empty()) throw std::logic_error(name_ + ": backward before forward(train)");
-  return tensor::depthwise_conv2d_backward(cached_input_, weight_.value, grad_out, spec_,
-                                           weight_.grad);
+  Tensor grad_in = tensor::depthwise_conv2d_backward(cached_input_, weight_.value, grad_out,
+                                                     spec_, weight_.grad);
+  const double macs_per_output = static_cast<double>(weight_.value.dim(2)) * weight_.value.dim(3);
+  report_backward_cost(sink, 2.0 * static_cast<double>(grad_out.numel()) * macs_per_output,
+                       bytes_of(cached_input_) + bytes_of(grad_out));
+  notify_reversed(sink, parameters());
+  return grad_in;
 }
 
 std::vector<Parameter*> DepthwiseConv2d::parameters() { return {&weight_}; }
@@ -133,12 +184,12 @@ Tensor SeparableConvBnRelu::forward(const Tensor& input, bool train) {
   return relu_.forward(x, train);
 }
 
-Tensor SeparableConvBnRelu::backward(const Tensor& grad_out) {
-  Tensor g = relu_.backward(grad_out);
-  g = bn_pw_.backward(g);
-  g = pointwise_.backward(g);
-  g = bn_dw_.backward(g);
-  return depthwise_.backward(g);
+Tensor SeparableConvBnRelu::do_backward(const Tensor& grad_out, GradSink* sink) {
+  Tensor g = relu_.backward(grad_out, sink);
+  g = bn_pw_.backward(g, sink);
+  g = pointwise_.backward(g, sink);
+  g = bn_dw_.backward(g, sink);
+  return depthwise_.backward(g, sink);
 }
 
 std::vector<Parameter*> SeparableConvBnRelu::parameters() {
@@ -147,6 +198,12 @@ std::vector<Parameter*> SeparableConvBnRelu::parameters() {
   for (Parameter* p : pointwise_.parameters()) params.push_back(p);
   for (Parameter* p : bn_pw_.parameters()) params.push_back(p);
   return params;
+}
+
+std::vector<NamedTensor> SeparableConvBnRelu::buffers() {
+  std::vector<NamedTensor> bufs = bn_dw_.buffers();
+  for (NamedTensor b : bn_pw_.buffers()) bufs.push_back(b);
+  return bufs;
 }
 
 // ---- ConvBnRelu ----
@@ -162,8 +219,8 @@ Tensor ConvBnRelu::forward(const Tensor& input, bool train) {
   return relu_.forward(bn_.forward(conv_.forward(input, train), train), train);
 }
 
-Tensor ConvBnRelu::backward(const Tensor& grad_out) {
-  return conv_.backward(bn_.backward(relu_.backward(grad_out)));
+Tensor ConvBnRelu::do_backward(const Tensor& grad_out, GradSink* sink) {
+  return conv_.backward(bn_.backward(relu_.backward(grad_out, sink), sink), sink);
 }
 
 std::vector<Parameter*> ConvBnRelu::parameters() {
@@ -171,6 +228,8 @@ std::vector<Parameter*> ConvBnRelu::parameters() {
   for (Parameter* p : bn_.parameters()) params.push_back(p);
   return params;
 }
+
+std::vector<NamedTensor> ConvBnRelu::buffers() { return bn_.buffers(); }
 
 // ---- Sequential ----
 
@@ -180,9 +239,9 @@ Tensor Sequential::forward(const Tensor& input, bool train) {
   return x;
 }
 
-Tensor Sequential::backward(const Tensor& grad_out) {
+Tensor Sequential::do_backward(const Tensor& grad_out, GradSink* sink) {
   Tensor g = grad_out;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g, sink);
   return g;
 }
 
@@ -192,6 +251,14 @@ std::vector<Parameter*> Sequential::parameters() {
     for (Parameter* p : layer->parameters()) params.push_back(p);
   }
   return params;
+}
+
+std::vector<NamedTensor> Sequential::buffers() {
+  std::vector<NamedTensor> bufs;
+  for (auto& layer : layers_) {
+    for (NamedTensor b : layer->buffers()) bufs.push_back(b);
+  }
+  return bufs;
 }
 
 }  // namespace dlscale::nn

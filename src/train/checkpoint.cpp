@@ -24,54 +24,69 @@ T read_pod(std::ifstream& in) {
   return value;
 }
 
+std::vector<nn::NamedTensor> as_named(const std::vector<nn::Parameter*>& params) {
+  std::vector<nn::NamedTensor> tensors;
+  tensors.reserve(params.size());
+  for (nn::Parameter* p : params) tensors.push_back({p->name, &p->value});
+  return tensors;
+}
+
 }  // namespace
 
-void save_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path) {
+void save_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("checkpoint: cannot open '" + path + "' for writing");
   write_pod(out, kMagic);
-  write_pod(out, static_cast<std::uint32_t>(params.size()));
-  for (const nn::Parameter* p : params) {
-    write_pod(out, static_cast<std::uint32_t>(p->name.size()));
-    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
-    write_pod(out, static_cast<std::uint32_t>(p->value.shape().size()));
-    for (int d : p->value.shape()) write_pod(out, static_cast<std::int32_t>(d));
-    out.write(reinterpret_cast<const char*>(p->value.ptr()),
-              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  write_pod(out, static_cast<std::uint32_t>(tensors.size()));
+  for (const nn::NamedTensor& t : tensors) {
+    write_pod(out, static_cast<std::uint32_t>(t.name.size()));
+    out.write(t.name.data(), static_cast<std::streamsize>(t.name.size()));
+    write_pod(out, static_cast<std::uint32_t>(t.tensor->shape().size()));
+    for (int d : t.tensor->shape()) write_pod(out, static_cast<std::int32_t>(d));
+    out.write(reinterpret_cast<const char*>(t.tensor->ptr()),
+              static_cast<std::streamsize>(t.tensor->numel() * sizeof(float)));
   }
   if (!out) throw std::runtime_error("checkpoint: write failed for '" + path + "'");
 }
 
-void load_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path) {
+void load_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("checkpoint: cannot open '" + path + "'");
   if (read_pod<std::uint32_t>(in) != kMagic) {
     throw std::runtime_error("checkpoint: bad magic in '" + path + "'");
   }
   const auto count = read_pod<std::uint32_t>(in);
-  if (count != params.size()) {
+  if (count != tensors.size()) {
     throw std::runtime_error("checkpoint: parameter count mismatch (file has " +
                              std::to_string(count) + ", model has " +
-                             std::to_string(params.size()) + ")");
+                             std::to_string(tensors.size()) + ")");
   }
-  for (nn::Parameter* p : params) {
+  for (const nn::NamedTensor& t : tensors) {
     const auto name_len = read_pod<std::uint32_t>(in);
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
-    if (name != p->name) {
-      throw std::runtime_error("checkpoint: expected parameter '" + p->name + "', found '" +
+    if (name != t.name) {
+      throw std::runtime_error("checkpoint: expected parameter '" + t.name + "', found '" +
                                name + "'");
     }
     const auto ndim = read_pod<std::uint32_t>(in);
     std::vector<int> shape(ndim);
     for (auto& d : shape) d = read_pod<std::int32_t>(in);
-    if (shape != p->value.shape()) {
+    if (shape != t.tensor->shape()) {
       throw std::runtime_error("checkpoint: shape mismatch for '" + name + "'");
     }
-    in.read(reinterpret_cast<char*>(p->value.ptr()),
-            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    in.read(reinterpret_cast<char*>(t.tensor->ptr()),
+            static_cast<std::streamsize>(t.tensor->numel() * sizeof(float)));
     if (!in) throw std::runtime_error("checkpoint: truncated data for '" + name + "'");
   }
+}
+
+void save_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path) {
+  save_tensors(as_named(params), path);
+}
+
+void load_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path) {
+  load_tensors(as_named(params), path);
 }
 
 }  // namespace dlscale::train

@@ -1,9 +1,11 @@
 #include "dlscale/train/trainer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "dlscale/tensor/ops.hpp"
+#include "dlscale/train/checkpoint.hpp"
 #include "dlscale/util/logging.hpp"
 
 namespace dlscale::train {
@@ -12,21 +14,13 @@ namespace {
 
 constexpr int kIgnoreLabel = 255;
 
-/// One optimisation step on a batch; returns the loss. `average_grads`
-/// runs between backward and the optimizer step (distributed ranks hook
-/// the Horovod synchronize here; serial training passes a no-op).
-float train_step(models::MiniDeepLabV3Plus& model, nn::SgdMomentum& optimizer,
-                 const data::Sample& batch, double lr,
-                 const std::function<void(std::vector<nn::Parameter*>&)>& average_grads) {
-  optimizer.zero_grad();
-  const tensor::Tensor logits = model.forward(batch.image, /*train=*/true);
-  tensor::Tensor grad;
-  const float loss = tensor::softmax_cross_entropy(logits, batch.labels, kIgnoreLabel, grad);
-  model.backward(grad);
-  auto params = model.parameters();
-  average_grads(params);
-  optimizer.step(lr);
-  return loss;
+models::MiniDeepLabV3Plus make_model(const TrainConfig& config, int rank) {
+  // With broadcast enabled, replicas may start from different seeds;
+  // rank 0's weights are distributed by broadcast_parameters below.
+  util::Rng init_rng(config.broadcast_initial_state
+                         ? config.seed + static_cast<std::uint64_t>(rank)
+                         : config.seed);
+  return models::MiniDeepLabV3Plus(config.model, init_rng);
 }
 
 }  // namespace
@@ -49,146 +43,181 @@ std::pair<double, double> evaluate(models::MiniDeepLabV3Plus& model,
   return {confusion.miou(), confusion.pixel_accuracy()};
 }
 
+// ---- HorovodHook ----
+
+HorovodHook::HorovodHook(mpi::Communicator& comm, const TrainConfig& config)
+    : comm_(comm),
+      runtime_(comm, config.knobs),
+      stream_(gpu::ComputeModel(gpu::DeviceSpec::v100_summit(), config.virtual_flop_efficiency),
+              [this](nn::Parameter& p, double ready_at) {
+                runtime_.submit({p.name, p.grad.data(), p.grad.data().size_bytes(), ready_at});
+              }) {}
+
+int HorovodHook::rank() const { return comm_.rank(); }
+
+int HorovodHook::size() const { return comm_.size(); }
+
+void HorovodHook::broadcast_parameters(const std::vector<nn::Parameter*>& params) {
+  for (nn::Parameter* p : params) runtime_.broadcast(p->value.data(), 0);
+}
+
+nn::GradSink* HorovodHook::begin_step() {
+  stream_.begin_step(comm_.now());
+  return &stream_;
+}
+
+void HorovodHook::finish_step() { runtime_.synchronize(); }
+
+void HorovodHook::allreduce_sum(std::span<double> values) {
+  comm_.allreduce(values, mpi::ReduceOp::kSum, mpi::MemSpace::kHost);
+}
+
+void HorovodHook::allreduce_sum(std::span<std::int64_t> values) {
+  comm_.allreduce(values, mpi::ReduceOp::kSum, mpi::MemSpace::kHost);
+}
+
+hvd::RuntimeStats HorovodHook::stats() const { return runtime_.stats(); }
+
+// ---- Trainer ----
+
+Trainer::Trainer(const TrainConfig& config, CommHook& hook)
+    : config_(config),
+      hook_(hook),
+      model_(make_model(config, hook.rank())),
+      optimizer_(model_.parameters(), config.optimizer),
+      dataset_(config.dataset),
+      sampler_(config.train_samples, hook.size(), hook.rank(), config.seed ^ 0x5DEECE66Dull),
+      schedule_(config.schedule),
+      steps_per_epoch_(static_cast<long>(sampler_.shard_size() /
+                                         static_cast<std::uint64_t>(config.batch_per_rank))),
+      progress_(tensor::Tensor::zeros({2})) {
+  if (steps_per_epoch_ == 0) {
+    throw std::invalid_argument("Trainer: per-rank shard smaller than batch");
+  }
+  if (schedule_.max_iters <= 0) schedule_.max_iters = steps_per_epoch_ * config.epochs;
+  if (config_.broadcast_initial_state) {
+    hook_.broadcast_parameters(model_.parameters());
+  }
+  report_.parameter_count = model_.parameter_count();
+}
+
+float Trainer::train_step(const data::Sample& batch, double lr) {
+  optimizer_.zero_grad();
+  const tensor::Tensor logits = model_.forward(batch.image, /*train=*/true);
+  tensor::Tensor grad;
+  const float loss = tensor::softmax_cross_entropy(logits, batch.labels, kIgnoreLabel, grad);
+  // Backward streams each finalized gradient into the hook's sink the
+  // moment it is ready; finish_step drains the negotiation/fusion cycles.
+  model_.backward(grad, hook_.begin_step());
+  hook_.finish_step();
+  optimizer_.step(lr);
+  ++global_step_;
+  return loss;
+}
+
+EpochReport Trainer::train_epoch() {
+  const int epoch = next_epoch_++;
+  const auto indices = sampler_.epoch_indices(static_cast<std::uint64_t>(epoch));
+  double loss_sum = 0.0;
+  for (long step = 0; step < steps_per_epoch_; ++step) {
+    const std::vector<std::uint64_t> batch_ids(
+        indices.begin() + static_cast<std::ptrdiff_t>(step * config_.batch_per_rank),
+        indices.begin() + static_cast<std::ptrdiff_t>((step + 1) * config_.batch_per_rank));
+    data::Sample batch = dataset_.make_batch(batch_ids);
+    if (config_.augment) {
+      util::Rng aug_rng = util::Rng(config_.seed ^ 0xA46A371Full)
+                              .child(static_cast<std::uint64_t>(hook_.rank()))
+                              .child(static_cast<std::uint64_t>(global_step_));
+      data::augment(batch, aug_rng);
+    }
+    loss_sum += train_step(batch, schedule_.lr_at(global_step_));
+  }
+
+  // Reduce train loss across ranks.
+  std::vector<double> loss_acc{loss_sum, static_cast<double>(steps_per_epoch_)};
+  hook_.allreduce_sum(std::span<double>(loss_acc));
+
+  // Distributed evaluation: each rank scores a strided slice of the
+  // held-out set, then confusion counts are summed.
+  data::ConfusionMatrix confusion(config_.dataset.num_classes);
+  {
+    std::vector<std::uint64_t> mine;
+    for (std::uint64_t i = static_cast<std::uint64_t>(hook_.rank()); i < config_.eval_samples;
+         i += static_cast<std::uint64_t>(hook_.size())) {
+      mine.push_back(config_.train_samples + i);
+    }
+    std::vector<std::uint64_t> batch_ids;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      batch_ids.push_back(mine[i]);
+      if (static_cast<int>(batch_ids.size()) == config_.batch_per_rank || i + 1 == mine.size()) {
+        const data::Sample batch = dataset_.make_batch(batch_ids);
+        const tensor::Tensor logits = model_.forward(batch.image, /*train=*/false);
+        confusion.update(tensor::argmax_channels(logits), batch.labels, kIgnoreLabel);
+        batch_ids.clear();
+      }
+    }
+    std::vector<std::int64_t> counts(confusion.counts().begin(), confusion.counts().end());
+    hook_.allreduce_sum(std::span<std::int64_t>(counts));
+    std::copy(counts.begin(), counts.end(), confusion.counts().begin());
+  }
+
+  EpochReport epoch_report;
+  epoch_report.epoch = epoch;
+  epoch_report.train_loss = loss_acc[0] / loss_acc[1];
+  epoch_report.eval_miou = confusion.miou();
+  epoch_report.eval_pixel_accuracy = confusion.pixel_accuracy();
+  report_.epochs.push_back(epoch_report);
+  DLSCALE_DEBUG("epoch " << epoch << " loss " << epoch_report.train_loss << " mIOU "
+                         << epoch_report.eval_miou);
+  return epoch_report;
+}
+
+TrainReport Trainer::run() {
+  while (next_epoch_ < config_.epochs) train_epoch();
+  report_.steps = global_step_;
+  report_.hvd_stats = hook_.stats();
+  return report_;
+}
+
+std::vector<nn::NamedTensor> Trainer::state_tensors() {
+  std::vector<nn::NamedTensor> tensors;
+  for (nn::Parameter* p : model_.parameters()) tensors.push_back({p->name, &p->value});
+  for (const nn::NamedTensor& b : model_.buffers()) tensors.push_back(b);
+  const std::vector<nn::Parameter*>& params = optimizer_.parameters();
+  std::vector<tensor::Tensor>& velocity = optimizer_.velocity();
+  for (std::size_t i = 0; i < velocity.size(); ++i) {
+    tensors.push_back({"opt.velocity." + params[i]->name, &velocity[i]});
+  }
+  tensors.push_back({"trainer.progress", &progress_});
+  return tensors;
+}
+
+void Trainer::save_state(const std::string& path) {
+  progress_.data()[0] = static_cast<float>(global_step_);
+  progress_.data()[1] = static_cast<float>(next_epoch_);
+  save_tensors(state_tensors(), path);
+}
+
+void Trainer::load_state(const std::string& path) {
+  load_tensors(state_tensors(), path);
+  global_step_ = std::lround(progress_.data()[0]);
+  next_epoch_ = static_cast<int>(std::lround(progress_.data()[1]));
+}
+
+// ---- Entry points ----
+
 TrainReport train_distributed(mpi::Communicator& comm, const TrainConfig& config) {
-  // With broadcast enabled, replicas may start from different seeds;
-  // rank 0's weights are distributed below (hvd.broadcast_parameters).
-  util::Rng init_rng(config.broadcast_initial_state
-                         ? config.seed + static_cast<std::uint64_t>(comm.rank())
-                         : config.seed);
-  models::MiniDeepLabV3Plus model(config.model, init_rng);
-  nn::SgdMomentum optimizer(model.parameters(), config.optimizer);
-  const data::SyntheticShapes dataset(config.dataset);
-  const data::DistributedSampler sampler(config.train_samples, comm.size(), comm.rank(),
-                                         config.seed ^ 0x5DEECE66Dull);
-  hvd::HorovodRuntime runtime(comm, config.knobs);
-  if (config.broadcast_initial_state) {
-    for (nn::Parameter* p : model.parameters()) runtime.broadcast(p->value.data(), 0);
-  }
-
-  const auto steps_per_epoch =
-      static_cast<long>(sampler.shard_size() / static_cast<std::uint64_t>(config.batch_per_rank));
-  if (steps_per_epoch == 0) {
-    throw std::invalid_argument("train_distributed: shard smaller than batch");
-  }
-  nn::PolySchedule schedule = config.schedule;
-  if (schedule.max_iters <= 0) schedule.max_iters = steps_per_epoch * config.epochs;
-
-  TrainReport report;
-  report.parameter_count = model.parameter_count();
-
-  long global_step = 0;
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    const auto indices = sampler.epoch_indices(static_cast<std::uint64_t>(epoch));
-    double loss_sum = 0.0;
-    for (long step = 0; step < steps_per_epoch; ++step) {
-      const std::vector<std::uint64_t> batch_ids(
-          indices.begin() + static_cast<std::ptrdiff_t>(step * config.batch_per_rank),
-          indices.begin() + static_cast<std::ptrdiff_t>((step + 1) * config.batch_per_rank));
-      data::Sample batch = dataset.make_batch(batch_ids);
-      if (config.augment) {
-        util::Rng aug_rng = util::Rng(config.seed ^ 0xA46A371Full)
-                                .child(static_cast<std::uint64_t>(comm.rank()))
-                                .child(static_cast<std::uint64_t>(global_step));
-        data::augment(batch, aug_rng);
-      }
-      const double lr = schedule.lr_at(global_step);
-      loss_sum += train_step(model, optimizer, batch, lr, [&](std::vector<nn::Parameter*>& params) {
-        for (nn::Parameter* p : params) {
-          runtime.submit({p->name, p->grad.data(), 0, comm.now()});
-        }
-        runtime.synchronize();
-      });
-      ++global_step;
-    }
-
-    // Reduce train loss across ranks.
-    std::vector<double> loss_acc{loss_sum, static_cast<double>(steps_per_epoch)};
-    comm.allreduce(std::span<double>(loss_acc), mpi::ReduceOp::kSum, mpi::MemSpace::kHost);
-
-    // Distributed evaluation: each rank scores a strided slice of the
-    // held-out set, then confusion counts are summed.
-    data::ConfusionMatrix confusion(config.dataset.num_classes);
-    {
-      std::vector<std::uint64_t> mine;
-      for (std::uint64_t i = comm.rank(); i < config.eval_samples;
-           i += static_cast<std::uint64_t>(comm.size())) {
-        mine.push_back(config.train_samples + i);
-      }
-      std::vector<std::uint64_t> batch_ids;
-      for (std::size_t i = 0; i < mine.size(); ++i) {
-        batch_ids.push_back(mine[i]);
-        if (static_cast<int>(batch_ids.size()) == config.batch_per_rank || i + 1 == mine.size()) {
-          const data::Sample batch = dataset.make_batch(batch_ids);
-          const tensor::Tensor logits = model.forward(batch.image, /*train=*/false);
-          confusion.update(tensor::argmax_channels(logits), batch.labels, kIgnoreLabel);
-          batch_ids.clear();
-        }
-      }
-      std::vector<std::int64_t> counts(confusion.counts().begin(), confusion.counts().end());
-      comm.allreduce(std::span<std::int64_t>(counts), mpi::ReduceOp::kSum, mpi::MemSpace::kHost);
-      std::copy(counts.begin(), counts.end(), confusion.counts().begin());
-    }
-
-    EpochReport epoch_report;
-    epoch_report.epoch = epoch;
-    epoch_report.train_loss = loss_acc[0] / loss_acc[1];
-    epoch_report.eval_miou = confusion.miou();
-    epoch_report.eval_pixel_accuracy = confusion.pixel_accuracy();
-    report.epochs.push_back(epoch_report);
-    DLSCALE_DEBUG("epoch " << epoch << " loss " << epoch_report.train_loss << " mIOU "
-                           << epoch_report.eval_miou);
-  }
-  report.steps = global_step;
-  report.hvd_stats = runtime.stats();
-  return report;
+  HorovodHook hook(comm, config);
+  Trainer trainer(config, hook);
+  return trainer.run();
 }
 
 TrainReport train_serial(const TrainConfig& config, int equivalent_world) {
-  util::Rng init_rng(config.seed);
-  models::MiniDeepLabV3Plus model(config.model, init_rng);
-  nn::SgdMomentum optimizer(model.parameters(), config.optimizer);
-  const data::SyntheticShapes dataset(config.dataset);
-  const data::DistributedSampler sampler(config.train_samples, 1, 0,
-                                         config.seed ^ 0x5DEECE66Dull);
-
-  const int global_batch = config.batch_per_rank * equivalent_world;
-  const auto steps_per_epoch =
-      static_cast<long>(config.train_samples / static_cast<std::uint64_t>(global_batch));
-  if (steps_per_epoch == 0) {
-    throw std::invalid_argument("train_serial: dataset smaller than global batch");
-  }
-  nn::PolySchedule schedule = config.schedule;
-  if (schedule.max_iters <= 0) schedule.max_iters = steps_per_epoch * config.epochs;
-
-  TrainReport report;
-  report.parameter_count = model.parameter_count();
-  auto no_comm = [](std::vector<nn::Parameter*>&) {};
-
-  long global_step = 0;
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    const auto indices = sampler.epoch_indices(static_cast<std::uint64_t>(epoch));
-    double loss_sum = 0.0;
-    for (long step = 0; step < steps_per_epoch; ++step) {
-      const std::vector<std::uint64_t> batch_ids(
-          indices.begin() + static_cast<std::ptrdiff_t>(step * global_batch),
-          indices.begin() + static_cast<std::ptrdiff_t>((step + 1) * global_batch));
-      data::Sample batch = dataset.make_batch(batch_ids);
-      if (config.augment) {
-        util::Rng aug_rng = util::Rng(config.seed ^ 0xA46A371Full)
-                                .child(0)
-                                .child(static_cast<std::uint64_t>(global_step));
-        data::augment(batch, aug_rng);
-      }
-      loss_sum += train_step(model, optimizer, batch, schedule.lr_at(global_step), no_comm);
-      ++global_step;
-    }
-    const auto [miou, accuracy] =
-        evaluate(model, dataset, config.train_samples, config.eval_samples, global_batch);
-    report.epochs.push_back(
-        {epoch, loss_sum / static_cast<double>(steps_per_epoch), miou, accuracy});
-  }
-  report.steps = global_step;
-  return report;
+  TrainConfig serial = config;
+  serial.batch_per_rank = config.batch_per_rank * equivalent_world;
+  NoComm hook;
+  Trainer trainer(serial, hook);
+  return trainer.run();
 }
 
 }  // namespace dlscale::train

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 
 #include "dlscale/models/deeplab.hpp"
+#include "dlscale/train/trainer.hpp"
 
 namespace dt = dlscale::train;
 namespace dmo = dlscale::models;
@@ -54,6 +57,97 @@ TEST(Checkpoint, MissingFileThrows) {
   dmo::MiniDeepLabV3Plus model({.input_size = 16, .width = 4}, rng);
   EXPECT_THROW(dt::load_checkpoint(model.parameters(), "/nonexistent/dir/ckpt.bin"),
                std::runtime_error);
+}
+
+namespace {
+
+dt::TrainConfig trainer_config() {
+  dt::TrainConfig config;
+  config.model = {.in_channels = 3, .num_classes = 4, .input_size = 16, .width = 4};
+  config.dataset = {.image_size = 16, .num_classes = 4, .max_shapes = 2, .noise = 0.1f,
+                    .seed = 99};
+  config.train_samples = 16;
+  config.eval_samples = 8;
+  config.batch_per_rank = 2;
+  config.epochs = 2;
+  return config;
+}
+
+}  // namespace
+
+TEST(Checkpoint, TensorListRoundTripIncludesBuffers) {
+  // save_tensors/load_tensors carry non-parameter state (BatchNorm
+  // running stats) that the parameter-only wrappers skip.
+  TempFile file("dlscale_ckpt_tensors.bin");
+  dlscale::util::Rng rng_a(1), rng_b(2);
+  dmo::MiniDeepLabV3Plus source({.input_size = 16, .width = 4}, rng_a);
+  dmo::MiniDeepLabV3Plus target({.input_size = 16, .width = 4}, rng_b);
+  // Perturb source running stats so the round trip is observable.
+  auto src_bufs = source.buffers();
+  ASSERT_FALSE(src_bufs.empty());
+  for (std::size_t i = 0; i < src_bufs.size(); ++i) {
+    for (float& v : src_bufs[i].tensor->data()) v += static_cast<float>(i + 1) * 0.125f;
+  }
+  dt::save_tensors(src_bufs, file.path);
+  dt::load_tensors(target.buffers(), file.path);
+  const auto dst_bufs = target.buffers();
+  ASSERT_EQ(src_bufs.size(), dst_bufs.size());
+  for (std::size_t i = 0; i < src_bufs.size(); ++i) {
+    EXPECT_EQ(src_bufs[i].name, dst_bufs[i].name);
+    for (std::size_t j = 0; j < src_bufs[i].tensor->numel(); ++j) {
+      ASSERT_FLOAT_EQ(src_bufs[i].tensor->data()[j], dst_bufs[i].tensor->data()[j])
+          << src_bufs[i].name;
+    }
+  }
+}
+
+TEST(Checkpoint, TrainerStateRoundTripContinuesBitwise) {
+  // Save mid-training, restore into a FRESH Trainer (different weights,
+  // zero momentum, stale running stats), continue: the final epoch must
+  // be bitwise identical to an uninterrupted run.
+  TempFile file("dlscale_trainer_state.bin");
+  const auto config = trainer_config();
+
+  dt::NoComm hook_full;
+  dt::Trainer uninterrupted(config, hook_full);
+  const auto full_report = uninterrupted.run();
+  ASSERT_EQ(full_report.epochs.size(), 2u);
+
+  dt::NoComm hook_first;
+  dt::Trainer first_half(config, hook_first);
+  const auto epoch0 = first_half.train_epoch();
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(epoch0.train_loss),
+            std::bit_cast<std::uint64_t>(full_report.epochs[0].train_loss));
+  first_half.save_state(file.path);
+
+  dt::NoComm hook_second;
+  dt::Trainer restored(config, hook_second);
+  restored.load_state(file.path);
+  EXPECT_EQ(restored.global_step(), first_half.global_step());
+  EXPECT_EQ(restored.next_epoch(), 1);
+  const auto resumed_report = restored.run();
+
+  ASSERT_EQ(resumed_report.epochs.size(), 1u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(resumed_report.epochs[0].train_loss),
+            std::bit_cast<std::uint64_t>(full_report.epochs[1].train_loss));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(resumed_report.epochs[0].eval_miou),
+            std::bit_cast<std::uint64_t>(full_report.epochs[1].eval_miou));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(resumed_report.epochs[0].eval_pixel_accuracy),
+            std::bit_cast<std::uint64_t>(full_report.epochs[1].eval_pixel_accuracy));
+}
+
+TEST(Checkpoint, TrainerStateRejectsMismatchedArchitecture) {
+  TempFile file("dlscale_trainer_state_mismatch.bin");
+  const auto config = trainer_config();
+  dt::NoComm hook_a;
+  dt::Trainer source(config, hook_a);
+  source.save_state(file.path);
+
+  auto wide = config;
+  wide.model.width = 8;
+  dt::NoComm hook_b;
+  dt::Trainer target(wide, hook_b);
+  EXPECT_THROW(target.load_state(file.path), std::runtime_error);
 }
 
 TEST(Checkpoint, CorruptMagicThrows) {
