@@ -1,0 +1,93 @@
+// Online autotuning vs exhaustive static sweep (extension of E5).
+//
+// Ground truth first: every (fusion threshold x cycle time x hierarchy)
+// combination simulated statically on the E9-style cluster. Then one
+// autotuned run starting from Horovod defaults over the same space —
+// reporting the knobs it converged to, the throughput it reached as a
+// fraction of the best static cell, and how many iterations of tuning
+// that took versus the exhaustive sweep's budget.
+#include <cstdio>
+
+#include "dlscale/perf/simulator.hpp"
+#include "dlscale/util/env.hpp"
+#include "dlscale/util/table.hpp"
+
+using namespace dlscale;
+
+namespace {
+
+constexpr int kNodes = 4;  // 24 GPUs
+
+perf::ScalingConfig base_config(hvd::Knobs knobs) {
+  perf::ScalingConfig config;
+  config.workload = models::WorkloadSpec::deeplab_v3plus(4);
+  config.nodes = kNodes;
+  config.flop_efficiency = perf::Calibration::paper_defaults().deeplab_efficiency;
+  config.mpi_profile = net::MpiProfile::mvapich2_gdr_like();
+  config.knobs = knobs;
+  config.warmup_iterations = 1;
+  config.iterations = 2;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  hvd::TuningSpace space;
+  space.fusion_thresholds = {1 << 20, 8 << 20, 64 << 20};
+  space.cycle_times_s = {3.5e-3, 10e-3, 25e-3};
+  space.hierarchical = {false, true};
+
+  util::Table table("Static knob sweep, DLv3+, 24 GPUs, MVAPICH2-GDR");
+  table.set_header({"fusion threshold", "cycle", "hierarchical", "img/s"});
+  double best_static = 0.0;
+  hvd::Knobs best_knobs;
+  for (std::size_t fusion : space.fusion_thresholds) {
+    for (double cycle : space.cycle_times_s) {
+      for (bool hier : space.hierarchical) {
+        hvd::Knobs knobs = hvd::Knobs::horovod_defaults();
+        knobs.fusion_threshold = fusion;
+        knobs.cycle_time_s = cycle;
+        knobs.hierarchical_allreduce = hier;
+        const auto result = perf::simulate(base_config(knobs));
+        if (result.images_per_s > best_static) {
+          best_static = result.images_per_s;
+          best_knobs = knobs;
+        }
+        table.add_row({util::format_bytes(fusion), util::Table::num(cycle * 1e3, 1) + " ms",
+                       hier ? "on" : "off", util::Table::num(result.images_per_s, 1)});
+      }
+    }
+    std::fprintf(stderr, "... fusion %s done\n", util::format_bytes(fusion).c_str());
+  }
+  table.print();
+  std::printf("\nBest static cell: fusion %s, cycle %.1f ms, hierarchical %s -> %.1f img/s\n",
+              util::format_bytes(best_knobs.fusion_threshold).c_str(),
+              best_knobs.cycle_time_s * 1e3, best_knobs.hierarchical_allreduce ? "on" : "off",
+              best_static);
+
+  // The online tuner, same space, one training run.
+  auto config = base_config(hvd::Knobs::horovod_defaults());
+  config.autotune.enabled = true;
+  config.autotune.window_steps = 2;
+  config.autotune.space = space;
+  const auto tuned = perf::simulate(config);
+
+  const int sweep_budget = static_cast<int>(space.combinations()) *
+                           (config.warmup_iterations + config.iterations);
+  std::printf(
+      "\nOnline autotune (coordinate descent from Horovod defaults):\n"
+      "  converged knobs:   fusion %s, cycle %.1f ms, hierarchical %s\n"
+      "  post-freeze:       %.1f img/s (%.1f%% of best static)\n"
+      "  tuning iterations: %d (exhaustive sweep costs %d simulated iterations)\n",
+      util::format_bytes(tuned.tuned_knobs.fusion_threshold).c_str(),
+      tuned.tuned_knobs.cycle_time_s * 1e3, tuned.tuned_knobs.hierarchical_allreduce ? "on" : "off",
+      tuned.images_per_s, 100.0 * tuned.images_per_s / best_static, tuned.tuning_iterations,
+      sweep_budget);
+
+  std::printf(
+      "\nShape check: the tuner explores one coordinate at a time during training\n"
+      "and freezes on the best window, reaching >=95%% of the exhaustive sweep's\n"
+      "best cell at a fraction of its iteration budget.\n");
+  return 0;
+}

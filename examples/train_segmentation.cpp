@@ -8,11 +8,16 @@
 // an uninterrupted run exactly.
 //
 // Usage: ./build/examples/train_segmentation [ranks] [epochs]
+//
+// DLSCALE_AUTOTUNE=1 turns on online knob autotuning: an hvd::Autotuner
+// retunes fusion/cycle/hierarchy at measurement-window boundaries while
+// the model trains — observation-only, metrics are unchanged.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "dlscale/train/trainer.hpp"
+#include "dlscale/util/env.hpp"
 #include "dlscale/util/table.hpp"
 
 using namespace dlscale;
@@ -36,9 +41,13 @@ int main(int argc, char** argv) {
   config.schedule = {0.08, 0.9, 0};
   config.knobs = hvd::Knobs::from_env(hvd::Knobs::paper_tuned());
   config.knobs.cycle_time_s = 1e-4;
+  config.autotune.enabled = util::env_bool("DLSCALE_AUTOTUNE", false);
+  config.autotune.window_steps = 2;
 
-  std::printf("Training mini DeepLab-v3+ on %d rank(s), %d epoch(s), global batch %d\n\n", world,
-              epochs, world * config.batch_per_rank);
+  std::printf("%s\n", util::env_dump().c_str());
+  std::printf("Training mini DeepLab-v3+ on %d rank(s), %d epoch(s), global batch %d%s\n\n", world,
+              epochs, world * config.batch_per_rank,
+              config.autotune.enabled ? ", online autotuning ON" : "");
 
   mpi::WorldOptions options;
   options.topology = net::Topology::single_node(world);

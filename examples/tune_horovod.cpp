@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
               env_knobs.hierarchical_allreduce ? "on" : "off");
   std::printf("  response cache                = %s\n\n",
               env_knobs.response_cache ? "on" : "off");
+  std::printf("%s\n", util::env_dump().c_str());
 
   std::fprintf(stderr, "simulating %d nodes (%d GPUs)...\n", nodes, nodes * 6);
   const auto with_defaults = run(nodes, defaults);

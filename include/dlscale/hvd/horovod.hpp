@@ -51,10 +51,16 @@ struct Knobs {
   /// averaged result (HOROVOD_FP16_ALLREDUCE): halves wire bytes at
   /// ~1e-3 relative precision cost.
   bool fp16_allreduce = false;
+  /// Record negotiation/allreduce events for the Chrome-tracing timeline
+  /// from construction on (HOROVOD_TIMELINE: any non-empty value).
+  bool timeline = false;
 
   /// Read HOROVOD_FUSION_THRESHOLD / HOROVOD_CYCLE_TIME (ms) /
-  /// HOROVOD_HIERARCHICAL_ALLREDUCE / HOROVOD_CACHE_CAPACITY from the
-  /// environment, falling back to the given defaults.
+  /// HOROVOD_HIERARCHICAL_ALLREDUCE / HOROVOD_CACHE_CAPACITY /
+  /// HOROVOD_FP16_ALLREDUCE / HOROVOD_STALL_CHECK (cycles, 0 disables) /
+  /// HOROVOD_TIMELINE / DLSCALE_ALLREDUCE_ALGO
+  /// (ring|rabenseifner|recursive_doubling|auto) from the environment,
+  /// falling back to the given defaults.
   static Knobs from_env(Knobs defaults);
   static Knobs from_env();
 
@@ -72,7 +78,10 @@ struct Knobs {
   static Knobs paper_tuned();
 };
 
-/// Counters for the fusion/negotiation ablation (experiment E9).
+/// Counters for the fusion/negotiation ablation (experiment E9). All
+/// counters are monotonic, so two snapshots subtract into the activity of
+/// the interval between them — the basis for per-epoch reporting and the
+/// autotuner's per-window scoring.
 struct RuntimeStats {
   std::uint64_t cycles = 0;            ///< negotiation rounds executed
   std::uint64_t tensors_negotiated = 0;
@@ -81,6 +90,21 @@ struct RuntimeStats {
   std::uint64_t bytes_reduced = 0;
   std::uint64_t control_bytes = 0;     ///< negotiation wire traffic
   std::uint64_t stall_warnings = 0;    ///< tensors flagged by the stall check
+
+  RuntimeStats& operator-=(const RuntimeStats& earlier) noexcept {
+    cycles -= earlier.cycles;
+    tensors_negotiated -= earlier.tensors_negotiated;
+    fused_batches -= earlier.fused_batches;
+    cache_hit_cycles -= earlier.cache_hit_cycles;
+    bytes_reduced -= earlier.bytes_reduced;
+    control_bytes -= earlier.control_bytes;
+    stall_warnings -= earlier.stall_warnings;
+    return *this;
+  }
+  friend RuntimeStats operator-(RuntimeStats later, const RuntimeStats& earlier) noexcept {
+    later -= earlier;
+    return later;
+  }
 };
 
 /// One gradient tensor registered for allreduce.
@@ -120,7 +144,20 @@ class HorovodRuntime {
   /// chrome://tracing or Perfetto). Timestamps are virtual microseconds.
   void write_timeline(std::ostream& out) const;
 
+  /// Stage a knob change. It is applied atomically at the start of the
+  /// NEXT negotiation cycle, never mid-cycle — a fused batch is always
+  /// built and executed under one consistent knob set. Collective
+  /// discipline: every rank must stage the same values at the same point
+  /// in its submit/synchronize stream (the Autotuner guarantees this by
+  /// broadcasting rank 0's decision before any rank calls set_knobs).
+  void set_knobs(const Knobs& knobs) { pending_knobs_ = knobs; }
+
+  /// True while a set_knobs value is staged but no cycle has run yet.
+  [[nodiscard]] bool knob_change_pending() const noexcept { return pending_knobs_.has_value(); }
+
   [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
+  /// The knobs currently in force (staged changes appear only after the
+  /// next cycle applies them).
   [[nodiscard]] const Knobs& knobs() const noexcept { return knobs_; }
   [[nodiscard]] mpi::Communicator& comm() noexcept { return comm_; }
   void reset_stats() { stats_ = RuntimeStats{}; }
@@ -143,6 +180,7 @@ class HorovodRuntime {
 
   mpi::Communicator& comm_;
   Knobs knobs_;
+  std::optional<Knobs> pending_knobs_;  ///< staged by set_knobs, applied by cycle()
   gpu::ComputeModel copy_model_;
   RuntimeStats stats_;
 

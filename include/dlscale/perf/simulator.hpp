@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "dlscale/gpu/device.hpp"
+#include "dlscale/hvd/autotune.hpp"
 #include "dlscale/hvd/horovod.hpp"
 #include "dlscale/models/workload.hpp"
 #include "dlscale/mpi/comm.hpp"
@@ -72,6 +73,12 @@ struct ScalingConfig {
   /// ranks each iteration, a loss that grows with scale. 0 disables.
   double compute_jitter = 0.02;
   std::uint64_t jitter_seed = 2020;
+  /// Online knob tuning before measurement: after warmup, an
+  /// hvd::Autotuner explores from `knobs` until it freezes (or
+  /// max_tuning_iterations is hit, at which point it is frozen on the
+  /// best seen); the measured iterations then run on the converged knobs.
+  hvd::AutotuneOptions autotune{};
+  int max_tuning_iterations = 256;
 };
 
 /// Result of one simulated configuration.
@@ -83,6 +90,9 @@ struct ScalingResult {
   double scaling_efficiency = 0.0;  ///< vs the same workload on 1 GPU
   double comm_overhead_s = 0.0;     ///< iteration_s - pure compute time
   hvd::RuntimeStats hvd_stats;      ///< rank 0's runtime counters
+  bool autotuned = false;           ///< config.autotune.enabled
+  hvd::Knobs tuned_knobs;           ///< knobs the measured iterations ran on
+  int tuning_iterations = 0;        ///< iterations spent tuning (unmeasured)
 };
 
 /// Simulate `config.iterations` steady-state training iterations on a

@@ -23,6 +23,7 @@
 
 #include "dlscale/data/dataset.hpp"
 #include "dlscale/gpu/device.hpp"
+#include "dlscale/hvd/autotune.hpp"
 #include "dlscale/hvd/horovod.hpp"
 #include "dlscale/models/deeplab.hpp"
 #include "dlscale/mpi/comm.hpp"
@@ -53,6 +54,10 @@ struct TrainConfig {
   /// Fraction of V100 peak the backward kernels sustain in the roofline
   /// model that stamps virtual gradient ready times during backward.
   double virtual_flop_efficiency = 0.25;
+  /// Online knob autotuning (hvd::Autotuner). When enabled,
+  /// train_distributed wraps its HorovodHook in an AutotuneHook; `knobs`
+  /// above is the starting point the tuner explores from.
+  hvd::AutotuneOptions autotune{};
 };
 
 /// Per-epoch results (rank-0 view after metric reduction).
@@ -61,6 +66,10 @@ struct EpochReport {
   double train_loss = 0.0;
   double eval_miou = 0.0;
   double eval_pixel_accuracy = 0.0;
+  /// Communication activity of THIS epoch (runtime-counter delta between
+  /// the epoch's start and end; TrainReport.hvd_stats stays the lifetime
+  /// total). All-zero under NoComm.
+  hvd::RuntimeStats comm_stats;
 };
 
 /// Result of a full run.
@@ -110,9 +119,27 @@ class TimedGradStream final : public nn::GradSink {
   double elapsed_ = 0.0;
 };
 
-/// Communication strategy plugged into the Trainer. The distributed
-/// implementation wires gradients into the Horovod runtime; the serial
-/// one is a no-op with world size 1.
+/// Communication strategy plugged into the Trainer — the public extension
+/// point for anything that needs to observe or act on the training step
+/// stream. The Trainer drives exactly this per-step lifecycle:
+///
+///   1. on_step_begin() — before model.backward. Returns the GradSink the
+///      backward pass streams into, or nullptr when no streaming is
+///      wanted (serial training).
+///   2. on_gradient(param, ready_at) — once per finalized parameter
+///      gradient, in backprop (reverse-parameters()) order, stamped with
+///      the virtual time the gradient became available. Delivered by the
+///      sink the hook returned from on_step_begin.
+///   3. on_step_end() — after backward returns. Drains outstanding
+///      communication; on return every param.grad holds the
+///      world-averaged value.
+///
+/// Implementations: HorovodHook (data-parallel gradient averaging),
+/// NoComm (serial reference), AutotuneHook (decorator adding online knob
+/// tuning at step boundaries). Decorators forward all callbacks to the
+/// wrapped hook; note the inner hook's own sink delivers gradients to the
+/// inner hook directly, so a decorator that must see every gradient
+/// should wrap the sink returned by the inner on_step_begin as well.
 class CommHook {
  public:
   virtual ~CommHook() = default;
@@ -125,11 +152,14 @@ class CommHook {
 
   /// Sink for the upcoming backward pass, or nullptr when gradients need
   /// no streaming. Called once per step, before model.backward.
-  virtual nn::GradSink* begin_step() = 0;
+  virtual nn::GradSink* on_step_begin() = 0;
+
+  /// One finalized parameter gradient, ready at virtual time `ready_at`.
+  virtual void on_gradient(nn::Parameter& param, double ready_at) = 0;
 
   /// Drain outstanding gradient traffic (hvd.synchronize); after this the
   /// parameter grads hold the world-averaged values.
-  virtual void finish_step() = 0;
+  virtual void on_step_end() = 0;
 
   virtual void allreduce_sum(std::span<double> values) = 0;
   virtual void allreduce_sum(std::span<std::int64_t> values) = 0;
@@ -143,17 +173,19 @@ class NoComm final : public CommHook {
   [[nodiscard]] int rank() const override { return 0; }
   [[nodiscard]] int size() const override { return 1; }
   void broadcast_parameters(const std::vector<nn::Parameter*>&) override {}
-  nn::GradSink* begin_step() override { return nullptr; }
-  void finish_step() override {}
+  nn::GradSink* on_step_begin() override { return nullptr; }
+  void on_gradient(nn::Parameter&, double) override {}
+  void on_step_end() override {}
   void allreduce_sum(std::span<double>) override {}
   void allreduce_sum(std::span<std::int64_t>) override {}
   [[nodiscard]] hvd::RuntimeStats stats() const override { return {}; }
 };
 
-/// Data-parallel hook over the Horovod runtime: begin_step rewinds a
-/// TimedGradStream to the communicator clock; each grad_ready submits
-/// {name, grad, bytes, staggered ready_at} to the runtime; finish_step
-/// synchronizes (gradient averaging).
+/// Data-parallel hook over the Horovod runtime: on_step_begin rewinds a
+/// TimedGradStream to the communicator clock; the stream delivers each
+/// finalized gradient to on_gradient, which submits {name, grad, bytes,
+/// staggered ready_at} to the runtime; on_step_end synchronizes
+/// (gradient averaging).
 class HorovodHook final : public CommHook {
  public:
   HorovodHook(mpi::Communicator& comm, const TrainConfig& config);
@@ -161,8 +193,9 @@ class HorovodHook final : public CommHook {
   [[nodiscard]] int rank() const override;
   [[nodiscard]] int size() const override;
   void broadcast_parameters(const std::vector<nn::Parameter*>& params) override;
-  nn::GradSink* begin_step() override;
-  void finish_step() override;
+  nn::GradSink* on_step_begin() override;
+  void on_gradient(nn::Parameter& param, double ready_at) override;
+  void on_step_end() override;
   void allreduce_sum(std::span<double> values) override;
   void allreduce_sum(std::span<std::int64_t> values) override;
   [[nodiscard]] hvd::RuntimeStats stats() const override;
@@ -173,6 +206,39 @@ class HorovodHook final : public CommHook {
   mpi::Communicator& comm_;
   hvd::HorovodRuntime runtime_;
   TimedGradStream stream_;
+};
+
+/// Decorator adding online knob tuning to any CommHook: forwards every
+/// callback to the wrapped hook, then feeds each completed step to the
+/// Autotuner, which re-tunes the underlying runtime at measurement-window
+/// boundaries. Composes rather than specializes — the Trainer sees one
+/// CommHook either way.
+class AutotuneHook final : public CommHook {
+ public:
+  AutotuneHook(CommHook& inner, hvd::Autotuner& tuner) : inner_(inner), tuner_(tuner) {}
+
+  [[nodiscard]] int rank() const override { return inner_.rank(); }
+  [[nodiscard]] int size() const override { return inner_.size(); }
+  void broadcast_parameters(const std::vector<nn::Parameter*>& params) override {
+    inner_.broadcast_parameters(params);
+  }
+  nn::GradSink* on_step_begin() override { return inner_.on_step_begin(); }
+  void on_gradient(nn::Parameter& param, double ready_at) override {
+    inner_.on_gradient(param, ready_at);
+  }
+  void on_step_end() override {
+    inner_.on_step_end();
+    tuner_.step_end();
+  }
+  void allreduce_sum(std::span<double> values) override { inner_.allreduce_sum(values); }
+  void allreduce_sum(std::span<std::int64_t> values) override { inner_.allreduce_sum(values); }
+  [[nodiscard]] hvd::RuntimeStats stats() const override { return inner_.stats(); }
+
+  [[nodiscard]] hvd::Autotuner& tuner() noexcept { return tuner_; }
+
+ private:
+  CommHook& inner_;
+  hvd::Autotuner& tuner_;
 };
 
 /// One data-parallel training run on this rank. Collective when driven by
@@ -223,13 +289,20 @@ class Trainer {
   TrainReport report_;
 };
 
-/// Runs data-parallel training of the mini DeepLab-v3+ on this rank.
-/// Collective: every rank of `comm` must call with the same config.
-/// The returned report is metric-reduced and identical on all ranks.
+/// DEPRECATED compatibility shim — prefer composing a Trainer with a
+/// CommHook directly (HorovodHook, optionally wrapped in AutotuneHook);
+/// see README "Training API". Kept as a thin wrapper because existing
+/// benches/tests call it; behaviour is unchanged. Runs data-parallel
+/// training of the mini DeepLab-v3+ on this rank (honouring
+/// config.autotune). Collective: every rank of `comm` must call with the
+/// same config. The returned report is metric-reduced and identical on
+/// all ranks.
 TrainReport train_distributed(mpi::Communicator& comm, const TrainConfig& config);
 
-/// Serial reference: equivalent single-process training with global batch
-/// = batch_per_rank * world_size (for the parity experiment E6).
+/// DEPRECATED compatibility shim — prefer `Trainer` over a `NoComm` hook
+/// (see README "Training API"). Serial reference: equivalent
+/// single-process training with global batch = batch_per_rank *
+/// world_size (for the parity experiment E6).
 TrainReport train_serial(const TrainConfig& config, int equivalent_world);
 
 /// Evaluate a model on the held-out slice; returns (miou, pixel_acc).

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace dlscale::util {
 
@@ -37,5 +38,23 @@ std::optional<std::uint64_t> parse_bytes(std::string_view text);
 
 /// Pretty-print a byte count ("64 MiB", "1.5 GiB", "512 B").
 std::string format_bytes(std::uint64_t bytes);
+
+/// The effective value of one environment knob, as most recently read by
+/// a typed getter above. Every env_* call records what it returned, so a
+/// run can print exactly the configuration it is using — set, defaulted,
+/// or set-but-unparsable (which falls back and reports `from_env=false`).
+struct EnvRecord {
+  std::string name;
+  std::string value;     ///< effective value, formatted by the typed getter
+  bool from_env = false; ///< true when the variable was set AND parsed
+};
+
+/// Snapshot of every knob read so far, sorted by name. Thread-safe.
+std::vector<EnvRecord> env_effective();
+
+/// Render env_effective() as an aligned human-readable block, one line
+/// per knob: `NAME = value (env|default)`. Examples print this at
+/// startup so a log always shows the knobs the run actually used.
+std::string env_dump();
 
 }  // namespace dlscale::util

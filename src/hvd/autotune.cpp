@@ -1,0 +1,278 @@
+#include "dlscale/hvd/autotune.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "dlscale/util/logging.hpp"
+
+namespace dlscale::hvd {
+
+namespace {
+
+constexpr int kAxes = 3;  // fusion threshold, cycle time, hierarchical
+
+// Fixed-layout wire encoding of the window decision (rank 0 -> world).
+// Manual pack/unpack keeps the protocol independent of struct layout.
+struct DecisionWire {
+  template <typename T>
+  static void put(std::vector<std::byte>& out, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* raw = reinterpret_cast<const std::byte*>(&value);
+    out.insert(out.end(), raw, raw + sizeof(T));
+  }
+  template <typename T>
+  static T get(std::span<const std::byte> in, std::size_t& pos) {
+    T value{};
+    if (pos + sizeof(T) > in.size()) throw std::runtime_error("autotune: truncated decision");
+    std::memcpy(&value, in.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return value;
+  }
+};
+
+std::vector<std::byte> encode_decision(bool frozen, const Knobs& knobs) {
+  std::vector<std::byte> out;
+  DecisionWire::put<std::uint8_t>(out, frozen ? 1 : 0);
+  DecisionWire::put<std::uint64_t>(out, knobs.fusion_threshold);
+  DecisionWire::put<double>(out, knobs.cycle_time_s);
+  DecisionWire::put<std::uint8_t>(out, knobs.hierarchical_allreduce ? 1 : 0);
+  DecisionWire::put<std::uint8_t>(out, knobs.response_cache ? 1 : 0);
+  DecisionWire::put<std::uint8_t>(out, knobs.algo.has_value() ? 1 : 0);
+  DecisionWire::put<std::uint8_t>(out,
+                                  static_cast<std::uint8_t>(knobs.algo.value_or(mpi::AllreduceAlgo::kRing)));
+  DecisionWire::put<std::uint64_t>(out, knobs.stall_warning_cycles);
+  DecisionWire::put<std::uint8_t>(out, knobs.fp16_allreduce ? 1 : 0);
+  DecisionWire::put<std::uint8_t>(out, knobs.timeline ? 1 : 0);
+  return out;
+}
+
+std::pair<bool, Knobs> decode_decision(std::span<const std::byte> blob) {
+  std::size_t pos = 0;
+  const bool frozen = DecisionWire::get<std::uint8_t>(blob, pos) != 0;
+  Knobs knobs;
+  knobs.fusion_threshold = DecisionWire::get<std::uint64_t>(blob, pos);
+  knobs.cycle_time_s = DecisionWire::get<double>(blob, pos);
+  knobs.hierarchical_allreduce = DecisionWire::get<std::uint8_t>(blob, pos) != 0;
+  knobs.response_cache = DecisionWire::get<std::uint8_t>(blob, pos) != 0;
+  const bool has_algo = DecisionWire::get<std::uint8_t>(blob, pos) != 0;
+  const auto algo = static_cast<mpi::AllreduceAlgo>(DecisionWire::get<std::uint8_t>(blob, pos));
+  knobs.algo = has_algo ? std::optional<mpi::AllreduceAlgo>(algo) : std::nullopt;
+  knobs.stall_warning_cycles = DecisionWire::get<std::uint64_t>(blob, pos);
+  knobs.fp16_allreduce = DecisionWire::get<std::uint8_t>(blob, pos) != 0;
+  knobs.timeline = DecisionWire::get<std::uint8_t>(blob, pos) != 0;
+  return {frozen, knobs};
+}
+
+}  // namespace
+
+// ---- CoordinateDescentPolicy ----
+
+CoordinateDescentPolicy::CoordinateDescentPolicy(Knobs base, TuningSpace space,
+                                                 double min_relative_gain, int max_passes)
+    : space_(std::move(space)),
+      best_(base),
+      min_gain_(min_relative_gain),
+      max_passes_(std::max(1, max_passes)) {}
+
+std::size_t CoordinateDescentPolicy::axis_size(int axis) const {
+  switch (axis) {
+    case 0: return space_.fusion_thresholds.size();
+    case 1: return space_.cycle_times_s.size();
+    default: return space_.hierarchical.size();
+  }
+}
+
+Knobs CoordinateDescentPolicy::with_candidate(int axis, std::size_t index) const {
+  Knobs knobs = best_;  // other coordinates stay at the incumbent
+  switch (axis) {
+    case 0: knobs.fusion_threshold = space_.fusion_thresholds[index]; break;
+    case 1: knobs.cycle_time_s = space_.cycle_times_s[index]; break;
+    default: knobs.hierarchical_allreduce = space_.hierarchical[index]; break;
+  }
+  return knobs;
+}
+
+bool CoordinateDescentPolicy::matches_best(int axis, std::size_t index) const {
+  switch (axis) {
+    case 0: return space_.fusion_thresholds[index] == best_.fusion_threshold;
+    case 1: return space_.cycle_times_s[index] == best_.cycle_time_s;
+    default: return space_.hierarchical[index] == best_.hierarchical_allreduce;
+  }
+}
+
+std::optional<Knobs> CoordinateDescentPolicy::propose() {
+  if (done_) return std::nullopt;
+  if (!baseline_measured_) return best_;  // first window scores the incumbent
+  while (true) {
+    if (axis_ >= kAxes) {
+      if (!pass_improved_ || pass_ + 1 >= max_passes_) {
+        done_ = true;
+        return std::nullopt;
+      }
+      ++pass_;
+      axis_ = 0;
+      candidate_ = 0;
+      pass_improved_ = false;
+    }
+    if (candidate_ >= axis_size(axis_)) {
+      ++axis_;
+      candidate_ = 0;
+      continue;
+    }
+    const std::size_t index = candidate_++;
+    if (matches_best(axis_, index)) continue;  // incumbent value: already scored
+    return with_candidate(axis_, index);
+  }
+}
+
+void CoordinateDescentPolicy::observe(const WindowMeasurement& measurement) {
+  if (!baseline_measured_) {
+    baseline_measured_ = true;
+    best_score_ = measurement.score;
+    return;
+  }
+  if (measurement.score < best_score_ * (1.0 - min_gain_)) {
+    best_ = measurement.knobs;
+    best_score_ = measurement.score;
+    pass_improved_ = true;
+  }
+}
+
+// ---- GridSearchPolicy ----
+
+GridSearchPolicy::GridSearchPolicy(Knobs base, TuningSpace space)
+    : space_(std::move(space)), base_(base), best_(base) {}
+
+std::optional<Knobs> GridSearchPolicy::propose() {
+  if (next_ >= space_.combinations()) return std::nullopt;
+  const std::size_t cycles = space_.cycle_times_s.size();
+  const std::size_t hiers = space_.hierarchical.size();
+  const std::size_t index = next_++;
+  Knobs knobs = base_;
+  knobs.fusion_threshold = space_.fusion_thresholds[index / (cycles * hiers)];
+  knobs.cycle_time_s = space_.cycle_times_s[(index / hiers) % cycles];
+  knobs.hierarchical_allreduce = space_.hierarchical[index % hiers];
+  return knobs;
+}
+
+void GridSearchPolicy::observe(const WindowMeasurement& measurement) {
+  if (!any_observed_ || measurement.score < best_score_) {
+    any_observed_ = true;
+    best_ = measurement.knobs;
+    best_score_ = measurement.score;
+  }
+}
+
+// ---- Autotuner ----
+
+Autotuner::Autotuner(HorovodRuntime& runtime, AutotuneOptions options,
+                     std::unique_ptr<TuningPolicy> policy)
+    : runtime_(runtime), options_(options), policy_(std::move(policy)),
+      active_(runtime.knobs()) {
+  options_.window_steps = std::max(1, options_.window_steps);
+  options_.warmup_windows = std::max(1, options_.warmup_windows);
+  options_.max_windows = std::max(options_.warmup_windows + 1, options_.max_windows);
+  if (!policy_ && runtime_.comm().rank() == 0) {
+    policy_ = std::make_unique<CoordinateDescentPolicy>(active_, options_.space,
+                                                        options_.min_relative_gain);
+  }
+  begin_window();
+}
+
+void Autotuner::begin_window() {
+  steps_in_window_ = 0;
+  window_start_time_ = runtime_.comm().now();
+  window_start_stats_ = runtime_.stats();
+}
+
+void Autotuner::step_end() {
+  if (frozen_) return;
+  if (++steps_in_window_ < options_.window_steps) return;
+  finish_window(/*force_freeze=*/false);
+}
+
+void Autotuner::freeze() {
+  if (frozen_) return;
+  finish_window(/*force_freeze=*/true);
+}
+
+double Autotuner::surrogate_step_cost(const RuntimeStats& delta, int steps) {
+  // Deterministic cost surrogate for functional (timing-off) worlds:
+  // every collective launch pays a kernel/coordination alpha, reduced and
+  // control bytes a bandwidth beta, every negotiation round a coordinator
+  // round-trip (rounds served from the response cache cost half of one).
+  constexpr double kLaunchAlphaS = 25e-6;
+  constexpr double kCycleAlphaS = 10e-6;
+  constexpr double kWireSecondsPerByte = 1.0 / 12.5e9;   // EDR-class fabric
+  constexpr double kControlSecondsPerByte = 1.0 / 1e9;   // coordinator path
+  const double cycle_cost =
+      (static_cast<double>(delta.cycles) - 0.5 * static_cast<double>(delta.cache_hit_cycles)) *
+      kCycleAlphaS;
+  const double cost = static_cast<double>(delta.fused_batches) * kLaunchAlphaS + cycle_cost +
+                      static_cast<double>(delta.bytes_reduced) * kWireSecondsPerByte +
+                      static_cast<double>(delta.control_bytes) * kControlSecondsPerByte;
+  return cost / std::max(1, steps);
+}
+
+double Autotuner::score_window(double window_s, const RuntimeStats& delta, int steps) const {
+  if (runtime_.comm().timing_enabled()) {
+    return window_s / std::max(1, steps);
+  }
+  return surrogate_step_cost(delta, steps);
+}
+
+void Autotuner::finish_window(bool force_freeze) {
+  mpi::Communicator& comm = runtime_.comm();
+  const double window_s = comm.now() - window_start_time_;
+  const RuntimeStats delta = runtime_.stats() - window_start_stats_;
+
+  // Rank 0 scores the window, consults the policy, and decides; the
+  // decision blob makes every rank stage identical knobs regardless of
+  // clock skew or who saw which ready times.
+  std::vector<std::byte> decision;
+  if (comm.rank() == 0) {
+    bool freeze_now = force_freeze;
+    Knobs next = active_;
+    // Window index `windows_completed_` ran under a policy proposal iff
+    // it is past the warmup prefix; only those windows are scored.
+    const bool scored = windows_completed_ >= options_.warmup_windows;
+    if (scored && steps_in_window_ > 0) {
+      WindowMeasurement measurement;
+      measurement.knobs = active_;
+      measurement.window_time_s = window_s;
+      measurement.steps = steps_in_window_;
+      measurement.stats = delta;
+      measurement.score = score_window(window_s, delta, steps_in_window_);
+      policy_->observe(measurement);
+      history_.push_back(measurement);
+    }
+    if (windows_completed_ + 1 >= options_.max_windows) freeze_now = true;
+    if (!freeze_now && windows_completed_ + 1 >= options_.warmup_windows) {
+      const std::optional<Knobs> proposal = policy_->propose();
+      if (proposal) {
+        next = *proposal;
+      } else {
+        freeze_now = true;  // policy converged
+      }
+    }
+    if (freeze_now) next = policy_->best();
+    decision = encode_decision(freeze_now, next);
+    if (freeze_now) {
+      DLSCALE_DEBUG("autotune: frozen after " << windows_completed_ + 1 << " windows on fusion "
+                                              << next.fusion_threshold << "B cycle "
+                                              << next.cycle_time_s * 1e3 << "ms hierarchical "
+                                              << (next.hierarchical_allreduce ? "on" : "off"));
+    }
+  }
+  decision = comm.bcast_blob(decision, 0);
+  const auto [frozen, knobs] = decode_decision(decision);
+  frozen_ = frozen;
+  active_ = knobs;
+  runtime_.set_knobs(active_);
+  ++windows_completed_;
+  begin_window();
+}
+
+}  // namespace dlscale::hvd

@@ -1,6 +1,7 @@
 #include "dlscale/hvd/horovod.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <stdexcept>
 
@@ -58,6 +59,24 @@ struct Reader {
 
 Knobs Knobs::from_env() { return from_env(Knobs{}); }
 
+namespace {
+
+std::optional<mpi::AllreduceAlgo> parse_allreduce_algo(std::string_view text) {
+  std::string lowered;
+  lowered.reserve(text.size());
+  for (char c : text) {
+    lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lowered == "ring") return mpi::AllreduceAlgo::kRing;
+  if (lowered == "rabenseifner") return mpi::AllreduceAlgo::kRabenseifner;
+  if (lowered == "recursive_doubling" || lowered == "recursive-doubling" || lowered == "rd") {
+    return mpi::AllreduceAlgo::kRecursiveDoubling;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 Knobs Knobs::from_env(Knobs defaults) {
   Knobs knobs = defaults;
   knobs.fp16_allreduce = util::env_bool("HOROVOD_FP16_ALLREDUCE", defaults.fp16_allreduce);
@@ -74,6 +93,22 @@ Knobs Knobs::from_env(Knobs defaults) {
   } else if (cache_capacity > 0) {
     knobs.response_cache = true;
   }
+  knobs.stall_warning_cycles = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, util::env_int("HOROVOD_STALL_CHECK",
+                       static_cast<std::int64_t>(defaults.stall_warning_cycles))));
+  // Horovod treats HOROVOD_TIMELINE as an output path; any non-empty
+  // value turns tracing on here (write_timeline picks the stream).
+  const auto timeline = util::env_string("HOROVOD_TIMELINE");
+  knobs.timeline = timeline ? !timeline->empty() : defaults.timeline;
+  // Force one collective algorithm regardless of message size; "auto"
+  // (or an unrecognised name) keeps the size-based MpiProfile selection.
+  if (const auto algo_name = util::env_string("DLSCALE_ALLREDUCE_ALGO")) {
+    knobs.algo = parse_allreduce_algo(*algo_name);
+    if (!knobs.algo && !algo_name->empty() && *algo_name != "auto") {
+      DLSCALE_WARN("DLSCALE_ALLREDUCE_ALGO: unknown algorithm '"
+                   << *algo_name << "' (want ring|rabenseifner|recursive_doubling|auto)");
+    }
+  }
   return knobs;
 }
 
@@ -89,6 +124,7 @@ Knobs Knobs::paper_tuned() {
 HorovodRuntime::HorovodRuntime(mpi::Communicator& comm, Knobs knobs, gpu::ComputeModel copy_model)
     : comm_(comm), knobs_(knobs), copy_model_(std::move(copy_model)) {
   if (knobs_.fusion_threshold == 0) knobs_.fusion_threshold = 1;  // per-tensor launches
+  if (knobs_.timeline) timeline_enabled_ = true;
 }
 
 void HorovodRuntime::submit(TensorRequest request) {
@@ -128,6 +164,16 @@ void HorovodRuntime::note_cached(const std::string& name) {
 }
 
 bool HorovodRuntime::cycle() {
+  // Apply a staged set_knobs at the cycle boundary: the whole round —
+  // report, response, fusion batching, collectives — runs under one knob
+  // set. All ranks stage the same values at the same submit/synchronize
+  // point, so every rank flips on the same cycle.
+  if (pending_knobs_) {
+    knobs_ = *pending_knobs_;
+    if (knobs_.fusion_threshold == 0) knobs_.fusion_threshold = 1;
+    if (knobs_.timeline) timeline_enabled_ = true;
+    pending_knobs_.reset();
+  }
   ++stats_.cycles;
   // The background loop sleeps the remainder of the cycle period measured
   // from the PREVIOUS cycle's start (Horovod's RunLoopOnce semantics): a

@@ -61,14 +61,15 @@ ScalingResult simulate(const ScalingConfig& config) {
 
   double mean_iteration = 0.0;
   hvd::RuntimeStats stats;
+  hvd::Knobs tuned_knobs = config.knobs;
+  int tuning_iterations = 0;
 
   mpi::run_world(options, [&](mpi::Communicator& comm) {
     hvd::HorovodRuntime runtime(comm, config.knobs, gpu);
     util::Rng jitter_rng =
         util::Rng(config.jitter_seed).child(static_cast<std::uint64_t>(comm.rank()));
     util::RunningStats iteration_times;
-    const int total = config.warmup_iterations + config.iterations;
-    for (int iter = 0; iter < total; ++iter) {
+    auto run_iteration = [&](bool measured) {
       comm.barrier();
       const double t0 = comm.now();
       // This rank's compute speed this iteration (clock/ECC/input noise).
@@ -83,18 +84,39 @@ ScalingResult simulate(const ScalingConfig& config) {
         runtime.submit({profile.grad_names[i], {}, profile.grad_bytes[i],
                         t0 + scale * profile.grad_ready_s[i]});
       }
-      if (iter == config.warmup_iterations) runtime.reset_stats();
       runtime.synchronize();
       // The optimizer waits for both streams: backward compute and the
       // last averaged gradient.
       comm.clock().bump_to(t0 + scale * (profile.fwd_s + profile.bwd_s));
       comm.compute(profile.optimizer_s);
       comm.barrier();
-      if (iter >= config.warmup_iterations) iteration_times.add(comm.now() - t0);
+      if (measured) iteration_times.add(comm.now() - t0);
+    };
+
+    for (int iter = 0; iter < config.warmup_iterations; ++iter) run_iteration(false);
+
+    // Online tuning phase: explore until the policy freezes. Every rank
+    // runs the same loop; the Autotuner's broadcast decisions keep the
+    // frozen() flag — and therefore this loop's trip count — identical
+    // everywhere.
+    int tuned_for = 0;
+    if (config.autotune.enabled) {
+      hvd::Autotuner tuner(runtime, config.autotune);
+      while (!tuner.frozen() && tuned_for < config.max_tuning_iterations) {
+        run_iteration(false);
+        tuner.step_end();
+        ++tuned_for;
+      }
+      tuner.freeze();  // no-op when already converged
     }
+
+    runtime.reset_stats();
+    for (int iter = 0; iter < config.iterations; ++iter) run_iteration(true);
     if (comm.rank() == 0) {
       mean_iteration = iteration_times.mean();
       stats = runtime.stats();
+      tuned_knobs = runtime.knobs();
+      tuning_iterations = tuned_for;
     }
   });
 
@@ -107,6 +129,9 @@ ScalingResult simulate(const ScalingConfig& config) {
       result.per_gpu_images_s / single_gpu_throughput(config.workload, config.flop_efficiency);
   result.comm_overhead_s = mean_iteration - profile.compute_total_s();
   result.hvd_stats = stats;
+  result.autotuned = config.autotune.enabled;
+  result.tuned_knobs = tuned_knobs;
+  result.tuning_iterations = tuning_iterations;
   return result;
 }
 

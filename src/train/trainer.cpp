@@ -49,9 +49,7 @@ HorovodHook::HorovodHook(mpi::Communicator& comm, const TrainConfig& config)
     : comm_(comm),
       runtime_(comm, config.knobs),
       stream_(gpu::ComputeModel(gpu::DeviceSpec::v100_summit(), config.virtual_flop_efficiency),
-              [this](nn::Parameter& p, double ready_at) {
-                runtime_.submit({p.name, p.grad.data(), p.grad.data().size_bytes(), ready_at});
-              }) {}
+              [this](nn::Parameter& p, double ready_at) { on_gradient(p, ready_at); }) {}
 
 int HorovodHook::rank() const { return comm_.rank(); }
 
@@ -61,12 +59,16 @@ void HorovodHook::broadcast_parameters(const std::vector<nn::Parameter*>& params
   for (nn::Parameter* p : params) runtime_.broadcast(p->value.data(), 0);
 }
 
-nn::GradSink* HorovodHook::begin_step() {
+nn::GradSink* HorovodHook::on_step_begin() {
   stream_.begin_step(comm_.now());
   return &stream_;
 }
 
-void HorovodHook::finish_step() { runtime_.synchronize(); }
+void HorovodHook::on_gradient(nn::Parameter& param, double ready_at) {
+  runtime_.submit({param.name, param.grad.data(), param.grad.data().size_bytes(), ready_at});
+}
+
+void HorovodHook::on_step_end() { runtime_.synchronize(); }
 
 void HorovodHook::allreduce_sum(std::span<double> values) {
   comm_.allreduce(values, mpi::ReduceOp::kSum, mpi::MemSpace::kHost);
@@ -107,9 +109,9 @@ float Trainer::train_step(const data::Sample& batch, double lr) {
   tensor::Tensor grad;
   const float loss = tensor::softmax_cross_entropy(logits, batch.labels, kIgnoreLabel, grad);
   // Backward streams each finalized gradient into the hook's sink the
-  // moment it is ready; finish_step drains the negotiation/fusion cycles.
-  model_.backward(grad, hook_.begin_step());
-  hook_.finish_step();
+  // moment it is ready; on_step_end drains the negotiation/fusion cycles.
+  model_.backward(grad, hook_.on_step_begin());
+  hook_.on_step_end();
   optimizer_.step(lr);
   ++global_step_;
   return loss;
@@ -117,6 +119,7 @@ float Trainer::train_step(const data::Sample& batch, double lr) {
 
 EpochReport Trainer::train_epoch() {
   const int epoch = next_epoch_++;
+  const hvd::RuntimeStats epoch_start_stats = hook_.stats();
   const auto indices = sampler_.epoch_indices(static_cast<std::uint64_t>(epoch));
   double loss_sum = 0.0;
   for (long step = 0; step < steps_per_epoch_; ++step) {
@@ -166,6 +169,7 @@ EpochReport Trainer::train_epoch() {
   epoch_report.train_loss = loss_acc[0] / loss_acc[1];
   epoch_report.eval_miou = confusion.miou();
   epoch_report.eval_pixel_accuracy = confusion.pixel_accuracy();
+  epoch_report.comm_stats = hook_.stats() - epoch_start_stats;
   report_.epochs.push_back(epoch_report);
   DLSCALE_DEBUG("epoch " << epoch << " loss " << epoch_report.train_loss << " mIOU "
                          << epoch_report.eval_miou);
@@ -208,6 +212,12 @@ void Trainer::load_state(const std::string& path) {
 
 TrainReport train_distributed(mpi::Communicator& comm, const TrainConfig& config) {
   HorovodHook hook(comm, config);
+  if (config.autotune.enabled) {
+    hvd::Autotuner tuner(hook.runtime(), config.autotune);
+    AutotuneHook tuned(hook, tuner);
+    Trainer trainer(config, tuned);
+    return trainer.run();
+  }
   Trainer trainer(config, hook);
   return trainer.run();
 }

@@ -1,48 +1,107 @@
 #include "dlscale/util/env.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 
 namespace dlscale::util {
 
+namespace {
+
+// Registry of effective knob values (see EnvRecord). Function-local
+// statics so the registry is usable from other static initialisers.
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, EnvRecord>& registry() {
+  static std::map<std::string, EnvRecord> records;
+  return records;
+}
+
+void record(const std::string& name, std::string value, bool from_env) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[name] = EnvRecord{name, std::move(value), from_env};
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  return buf;
+}
+
+}  // namespace
+
 std::optional<std::string> env_string(const std::string& name) {
   const char* value = std::getenv(name.c_str());
-  if (value == nullptr) return std::nullopt;
+  if (value == nullptr) {
+    record(name, "", false);
+    return std::nullopt;
+  }
+  record(name, value, true);
   return std::string(value);
 }
 
 std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   const auto raw = env_string(name);
-  if (!raw) return fallback;
-  std::int64_t value = 0;
-  const auto* begin = raw->data();
-  const auto* end = begin + raw->size();
-  const auto result = std::from_chars(begin, end, value);
-  if (result.ec != std::errc{} || result.ptr != end) return fallback;
+  std::int64_t value = fallback;
+  bool parsed = false;
+  if (raw) {
+    const auto* begin = raw->data();
+    const auto* end = begin + raw->size();
+    std::int64_t out = 0;
+    const auto result = std::from_chars(begin, end, out);
+    if (result.ec == std::errc{} && result.ptr == end) {
+      value = out;
+      parsed = true;
+    }
+  }
+  record(name, std::to_string(value), parsed);
   return value;
 }
 
 double env_double(const std::string& name, double fallback) {
   const auto raw = env_string(name);
-  if (!raw) return fallback;
-  char* end = nullptr;
-  const double value = std::strtod(raw->c_str(), &end);
-  if (end == raw->c_str() || *end != '\0') return fallback;
+  double value = fallback;
+  bool parsed = false;
+  if (raw) {
+    char* end = nullptr;
+    const double out = std::strtod(raw->c_str(), &end);
+    if (end != raw->c_str() && *end == '\0') {
+      value = out;
+      parsed = true;
+    }
+  }
+  record(name, format_double(value), parsed);
   return value;
 }
 
 bool env_bool(const std::string& name, bool fallback) {
   const auto raw = env_string(name);
-  if (!raw) return fallback;
-  std::string lowered;
-  lowered.reserve(raw->size());
-  for (char c : *raw) lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-  if (lowered == "1" || lowered == "true" || lowered == "yes" || lowered == "on") return true;
-  if (lowered == "0" || lowered == "false" || lowered == "no" || lowered == "off") return false;
-  return fallback;
+  bool value = fallback;
+  bool parsed = false;
+  if (raw) {
+    std::string lowered;
+    lowered.reserve(raw->size());
+    for (char c : *raw) {
+      lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (lowered == "1" || lowered == "true" || lowered == "yes" || lowered == "on") {
+      value = true;
+      parsed = true;
+    } else if (lowered == "0" || lowered == "false" || lowered == "no" || lowered == "off") {
+      value = false;
+      parsed = true;
+    }
+  }
+  record(name, value ? "true" : "false", parsed);
+  return value;
 }
 
 std::optional<std::uint64_t> parse_bytes(std::string_view text) {
@@ -69,9 +128,10 @@ std::optional<std::uint64_t> parse_bytes(std::string_view text) {
 
 std::uint64_t env_bytes(const std::string& name, std::uint64_t fallback) {
   const auto raw = env_string(name);
-  if (!raw) return fallback;
-  const auto parsed = parse_bytes(*raw);
-  return parsed.value_or(fallback);
+  const auto parsed = raw ? parse_bytes(*raw) : std::nullopt;
+  const std::uint64_t value = parsed.value_or(fallback);
+  record(name, format_bytes(value), parsed.has_value());
+  return value;
 }
 
 std::string format_bytes(std::uint64_t bytes) {
@@ -89,6 +149,27 @@ std::string format_bytes(std::uint64_t bytes) {
     std::snprintf(buf, sizeof buf, "%.2f %s", value, kUnits[unit]);
   }
   return buf;
+}
+
+std::vector<EnvRecord> env_effective() {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<EnvRecord> records;
+  records.reserve(registry().size());
+  for (const auto& [name, entry] : registry()) records.push_back(entry);
+  return records;  // std::map iteration is already name-sorted
+}
+
+std::string env_dump() {
+  const std::vector<EnvRecord> records = env_effective();
+  std::size_t width = 0;
+  for (const EnvRecord& r : records) width = std::max(width, r.name.size());
+  std::string out = "effective environment knobs:\n";
+  for (const EnvRecord& r : records) {
+    out += "  " + r.name + std::string(width - r.name.size(), ' ') + " = " +
+           (r.value.empty() ? "(unset)" : r.value) + (r.from_env ? "  (env)" : "  (default)") +
+           "\n";
+  }
+  return out;
 }
 
 }  // namespace dlscale::util

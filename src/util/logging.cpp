@@ -3,15 +3,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
+
+#include "dlscale/util/env.hpp"
 
 namespace dlscale::util {
 namespace {
 
 std::atomic<LogLevel> g_level{[] {
-  const char* env = std::getenv("DLSCALE_LOG_LEVEL");
-  return env != nullptr ? parse_log_level(env) : LogLevel::kInfo;
+  const auto env = env_string("DLSCALE_LOG_LEVEL");
+  return env ? parse_log_level(*env) : LogLevel::kInfo;
 }()};
 
 thread_local int t_rank = -1;
