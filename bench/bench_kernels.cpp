@@ -1,11 +1,26 @@
 // Wall-clock microbenchmarks (google-benchmark) for the real compute and
 // communication substrates: tensor kernels that execute the mini
 // DeepLab-v3+, and functional simmpi collectives moving real data.
+//
+// Custom main: prints the selected SIMD dispatch path and a quick
+// simd-vs-scalar comparison table before handing over to
+// google-benchmark. `bench_kernels --print-simd-path` prints just the
+// path (used by run_all.sh).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+
 #include "dlscale/mpi/comm.hpp"
+#include "dlscale/tensor/microkernel.hpp"
 #include "dlscale/tensor/ops.hpp"
 #include "dlscale/util/rng.hpp"
+#include "dlscale/util/simd.hpp"
+#include "dlscale/util/table.hpp"
 #include "dlscale/util/thread_pool.hpp"
 
 namespace dt = dlscale::tensor;
@@ -26,6 +41,32 @@ class ScopedThreads {
  private:
   int prev_;
 };
+
+/// Re-selects the SIMD dispatch level for one benchmark run. Level args
+/// above what the host supports skip the benchmark instead of silently
+/// measuring the clamped path twice.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(du::SimdLevel level) : prev_(du::simd_level()) {
+    applied_ = du::set_simd_level(level);
+    ok_ = applied_ == level;
+  }
+  ~ScopedSimd() { du::set_simd_level(prev_); }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+ private:
+  du::SimdLevel prev_;
+  du::SimdLevel applied_{du::SimdLevel::kScalar};
+  bool ok_ = false;
+};
+
+bool skip_unless_level(benchmark::State& state, const ScopedSimd& scoped) {
+  if (!scoped.ok()) {
+    state.SkipWithError("SIMD level not available on this host");
+    return true;
+  }
+  return false;
+}
 
 void BM_Conv2dForward(benchmark::State& state) {
   const int channels = static_cast<int>(state.range(0));
@@ -148,6 +189,52 @@ BENCHMARK(BM_GemmDLv3Shape)
     ->Args({256, 1280, 1089})   // ASPP projection 1x1: 256ch <- 5*256ch
     ->Args({48, 256, 16641});   // decoder low-level 1x1 at stride 4 (129x129)
 
+// SIMD dispatch sweep: the same GEMM / conv work under each level (arg 0
+// = scalar twins, arg 1 = AVX2 micro-kernels). Bitwise-identical output,
+// so the delta is pure kernel throughput.
+void BM_MatmulSimd(benchmark::State& state) {
+  const ScopedSimd scoped(static_cast<du::SimdLevel>(state.range(0)));
+  if (skip_unless_level(state, scoped)) return;
+  const int n = static_cast<int>(state.range(1));
+  dlscale::util::Rng rng(1);
+  const auto a = dt::Tensor::randn({n, n}, rng);
+  const auto b = dt::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+  state.SetLabel(dt::micro::active_path());
+}
+BENCHMARK(BM_MatmulSimd)->Args({0, 256})->Args({1, 256});
+
+void BM_GemmDLv3ShapeSimd(benchmark::State& state) {
+  const ScopedSimd scoped(static_cast<du::SimdLevel>(state.range(0)));
+  if (skip_unless_level(state, scoped)) return;
+  dlscale::util::Rng rng(1);
+  const auto a = dt::Tensor::randn({256, 2304}, rng);
+  const auto b = dt::Tensor::randn({2304, 1089}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * 256 * 2304 * 1089);
+  state.SetLabel(dt::micro::active_path());
+}
+BENCHMARK(BM_GemmDLv3ShapeSimd)->Arg(0)->Arg(1);
+
+void BM_Conv2dForwardSimd(benchmark::State& state) {
+  const ScopedSimd scoped(static_cast<du::SimdLevel>(state.range(0)));
+  if (skip_unless_level(state, scoped)) return;
+  dlscale::util::Rng rng(1);
+  const auto x = dt::Tensor::randn({2, 8, 24, 24}, rng);
+  const auto w = dt::Tensor::he_init({8, 8, 3, 3}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt::conv2d(x, w, nullptr, {1, 1, 1}));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(dt::micro::active_path());
+}
+BENCHMARK(BM_Conv2dForwardSimd)->Arg(0)->Arg(1);
+
 // Thread-count sweep on a DLv3+-like conv block (the speedup the whole
 // PR exists for). Run with -DCMAKE_BUILD_TYPE=Release; Arg = pool size.
 void BM_Conv2dForwardThreads(benchmark::State& state) {
@@ -179,4 +266,88 @@ void BM_Conv2dBackwardThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dBackwardThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// ---- custom main ----------------------------------------------------------
+
+/// Median-of-5 wall-clock time for `body`, in milliseconds.
+template <typename Body>
+double time_median_ms(Body&& body) {
+  double samples[5];
+  for (double& sample : samples) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto stop = std::chrono::steady_clock::now();
+    sample = std::chrono::duration<double, std::milli>(stop - start).count();
+  }
+  std::sort(std::begin(samples), std::end(samples));
+  return samples[2];
+}
+
+/// Quick chrono-timed simd-vs-scalar table (independent of
+/// google-benchmark's own repetitions) so the dispatch win is visible at
+/// the top of the output without grepping counter lines.
+void print_simd_comparison() {
+  du::Table table("SIMD dispatch comparison (1 thread, median of 5)");
+  table.set_header({"kernel", "scalar_ms", du::simd_level_name(
+                                               du::detected_simd_level()),
+                    "speedup"});
+  du::Rng rng(1);
+  const auto ma = dt::Tensor::randn({256, 256}, rng);
+  const auto mb = dt::Tensor::randn({256, 256}, rng);
+  const auto cx = dt::Tensor::randn({2, 8, 24, 24}, rng);
+  const auto cw = dt::Tensor::he_init({8, 8, 3, 3}, rng);
+  const auto ga = dt::Tensor::randn({256, 2304}, rng);
+  const auto gb = dt::Tensor::randn({2304, 1089}, rng);
+
+  struct Case {
+    const char* name;
+    std::function<void()> body;
+  };
+  const Case cases[] = {
+      {"matmul 256x256x256", [&] { benchmark::DoNotOptimize(dt::matmul(ma, mb)); }},
+      {"gemm 256x2304x1089", [&] { benchmark::DoNotOptimize(dt::matmul(ga, gb)); }},
+      {"conv2d fwd 8ch 24x24", [&] {
+         benchmark::DoNotOptimize(dt::conv2d(cx, cw, nullptr, {1, 1, 1}));
+       }},
+  };
+  const ScopedThreads one_thread(1);
+  for (const Case& c : cases) {
+    double scalar_ms = 0.0, vector_ms = 0.0;
+    {
+      ScopedSimd scoped(du::SimdLevel::kScalar);
+      scalar_ms = time_median_ms(c.body);
+    }
+    {
+      ScopedSimd scoped(du::detected_simd_level());
+      vector_ms = time_median_ms(c.body);
+    }
+    table.add_row({c.name, du::Table::num(scalar_ms, 3),
+                   du::Table::num(vector_ms, 3),
+                   du::Table::num(scalar_ms / vector_ms, 2) + "x"});
+  }
+  table.print();
+  std::printf("\n");
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--print-simd-path") == 0) {
+      std::printf("%s\n", dt::micro::active_path());
+      return 0;
+    }
+  }
+  std::printf("SIMD dispatch: %s (startup: %s, hardware: %s%s)\n",
+              du::simd_level_name(du::simd_level()),
+              du::simd_level_name(du::simd_startup_level()),
+              du::simd_level_name(du::detected_simd_level()),
+              du::detected_f16c() ? "+f16c" : "");
+  if (du::detected_simd_level() != du::SimdLevel::kScalar) {
+    print_simd_comparison();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,6 +19,9 @@ if [ -f "$BUILD/CMakeCache.txt" ]; then
   esac
 fi
 
+echo "SIMD dispatch: $("$BUILD/bench/bench_kernels" --print-simd-path)"
+echo
+
 for b in bench_single_gpu bench_allreduce_latency bench_scaling bench_tuning_sweep \
          bench_accuracy_parity bench_hierarchical bench_gdr_path bench_fusion_stats bench_resnet_scaling bench_fp16_compression \
          bench_autotune \

@@ -1,0 +1,69 @@
+// SIMD micro-kernels under the blocked GEMM wrappers (DESIGN.md §6,
+// "SIMD dispatch").
+//
+// Every entry point has two implementations selected at runtime via
+// util::simd_level(): a portable scalar twin (the seed kernels, verbatim)
+// and an AVX2 path that is **bitwise identical** to it. Identity holds
+// because the AVX2 kernels
+//   - vectorize across output *columns*, so each c[i][j] accumulator
+//     still sees its product terms in the exact serial k-order, and
+//   - use separate mul/add intrinsics (never FMA contraction), so each
+//     term is rounded exactly like the scalar expression.
+// The GEMMs stream B through kNR-wide panels packed into reusable
+// per-thread scratch, register-blocked over kMR rows of A.
+//
+// Callers (src/tensor/ops.cpp, src/nn/optimizer.cpp) keep owning the
+// thread-pool partitioning; these kernels are the serial per-chunk inner
+// loops, so the thread-count-determinism invariant is untouched.
+#pragma once
+
+#include <cstdint>
+
+namespace dlscale::tensor::micro {
+
+// ---- GEMM family (k-blocked; semantics match the seed kernels) ------------
+
+/// c(rows x n) += a(rows x k) * b(k x n); zeros in A are skipped.
+void gemm_nn(const float* a, const float* b, float* c, int rows, int k, int n);
+
+/// Rows [i0, i1) of A^T * B for a(k x m), b(k x n), written to
+/// c((i1-i0) x n); zeros in A are skipped.
+void gemm_tn(const float* a, const float* b, float* c, int i0, int i1, int m,
+             int k, int n);
+
+/// c(rows x n) += a(rows x k) * b(n x k)^T — dot-product form, each
+/// c[i][j] accumulated locally over k then added once.
+void gemm_nt_acc(const float* a, const float* b, float* c, int rows, int k,
+                 int n);
+
+// ---- elementwise sweeps (lane-parallel, trivially order-preserving) -------
+
+/// a[i] += b[i]
+void add_inplace(float* a, const float* b, std::int64_t n);
+
+/// p[i] += v
+void add_scalar_inplace(float* p, float v, std::int64_t n);
+
+/// p[i] *= s
+void scale_inplace(float* p, float s, std::int64_t n);
+
+/// p[i] = max(0, p[i]) with std::max(0.0f, x) semantics (NaN and -0.0
+/// both map to +0.0, matching the scalar seed kernel).
+void relu_inplace(float* p, std::int64_t n);
+
+/// g[i] = 0 where x[i] <= 0 (relu backward mask; NaN x keeps g).
+void relu_zero_where_nonpositive(const float* x, float* g, std::int64_t n);
+
+/// SGD-with-momentum update, matching nn::SgdMomentum::step's inner loop:
+///   g        = clip_scale * grad[i] + weight_decay * value[i]
+///   velocity = momentum * velocity[i] + g
+///   value   -= lr * velocity
+void sgd_momentum_update(float* value, float* velocity, const float* grad,
+                         float clip_scale, float weight_decay, float momentum,
+                         float lr, std::int64_t n);
+
+/// Name of the path the dispatcher currently selects ("avx2"/"scalar") —
+/// for bench tables and run_all.sh logging.
+const char* active_path();
+
+}  // namespace dlscale::tensor::micro

@@ -139,4 +139,8 @@ float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels
 /// Per-pixel argmax over the class axis: (N,K,H,W) -> N*H*W class ids.
 std::vector<int> argmax_channels(const Tensor& logits);
 
+/// Allocation-free variant: resizes `out` to N*H*W and fills it in place,
+/// so eval loops can reuse one buffer across batches.
+void argmax_channels(const Tensor& logits, std::vector<int>& out);
+
 }  // namespace dlscale::tensor

@@ -6,6 +6,7 @@
 // and overflow-to-infinity the way hardware converters do.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace dlscale::util {
@@ -20,5 +21,29 @@ float half_to_float(std::uint16_t half) noexcept;
 inline std::uint16_t half_add(std::uint16_t a, std::uint16_t b) noexcept {
   return float_to_half(half_to_float(a) + half_to_float(b));
 }
+
+// ---- array sweeps ---------------------------------------------------------
+//
+// The bulk forms below are what the fusion-buffer pack/unpack in
+// hvd::HorovodRuntime calls. When the host has F16C (and util::simd_level()
+// allows it) they run 8 lanes at a time; the results are bitwise identical
+// to the per-element functions above on every input — vector blocks that
+// contain a maximum-exponent lane (inf/NaN, where hardware NaN handling
+// differs from the software converter) drop to the scalar twin.
+
+/// dst[i] = float_to_half(src[i])
+void floats_to_halves(const float* src, std::uint16_t* dst, std::size_t n);
+
+/// dst[i] = half_to_float(src[i])
+void halves_to_floats(const std::uint16_t* src, float* dst, std::size_t n);
+
+/// dst[i] = half_to_float(src[i]) / divisor — the decompress-and-average
+/// step of the fp16 allreduce path, fused to avoid a second sweep.
+void halves_to_floats_div(const std::uint16_t* src, float* dst, std::size_t n,
+                          float divisor);
+
+/// acc[i] = half_add(acc[i], in[i]) — the fp16 allreduce sum reducer.
+void halves_add_inplace(std::uint16_t* acc, const std::uint16_t* in,
+                        std::size_t n);
 
 }  // namespace dlscale::util

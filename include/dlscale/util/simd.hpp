@@ -1,0 +1,62 @@
+// Runtime SIMD dispatch for the CPU kernel layer.
+//
+// The tensor micro-kernels (src/tensor/microkernel.cpp) and the fp16
+// conversion sweeps (src/util/fp16.cpp) each ship two implementations: a
+// portable scalar twin and a vector path (AVX2 / F16C). Both compute the
+// *bitwise identical* result — the vector path keeps each output
+// element's serial accumulation order and excludes FMA contraction — so
+// selecting between them is purely a performance decision (DESIGN.md §6,
+// "SIMD dispatch").
+//
+// Selection happens once, lazily, at first use: CPUID detection clamped
+// by the DLSCALE_SIMD env knob (0/false forces the scalar twins; default
+// on), recorded through util::env so runs log the path they used. Tests
+// and benches may re-select at runtime with set_simd_level(), which is
+// clamped to what the hardware can execute.
+#pragma once
+
+// x86-64 with GNU-style per-function target attributes: the only
+// configuration that compiles the vector kernels. DLSCALE_FORCE_SCALAR
+// (CMake option of the same name) removes them entirely, so even an AVX2
+// host runs — and CI exercises — the scalar twins.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(DLSCALE_FORCE_SCALAR)
+#define DLSCALE_SIMD_X86 1
+#else
+#define DLSCALE_SIMD_X86 0
+#endif
+
+namespace dlscale::util {
+
+/// Kernel instruction-set tiers, ordered by capability.
+enum class SimdLevel { kScalar = 0, kAvx2 = 1 };
+
+/// Highest level this host (and build configuration) can execute.
+/// Hardware CPUID, independent of DLSCALE_SIMD; kScalar when the build
+/// was configured with -DDLSCALE_FORCE_SCALAR=ON or targets non-x86.
+SimdLevel detected_simd_level() noexcept;
+
+/// True when the host can execute F16C half<->float conversions (only
+/// ever true when detected_simd_level() is kAvx2).
+bool detected_f16c() noexcept;
+
+/// The active dispatch level. First call reads DLSCALE_SIMD (recorded
+/// via util::env) and clamps to detected_simd_level().
+SimdLevel simd_level();
+
+/// The level chosen at startup from env + CPUID — unaffected by later
+/// set_simd_level() calls (asserted by the DLSCALE_SIMD=0 ctest rerun).
+SimdLevel simd_startup_level();
+
+/// Re-selects the dispatch level (tests and bench sweeps). Clamped to
+/// detected_simd_level(); returns the level actually applied. Must not
+/// be called while kernels are in flight on other threads.
+SimdLevel set_simd_level(SimdLevel level);
+
+/// True when the active path may use F16C conversions.
+bool simd_f16c();
+
+/// "scalar" / "avx2" — for logs, bench tables, and test names.
+const char* simd_level_name(SimdLevel level) noexcept;
+
+}  // namespace dlscale::util

@@ -313,7 +313,7 @@ namespace {
 void half_sum(std::byte* acc_raw, const std::byte* in_raw, std::size_t n) {
   auto* acc = reinterpret_cast<std::uint16_t*>(acc_raw);
   const auto* in = reinterpret_cast<const std::uint16_t*>(in_raw);
-  for (std::size_t i = 0; i < n; ++i) acc[i] = util::half_add(acc[i], in[i]);
+  util::halves_add_inplace(acc, in, n);
 }
 
 }  // namespace
@@ -352,9 +352,9 @@ void HorovodRuntime::execute_batch(const std::vector<std::string>& names) {
     auto halves = fusion_buffer_.as<std::uint16_t>();
     std::size_t offset = 0;
     for (const std::string& name : names) {
-      for (float x : pending_.at(name).request.data) {
-        halves[offset++] = util::float_to_half(x);
-      }
+      const auto data = pending_.at(name).request.data;
+      util::floats_to_halves(data.data(), halves.data() + offset, data.size());
+      offset += data.size();
     }
     if (comm_.timing_enabled()) {
       comm_.compute(copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));
@@ -372,10 +372,10 @@ void HorovodRuntime::execute_batch(const std::vector<std::string>& names) {
     }
     offset = 0;
     for (const std::string& name : names) {
-      Pending& entry = pending_.at(name);
-      for (float& x : entry.request.data) {
-        x = util::half_to_float(halves[offset++]) / world;
-      }
+      const auto data = pending_.at(name).request.data;
+      util::halves_to_floats_div(halves.data() + offset, data.data(),
+                                 data.size(), world);
+      offset += data.size();
     }
     if (comm_.timing_enabled()) {
       comm_.compute(copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dlscale/tensor/microkernel.hpp"
 #include "dlscale/util/thread_pool.hpp"
 
 namespace dlscale::nn {
@@ -47,14 +48,13 @@ void SgdMomentum::step(double lr) {
     const auto mu = static_cast<float>(config_.momentum);
     const auto eta = static_cast<float>(lr);
     const auto cs = static_cast<float>(clip_scale);
-    // Elementwise, so safe to fan out over the kernel thread pool.
+    // Elementwise, so safe to fan out over the kernel thread pool; the
+    // per-chunk sweep dispatches to the SIMD micro-kernel layer.
     util::parallel_for(0, static_cast<std::int64_t>(value.size()), 1 << 15,
                        [&](std::int64_t j0, std::int64_t j1) {
-                         for (std::int64_t j = j0; j < j1; ++j) {
-                           const float g = cs * grad[j] + wd * value[j];
-                           vel[j] = mu * vel[j] + g;
-                           value[j] -= eta * vel[j];
-                         }
+                         tensor::micro::sgd_momentum_update(
+                             value.data() + j0, vel.data() + j0,
+                             grad.data() + j0, cs, wd, mu, eta, j1 - j0);
                        });
   }
 }

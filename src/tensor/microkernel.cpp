@@ -1,0 +1,551 @@
+#include "dlscale/tensor/microkernel.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "dlscale/util/simd.hpp"
+
+#if DLSCALE_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace dlscale::tensor::micro {
+
+namespace {
+
+/// k-block length: kKC rows of B stay cache resident across the row loop.
+/// Shared by both paths — the block boundaries are part of the
+/// per-element accumulation order for gemm_nn, so the scalar twin and the
+/// AVX2 kernel must agree on them.
+constexpr int kKC = 128;
+
+#if DLSCALE_SIMD_X86
+/// Vector width (floats per YMM lane group) and register row-block.
+constexpr int kNR = 8;
+constexpr int kMR = 4;
+
+/// Per-thread transpose-pack scratch for gemm_nt_acc, grown monotonically
+/// and reused across GEMM calls, samples, and training steps.
+float* pack_scratch(std::size_t n) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+#endif
+
+// ---- scalar twins ---------------------------------------------------------
+//
+// These are the seed kernels, unchanged: they define the reference
+// accumulation order (k ascending per output element, zeros in A
+// skipped) that the AVX2 path reproduces bit for bit.
+
+namespace scalar {
+
+void gemm_nn(const float* a, const float* b, float* c, int rows, int k, int n) {
+  for (int kb = 0; kb < k; kb += kKC) {
+    const int kend = std::min(k, kb + kKC);
+    for (int i = 0; i < rows; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int kk = kb; kk < kend; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + static_cast<std::size_t>(kk) * n;
+        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_tn(const float* a, const float* b, float* c, int i0, int i1, int m,
+             int k, int n) {
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a + static_cast<std::size_t>(kk) * m;
+    const float* brow = b + static_cast<std::size_t>(kk) * n;
+    for (int i = i0; i < i1; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(i - i0) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+void gemm_nt_acc(const float* a, const float* b, float* c, int rows, int k,
+                 int n) {
+  for (int i = 0; i < rows; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      c[static_cast<std::size_t>(i) * n + j] += acc;
+    }
+  }
+}
+
+void add_inplace(float* a, const float* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) a[i] += b[i];
+}
+
+void add_scalar_inplace(float* p, float v, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) p[i] += v;
+}
+
+void scale_inplace(float* p, float s, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) p[i] *= s;
+}
+
+void relu_inplace(float* p, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) p[i] = std::max(0.0f, p[i]);
+}
+
+void relu_zero_where_nonpositive(const float* x, float* g, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (x[i] <= 0.0f) g[i] = 0.0f;
+  }
+}
+
+void sgd_momentum_update(float* value, float* velocity, const float* grad,
+                         float clip_scale, float weight_decay, float momentum,
+                         float lr, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float g = clip_scale * grad[i] + weight_decay * value[i];
+    velocity[i] = momentum * velocity[i] + g;
+    value[i] -= lr * velocity[i];
+  }
+}
+
+}  // namespace scalar
+
+// ---- AVX2 path ------------------------------------------------------------
+//
+// Compiled with per-function target attributes so the TU itself stays
+// executable on any x86-64; only the dispatcher can reach these, and only
+// after CPUID confirms AVX2. No FMA: GEMM terms are _mm256_mul_ps
+// followed by _mm256_add_ps so every rounding matches the scalar twin.
+
+#if DLSCALE_SIMD_X86
+
+namespace avx2 {
+
+#define DLSCALE_AVX2 __attribute__((target("avx2")))
+
+/// One C row times an 8-column strip of B streamed in place (row stride
+/// ldb): crow[0..8) accumulates kc terms, k ascending, skipping zero A
+/// elements. `astride` walks A's k axis (1 for nn rows, m for tn columns).
+/// B is not packed: within one kKC block the strip touches at most kKC
+/// cache lines, which stay L1-resident across the row loop, and skipping
+/// the pack keeps single-digit-row calls (small parallel_for chunks)
+/// profitable.
+DLSCALE_AVX2 inline void row1x8(const float* akk, std::ptrdiff_t astride,
+                                const float* bk, int ldb, float* crow, int kc) {
+  __m256 acc = _mm256_loadu_ps(crow);
+  for (int kk = 0; kk < kc; ++kk, bk += ldb) {
+    const float aik = akk[static_cast<std::ptrdiff_t>(kk) * astride];
+    if (aik == 0.0f) continue;
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(aik), _mm256_loadu_ps(bk)));
+  }
+  _mm256_storeu_ps(crow, acc);
+}
+
+/// kMR-row register-blocked variant: the B strip row is loaded once per k
+/// step and broadcast-multiplied into four accumulators.
+DLSCALE_AVX2 inline void rows4x8(const float* akk, std::ptrdiff_t astride,
+                                 std::ptrdiff_t arow_stride, const float* bk, int ldb,
+                                 float* crow, std::ptrdiff_t crow_stride, int kc) {
+  __m256 acc0 = _mm256_loadu_ps(crow);
+  __m256 acc1 = _mm256_loadu_ps(crow + crow_stride);
+  __m256 acc2 = _mm256_loadu_ps(crow + 2 * crow_stride);
+  __m256 acc3 = _mm256_loadu_ps(crow + 3 * crow_stride);
+  for (int kk = 0; kk < kc; ++kk, bk += ldb) {
+    const __m256 bv = _mm256_loadu_ps(bk);
+    const float* ak = akk + static_cast<std::ptrdiff_t>(kk) * astride;
+    const float a0 = ak[0];
+    if (a0 != 0.0f) acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(a0), bv));
+    const float a1 = ak[arow_stride];
+    if (a1 != 0.0f) acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(a1), bv));
+    const float a2 = ak[2 * arow_stride];
+    if (a2 != 0.0f) acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(a2), bv));
+    const float a3 = ak[3 * arow_stride];
+    if (a3 != 0.0f) acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(a3), bv));
+  }
+  _mm256_storeu_ps(crow, acc0);
+  _mm256_storeu_ps(crow + crow_stride, acc1);
+  _mm256_storeu_ps(crow + 2 * crow_stride, acc2);
+  _mm256_storeu_ps(crow + 3 * crow_stride, acc3);
+}
+
+/// Main micro-kernel: kMR rows x 16 columns (two YMM lane groups), eight
+/// live accumulators. Each broadcast A element feeds both halves, so the
+/// per-row zero branch cost is amortised over twice the output width.
+DLSCALE_AVX2 inline void rows4x16(const float* akk, std::ptrdiff_t astride,
+                                  std::ptrdiff_t arow_stride, const float* bk, int ldb,
+                                  float* crow, std::ptrdiff_t crow_stride, int kc) {
+  __m256 acc0a = _mm256_loadu_ps(crow);
+  __m256 acc0b = _mm256_loadu_ps(crow + 8);
+  __m256 acc1a = _mm256_loadu_ps(crow + crow_stride);
+  __m256 acc1b = _mm256_loadu_ps(crow + crow_stride + 8);
+  __m256 acc2a = _mm256_loadu_ps(crow + 2 * crow_stride);
+  __m256 acc2b = _mm256_loadu_ps(crow + 2 * crow_stride + 8);
+  __m256 acc3a = _mm256_loadu_ps(crow + 3 * crow_stride);
+  __m256 acc3b = _mm256_loadu_ps(crow + 3 * crow_stride + 8);
+  for (int kk = 0; kk < kc; ++kk, bk += ldb) {
+    const __m256 bva = _mm256_loadu_ps(bk);
+    const __m256 bvb = _mm256_loadu_ps(bk + 8);
+    const float* ak = akk + static_cast<std::ptrdiff_t>(kk) * astride;
+    const float a0 = ak[0];
+    if (a0 != 0.0f) {
+      const __m256 v = _mm256_set1_ps(a0);
+      acc0a = _mm256_add_ps(acc0a, _mm256_mul_ps(v, bva));
+      acc0b = _mm256_add_ps(acc0b, _mm256_mul_ps(v, bvb));
+    }
+    const float a1 = ak[arow_stride];
+    if (a1 != 0.0f) {
+      const __m256 v = _mm256_set1_ps(a1);
+      acc1a = _mm256_add_ps(acc1a, _mm256_mul_ps(v, bva));
+      acc1b = _mm256_add_ps(acc1b, _mm256_mul_ps(v, bvb));
+    }
+    const float a2 = ak[2 * arow_stride];
+    if (a2 != 0.0f) {
+      const __m256 v = _mm256_set1_ps(a2);
+      acc2a = _mm256_add_ps(acc2a, _mm256_mul_ps(v, bva));
+      acc2b = _mm256_add_ps(acc2b, _mm256_mul_ps(v, bvb));
+    }
+    const float a3 = ak[3 * arow_stride];
+    if (a3 != 0.0f) {
+      const __m256 v = _mm256_set1_ps(a3);
+      acc3a = _mm256_add_ps(acc3a, _mm256_mul_ps(v, bva));
+      acc3b = _mm256_add_ps(acc3b, _mm256_mul_ps(v, bvb));
+    }
+  }
+  _mm256_storeu_ps(crow, acc0a);
+  _mm256_storeu_ps(crow + 8, acc0b);
+  _mm256_storeu_ps(crow + crow_stride, acc1a);
+  _mm256_storeu_ps(crow + crow_stride + 8, acc1b);
+  _mm256_storeu_ps(crow + 2 * crow_stride, acc2a);
+  _mm256_storeu_ps(crow + 2 * crow_stride + 8, acc2b);
+  _mm256_storeu_ps(crow + 3 * crow_stride, acc3a);
+  _mm256_storeu_ps(crow + 3 * crow_stride + 8, acc3b);
+}
+
+/// Shared nn/tn panel driver over one kKC block: 16-wide panels first,
+/// then one 8-wide panel if eight or more columns remain. Returns the
+/// first column not covered by vector panels (the scalar tail start).
+/// A addressing: element (i, kb + kk) sits at
+/// a_base + i * arow_stride + kk * astride.
+DLSCALE_AVX2 inline int gemm_block_panels(const float* a_base, std::ptrdiff_t astride,
+                                          std::ptrdiff_t arow_stride, const float* bk,
+                                          float* c, int rows, int n, int kc) {
+  int jp = 0;
+  for (; jp + 2 * kNR <= n; jp += 2 * kNR) {
+    int i = 0;
+    for (; i + kMR <= rows; i += kMR) {
+      rows4x16(a_base + i * arow_stride, astride, arow_stride, bk + jp, n,
+               c + static_cast<std::size_t>(i) * n + jp, n, kc);
+    }
+    for (; i < rows; ++i) {
+      row1x8(a_base + i * arow_stride, astride, bk + jp, n,
+             c + static_cast<std::size_t>(i) * n + jp, kc);
+      row1x8(a_base + i * arow_stride, astride, bk + jp + kNR, n,
+             c + static_cast<std::size_t>(i) * n + jp + kNR, kc);
+    }
+  }
+  for (; jp + kNR <= n; jp += kNR) {
+    int i = 0;
+    for (; i + kMR <= rows; i += kMR) {
+      rows4x8(a_base + i * arow_stride, astride, arow_stride, bk + jp, n,
+              c + static_cast<std::size_t>(i) * n + jp, n, kc);
+    }
+    for (; i < rows; ++i) {
+      row1x8(a_base + i * arow_stride, astride, bk + jp, n,
+             c + static_cast<std::size_t>(i) * n + jp, kc);
+    }
+  }
+  return jp;
+}
+
+DLSCALE_AVX2 void gemm_nn(const float* a, const float* b, float* c, int rows,
+                          int k, int n) {
+  for (int kb = 0; kb < k; kb += kKC) {
+    const int kc = std::min(k - kb, kKC);
+    const float* bk = b + static_cast<std::size_t>(kb) * n;
+    const int jp = gemm_block_panels(a + kb, 1, k, bk, c, rows, n, kc);
+    if (jp < n) {
+      // Column tail: the scalar twin restricted to [jp, n). Same
+      // per-element k order, so identity is preserved.
+      const int kend = kb + kc;
+      for (int i = 0; i < rows; ++i) {
+        const float* arow = a + static_cast<std::size_t>(i) * k;
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        for (int kk = kb; kk < kend; ++kk) {
+          const float aik = arow[kk];
+          if (aik == 0.0f) continue;
+          const float* brow = b + static_cast<std::size_t>(kk) * n;
+          for (int j = jp; j < n; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+DLSCALE_AVX2 void gemm_tn(const float* a, const float* b, float* c, int i0,
+                          int i1, int m, int k, int n) {
+  // Restructured from the scalar twin's kk-outer nest to panel form; each
+  // c element still accumulates with kk strictly ascending (kb blocks in
+  // order, kk in order inside a block), so results are bitwise equal.
+  const int rows = i1 - i0;
+  for (int kb = 0; kb < k; kb += kKC) {
+    const int kc = std::min(k - kb, kKC);
+    const float* bk = b + static_cast<std::size_t>(kb) * n;
+    const int jp = gemm_block_panels(a + static_cast<std::size_t>(kb) * m + i0, m, 1, bk,
+                                     c, rows, n, kc);
+    if (jp < n) {
+      const int kend = kb + kc;
+      for (int i = 0; i < rows; ++i) {
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        for (int kk = kb; kk < kend; ++kk) {
+          const float aki = a[static_cast<std::size_t>(kk) * m + (i0 + i)];
+          if (aki == 0.0f) continue;
+          const float* brow = b + static_cast<std::size_t>(kk) * n;
+          for (int j = jp; j < n; ++j) crow[j] += aki * brow[j];
+        }
+      }
+    }
+  }
+}
+
+DLSCALE_AVX2 void gemm_nt_acc(const float* a, const float* b, float* c,
+                              int rows, int k, int n) {
+  // Lanes are output columns j..j+7; each lane's accumulator runs the
+  // scalar kernel's exact local k-ascending dot product, then lands in c
+  // with one add — identical to the scalar `c += acc`.
+  const int n_main = n & ~(kNR - 1);
+  float* bp = pack_scratch(static_cast<std::size_t>(std::max(k, 1)) * kNR);
+  for (int jp = 0; jp < n_main; jp += kNR) {
+    // Transpose-pack: bp[kk][lane] = b[(jp+lane)][kk].
+    for (int lane = 0; lane < kNR; ++lane) {
+      const float* brow = b + static_cast<std::size_t>(jp + lane) * k;
+      for (int kk = 0; kk < k; ++kk) {
+        bp[static_cast<std::size_t>(kk) * kNR + lane] = brow[kk];
+      }
+    }
+    int i = 0;
+    for (; i + kMR <= rows; i += kMR) {
+      const float* a0 = a + static_cast<std::size_t>(i) * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      for (int kk = 0; kk < k; ++kk) {
+        const __m256 bv = _mm256_loadu_ps(bp + static_cast<std::size_t>(kk) * kNR);
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(a0[kk]), bv));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(a1[kk]), bv));
+        acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(a2[kk]), bv));
+        acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(a3[kk]), bv));
+      }
+      float* c0 = c + static_cast<std::size_t>(i) * n + jp;
+      _mm256_storeu_ps(c0, _mm256_add_ps(_mm256_loadu_ps(c0), acc0));
+      _mm256_storeu_ps(c0 + n, _mm256_add_ps(_mm256_loadu_ps(c0 + n), acc1));
+      _mm256_storeu_ps(c0 + 2 * n, _mm256_add_ps(_mm256_loadu_ps(c0 + 2 * n), acc2));
+      _mm256_storeu_ps(c0 + 3 * n, _mm256_add_ps(_mm256_loadu_ps(c0 + 3 * n), acc3));
+    }
+    for (; i < rows; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      __m256 acc = _mm256_setzero_ps();
+      for (int kk = 0; kk < k; ++kk) {
+        const __m256 bv = _mm256_loadu_ps(bp + static_cast<std::size_t>(kk) * kNR);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(arow[kk]), bv));
+      }
+      float* crow = c + static_cast<std::size_t>(i) * n + jp;
+      _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc));
+    }
+  }
+  if (n_main < n) {
+    for (int i = 0; i < rows; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      for (int j = n_main; j < n; ++j) {
+        const float* brow = b + static_cast<std::size_t>(j) * k;
+        float acc = 0.0f;
+        for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        c[static_cast<std::size_t>(i) * n + j] += acc;
+      }
+    }
+  }
+}
+
+DLSCALE_AVX2 void add_inplace(float* a, const float* b, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(a + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) a[i] += b[i];
+}
+
+DLSCALE_AVX2 void add_scalar_inplace(float* p, float v, std::int64_t n) {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(p + i, _mm256_add_ps(_mm256_loadu_ps(p + i), vv));
+  }
+  for (; i < n; ++i) p[i] += v;
+}
+
+DLSCALE_AVX2 void scale_inplace(float* p, float s, std::int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(p + i, _mm256_mul_ps(_mm256_loadu_ps(p + i), vs));
+  }
+  for (; i < n; ++i) p[i] *= s;
+}
+
+DLSCALE_AVX2 void relu_inplace(float* p, std::int64_t n) {
+  // maxps returns the *second* operand on equal-zeros or unordered, so
+  // max_ps(x, 0) reproduces std::max(0.0f, x) exactly: -0.0 -> +0.0 and
+  // NaN -> +0.0.
+  const __m256 zero = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(p + i, _mm256_max_ps(_mm256_loadu_ps(p + i), zero));
+  }
+  for (; i < n; ++i) p[i] = std::max(0.0f, p[i]);
+}
+
+DLSCALE_AVX2 void relu_zero_where_nonpositive(const float* x, float* g,
+                                              std::int64_t n) {
+  // Ordered compare: NaN x keeps g, matching `if (x <= 0) g = 0`.
+  const __m256 zero = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mask = _mm256_cmp_ps(_mm256_loadu_ps(x + i), zero, _CMP_LE_OQ);
+    _mm256_storeu_ps(g + i, _mm256_andnot_ps(mask, _mm256_loadu_ps(g + i)));
+  }
+  for (; i < n; ++i) {
+    if (x[i] <= 0.0f) g[i] = 0.0f;
+  }
+}
+
+DLSCALE_AVX2 void sgd_momentum_update(float* value, float* velocity,
+                                      const float* grad, float clip_scale,
+                                      float weight_decay, float momentum,
+                                      float lr, std::int64_t n) {
+  const __m256 cs = _mm256_set1_ps(clip_scale);
+  const __m256 wd = _mm256_set1_ps(weight_decay);
+  const __m256 mu = _mm256_set1_ps(momentum);
+  const __m256 eta = _mm256_set1_ps(lr);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 val = _mm256_loadu_ps(value + i);
+    const __m256 g = _mm256_add_ps(_mm256_mul_ps(cs, _mm256_loadu_ps(grad + i)),
+                                   _mm256_mul_ps(wd, val));
+    const __m256 vel = _mm256_add_ps(_mm256_mul_ps(mu, _mm256_loadu_ps(velocity + i)), g);
+    _mm256_storeu_ps(velocity + i, vel);
+    _mm256_storeu_ps(value + i, _mm256_sub_ps(val, _mm256_mul_ps(eta, vel)));
+  }
+  for (; i < n; ++i) {
+    const float g = clip_scale * grad[i] + weight_decay * value[i];
+    velocity[i] = momentum * velocity[i] + g;
+    value[i] -= lr * velocity[i];
+  }
+}
+
+#undef DLSCALE_AVX2
+
+}  // namespace avx2
+
+#endif  // DLSCALE_SIMD_X86
+
+inline bool use_avx2() {
+#if DLSCALE_SIMD_X86
+  return util::simd_level() == util::SimdLevel::kAvx2;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+// ---- dispatchers ----------------------------------------------------------
+
+void gemm_nn(const float* a, const float* b, float* c, int rows, int k, int n) {
+#if DLSCALE_SIMD_X86
+  if (use_avx2()) return avx2::gemm_nn(a, b, c, rows, k, n);
+#endif
+  scalar::gemm_nn(a, b, c, rows, k, n);
+}
+
+void gemm_tn(const float* a, const float* b, float* c, int i0, int i1, int m,
+             int k, int n) {
+#if DLSCALE_SIMD_X86
+  if (use_avx2()) return avx2::gemm_tn(a, b, c, i0, i1, m, k, n);
+#endif
+  scalar::gemm_tn(a, b, c, i0, i1, m, k, n);
+}
+
+void gemm_nt_acc(const float* a, const float* b, float* c, int rows, int k,
+                 int n) {
+#if DLSCALE_SIMD_X86
+  if (use_avx2()) return avx2::gemm_nt_acc(a, b, c, rows, k, n);
+#endif
+  scalar::gemm_nt_acc(a, b, c, rows, k, n);
+}
+
+void add_inplace(float* a, const float* b, std::int64_t n) {
+#if DLSCALE_SIMD_X86
+  if (use_avx2()) return avx2::add_inplace(a, b, n);
+#endif
+  scalar::add_inplace(a, b, n);
+}
+
+void add_scalar_inplace(float* p, float v, std::int64_t n) {
+#if DLSCALE_SIMD_X86
+  if (use_avx2()) return avx2::add_scalar_inplace(p, v, n);
+#endif
+  scalar::add_scalar_inplace(p, v, n);
+}
+
+void scale_inplace(float* p, float s, std::int64_t n) {
+#if DLSCALE_SIMD_X86
+  if (use_avx2()) return avx2::scale_inplace(p, s, n);
+#endif
+  scalar::scale_inplace(p, s, n);
+}
+
+void relu_inplace(float* p, std::int64_t n) {
+#if DLSCALE_SIMD_X86
+  if (use_avx2()) return avx2::relu_inplace(p, n);
+#endif
+  scalar::relu_inplace(p, n);
+}
+
+void relu_zero_where_nonpositive(const float* x, float* g, std::int64_t n) {
+#if DLSCALE_SIMD_X86
+  if (use_avx2()) return avx2::relu_zero_where_nonpositive(x, g, n);
+#endif
+  scalar::relu_zero_where_nonpositive(x, g, n);
+}
+
+void sgd_momentum_update(float* value, float* velocity, const float* grad,
+                         float clip_scale, float weight_decay, float momentum,
+                         float lr, std::int64_t n) {
+#if DLSCALE_SIMD_X86
+  if (use_avx2()) {
+    return avx2::sgd_momentum_update(value, velocity, grad, clip_scale,
+                                     weight_decay, momentum, lr, n);
+  }
+#endif
+  scalar::sgd_momentum_update(value, velocity, grad, clip_scale, weight_decay,
+                              momentum, lr, n);
+}
+
+const char* active_path() {
+  return util::simd_level_name(use_avx2() ? util::SimdLevel::kAvx2
+                                          : util::SimdLevel::kScalar);
+}
+
+}  // namespace dlscale::tensor::micro

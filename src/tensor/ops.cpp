@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dlscale/tensor/microkernel.hpp"
 #include "dlscale/util/thread_pool.hpp"
 
 // Threading model (see DESIGN.md §6): every hot kernel fans out over the
@@ -17,6 +18,11 @@
 // are bitwise identical at any DLSCALE_NUM_THREADS setting (the property
 // the E6 gradient-parity experiment relies on). Kernels invoked from
 // inside a pool worker (nested calls) run inline and serial.
+//
+// The serial per-chunk inner loops live in tensor::micro
+// (src/tensor/microkernel.cpp): runtime-dispatched SIMD micro-kernels
+// whose scalar and AVX2 paths are bitwise identical, so neither the
+// thread count nor the DLSCALE_SIMD setting changes any result.
 
 namespace dlscale::tensor {
 
@@ -45,6 +51,22 @@ inline std::int64_t row_grain(std::int64_t rows, std::int64_t work_per_row) {
   return std::clamp<std::int64_t>(grain, 1, rows);
 }
 
+/// Chunk length for the GEMM micro-kernel call sites. The register-blocked
+/// kernel runs rows in blocks of four with the B strip shared across the
+/// block, so chunks below a few rows forfeit the blocking entirely (a
+/// one-row chunk degenerates to the single-row kernel). Target more ops
+/// per chunk than the generic row_grain and never split below 16 rows.
+/// Like row_grain this is a pure function of the shape, and GEMM output
+/// rows are computed independently, so chunking cannot change results.
+inline std::int64_t gemm_row_grain(std::int64_t rows, std::int64_t work_per_row) {
+  constexpr std::int64_t kTargetOps = 1 << 20;
+  constexpr std::int64_t kMinRows = 16;
+  if (rows <= kMinRows) return std::max<std::int64_t>(rows, 1);
+  const std::int64_t grain =
+      work_per_row > 0 ? (kTargetOps + work_per_row - 1) / work_per_row : rows;
+  return std::clamp<std::int64_t>(std::max(grain, kMinRows), 1, rows);
+}
+
 /// Grain for elementwise sweeps.
 constexpr std::int64_t kElemGrain = 1 << 15;
 
@@ -64,62 +86,6 @@ float* batched_cols_scratch(std::size_t n) {
   return buf.data();
 }
 
-// ---- raw GEMM microkernels -------------------------------------------------
-//
-// All three keep the seed kernels' per-element accumulation order (k
-// ascending, zeros in A skipped), so the parallel wrappers below are
-// bitwise-stable however the row space is partitioned. The k loop is
-// blocked (kKC rows of B at a time) so the streamed B panel stays cache
-// resident across the row loop.
-
-constexpr int kKC = 128;
-
-/// c(rows x n) += a(rows x k) * b(k x n); c must be pre-zeroed for a
-/// plain product. ikj order with a unit-stride inner loop.
-void gemm_nn(const float* a, const float* b, float* c, int rows, int k, int n) {
-  for (int kb = 0; kb < k; kb += kKC) {
-    const int kend = std::min(k, kb + kKC);
-    for (int i = 0; i < rows; ++i) {
-      const float* arow = a + static_cast<std::size_t>(i) * k;
-      float* crow = c + static_cast<std::size_t>(i) * n;
-      for (int kk = kb; kk < kend; ++kk) {
-        const float aik = arow[kk];
-        if (aik == 0.0f) continue;
-        const float* brow = b + static_cast<std::size_t>(kk) * n;
-        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  }
-}
-
-/// c(cols_lo..cols_hi of A^T's row space) += A^T * B for a(k x m),
-/// b(k x n): computes rows [i0, i1) of the (m x n) product.
-void gemm_tn(const float* a, const float* b, float* c, int i0, int i1, int m, int k, int n) {
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = a + static_cast<std::size_t>(kk) * m;
-    const float* brow = b + static_cast<std::size_t>(kk) * n;
-    for (int i = i0; i < i1; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = c + static_cast<std::size_t>(i - i0) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
-}
-
-/// c(rows x n) += a(rows x k) * b(n x k)^T — dot-product form.
-void gemm_nt_acc(const float* a, const float* b, float* c, int rows, int k, int n) {
-  for (int i = 0; i < rows; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      c[static_cast<std::size_t>(i) * n + j] += acc;
-    }
-  }
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -134,9 +100,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.ptr();
   const float* pb = b.ptr();
   float* pc = c.ptr();
-  util::parallel_for(0, m, row_grain(m, static_cast<std::int64_t>(k) * n),
+  util::parallel_for(0, m, gemm_row_grain(m, static_cast<std::int64_t>(k) * n),
                      [&](std::int64_t i0, std::int64_t i1) {
-                       gemm_nn(pa + i0 * k, pb, pc + i0 * n, static_cast<int>(i1 - i0), k, n);
+                       micro::gemm_nn(pa + i0 * k, pb, pc + i0 * n, static_cast<int>(i1 - i0), k,
+                                      n);
                      });
   return c;
 }
@@ -149,10 +116,10 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pa = a.ptr();
   const float* pb = b.ptr();
   float* pc = c.ptr();
-  util::parallel_for(0, m, row_grain(m, static_cast<std::int64_t>(k) * n),
+  util::parallel_for(0, m, gemm_row_grain(m, static_cast<std::int64_t>(k) * n),
                      [&](std::int64_t i0, std::int64_t i1) {
-                       gemm_tn(pa, pb, pc + i0 * n, static_cast<int>(i0), static_cast<int>(i1), m,
-                               k, n);
+                       micro::gemm_tn(pa, pb, pc + i0 * n, static_cast<int>(i0),
+                                      static_cast<int>(i1), m, k, n);
                      });
   return c;
 }
@@ -165,9 +132,10 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.ptr();
   const float* pb = b.ptr();
   float* pc = c.ptr();
-  util::parallel_for(0, m, row_grain(m, static_cast<std::int64_t>(k) * n),
+  util::parallel_for(0, m, gemm_row_grain(m, static_cast<std::int64_t>(k) * n),
                      [&](std::int64_t i0, std::int64_t i1) {
-                       gemm_nt_acc(pa + i0 * k, pb, pc + i0 * n, static_cast<int>(i1 - i0), k, n);
+                       micro::gemm_nt_acc(pa + i0 * k, pb, pc + i0 * n, static_cast<int>(i1 - i0),
+                                          k, n);
                      });
   return c;
 }
@@ -296,7 +264,7 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
   const float* pw = w2d.ptr();
   const float* pbias = bias != nullptr ? bias->ptr() : nullptr;
   float* pout = output.ptr();
-  const std::int64_t ocb = row_grain(out_c, static_cast<std::int64_t>(kdim) * patch);
+  const std::int64_t ocb = gemm_row_grain(out_c, static_cast<std::int64_t>(kdim) * patch);
   const std::int64_t blocks = (out_c + ocb - 1) / ocb;
   util::parallel_for(0, static_cast<std::int64_t>(batch) * blocks, 1,
                      [&](std::int64_t t0, std::int64_t t1) {
@@ -305,13 +273,12 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
                          const int o0 = static_cast<int>((t % blocks) * ocb);
                          const int o1 = std::min(out_c, o0 + static_cast<int>(ocb));
                          float* dst = pout + (static_cast<std::size_t>(n) * out_c + o0) * patch;
-                         gemm_nn(pw + static_cast<std::size_t>(o0) * kdim, cols + cols_stride * n,
-                                 dst, o1 - o0, kdim, patch);
+                         micro::gemm_nn(pw + static_cast<std::size_t>(o0) * kdim,
+                                        cols + cols_stride * n, dst, o1 - o0, kdim, patch);
                          if (pbias != nullptr) {
                            for (int o = o0; o < o1; ++o) {
                              float* row = pout + (static_cast<std::size_t>(n) * out_c + o) * patch;
-                             const float b = pbias[o];
-                             for (int i = 0; i < patch; ++i) row[i] += b;
+                             micro::add_scalar_inplace(row, pbias[o], patch);
                            }
                          }
                        }
@@ -346,13 +313,13 @@ Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& 
   // rows; each row accumulates over samples in ascending order so the
   // result matches the serial per-sample add_ exactly.
   float* pgw = grad_weight.ptr();  // (out_c, kdim) view of the 4D tensor
-  util::parallel_for(0, out_c, row_grain(out_c, static_cast<std::int64_t>(batch) * kdim * patch),
+  util::parallel_for(0, out_c, gemm_row_grain(out_c, static_cast<std::int64_t>(batch) * kdim * patch),
                      [&](std::int64_t o0, std::int64_t o1) {
                        for (int n = 0; n < batch; ++n) {
-                         gemm_nt_acc(pgo + (static_cast<std::size_t>(n) * out_c + o0) * patch,
-                                     cols + cols_stride * n,
-                                     pgw + static_cast<std::size_t>(o0) * kdim,
-                                     static_cast<int>(o1 - o0), patch, kdim);
+                         micro::gemm_nt_acc(
+                             pgo + (static_cast<std::size_t>(n) * out_c + o0) * patch,
+                             cols + cols_stride * n, pgw + static_cast<std::size_t>(o0) * kdim,
+                             static_cast<int>(o1 - o0), patch, kdim);
                        }
                      });
 
@@ -362,8 +329,8 @@ Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& 
     for (std::int64_t n = n0; n < n1; ++n) {
       float* dcols = sample_scratch(cols_stride);
       std::fill(dcols, dcols + cols_stride, 0.0f);
-      gemm_tn(pw, pgo + static_cast<std::size_t>(n) * out_c * patch, dcols, 0, kdim, kdim, out_c,
-              patch);
+      micro::gemm_tn(pw, pgo + static_cast<std::size_t>(n) * out_c * patch, dcols, 0, kdim, kdim,
+                     out_c, patch);
       col2im(dcols, grad_input, static_cast<int>(n), kh, kw, spec);
     }
   });
@@ -490,7 +457,7 @@ Tensor relu(const Tensor& x) {
   float* p = out.ptr();
   util::parallel_for(0, static_cast<std::int64_t>(out.numel()), kElemGrain,
                      [&](std::int64_t i0, std::int64_t i1) {
-                       for (std::int64_t i = i0; i < i1; ++i) p[i] = std::max(0.0f, p[i]);
+                       micro::relu_inplace(p + i0, i1 - i0);
                      });
   return out;
 }
@@ -502,9 +469,7 @@ Tensor relu_backward(const Tensor& x, const Tensor& grad_out) {
   float* pg = grad.ptr();
   util::parallel_for(0, static_cast<std::int64_t>(grad.numel()), kElemGrain,
                      [&](std::int64_t i0, std::int64_t i1) {
-                       for (std::int64_t i = i0; i < i1; ++i) {
-                         if (px[i] <= 0.0f) pg[i] = 0.0f;
-                       }
+                       micro::relu_zero_where_nonpositive(px + i0, pg + i0, i1 - i0);
                      });
   return grad;
 }
@@ -900,7 +865,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
   float* po = out.ptr();
   util::parallel_for(0, static_cast<std::int64_t>(out.numel()), kElemGrain,
                      [&](std::int64_t i0, std::int64_t i1) {
-                       for (std::int64_t i = i0; i < i1; ++i) po[i] += pb[i];
+                       micro::add_inplace(po + i0, pb + i0, i1 - i0);
                      });
   return out;
 }
@@ -926,7 +891,9 @@ float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels
   std::vector<std::size_t> sample_counted(static_cast<std::size_t>(batch), 0);
   util::parallel_for(
       0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
-        std::vector<float> probs(static_cast<std::size_t>(classes));
+        // Per-thread probs scratch (same mechanism as the conv dcols
+        // buffer): no heap allocation inside the loss loop.
+        float* probs = sample_scratch(static_cast<std::size_t>(classes));
         for (std::int64_t n = n0; n < n1; ++n) {
           const float* ln = pl + static_cast<std::size_t>(n) * classes * hw;
           float* gn = pg + static_cast<std::size_t>(n) * classes * hw;
@@ -970,15 +937,18 @@ float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels
   const float scale = 1.0f / static_cast<float>(counted);
   util::parallel_for(0, static_cast<std::int64_t>(grad.numel()), kElemGrain,
                      [&](std::int64_t i0, std::int64_t i1) {
-                       for (std::int64_t i = i0; i < i1; ++i) pg[i] *= scale;
+                       micro::scale_inplace(pg + i0, scale, i1 - i0);
                      });
   return static_cast<float>(loss) * scale;
 }
 
-std::vector<int> argmax_channels(const Tensor& logits) {
+void argmax_channels(const Tensor& logits, std::vector<int>& out) {
   const int batch = logits.dim(0), classes = logits.dim(1), h = logits.dim(2), w = logits.dim(3);
   const std::size_t hw = static_cast<std::size_t>(h) * w;
-  std::vector<int> out(static_cast<std::size_t>(batch) * hw);
+  // Resizes (not reallocates) when the caller reuses the buffer across
+  // eval batches — the trainer's confusion-matrix loop passes the same
+  // vector every batch.
+  out.resize(static_cast<std::size_t>(batch) * hw);
   const float* pl = logits.ptr();
   int* po = out.data();
   util::parallel_for(0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
@@ -999,6 +969,11 @@ std::vector<int> argmax_channels(const Tensor& logits) {
       }
     }
   });
+}
+
+std::vector<int> argmax_channels(const Tensor& logits) {
+  std::vector<int> out;
+  argmax_channels(logits, out);
   return out;
 }
 

@@ -31,12 +31,14 @@ std::pair<double, double> evaluate(models::MiniDeepLabV3Plus& model,
                                    int batch_size) {
   data::ConfusionMatrix confusion(dataset.config().num_classes);
   std::vector<std::uint64_t> indices;
+  std::vector<int> pred;  // reused across batches to avoid per-batch allocation
   for (std::uint64_t i = 0; i < count; ++i) {
     indices.push_back(first_index + i);
     if (static_cast<int>(indices.size()) == batch_size || i + 1 == count) {
       const data::Sample batch = dataset.make_batch(indices);
       const tensor::Tensor logits = model.forward(batch.image, /*train=*/false);
-      confusion.update(tensor::argmax_channels(logits), batch.labels, kIgnoreLabel);
+      tensor::argmax_channels(logits, pred);
+      confusion.update(pred, batch.labels, kIgnoreLabel);
       indices.clear();
     }
   }
@@ -150,12 +152,14 @@ EpochReport Trainer::train_epoch() {
       mine.push_back(config_.train_samples + i);
     }
     std::vector<std::uint64_t> batch_ids;
+    std::vector<int> pred;  // reused across batches to avoid per-batch allocation
     for (std::size_t i = 0; i < mine.size(); ++i) {
       batch_ids.push_back(mine[i]);
       if (static_cast<int>(batch_ids.size()) == config_.batch_per_rank || i + 1 == mine.size()) {
         const data::Sample batch = dataset_.make_batch(batch_ids);
         const tensor::Tensor logits = model_.forward(batch.image, /*train=*/false);
-        confusion.update(tensor::argmax_channels(logits), batch.labels, kIgnoreLabel);
+        tensor::argmax_channels(logits, pred);
+        confusion.update(pred, batch.labels, kIgnoreLabel);
         batch_ids.clear();
       }
     }

@@ -11,6 +11,7 @@
 
 #include "dlscale/models/resnet.hpp"
 #include "dlscale/train/trainer.hpp"
+#include "../support/simd_param.hpp"
 
 namespace dt = dlscale::train;
 namespace dm = dlscale::mpi;
@@ -86,9 +87,11 @@ dt::TrainConfig fusion_config(std::size_t fusion_threshold) {
   return config;
 }
 
+class GradPipeline : public dlscale::testing::SimdLevelTest {};
+
 }  // namespace
 
-TEST(GradPipeline, DeepLabStreamsReverseParameterOrder) {
+TEST_P(GradPipeline, DeepLabStreamsReverseParameterOrder) {
   dlscale::util::Rng rng(3);
   dmo::MiniDeepLabV3Plus model({.in_channels = 3, .num_classes = 4, .input_size = 16, .width = 4},
                                rng);
@@ -97,7 +100,7 @@ TEST(GradPipeline, DeepLabStreamsReverseParameterOrder) {
   expect_reverse_parameter_stream(model, rec);
 }
 
-TEST(GradPipeline, SeparableBackboneStreamsReverseParameterOrder) {
+TEST_P(GradPipeline, SeparableBackboneStreamsReverseParameterOrder) {
   dlscale::util::Rng rng(4);
   dmo::MiniDeepLabV3Plus model({.in_channels = 3, .num_classes = 4, .input_size = 16, .width = 4,
                                 .separable_backbone = true},
@@ -107,7 +110,7 @@ TEST(GradPipeline, SeparableBackboneStreamsReverseParameterOrder) {
   expect_reverse_parameter_stream(model, rec);
 }
 
-TEST(GradPipeline, ResNetStreamsReverseParameterOrder) {
+TEST_P(GradPipeline, ResNetStreamsReverseParameterOrder) {
   dlscale::util::Rng rng(5);
   dmo::MiniResNet model({.in_channels = 3, .num_classes = 4, .input_size = 16, .width = 8,
                          .blocks_per_stage = 2},
@@ -117,7 +120,7 @@ TEST(GradPipeline, ResNetStreamsReverseParameterOrder) {
   expect_reverse_parameter_stream(model, rec);
 }
 
-TEST(GradPipeline, HigherEfficiencyShortensTheTimeline) {
+TEST_P(GradPipeline, HigherEfficiencyShortensTheTimeline) {
   dlscale::util::Rng rng_a(6), rng_b(6);
   dmo::MiniDeepLabV3Plus slow({.input_size = 16, .width = 4}, rng_a);
   dmo::MiniDeepLabV3Plus fast({.input_size = 16, .width = 4}, rng_b);
@@ -128,7 +131,7 @@ TEST(GradPipeline, HigherEfficiencyShortensTheTimeline) {
   EXPECT_GT(rec_slow.ready_at.back(), rec_fast.ready_at.back());
 }
 
-TEST(GradPipeline, SinkIsOptionalAndGradsMatch) {
+TEST_P(GradPipeline, SinkIsOptionalAndGradsMatch) {
   // Streaming must be observation-only: parameter gradients are bitwise
   // identical with and without a sink attached.
   dlscale::util::Rng rng_a(7), rng_b(7);
@@ -151,7 +154,7 @@ TEST(GradPipeline, SinkIsOptionalAndGradsMatch) {
   }
 }
 
-TEST(GradPipeline, FusionThresholdObservableFromRealTraining) {
+TEST_P(GradPipeline, FusionThresholdObservableFromRealTraining) {
   // The paper's fusion-threshold knob must be non-degenerate on the real
   // training path: a 2 MiB buffer forces several collective launches per
   // step, a 64 MiB buffer fuses each step into exactly one.
@@ -176,7 +179,7 @@ TEST(GradPipeline, FusionThresholdObservableFromRealTraining) {
   EXPECT_GT(small_batches, static_cast<std::uint64_t>(steps));  // >1 launch per step
 }
 
-TEST(GradPipeline, SerialMatchesSingleRankDistributedBitwise) {
+TEST_P(GradPipeline, SerialMatchesSingleRankDistributedBitwise) {
   // Allreduce over a world of one (pack, sum, unpack, divide by 1.0f) is
   // a bitwise identity, so the streamed distributed path must reproduce
   // the serial reference exactly.
@@ -196,3 +199,8 @@ TEST(GradPipeline, SerialMatchesSingleRankDistributedBitwise) {
         << "epoch " << e;
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(SimdLevels, GradPipeline,
+                         ::testing::ValuesIn(
+                             dlscale::testing::simd_levels_under_test()),
+                         dlscale::testing::simd_param_name);

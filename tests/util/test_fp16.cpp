@@ -3,9 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <vector>
+
+#include "dlscale/util/rng.hpp"
+#include "dlscale/util/simd.hpp"
+#include "../support/simd_param.hpp"
 
 namespace du = dlscale::util;
+using dlscale::testing::ScopedSimdLevel;
+using dlscale::testing::simd_levels_under_test;
 
 TEST(Fp16, ExactSmallValues) {
   // Values exactly representable in half round-trip bit-perfectly.
@@ -78,5 +86,139 @@ TEST(Fp16, ExhaustiveRoundTripThroughFloat) {
     const auto half = static_cast<std::uint16_t>(bits);
     if ((half & 0x7C00) == 0x7C00) continue;  // skip inf/NaN payload checks
     EXPECT_EQ(du::float_to_half(du::half_to_float(half)), half) << std::hex << bits;
+  }
+}
+
+// ---- array sweeps: the F16C fast path must match the software converter
+// bit-for-bit under every dispatch level -----------------------------------
+
+namespace {
+
+/// All 65536 half patterns, shuffled in blocks so vector blocks mix
+/// normal, subnormal, inf, and NaN lanes (exercising the per-block
+/// special-lane guard rather than neatly segregating it).
+std::vector<std::uint16_t> all_half_patterns_interleaved() {
+  std::vector<std::uint16_t> halves(0x10000);
+  for (std::uint32_t i = 0; i < 0x10000; ++i) {
+    // Stride by a odd constant so consecutive entries span exponent bands.
+    halves[i] = static_cast<std::uint16_t>((i * 2654435761u) & 0xFFFFu);
+  }
+  return halves;
+}
+
+std::vector<float> test_floats_with_specials() {
+  du::Rng rng(123);
+  std::vector<float> out;
+  for (int i = 0; i < 4096; ++i) {
+    out.push_back(static_cast<float>(rng.normal(0.0, 100.0)));
+  }
+  // Boundary and special values, positioned off 8-lane alignment.
+  const float inf = std::numeric_limits<float>::infinity();
+  out.insert(out.begin() + 3,
+             {0.0f, -0.0f, 65504.0f, 65520.0f, 65536.0f, -70000.0f, inf, -inf,
+              std::numeric_limits<float>::quiet_NaN(), std::ldexp(1.0f, -24),
+              std::ldexp(1.0f, -26), std::ldexp(1023.0f, -24),
+              1.0f + std::ldexp(1.0f, -11)});
+  return out;
+}
+
+}  // namespace
+
+TEST(Fp16Array, HalvesToFloatsMatchesScalarOnAllPatterns) {
+  const auto halves = all_half_patterns_interleaved();
+  std::vector<float> reference(halves.size());
+  for (std::size_t i = 0; i < halves.size(); ++i) {
+    reference[i] = du::half_to_float(halves[i]);
+  }
+  for (du::SimdLevel level : simd_levels_under_test()) {
+    ScopedSimdLevel scoped(level);
+    std::vector<float> out(halves.size());
+    du::halves_to_floats(halves.data(), out.data(), halves.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(out[i]),
+                std::bit_cast<std::uint32_t>(reference[i]))
+          << du::simd_level_name(level) << " half 0x" << std::hex << halves[i];
+    }
+  }
+}
+
+TEST(Fp16Array, HalvesToFloatsDivMatchesScalarOnAllPatterns) {
+  const auto halves = all_half_patterns_interleaved();
+  for (float divisor : {1.0f, 6.0f}) {
+    std::vector<float> reference(halves.size());
+    for (std::size_t i = 0; i < halves.size(); ++i) {
+      reference[i] = du::half_to_float(halves[i]) / divisor;
+    }
+    for (du::SimdLevel level : simd_levels_under_test()) {
+      ScopedSimdLevel scoped(level);
+      std::vector<float> out(halves.size());
+      du::halves_to_floats_div(halves.data(), out.data(), halves.size(),
+                               divisor);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(out[i]),
+                  std::bit_cast<std::uint32_t>(reference[i]))
+            << du::simd_level_name(level) << " half 0x" << std::hex
+            << halves[i] << " / " << divisor;
+      }
+    }
+  }
+}
+
+TEST(Fp16Array, FloatsToHalvesMatchesScalarOnBoundaryAndRandomFloats) {
+  const auto floats = test_floats_with_specials();
+  std::vector<std::uint16_t> reference(floats.size());
+  for (std::size_t i = 0; i < floats.size(); ++i) {
+    reference[i] = du::float_to_half(floats[i]);
+  }
+  for (du::SimdLevel level : simd_levels_under_test()) {
+    ScopedSimdLevel scoped(level);
+    std::vector<std::uint16_t> out(floats.size());
+    du::floats_to_halves(floats.data(), out.data(), floats.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], reference[i])
+          << du::simd_level_name(level) << " float " << floats[i];
+    }
+  }
+}
+
+TEST(Fp16Array, ExhaustiveRoundTripIdenticalUnderEveryLevel) {
+  // The satellite requirement: float->half->float round-trip parity over
+  // all 65536 half patterns, identical across dispatch levels.
+  const auto halves = all_half_patterns_interleaved();
+  for (du::SimdLevel level : simd_levels_under_test()) {
+    ScopedSimdLevel scoped(level);
+    std::vector<float> as_float(halves.size());
+    std::vector<std::uint16_t> back(halves.size());
+    du::halves_to_floats(halves.data(), as_float.data(), halves.size());
+    du::floats_to_halves(as_float.data(), back.data(), halves.size());
+    for (std::size_t i = 0; i < halves.size(); ++i) {
+      const std::uint16_t expected = du::float_to_half(du::half_to_float(halves[i]));
+      ASSERT_EQ(back[i], expected)
+          << du::simd_level_name(level) << " half 0x" << std::hex << halves[i];
+    }
+  }
+}
+
+TEST(Fp16Array, HalvesAddMatchesScalarReducer) {
+  const auto halves = all_half_patterns_interleaved();
+  // Pair each pattern with a shifted copy of the list so sums cover
+  // finite+finite, finite+inf, inf+inf, and NaN operands.
+  std::vector<std::uint16_t> other(halves.size());
+  for (std::size_t i = 0; i < halves.size(); ++i) {
+    other[i] = halves[(i + 12345) % halves.size()];
+  }
+  std::vector<std::uint16_t> reference = halves;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    reference[i] = du::half_add(reference[i], other[i]);
+  }
+  for (du::SimdLevel level : simd_levels_under_test()) {
+    ScopedSimdLevel scoped(level);
+    std::vector<std::uint16_t> acc = halves;
+    du::halves_add_inplace(acc.data(), other.data(), acc.size());
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      ASSERT_EQ(acc[i], reference[i])
+          << du::simd_level_name(level) << " 0x" << std::hex << halves[i]
+          << " + 0x" << other[i];
+    }
   }
 }
