@@ -50,6 +50,11 @@ class MiniDeepLabV3Plus {
   [[nodiscard]] std::size_t parameter_count();
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
+  /// Total bytes of backward-pass activation caches currently held, across
+  /// every sub-layer plus the model-level skip/branch caches. 0 after an
+  /// inference-only forward — the invariant serving replicas depend on.
+  [[nodiscard]] std::size_t cache_bytes() const;
+
  private:
   Config config_;
 

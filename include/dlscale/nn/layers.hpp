@@ -25,7 +25,11 @@ namespace dlscale::nn {
 using tensor::Conv2dSpec;
 using tensor::Tensor;
 
-/// A learnable tensor with its gradient accumulator.
+/// A learnable tensor with its gradient accumulator. The accumulator is
+/// allocated lazily: a model that only ever runs inference (the serving
+/// replicas) never materialises gradient storage at all. Anything that
+/// writes grads — layer backward passes, the optimizer, tests poking
+/// grads directly — goes through ensure_grad()/zero_grad() first.
 struct Parameter {
   std::string name;
   Tensor value;
@@ -33,10 +37,17 @@ struct Parameter {
 
   Parameter() = default;
   Parameter(std::string param_name, Tensor initial)
-      : name(std::move(param_name)), value(std::move(initial)), grad(value.shape()) {}
+      : name(std::move(param_name)), value(std::move(initial)) {}
 
   [[nodiscard]] std::size_t numel() const noexcept { return value.numel(); }
-  void zero_grad() { grad.zero(); }
+  /// Allocates grad (zero-filled) on first call; no-op afterwards.
+  void ensure_grad() {
+    if (grad.empty()) grad = Tensor(value.shape());
+  }
+  void zero_grad() {
+    ensure_grad();
+    grad.zero();
+  }
 };
 
 /// A named non-learnable tensor (e.g. BatchNorm running statistics):
@@ -88,6 +99,12 @@ class Layer {
   /// valid for the layer's lifetime.
   virtual std::vector<NamedTensor> buffers() { return {}; }
 
+  /// Bytes currently held by activation caches for backward (composites
+  /// sum their children). An inference-only forward (`train == false`)
+  /// must leave this at 0 — the memory invariant serving replicas rely
+  /// on, enforced by tests/serve/test_inference_mode.cpp.
+  [[nodiscard]] virtual std::size_t cache_bytes() const { return 0; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 
  protected:
@@ -102,6 +119,7 @@ class Conv2d final : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::size_t cache_bytes() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
   [[nodiscard]] const Conv2dSpec& spec() const noexcept { return spec_; }
@@ -126,6 +144,7 @@ class BatchNorm2d final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   std::vector<Parameter*> parameters() override;
   std::vector<NamedTensor> buffers() override;
+  [[nodiscard]] std::size_t cache_bytes() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
   [[nodiscard]] const Tensor& running_mean() const noexcept { return running_mean_; }
@@ -150,6 +169,7 @@ class ReLU final : public Layer {
  public:
   explicit ReLU(std::string layer_name) : name_(std::move(layer_name)) {}
   Tensor forward(const Tensor& input, bool train) override;
+  [[nodiscard]] std::size_t cache_bytes() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  protected:
@@ -166,6 +186,7 @@ class MaxPool2d final : public Layer {
   MaxPool2d(std::string layer_name, int kernel, int stride)
       : name_(std::move(layer_name)), kernel_(kernel), stride_(stride) {}
   Tensor forward(const Tensor& input, bool train) override;
+  [[nodiscard]] std::size_t cache_bytes() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  protected:
@@ -185,6 +206,7 @@ class BilinearResize final : public Layer {
   BilinearResize(std::string layer_name, int out_h, int out_w)
       : name_(std::move(layer_name)), out_h_(out_h), out_w_(out_w) {}
   Tensor forward(const Tensor& input, bool train) override;
+  [[nodiscard]] std::size_t cache_bytes() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
   void set_output_size(int out_h, int out_w) {
@@ -209,6 +231,7 @@ class DepthwiseConv2d final : public Layer {
                   util::Rng& rng);
   Tensor forward(const Tensor& input, bool train) override;
   std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::size_t cache_bytes() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  protected:
@@ -231,6 +254,7 @@ class SeparableConvBnRelu final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   std::vector<Parameter*> parameters() override;
   std::vector<NamedTensor> buffers() override;
+  [[nodiscard]] std::size_t cache_bytes() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  protected:
@@ -253,6 +277,7 @@ class ConvBnRelu final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   std::vector<Parameter*> parameters() override;
   std::vector<NamedTensor> buffers() override;
+  [[nodiscard]] std::size_t cache_bytes() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  protected:
@@ -282,6 +307,7 @@ class Sequential final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   std::vector<Parameter*> parameters() override;
   std::vector<NamedTensor> buffers() override;
+  [[nodiscard]] std::size_t cache_bytes() const override;
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] std::size_t size() const noexcept { return layers_.size(); }
 

@@ -1,0 +1,57 @@
+// Dynamic batching: coalesce queued single-image requests into one
+// multi-sample forward.
+//
+// Policy: take the first request as soon as it exists, then wait at most
+// `max_wait` (counted from the FIRST request's admission, so a straggler
+// can never stretch the window) for up to `max_batch - 1` more. Under
+// load the queue is never empty and batches fill instantly with zero
+// added latency; at low traffic a request waits at most max_wait before
+// running alone.
+//
+// Correctness contract — batch invariance: stacking K images into one
+// (K,C,H,W) forward produces, for every sample, bitwise the same logits
+// as running that image alone. This holds because every kernel in the
+// model treats samples independently and the batched-GEMM grouping in
+// tensor::conv2d keeps each output column's accumulation order fixed
+// regardless of how many columns ride in the GEMM (see src/tensor/ops.cpp).
+// tests/serve/test_batch_invariance.cpp enforces it bit-for-bit, across
+// SIMD dispatch levels. Co-batched traffic can therefore never change
+// anyone's answer — only their latency.
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "dlscale/serve/queue.hpp"
+#include "dlscale/serve/types.hpp"
+
+namespace dlscale::serve {
+
+/// A formed batch: the requests plus their images stacked along N.
+struct Batch {
+  std::vector<Request> requests;
+  tensor::Tensor images;  ///< (requests.size(), C, H, W)
+
+  [[nodiscard]] bool empty() const noexcept { return requests.empty(); }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(requests.size()); }
+};
+
+class DynamicBatcher {
+ public:
+  DynamicBatcher(RequestQueue& queue, int max_batch, std::chrono::microseconds max_wait);
+
+  /// Blocks for the next batch. An empty batch means the queue is closed
+  /// and fully drained — the worker's exit signal.
+  [[nodiscard]] Batch next_batch();
+
+  /// Stacks (1,C,H,W) request images into one (K,C,H,W) tensor. Exposed
+  /// for the invariance tests.
+  static tensor::Tensor stack_images(const std::vector<Request>& requests);
+
+ private:
+  RequestQueue& queue_;
+  int max_batch_;
+  std::chrono::microseconds max_wait_;
+};
+
+}  // namespace dlscale::serve

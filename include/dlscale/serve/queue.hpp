@@ -1,0 +1,61 @@
+// Bounded admission queue for the serving layer.
+//
+// Single policy decision lives here: when the queue is full, new work is
+// REJECTED immediately (try_push returns false) rather than blocking the
+// client — bounded queues with load shedding keep tail latency flat under
+// overload, where an unbounded queue would grow without limit and every
+// request would eventually time out. The server counts rejections and
+// surfaces them in ServerStats so operators see shed load, not silence.
+//
+// Plain mutex + condition_variable; no lock-free tricks. Batches are a
+// handful of requests and the per-batch model forward dwarfs any queue
+// overhead, so clarity (and ThreadSanitizer-provable correctness) wins.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+
+#include "dlscale/serve/types.hpp"
+
+namespace dlscale::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Admission control: enqueue `request` unless the queue is at capacity
+  /// or closed. Returns false (request untouched by the queue, promise
+  /// still owned by the caller) on rejection.
+  [[nodiscard]] bool try_push(Request&& request);
+
+  /// Blocks until a request is available, then moves it out. Returns
+  /// nullopt only when the queue is closed AND drained — the worker's
+  /// signal to exit.
+  [[nodiscard]] std::optional<Request> pop();
+
+  /// Non-blocking variant that waits at most until `deadline` for a
+  /// request; nullopt on timeout or closed-and-drained. The batcher uses
+  /// this to gather stragglers after the head-of-batch request arrives.
+  [[nodiscard]] std::optional<Request> pop_until(std::chrono::steady_clock::time_point deadline);
+
+  /// Stops admissions and wakes all waiters. Requests already queued stay
+  /// poppable — shutdown drains, it does not drop.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] bool closed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable nonempty_;
+  std::deque<Request> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace dlscale::serve

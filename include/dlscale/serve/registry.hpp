@@ -1,0 +1,63 @@
+// Checkpoint-backed model replicas with atomic hot-reload.
+//
+// One replica per worker: workers index their own replica, so forward
+// passes never share mutable model state and need no per-inference lock.
+// reload() builds a complete STANDBY replica set, loads the checkpoint
+// into it (any failure throws with the old set untouched — the strong
+// guarantee the corrupt-reload test exercises), then swaps one
+// shared_ptr under a mutex. Workers acquire() the set once per batch;
+// in-flight batches keep the superseded set alive until their forward
+// finishes, so a reload drains naturally instead of yanking weights
+// mid-inference.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dlscale/models/deeplab.hpp"
+
+namespace dlscale::serve {
+
+/// An immutable-by-convention generation of model replicas. `version`
+/// increments per successful load so responses can report which weights
+/// produced them.
+struct ReplicaSet {
+  std::vector<std::unique_ptr<models::MiniDeepLabV3Plus>> replicas;
+  int version = 0;
+};
+
+class ModelRegistry {
+ public:
+  /// Builds `replica_count` fresh replicas of `config` and loads the
+  /// checkpoint at `path` into them (save_model format: parameters then
+  /// buffers). Throws on any load error.
+  ModelRegistry(models::MiniDeepLabV3Plus::Config config, int replica_count,
+                const std::string& path);
+
+  /// Atomic hot-reload: standby set, load, swap. Strong guarantee — on
+  /// throw the current set is untouched and keeps serving.
+  void reload(const std::string& path);
+
+  /// Current replica set. The returned shared_ptr pins the generation for
+  /// the caller's batch; workers must use exactly replicas[worker_id].
+  [[nodiscard]] std::shared_ptr<ReplicaSet> acquire() const;
+
+  [[nodiscard]] int version() const;
+  [[nodiscard]] int replica_count() const noexcept { return replica_count_; }
+  [[nodiscard]] const models::MiniDeepLabV3Plus::Config& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] std::shared_ptr<ReplicaSet> build_loaded_set(const std::string& path,
+                                                             int version) const;
+
+  models::MiniDeepLabV3Plus::Config config_;
+  int replica_count_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<ReplicaSet> current_;
+};
+
+}  // namespace dlscale::serve

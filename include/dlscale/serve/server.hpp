@@ -1,0 +1,106 @@
+// In-process model server: bounded queue -> dynamic batcher -> worker
+// pool over checkpoint-backed replicas, with hot-reload and latency
+// percentiles.
+//
+//   clients --submit()--> RequestQueue --(coalesce)--> DynamicBatcher
+//        --> worker threads --forward(batch, train=false)--> promises
+//
+// Each worker owns one model replica (no shared mutable model state) and
+// runs whole batches; tensor kernels inside the forward still fan out
+// over the global util::ThreadPool, so worker count controls concurrent
+// BATCHES while DLSCALE_NUM_THREADS controls per-kernel parallelism —
+// two independent axes, same as inter-/intra-op parallelism in real
+// serving stacks. Dynamic batching is the throughput lever: the batched
+// conv GEMM path makes an 8-image forward far cheaper than 8 singles
+// (bench/bench_serve.cpp measures it), and batch invariance guarantees
+// co-batching is invisible in the results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dlscale/serve/batcher.hpp"
+#include "dlscale/serve/queue.hpp"
+#include "dlscale/serve/registry.hpp"
+#include "dlscale/serve/types.hpp"
+#include "dlscale/util/stats.hpp"
+
+namespace dlscale::serve {
+
+struct ServeConfig {
+  models::MiniDeepLabV3Plus::Config model;
+  int workers = 1;           ///< concurrent batches (one replica each)
+  int max_batch = 8;         ///< dynamic-batch ceiling
+  std::int64_t max_wait_us = 200;  ///< straggler window after first request
+  std::size_t queue_capacity = 64;  ///< admission bound; overflow rejects
+};
+
+/// Point-in-time counters + latency percentiles (microseconds).
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;   ///< shed at admission (queue full / closed)
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t reloads = 0;
+  std::size_t queue_depth = 0;
+  int model_version = 0;
+  double mean_batch_size = 0.0;
+
+  double queue_p50_us = 0.0, queue_p95_us = 0.0, queue_p99_us = 0.0;
+  double total_p50_us = 0.0, total_p95_us = 0.0, total_p99_us = 0.0;
+  double total_mean_us = 0.0, total_max_us = 0.0;
+};
+
+class Server {
+ public:
+  /// Spins up workers serving the checkpoint at `checkpoint_path`.
+  Server(ServeConfig config, const std::string& checkpoint_path);
+  /// Graceful: stops admissions, drains every queued request, joins.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submit one (1,C,S,S) image — or (C,S,S), auto-unsqueezed. Returns
+  /// nullopt when shedding load (queue full) or shutting down; otherwise
+  /// a future the worker pool fulfils.
+  [[nodiscard]] std::optional<std::future<Response>> submit(tensor::Tensor image);
+
+  /// Hot-swap weights from a new checkpoint. Throws on a bad file, in
+  /// which case the old weights keep serving (strong guarantee).
+  void reload(const std::string& checkpoint_path);
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] int model_version() const { return registry_.version(); }
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+
+  /// Idempotent; called by the destructor. After shutdown() returns all
+  /// admitted requests have been answered and workers have exited.
+  void shutdown();
+
+ private:
+  void worker_loop(int worker_id);
+  void run_batch(Batch&& batch, int worker_id);
+
+  ServeConfig config_;
+  ModelRegistry registry_;
+  RequestQueue queue_;
+  DynamicBatcher batcher_;
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;  ///< guarded by stats_mutex_
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t reloads_ = 0;
+  util::Histogram queue_latency_us_;
+  util::Histogram total_latency_us_;
+};
+
+}  // namespace dlscale::serve

@@ -1,0 +1,32 @@
+// Request/response types shared across the serving layer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "dlscale/tensor/tensor.hpp"
+
+namespace dlscale::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// What a client gets back for one submitted image.
+struct Response {
+  tensor::Tensor logits;     ///< (1, num_classes, S, S)
+  std::vector<int> labels;   ///< per-pixel argmax class ids, S*S entries
+  int batch_size = 0;        ///< size of the dynamic batch this request rode in
+  int model_version = 0;     ///< registry version that produced the result
+  double queue_us = 0.0;     ///< admission -> batch formation
+  double total_us = 0.0;     ///< admission -> response ready
+};
+
+/// An admitted request travelling queue -> batcher -> worker.
+struct Request {
+  tensor::Tensor image;  ///< (1, in_channels, S, S)
+  std::promise<Response> promise;
+  Clock::time_point enqueued_at;
+};
+
+}  // namespace dlscale::serve

@@ -55,6 +55,12 @@ Tensor im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec&
 /// reusable scratch arena to avoid per-sample allocation.
 void im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec& spec,
             float* cols);
+/// Strided variant: row r of the column matrix lands at cols + r*row_stride
+/// (row_stride >= outH*outW). Lets every sample of a batch write its
+/// columns side by side into one shared (C*kh*kw) x (N*outH*outW) matrix so
+/// the forward convolution can run a single batched GEMM over all samples.
+void im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec& spec,
+            float* cols, std::size_t row_stride);
 /// Fold a (C*kh*kw) x (outH*outW) matrix back, accumulating into
 /// `grad_input` at `sample`. Inverse-adjoint of im2col.
 void col2im(const Tensor& cols, Tensor& grad_input, int sample, int kh, int kw,
@@ -106,6 +112,9 @@ Tensor batchnorm2d_backward(const Tensor& grad_out, const BatchNormCache& cache,
 /// 2x2-style max pooling with stride; returns output and records argmax
 /// indices in `argmax` (same numel as output) for the backward pass.
 Tensor maxpool2d(const Tensor& x, int kernel, int stride, std::vector<int>& argmax);
+/// Inference variant: no argmax recording, no backward possible. Output
+/// is bitwise identical to the recording variant.
+Tensor maxpool2d(const Tensor& x, int kernel, int stride);
 Tensor maxpool2d_backward(const Tensor& x, const Tensor& grad_out, int kernel, int stride,
                           const std::vector<int>& argmax);
 

@@ -26,4 +26,14 @@ void load_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string
 void save_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path);
 void load_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path);
 
+/// Inference-state wrappers: parameters followed by buffers (BatchNorm
+/// running stats), no optimizer state. What a trained model hands to the
+/// serving layer, and what serve::ModelRegistry loads into its replicas.
+/// Loading mutates tensors in file order before a mismatch is detected —
+/// callers wanting atomicity load into standby storage and swap.
+void save_model(const std::vector<nn::Parameter*>& params,
+                const std::vector<nn::NamedTensor>& buffers, const std::string& path);
+void load_model(const std::vector<nn::Parameter*>& params,
+                const std::vector<nn::NamedTensor>& buffers, const std::string& path);
+
 }  // namespace dlscale::train

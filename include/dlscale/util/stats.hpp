@@ -1,9 +1,11 @@
 // Small descriptive-statistics helpers used by benchmarks and the
 // performance simulator (mean / stddev / min / max / percentiles over
-// per-iteration timings).
+// per-iteration timings), plus a fixed-memory log-bucketed histogram for
+// long-running percentile tracking (the serving layer's latency stats).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -27,6 +29,47 @@ class RunningStats {
   std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Log-bucketed histogram with fixed memory and O(1) insertion, for
+/// percentile tracking over unbounded streams (per-request serving
+/// latencies) where retaining every sample is not an option.
+///
+/// Buckets are geometric: `buckets_per_decade` buckets per factor of 10,
+/// spanning [1, 1e9) with an underflow bucket below 1 and an overflow
+/// bucket above. percentile() interpolates linearly inside the winning
+/// bucket, so the relative error of a reported quantile is bounded by the
+/// bucket width (~15% at the default 16 buckets/decade — plenty for
+/// latency reporting, where p99 jitter dwarfs that).
+class Histogram {
+ public:
+  explicit Histogram(int buckets_per_decade = 16);
+
+  void add(double value);
+  /// Sums another histogram into this one. Both must share the same
+  /// bucket layout (same buckets_per_decade).
+  void merge(const Histogram& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  /// Quantile estimate, `q` in [0, 100]. 0 when empty. Exact at the
+  /// recorded min/max; otherwise within one bucket width.
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double value) const;
+  [[nodiscard]] double bucket_lower(std::size_t index) const;
+
+  int buckets_per_decade_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;

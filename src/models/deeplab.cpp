@@ -185,4 +185,15 @@ std::size_t MiniDeepLabV3Plus::parameter_count() {
   return total;
 }
 
+std::size_t MiniDeepLabV3Plus::cache_bytes() const {
+  const std::size_t model_caches =
+      (cache_block3_out_.numel() + cache_pool_small_.numel() + cache_aspp_out_.numel() +
+       cache_logits_small_.numel()) *
+      sizeof(float);
+  return model_caches + stem_.cache_bytes() + block1_->cache_bytes() + block2_->cache_bytes() +
+         block3_->cache_bytes() + aspp_1x1_.cache_bytes() + aspp_r2_.cache_bytes() +
+         aspp_r4_.cache_bytes() + aspp_pool_proj_.cache_bytes() + aspp_project_.cache_bytes() +
+         low_level_proj_.cache_bytes() + decoder_conv_.cache_bytes() + classifier_.cache_bytes();
+}
+
 }  // namespace dlscale::models

@@ -26,6 +26,8 @@ void notify_reversed(GradSink* sink, const std::vector<Parameter*>& params) {
   for (auto it = params.rbegin(); it != params.rend(); ++it) sink->grad_ready(**it);
 }
 
+std::size_t tensor_bytes(const Tensor& t) { return t.numel() * sizeof(float); }
+
 }  // namespace
 
 // ---- Conv2d ----
@@ -45,6 +47,8 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
 
 Tensor Conv2d::do_backward(const Tensor& grad_out, GradSink* sink) {
   if (cached_input_.empty()) throw std::logic_error(name_ + ": backward before forward(train)");
+  weight_.ensure_grad();
+  if (has_bias_) bias_.ensure_grad();
   Tensor grad_in = tensor::conv2d_backward(cached_input_, weight_.value, grad_out, spec_,
                                            weight_.grad, has_bias_ ? &bias_.grad : nullptr);
   const double macs_per_output = static_cast<double>(weight_.value.dim(1)) *
@@ -59,6 +63,8 @@ std::vector<Parameter*> Conv2d::parameters() {
   if (has_bias_) return {&weight_, &bias_};
   return {&weight_};
 }
+
+std::size_t Conv2d::cache_bytes() const { return tensor_bytes(cached_input_); }
 
 // ---- BatchNorm2d ----
 
@@ -78,6 +84,8 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
 
 Tensor BatchNorm2d::do_backward(const Tensor& grad_out, GradSink* sink) {
   if (cache_.x_hat.empty()) throw std::logic_error(name_ + ": backward before forward(train)");
+  gamma_.ensure_grad();
+  beta_.ensure_grad();
   Tensor grad_in = tensor::batchnorm2d_backward(grad_out, cache_, gamma_.value, gamma_.grad,
                                                 beta_.grad);
   report_backward_cost(sink, 8.0 * static_cast<double>(grad_out.numel()),
@@ -90,6 +98,11 @@ std::vector<Parameter*> BatchNorm2d::parameters() { return {&gamma_, &beta_}; }
 
 std::vector<NamedTensor> BatchNorm2d::buffers() {
   return {{name_ + ".running_mean", &running_mean_}, {name_ + ".running_var", &running_var_}};
+}
+
+std::size_t BatchNorm2d::cache_bytes() const {
+  return tensor_bytes(cache_.x_hat) +
+         (cache_.mean.size() + cache_.inv_std.size()) * sizeof(float);
 }
 
 // ---- ReLU ----
@@ -105,10 +118,15 @@ Tensor ReLU::do_backward(const Tensor& grad_out, GradSink* sink) {
   return grad_in;
 }
 
+std::size_t ReLU::cache_bytes() const { return tensor_bytes(cached_input_); }
+
 // ---- MaxPool2d ----
 
 Tensor MaxPool2d::forward(const Tensor& input, bool train) {
-  if (train) cached_input_ = input;
+  // Eval skips both the input copy and the argmax recording — backward
+  // state is dead weight on the serving path.
+  if (!train) return tensor::maxpool2d(input, kernel_, stride_);
+  cached_input_ = input;
   return tensor::maxpool2d(input, kernel_, stride_, argmax_);
 }
 
@@ -117,6 +135,10 @@ Tensor MaxPool2d::do_backward(const Tensor& grad_out, GradSink* sink) {
   report_backward_cost(sink, static_cast<double>(grad_out.numel()),
                        bytes_of(cached_input_) + bytes_of(grad_out));
   return grad_in;
+}
+
+std::size_t MaxPool2d::cache_bytes() const {
+  return tensor_bytes(cached_input_) + argmax_.size() * sizeof(int);
 }
 
 // ---- BilinearResize ----
@@ -132,6 +154,8 @@ Tensor BilinearResize::do_backward(const Tensor& grad_out, GradSink* sink) {
                        bytes_of(cached_input_) + bytes_of(grad_out));
   return grad_in;
 }
+
+std::size_t BilinearResize::cache_bytes() const { return tensor_bytes(cached_input_); }
 
 // ---- DepthwiseConv2d ----
 
@@ -152,6 +176,7 @@ Tensor DepthwiseConv2d::forward(const Tensor& input, bool train) {
 
 Tensor DepthwiseConv2d::do_backward(const Tensor& grad_out, GradSink* sink) {
   if (cached_input_.empty()) throw std::logic_error(name_ + ": backward before forward(train)");
+  weight_.ensure_grad();
   Tensor grad_in = tensor::depthwise_conv2d_backward(cached_input_, weight_.value, grad_out,
                                                      spec_, weight_.grad);
   const double macs_per_output = static_cast<double>(weight_.value.dim(2)) * weight_.value.dim(3);
@@ -162,6 +187,8 @@ Tensor DepthwiseConv2d::do_backward(const Tensor& grad_out, GradSink* sink) {
 }
 
 std::vector<Parameter*> DepthwiseConv2d::parameters() { return {&weight_}; }
+
+std::size_t DepthwiseConv2d::cache_bytes() const { return tensor_bytes(cached_input_); }
 
 // ---- SeparableConvBnRelu ----
 
@@ -206,6 +233,11 @@ std::vector<NamedTensor> SeparableConvBnRelu::buffers() {
   return bufs;
 }
 
+std::size_t SeparableConvBnRelu::cache_bytes() const {
+  return depthwise_.cache_bytes() + bn_dw_.cache_bytes() + pointwise_.cache_bytes() +
+         bn_pw_.cache_bytes() + relu_.cache_bytes();
+}
+
 // ---- ConvBnRelu ----
 
 ConvBnRelu::ConvBnRelu(std::string layer_name, int in_channels, int out_channels, int kernel,
@@ -230,6 +262,10 @@ std::vector<Parameter*> ConvBnRelu::parameters() {
 }
 
 std::vector<NamedTensor> ConvBnRelu::buffers() { return bn_.buffers(); }
+
+std::size_t ConvBnRelu::cache_bytes() const {
+  return conv_.cache_bytes() + bn_.cache_bytes() + relu_.cache_bytes();
+}
 
 // ---- Sequential ----
 
@@ -259,6 +295,12 @@ std::vector<NamedTensor> Sequential::buffers() {
     for (NamedTensor b : layer->buffers()) bufs.push_back(b);
   }
   return bufs;
+}
+
+std::size_t Sequential::cache_bytes() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer->cache_bytes();
+  return total;
 }
 
 }  // namespace dlscale::nn

@@ -19,6 +19,10 @@ SgdMomentum::SgdMomentum(std::vector<Parameter*> params, Config config)
   velocity_.reserve(params_.size());
   for (Parameter* p : params_) {
     if (p == nullptr) throw std::invalid_argument("SgdMomentum: null parameter");
+    // Constructing an optimizer declares training intent: materialise the
+    // lazy gradient accumulators now so step()/grad_norm() can assume
+    // they exist. Inference-only models never reach this point.
+    p->ensure_grad();
     velocity_.emplace_back(p->value.shape());
   }
 }

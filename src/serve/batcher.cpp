@@ -1,0 +1,49 @@
+#include "dlscale/serve/batcher.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace dlscale::serve {
+
+DynamicBatcher::DynamicBatcher(RequestQueue& queue, int max_batch,
+                               std::chrono::microseconds max_wait)
+    : queue_(queue), max_batch_(std::max(1, max_batch)), max_wait_(max_wait) {}
+
+Batch DynamicBatcher::next_batch() {
+  Batch batch;
+  auto first = queue_.pop();
+  if (!first) return batch;  // closed and drained
+  // The straggler window is anchored at the FIRST request's admission
+  // time, not at now(): if this request already sat in the queue longer
+  // than max_wait while workers were busy, the batch forms immediately.
+  const auto deadline = first->enqueued_at + max_wait_;
+  batch.requests.push_back(std::move(*first));
+  while (batch.size() < max_batch_) {
+    auto next = queue_.pop_until(deadline);
+    if (!next) break;  // window expired or queue closed
+    batch.requests.push_back(std::move(*next));
+  }
+  batch.images = stack_images(batch.requests);
+  return batch;
+}
+
+tensor::Tensor DynamicBatcher::stack_images(const std::vector<Request>& requests) {
+  if (requests.empty()) return {};
+  const tensor::Tensor& head = requests.front().image;
+  const int channels = head.dim(1), height = head.dim(2), width = head.dim(3);
+  tensor::Tensor stacked(
+      {static_cast<int>(requests.size()), channels, height, width});
+  const std::size_t sample_floats = head.numel();
+  float* dst = stacked.ptr();
+  for (const Request& r : requests) {
+    if (r.image.numel() != sample_floats) {
+      throw std::invalid_argument("DynamicBatcher: mixed image shapes in one batch");
+    }
+    std::memcpy(dst, r.image.ptr(), sample_floats * sizeof(float));
+    dst += sample_floats;
+  }
+  return stacked;
+}
+
+}  // namespace dlscale::serve

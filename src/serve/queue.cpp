@@ -1,0 +1,57 @@
+#include "dlscale/serve/queue.hpp"
+
+#include <utility>
+
+namespace dlscale::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool RequestQueue::try_push(Request&& request) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(request));
+  }
+  nonempty_.notify_one();
+  return true;
+}
+
+std::optional<Request> RequestQueue::pop() {
+  std::unique_lock lock(mutex_);
+  nonempty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  Request request = std::move(items_.front());
+  items_.pop_front();
+  return request;
+}
+
+std::optional<Request> RequestQueue::pop_until(Clock::time_point deadline) {
+  std::unique_lock lock(mutex_);
+  if (!nonempty_.wait_until(lock, deadline, [this] { return closed_ || !items_.empty(); })) {
+    return std::nullopt;  // timed out
+  }
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  Request request = std::move(items_.front());
+  items_.pop_front();
+  return request;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  nonempty_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return items_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+}  // namespace dlscale::serve

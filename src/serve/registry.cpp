@@ -1,0 +1,70 @@
+#include "dlscale/serve/registry.hpp"
+
+#include "dlscale/train/checkpoint.hpp"
+#include "dlscale/util/rng.hpp"
+
+namespace dlscale::serve {
+
+ModelRegistry::ModelRegistry(models::MiniDeepLabV3Plus::Config config, int replica_count,
+                             const std::string& path)
+    : config_(config), replica_count_(replica_count < 1 ? 1 : replica_count) {
+  current_ = build_loaded_set(path, /*version=*/1);
+}
+
+std::shared_ptr<ReplicaSet> ModelRegistry::build_loaded_set(const std::string& path,
+                                                            int version) const {
+  auto set = std::make_shared<ReplicaSet>();
+  set->version = version;
+  set->replicas.reserve(static_cast<std::size_t>(replica_count_));
+  for (int i = 0; i < replica_count_; ++i) {
+    // Seed is irrelevant: every weight and buffer is overwritten below.
+    util::Rng rng(1);
+    set->replicas.push_back(std::make_unique<models::MiniDeepLabV3Plus>(config_, rng));
+  }
+  // Parse the checkpoint once (replica 0), then clone tensors into the
+  // remaining replicas — parameters() order is deterministic across
+  // instances, so index-wise copy is exact.
+  auto& primary = *set->replicas.front();
+  train::load_model(primary.parameters(), primary.buffers(), path);
+  const auto src_params = primary.parameters();
+  const auto src_bufs = primary.buffers();
+  for (int i = 1; i < replica_count_; ++i) {
+    const auto dst_params = set->replicas[static_cast<std::size_t>(i)]->parameters();
+    const auto dst_bufs = set->replicas[static_cast<std::size_t>(i)]->buffers();
+    for (std::size_t j = 0; j < src_params.size(); ++j) {
+      dst_params[j]->value = src_params[j]->value;
+    }
+    for (std::size_t j = 0; j < src_bufs.size(); ++j) {
+      *dst_bufs[j].tensor = *src_bufs[j].tensor;
+    }
+  }
+  return set;
+}
+
+void ModelRegistry::reload(const std::string& path) {
+  // Standby-then-swap: all the throwing work happens before the swap, so
+  // a corrupt checkpoint leaves the serving generation untouched.
+  int next_version = 0;
+  {
+    std::lock_guard lock(mutex_);
+    next_version = current_->version + 1;
+  }
+  auto standby = build_loaded_set(path, next_version);
+  std::lock_guard lock(mutex_);
+  current_ = std::move(standby);
+  // Workers holding the old shared_ptr finish their in-flight batches on
+  // the superseded weights; the old set frees itself when the last batch
+  // completes. No drain barrier needed.
+}
+
+std::shared_ptr<ReplicaSet> ModelRegistry::acquire() const {
+  std::lock_guard lock(mutex_);
+  return current_;
+}
+
+int ModelRegistry::version() const {
+  std::lock_guard lock(mutex_);
+  return current_->version;
+}
+
+}  // namespace dlscale::serve

@@ -86,6 +86,15 @@ float* batched_cols_scratch(std::size_t n) {
   return buf.data();
 }
 
+/// Per-caller scratch for the (out_c x batch*patch) batched-GEMM output of
+/// conv2d forward, scattered back to NCHW afterwards. Separate from the
+/// cols scratch because both are live during one conv call.
+float* gemm_out_scratch(std::size_t n) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -145,11 +154,10 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 // ---------------------------------------------------------------------------
 
 void im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec& spec,
-            float* cols) {
+            float* cols, std::size_t row_stride) {
   const int channels = input.dim(1), h = input.dim(2), w = input.dim(3);
   const int out_h = spec.out_extent(h, kh);
   const int out_w = spec.out_extent(w, kw);
-  const int patch = out_h * out_w;
   const std::size_t plane = static_cast<std::size_t>(h) * w;
   const float* base = input.ptr() + static_cast<std::size_t>(sample) * channels * plane;
   for (int c = 0; c < channels; ++c) {
@@ -157,7 +165,7 @@ void im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec& s
     for (int ky = 0; ky < kh; ++ky) {
       for (int kx = 0; kx < kw; ++kx) {
         const int row = (c * kh + ky) * kw + kx;
-        float* dst = cols + static_cast<std::size_t>(row) * patch;
+        float* dst = cols + static_cast<std::size_t>(row) * row_stride;
         // ix = ox*stride + x_off; clip to the [0, w) window once per row.
         const int x_off = kx * spec.dilation - spec.pad;
         const int ox0 = std::min(out_w, std::max(0, div_ceil(-x_off, spec.stride)));
@@ -182,6 +190,13 @@ void im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec& s
       }
     }
   }
+}
+
+void im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec& spec,
+            float* cols) {
+  const int out_h = spec.out_extent(input.dim(2), kh);
+  const int out_w = spec.out_extent(input.dim(3), kw);
+  im2col(input, sample, kh, kw, spec, cols, static_cast<std::size_t>(out_h) * out_w);
 }
 
 Tensor im2col(const Tensor& input, int sample, int kh, int kw, const Conv2dSpec& spec) {
@@ -248,41 +263,93 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
 
   const int kdim = in_c * kh * kw;
   const int patch = out_h * out_w;
-  const std::size_t cols_stride = static_cast<std::size_t>(kdim) * patch;
-  float* cols = batched_cols_scratch(cols_stride * static_cast<std::size_t>(batch));
+  // Samples per GEMM. Small-spatial convolutions (ASPP at /8, the pooled
+  // 1x1 branch) produce so few output columns that a per-sample GEMM runs
+  // almost entirely in the micro-kernel's ragged column tail; coalescing
+  // the columns of several samples into one GEMM fills the 16-wide vector
+  // panels (measured ~14x per-column at 4 -> 32 columns). Past ~64 columns
+  // the B strip outgrows L1 and per-column cost creeps back up, so wide
+  // patches keep the classic one-sample-per-GEMM shape (group == 1, which
+  // also writes the output in place with no scatter). gemm_nn treats every
+  // column independently with an identical per-element k order, so the
+  // grouping — like the batch composition itself — cannot change any bit
+  // of any sample's output: the invariant the serving layer's dynamic
+  // batcher is built on.
+  constexpr int kTargetGemmCols = 64;
+  const int group = std::clamp(kTargetGemmCols / patch, 1, batch);
+  const int ngroups = (batch + group - 1) / group;
+  const std::size_t group_stride = static_cast<std::size_t>(kdim) * patch * group;
+  float* cols = batched_cols_scratch(static_cast<std::size_t>(kdim) * patch * batch);
 
-  // Phase 1: batched im2col, parallel over samples.
+  // Phase 1: batched im2col, parallel over samples. The samples of one
+  // group share a (kdim x group*patch) column matrix — member m owns
+  // columns [m*patch, (m+1)*patch) of every row — and the groups' matrices
+  // sit consecutively in the scratch arena.
   util::parallel_for(0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
     for (std::int64_t n = n0; n < n1; ++n) {
-      im2col(input, static_cast<int>(n), kh, kw, spec, cols + cols_stride * n);
+      const std::int64_t g = n / group;
+      const int members = std::min(group, batch - static_cast<int>(g) * group);
+      im2col(input, static_cast<int>(n), kh, kw, spec,
+             cols + group_stride * g + static_cast<std::size_t>(n % group) * patch,
+             static_cast<std::size_t>(members) * patch);
     }
   });
 
-  // Phase 2: output GEMM, parallel over (sample, output-channel block).
   const Tensor w2d = weight.reshaped({out_c, kdim});
   Tensor output({batch, out_c, out_h, out_w});
   const float* pw = w2d.ptr();
   const float* pbias = bias != nullptr ? bias->ptr() : nullptr;
   float* pout = output.ptr();
-  const std::int64_t ocb = gemm_row_grain(out_c, static_cast<std::int64_t>(kdim) * patch);
+
+  // Phase 2: one GEMM per (group, output-channel block), parallel over
+  // both. For group == 1 the (out_c x patch) result IS the sample's output
+  // layout and is written in place; otherwise GEMM lands in scratch and a
+  // row scatter (~1/kdim of the GEMM work) restores NCHW.
+  const std::size_t out_group_stride = static_cast<std::size_t>(out_c) * patch * group;
+  float* gscratch =
+      group > 1 ? gemm_out_scratch(out_group_stride * static_cast<std::size_t>(ngroups))
+                : nullptr;
+  const std::int64_t ocb = gemm_row_grain(
+      out_c, static_cast<std::int64_t>(kdim) * patch * group);
   const std::int64_t blocks = (out_c + ocb - 1) / ocb;
-  util::parallel_for(0, static_cast<std::int64_t>(batch) * blocks, 1,
-                     [&](std::int64_t t0, std::int64_t t1) {
-                       for (std::int64_t t = t0; t < t1; ++t) {
-                         const std::int64_t n = t / blocks;
-                         const int o0 = static_cast<int>((t % blocks) * ocb);
-                         const int o1 = std::min(out_c, o0 + static_cast<int>(ocb));
-                         float* dst = pout + (static_cast<std::size_t>(n) * out_c + o0) * patch;
-                         micro::gemm_nn(pw + static_cast<std::size_t>(o0) * kdim,
-                                        cols + cols_stride * n, dst, o1 - o0, kdim, patch);
-                         if (pbias != nullptr) {
-                           for (int o = o0; o < o1; ++o) {
-                             float* row = pout + (static_cast<std::size_t>(n) * out_c + o) * patch;
-                             micro::add_scalar_inplace(row, pbias[o], patch);
-                           }
-                         }
-                       }
-                     });
+  util::parallel_for(0, ngroups * blocks, 1, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t g = t / blocks;
+      const int o0 = static_cast<int>((t % blocks) * ocb);
+      const int o1 = std::min(out_c, o0 + static_cast<int>(ocb));
+      const int first = static_cast<int>(g) * group;
+      const int members = std::min(group, batch - first);
+      const int gcols = members * patch;
+      float* dst;
+      if (group == 1) {
+        dst = pout + (static_cast<std::size_t>(first) * out_c + o0) * patch;
+      } else {
+        // gemm_nn accumulates; the output tensor is born zeroed but the
+        // scratch is reused and must be cleared. Each (group, block) task
+        // owns a disjoint scratch slice, so clearing races nothing.
+        dst = gscratch + out_group_stride * g + static_cast<std::size_t>(o0) * gcols;
+        std::fill(dst, dst + static_cast<std::size_t>(o1 - o0) * gcols, 0.0f);
+      }
+      micro::gemm_nn(pw + static_cast<std::size_t>(o0) * kdim, cols + group_stride * g, dst,
+                     o1 - o0, kdim, gcols);
+      if (pbias != nullptr) {
+        for (int o = o0; o < o1; ++o) {
+          micro::add_scalar_inplace(dst + static_cast<std::size_t>(o - o0) * gcols, pbias[o],
+                                    gcols);
+        }
+      }
+      if (group > 1) {
+        for (int m = 0; m < members; ++m) {
+          for (int o = o0; o < o1; ++o) {
+            const float* src = dst + static_cast<std::size_t>(o - o0) * gcols +
+                               static_cast<std::size_t>(m) * patch;
+            std::copy(src, src + patch,
+                      pout + (static_cast<std::size_t>(first + m) * out_c + o) * patch);
+          }
+        }
+      }
+    }
+  });
   return output;
 }
 
@@ -608,19 +675,22 @@ Tensor batchnorm2d_backward(const Tensor& grad_out, const BatchNormCache& cache,
 // pooling / resize
 // ---------------------------------------------------------------------------
 
-Tensor maxpool2d(const Tensor& x, int kernel, int stride, std::vector<int>& argmax) {
+namespace {
+
+// Shared maxpool kernel; `pargmax` may be null (inference — no backward
+// state recorded). Both entry points produce bitwise-identical outputs:
+// the scan order over each window is the same either way.
+Tensor maxpool2d_impl(const Tensor& x, int kernel, int stride, int* pargmax) {
   require(x.ndim() == 4, "maxpool2d: input must be (N,C,H,W)");
   const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int out_h = (h - kernel) / stride + 1;
   const int out_w = (w - kernel) / stride + 1;
   require(out_h > 0 && out_w > 0, "maxpool2d: empty output");
   Tensor out({batch, channels, out_h, out_w});
-  argmax.assign(out.numel(), 0);
   const std::size_t in_plane = static_cast<std::size_t>(h) * w;
   const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
   const float* px = x.ptr();
   float* pout = out.ptr();
-  int* pargmax = argmax.data();
   const std::int64_t planes = static_cast<std::int64_t>(batch) * channels;
   util::parallel_for(
       0, planes, row_grain(planes, static_cast<std::int64_t>(out_plane) * kernel * kernel),
@@ -628,7 +698,7 @@ Tensor maxpool2d(const Tensor& x, int kernel, int stride, std::vector<int>& argm
         for (std::int64_t p = p0; p < p1; ++p) {
           const float* src = px + static_cast<std::size_t>(p) * in_plane;
           float* dst = pout + static_cast<std::size_t>(p) * out_plane;
-          int* am = pargmax + static_cast<std::size_t>(p) * out_plane;
+          int* am = pargmax ? pargmax + static_cast<std::size_t>(p) * out_plane : nullptr;
           std::size_t idx = 0;
           for (int oy = 0; oy < out_h; ++oy)
             for (int ox = 0; ox < out_w; ++ox, ++idx) {
@@ -647,11 +717,26 @@ Tensor maxpool2d(const Tensor& x, int kernel, int stride, std::vector<int>& argm
                 }
               }
               dst[idx] = best;
-              am[idx] = best_pos;
+              if (am) am[idx] = best_pos;
             }
         }
       });
   return out;
+}
+
+}  // namespace
+
+Tensor maxpool2d(const Tensor& x, int kernel, int stride, std::vector<int>& argmax) {
+  require(x.ndim() == 4, "maxpool2d: input must be (N,C,H,W)");
+  const int out_h = (x.dim(2) - kernel) / stride + 1;
+  const int out_w = (x.dim(3) - kernel) / stride + 1;
+  require(out_h > 0 && out_w > 0, "maxpool2d: empty output");
+  argmax.assign(static_cast<std::size_t>(x.dim(0)) * x.dim(1) * out_h * out_w, 0);
+  return maxpool2d_impl(x, kernel, stride, argmax.data());
+}
+
+Tensor maxpool2d(const Tensor& x, int kernel, int stride) {
+  return maxpool2d_impl(x, kernel, stride, nullptr);
 }
 
 Tensor maxpool2d_backward(const Tensor& x, const Tensor& grad_out, int kernel, int stride,

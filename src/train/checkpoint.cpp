@@ -17,17 +17,37 @@ void write_pod(std::ofstream& out, const T& value) {
 }
 
 template <typename T>
-T read_pod(std::ifstream& in) {
+T read_pod(std::ifstream& in, const std::string& what) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  if (!in) throw std::runtime_error("checkpoint: truncated file while reading " + what);
   return value;
+}
+
+// Anything past this is certainly a corrupt length field, not a real name.
+constexpr std::uint32_t kMaxNameLen = 4096;
+constexpr std::uint32_t kMaxNdim = 8;
+
+std::string shape_str(const std::vector<int>& shape) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) s += ",";
+    s += std::to_string(shape[i]);
+  }
+  return s + ")";
 }
 
 std::vector<nn::NamedTensor> as_named(const std::vector<nn::Parameter*>& params) {
   std::vector<nn::NamedTensor> tensors;
   tensors.reserve(params.size());
   for (nn::Parameter* p : params) tensors.push_back({p->name, &p->value});
+  return tensors;
+}
+
+std::vector<nn::NamedTensor> model_state(const std::vector<nn::Parameter*>& params,
+                                         const std::vector<nn::NamedTensor>& buffers) {
+  std::vector<nn::NamedTensor> tensors = as_named(params);
+  tensors.insert(tensors.end(), buffers.begin(), buffers.end());
   return tensors;
 }
 
@@ -52,32 +72,54 @@ void save_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string
 void load_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("checkpoint: cannot open '" + path + "'");
-  if (read_pod<std::uint32_t>(in) != kMagic) {
+  if (read_pod<std::uint32_t>(in, "magic") != kMagic) {
     throw std::runtime_error("checkpoint: bad magic in '" + path + "'");
   }
-  const auto count = read_pod<std::uint32_t>(in);
+  const auto count = read_pod<std::uint32_t>(in, "tensor count");
   if (count != tensors.size()) {
     throw std::runtime_error("checkpoint: parameter count mismatch (file has " +
                              std::to_string(count) + ", model has " +
                              std::to_string(tensors.size()) + ")");
   }
+  // Every error below names the offending tensor so a bad checkpoint is
+  // diagnosable without a hex dump — the serving hot-reload path surfaces
+  // these messages verbatim while keeping the old replicas live.
   for (const nn::NamedTensor& t : tensors) {
-    const auto name_len = read_pod<std::uint32_t>(in);
+    const auto name_len = read_pod<std::uint32_t>(in, "name length of '" + t.name + "'");
+    if (name_len == 0 || name_len > kMaxNameLen) {
+      throw std::runtime_error("checkpoint: corrupt name length (" + std::to_string(name_len) +
+                               ") where parameter '" + t.name + "' was expected");
+    }
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
+    if (!in) {
+      throw std::runtime_error("checkpoint: truncated file while reading name of '" + t.name +
+                               "'");
+    }
     if (name != t.name) {
       throw std::runtime_error("checkpoint: expected parameter '" + t.name + "', found '" +
                                name + "'");
     }
-    const auto ndim = read_pod<std::uint32_t>(in);
+    const auto ndim = read_pod<std::uint32_t>(in, "rank of '" + name + "'");
+    if (ndim > kMaxNdim) {
+      throw std::runtime_error("checkpoint: corrupt rank (" + std::to_string(ndim) + ") for '" +
+                               name + "'");
+    }
     std::vector<int> shape(ndim);
-    for (auto& d : shape) d = read_pod<std::int32_t>(in);
+    for (auto& d : shape) d = read_pod<std::int32_t>(in, "shape of '" + name + "'");
     if (shape != t.tensor->shape()) {
-      throw std::runtime_error("checkpoint: shape mismatch for '" + name + "'");
+      throw std::runtime_error("checkpoint: shape mismatch for '" + name + "': file has " +
+                               shape_str(shape) + ", model has " + shape_str(t.tensor->shape()));
     }
     in.read(reinterpret_cast<char*>(t.tensor->ptr()),
             static_cast<std::streamsize>(t.tensor->numel() * sizeof(float)));
     if (!in) throw std::runtime_error("checkpoint: truncated data for '" + name + "'");
+  }
+  // A well-formed file ends exactly after the last tensor; leftover bytes
+  // mean the file and the model disagree about what was saved.
+  in.peek();
+  if (!in.eof()) {
+    throw std::runtime_error("checkpoint: trailing bytes after last tensor in '" + path + "'");
   }
 }
 
@@ -87,6 +129,16 @@ void save_checkpoint(const std::vector<nn::Parameter*>& params, const std::strin
 
 void load_checkpoint(const std::vector<nn::Parameter*>& params, const std::string& path) {
   load_tensors(as_named(params), path);
+}
+
+void save_model(const std::vector<nn::Parameter*>& params,
+                const std::vector<nn::NamedTensor>& buffers, const std::string& path) {
+  save_tensors(model_state(params, buffers), path);
+}
+
+void load_model(const std::vector<nn::Parameter*>& params,
+                const std::vector<nn::NamedTensor>& buffers, const std::string& path) {
+  load_tensors(model_state(params, buffers), path);
 }
 
 }  // namespace dlscale::train

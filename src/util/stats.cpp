@@ -27,6 +27,88 @@ double RunningStats::stddev() const noexcept {
   return std::sqrt(m2_ / static_cast<double>(count_ - 1));
 }
 
+namespace {
+// Bucketed range: one underflow bucket for (-inf, 1), then
+// kDecades * buckets_per_decade geometric buckets over [1, 10^kDecades),
+// then one overflow bucket. Nine decades in microseconds covers 1us..~17min.
+constexpr int kDecades = 9;
+}  // namespace
+
+Histogram::Histogram(int buckets_per_decade)
+    : buckets_per_decade_(std::max(1, buckets_per_decade)),
+      buckets_(static_cast<std::size_t>(kDecades) * buckets_per_decade_ + 2, 0) {}
+
+std::size_t Histogram::bucket_index(double value) const {
+  if (!(value >= 1.0)) return 0;  // underflow (also catches NaN)
+  const double pos = std::log10(value) * buckets_per_decade_;
+  const auto idx = static_cast<std::size_t>(pos);
+  return std::min(idx + 1, buckets_.size() - 1);
+}
+
+double Histogram::bucket_lower(std::size_t index) const {
+  if (index == 0) return 0.0;
+  return std::pow(10.0, static_cast<double>(index - 1) / buckets_per_decade_);
+}
+
+void Histogram::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_index(value)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() != buckets_.size()) return;  // layout mismatch: drop
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double Histogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const auto next = seen + buckets_[i];
+    if (static_cast<double>(next) >= rank) {
+      // Interpolate within the bucket, clamping to the observed extremes so
+      // p0/p100 are exact and a single-bucket histogram reports sane values.
+      const double lo = std::max(bucket_lower(i), min_);
+      const double hi = std::min(i + 1 < buckets_.size() ? bucket_lower(i + 1) : max_, max_);
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
 double percentile(std::span<const double> samples, double q) {
   if (samples.empty()) return 0.0;
   std::vector<double> sorted(samples.begin(), samples.end());

@@ -109,6 +109,8 @@ TEST(BilinearResizeLayer, RoundTripShape) {
 
 TEST(Parameter, ZeroGrad) {
   dn::Parameter p("w", dt::Tensor::full({4}, 1.0f));
+  EXPECT_TRUE(p.grad.empty());  // grads are lazy until ensure_grad()
+  p.ensure_grad();
   p.grad.fill(3.0f);
   p.zero_grad();
   EXPECT_FLOAT_EQ(p.grad.sum(), 0.0f);

@@ -29,6 +29,7 @@ TEST(PolySchedule, PowerOneIsLinear) {
 
 TEST(SgdMomentum, PlainSgdStep) {
   dn::Parameter p("w", dt::Tensor::full({2}, 1.0f));
+  p.ensure_grad();  // grads are lazy; tests poking them directly allocate first
   p.grad.fill(0.5f);
   dn::SgdMomentum opt({&p}, {.momentum = 0.0, .weight_decay = 0.0});
   opt.step(0.1);
@@ -47,6 +48,7 @@ TEST(SgdMomentum, MomentumAccumulates) {
 
 TEST(SgdMomentum, WeightDecayPullsTowardZero) {
   dn::Parameter p("w", dt::Tensor::full({1}, 10.0f));
+  p.ensure_grad();
   p.grad.fill(0.0f);
   dn::SgdMomentum opt({&p}, {.momentum = 0.0, .weight_decay = 0.1});
   opt.step(1.0);
@@ -55,6 +57,8 @@ TEST(SgdMomentum, WeightDecayPullsTowardZero) {
 
 TEST(SgdMomentum, ZeroGradClearsAll) {
   dn::Parameter a("a", dt::Tensor::zeros({3})), b("b", dt::Tensor::zeros({2}));
+  a.ensure_grad();
+  b.ensure_grad();
   a.grad.fill(1.0f);
   b.grad.fill(2.0f);
   dn::SgdMomentum opt({&a, &b}, {});
@@ -87,6 +91,8 @@ TEST(SgdMomentum, ConvergesOnQuadratic) {
 
 TEST(SgdMomentum, GradNormIsGlobalL2) {
   dn::Parameter a("a", dt::Tensor::zeros({2})), b("b", dt::Tensor::zeros({1}));
+  a.ensure_grad();
+  b.ensure_grad();
   a.grad[0] = 3.0f;
   a.grad[1] = 0.0f;
   b.grad[0] = 4.0f;
@@ -96,6 +102,7 @@ TEST(SgdMomentum, GradNormIsGlobalL2) {
 
 TEST(SgdMomentum, ClippingScalesLargeGradients) {
   dn::Parameter p("w", dt::Tensor::zeros({1}));
+  p.ensure_grad();
   p.grad[0] = 10.0f;
   dn::SgdMomentum opt({&p}, {.momentum = 0.0, .weight_decay = 0.0, .clip_grad_norm = 1.0});
   opt.step(1.0);
@@ -105,6 +112,7 @@ TEST(SgdMomentum, ClippingScalesLargeGradients) {
 
 TEST(SgdMomentum, ClippingLeavesSmallGradientsAlone) {
   dn::Parameter p("w", dt::Tensor::zeros({1}));
+  p.ensure_grad();
   p.grad[0] = 0.5f;
   dn::SgdMomentum opt({&p}, {.momentum = 0.0, .weight_decay = 0.0, .clip_grad_norm = 1.0});
   opt.step(1.0);

@@ -1,0 +1,97 @@
+// Satellite invariant: inference forwards allocate NO backward state —
+// no activation caches, no gradient tensors, no maxpool argmax. This is
+// what lets a serving replica's memory footprint stay at
+// weights + transient activations, independent of traffic served.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "dlscale/models/deeplab.hpp"
+#include "dlscale/nn/layers.hpp"
+#include "dlscale/nn/optimizer.hpp"
+#include "dlscale/tensor/ops.hpp"
+#include "dlscale/util/rng.hpp"
+#include "serve_test_support.hpp"
+
+namespace dmo = dlscale::models;
+namespace dn = dlscale::nn;
+namespace dt = dlscale::tensor;
+namespace du = dlscale::util;
+namespace dst = dlscale::serve_testing;
+
+TEST(InferenceMode, EvalForwardLeavesNoCachesOrGrads) {
+  du::Rng rng(3);
+  dmo::MiniDeepLabV3Plus model(dst::small_config(), rng);
+  EXPECT_EQ(model.cache_bytes(), 0u);  // fresh model: nothing cached
+
+  const auto cfg = dst::small_config();
+  const dt::Tensor x =
+      dt::Tensor::randn({4, cfg.in_channels, cfg.input_size, cfg.input_size}, rng, 1.0f);
+  (void)model.forward(x, /*train=*/false);
+
+  EXPECT_EQ(model.cache_bytes(), 0u) << "inference forward cached activations";
+  for (dn::Parameter* p : model.parameters()) {
+    EXPECT_TRUE(p->grad.empty()) << p->name << " materialised a grad without training";
+  }
+}
+
+TEST(InferenceMode, TrainForwardCachesAndBackwardNeedsThem) {
+  du::Rng rng(4);
+  dmo::MiniDeepLabV3Plus model(dst::small_config(), rng);
+  const auto cfg = dst::small_config();
+  const dt::Tensor x =
+      dt::Tensor::randn({2, cfg.in_channels, cfg.input_size, cfg.input_size}, rng, 1.0f);
+  const dt::Tensor logits = model.forward(x, /*train=*/true);
+  EXPECT_GT(model.cache_bytes(), 0u);
+  // Grads stay lazy until backward actually writes them.
+  for (dn::Parameter* p : model.parameters()) EXPECT_TRUE(p->grad.empty()) << p->name;
+  (void)model.backward(dt::Tensor::full(logits.shape(), 0.01f));
+  for (dn::Parameter* p : model.parameters()) {
+    EXPECT_FALSE(p->grad.empty()) << p->name << " missing grad after backward";
+  }
+}
+
+TEST(InferenceMode, LayerCacheBytesTracksTrainForwards) {
+  du::Rng rng(5);
+  dn::ConvBnRelu block("b", 3, 8, 3, {1, 1, 1}, rng);
+  EXPECT_EQ(block.cache_bytes(), 0u);
+  const dt::Tensor x = dt::Tensor::randn({2, 3, 8, 8}, rng, 1.0f);
+  (void)block.forward(x, false);
+  EXPECT_EQ(block.cache_bytes(), 0u);
+  (void)block.forward(x, true);
+  // Conv caches its input (2*3*8*8 floats) plus BN/ReLU caches.
+  EXPECT_GE(block.cache_bytes(), x.numel() * sizeof(float));
+}
+
+TEST(InferenceMode, MaxPoolEvalSkipsArgmaxAndMatchesBitwise) {
+  du::Rng rng(6);
+  const dt::Tensor x = dt::Tensor::randn({2, 4, 8, 8}, rng, 1.0f);
+  std::vector<int> argmax;
+  const dt::Tensor recorded = dt::maxpool2d(x, 2, 2, argmax);
+  const dt::Tensor plain = dt::maxpool2d(x, 2, 2);
+  ASSERT_EQ(recorded.numel(), plain.numel());
+  for (std::size_t i = 0; i < plain.numel(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(recorded[i]), std::bit_cast<std::uint32_t>(plain[i]));
+  }
+  // And the layer honours train=false: no cache, no argmax.
+  dn::MaxPool2d layer("mp", 2, 2);
+  (void)layer.forward(x, false);
+  EXPECT_EQ(layer.cache_bytes(), 0u);
+  (void)layer.forward(x, true);
+  EXPECT_GT(layer.cache_bytes(), 0u);
+}
+
+TEST(InferenceMode, OptimizerConstructionMaterialisesGrads) {
+  // Training intent is declared by building an optimizer — that is the
+  // moment lazy grads become real (and zero-filled).
+  du::Rng rng(7);
+  dn::Conv2d conv("c", 3, 4, 3, {1, 1, 1}, /*bias=*/true, rng);
+  for (dn::Parameter* p : conv.parameters()) EXPECT_TRUE(p->grad.empty());
+  dn::SgdMomentum opt(conv.parameters(), {});
+  for (dn::Parameter* p : conv.parameters()) {
+    ASSERT_FALSE(p->grad.empty()) << p->name;
+    EXPECT_FLOAT_EQ(p->grad.sum(), 0.0f) << p->name;
+  }
+}

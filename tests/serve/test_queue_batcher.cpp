@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "dlscale/serve/batcher.hpp"
+#include "dlscale/serve/queue.hpp"
+
+namespace ds = dlscale::serve;
+namespace dt = dlscale::tensor;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+ds::Request make_request(float fill_value = 1.0f) {
+  ds::Request r;
+  r.image = dt::Tensor::full({1, 1, 2, 2}, fill_value);
+  r.enqueued_at = ds::Clock::now();
+  return r;
+}
+
+}  // namespace
+
+TEST(RequestQueue, AdmitsUpToCapacityThenRejects) {
+  ds::RequestQueue q(2);
+  EXPECT_TRUE(q.try_push(make_request()));
+  EXPECT_TRUE(q.try_push(make_request()));
+  EXPECT_FALSE(q.try_push(make_request()));  // full -> shed
+  EXPECT_EQ(q.depth(), 2u);
+  // Popping frees a slot and admission resumes.
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.try_push(make_request()));
+}
+
+TEST(RequestQueue, ClosedQueueRejectsButDrains) {
+  ds::RequestQueue q(4);
+  EXPECT_TRUE(q.try_push(make_request(1.0f)));
+  EXPECT_TRUE(q.try_push(make_request(2.0f)));
+  q.close();
+  EXPECT_FALSE(q.try_push(make_request(3.0f)));  // no admissions after close
+  // Queued work survives close: both pops succeed in FIFO order, then the
+  // drained signal.
+  auto a = q.pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FLOAT_EQ(a->image[0], 1.0f);
+  auto b = q.pop();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FLOAT_EQ(b->image[0], 2.0f);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(RequestQueue, PopBlocksUntilPush) {
+  ds::RequestQueue q(4);
+  std::promise<float> got;
+  std::thread consumer([&] {
+    auto r = q.pop();
+    got.set_value(r ? r->image[0] : -1.0f);
+  });
+  std::this_thread::sleep_for(5ms);
+  EXPECT_TRUE(q.try_push(make_request(7.0f)));
+  EXPECT_FLOAT_EQ(got.get_future().get(), 7.0f);
+  consumer.join();
+}
+
+TEST(RequestQueue, PopUntilTimesOutEmpty) {
+  ds::RequestQueue q(4);
+  const auto deadline = ds::Clock::now() + 2ms;
+  EXPECT_FALSE(q.pop_until(deadline).has_value());
+}
+
+TEST(DynamicBatcher, CoalescesQueuedRequestsUpToMaxBatch) {
+  ds::RequestQueue q(16);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(make_request(static_cast<float>(i))));
+  ds::DynamicBatcher batcher(q, /*max_batch=*/4, /*max_wait=*/0us);
+  ds::Batch batch = batcher.next_batch();
+  ASSERT_EQ(batch.size(), 4);
+  // FIFO: first four submissions ride together; the fifth forms the next
+  // batch alone.
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(batch.requests[i].image[0], static_cast<float>(i));
+  EXPECT_EQ(batch.images.dim(0), 4);
+  ds::Batch rest = batcher.next_batch();
+  EXPECT_EQ(rest.size(), 1);
+  EXPECT_FLOAT_EQ(rest.requests[0].image[0], 4.0f);
+}
+
+TEST(DynamicBatcher, LoneRequestRunsAfterWaitWindow) {
+  ds::RequestQueue q(16);
+  ASSERT_TRUE(q.try_push(make_request()));
+  ds::DynamicBatcher batcher(q, /*max_batch=*/8, /*max_wait=*/1000us);
+  const auto t0 = ds::Clock::now();
+  ds::Batch batch = batcher.next_batch();
+  const auto elapsed = ds::Clock::now() - t0;
+  EXPECT_EQ(batch.size(), 1);
+  // Must not hang anywhere near forever; the window is 1ms (+ scheduling
+  // slack).
+  EXPECT_LT(elapsed, 500ms);
+}
+
+TEST(DynamicBatcher, EmptyBatchSignalsClosedAndDrained) {
+  ds::RequestQueue q(4);
+  q.close();
+  ds::DynamicBatcher batcher(q, 4, 0us);
+  EXPECT_TRUE(batcher.next_batch().empty());
+}
+
+TEST(DynamicBatcher, StackImagesPreservesSampleBytes) {
+  std::vector<ds::Request> requests;
+  requests.push_back(make_request(1.5f));
+  requests.push_back(make_request(-2.25f));
+  const dt::Tensor stacked = ds::DynamicBatcher::stack_images(requests);
+  ASSERT_EQ(stacked.dim(0), 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(stacked[i], 1.5f);
+    EXPECT_FLOAT_EQ(stacked[4 + i], -2.25f);
+  }
+}

@@ -150,6 +150,116 @@ TEST(Checkpoint, TrainerStateRejectsMismatchedArchitecture) {
   EXPECT_THROW(target.load_state(file.path), std::runtime_error);
 }
 
+namespace {
+
+/// Error-message matcher: load must fail AND the message must name what
+/// went wrong well enough to debug without a hex dump.
+void expect_load_error_containing(const std::vector<dlscale::nn::NamedTensor>& tensors,
+                                  const std::string& path, const std::string& needle) {
+  try {
+    dt::load_tensors(tensors, path);
+    FAIL() << "expected load_tensors to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+}  // namespace
+
+TEST(Checkpoint, TruncatedDataNamesOffendingTensor) {
+  TempFile file("dlscale_ckpt_truncated.bin");
+  namespace dten = dlscale::tensor;
+  dten::Tensor a = dten::Tensor::full({4, 4}, 1.0f);
+  dten::Tensor b = dten::Tensor::full({8}, 2.0f);
+  dt::save_tensors({{"layer.a", &a}, {"layer.b", &b}}, file.path);
+  // Chop the file mid-way through the SECOND tensor's data.
+  const auto full_size = std::filesystem::file_size(file.path);
+  std::filesystem::resize_file(file.path, full_size - 8);
+  expect_load_error_containing({{"layer.a", &a}, {"layer.b", &b}}, file.path, "layer.b");
+}
+
+TEST(Checkpoint, TruncatedHeaderNamesExpectedTensor) {
+  TempFile file("dlscale_ckpt_truncated_hdr.bin");
+  namespace dten = dlscale::tensor;
+  dten::Tensor a = dten::Tensor::full({4}, 1.0f);
+  dten::Tensor b = dten::Tensor::full({4}, 2.0f);
+  dt::save_tensors({{"first", &a}, {"second", &b}}, file.path);
+  // Chop inside the second tensor's name/shape header: tensor "first"
+  // occupies 4+5 (len+name) + 4+4 (ndim+dim) + 16 (data) bytes after the
+  // 8-byte file header; leave 3 bytes of the second record.
+  std::filesystem::resize_file(file.path, 8 + 33 + 3);
+  expect_load_error_containing({{"first", &a}, {"second", &b}}, file.path, "second");
+}
+
+TEST(Checkpoint, WrongTensorNameNamesBothSides) {
+  TempFile file("dlscale_ckpt_wrongname.bin");
+  namespace dten = dlscale::tensor;
+  dten::Tensor a = dten::Tensor::full({4}, 1.0f);
+  dt::save_tensors({{"saved_name", &a}}, file.path);
+  expect_load_error_containing({{"expected_name", &a}}, file.path, "expected_name");
+  expect_load_error_containing({{"expected_name", &a}}, file.path, "saved_name");
+}
+
+TEST(Checkpoint, WrongShapeReportsBothShapes) {
+  TempFile file("dlscale_ckpt_wrongshape.bin");
+  namespace dten = dlscale::tensor;
+  dten::Tensor saved = dten::Tensor::full({2, 3}, 1.0f);
+  dten::Tensor live = dten::Tensor::full({3, 2}, 0.0f);
+  dt::save_tensors({{"w", &saved}}, file.path);
+  expect_load_error_containing({{"w", &live}}, file.path, "(2,3)");
+  expect_load_error_containing({{"w", &live}}, file.path, "(3,2)");
+}
+
+TEST(Checkpoint, TrailingBytesThrow) {
+  TempFile file("dlscale_ckpt_trailing.bin");
+  namespace dten = dlscale::tensor;
+  dten::Tensor a = dten::Tensor::full({4}, 1.0f);
+  dt::save_tensors({{"w", &a}}, file.path);
+  {
+    std::FILE* f = std::fopen(file.path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "extra";
+    std::fwrite(junk, 1, sizeof junk, f);
+    std::fclose(f);
+  }
+  expect_load_error_containing({{"w", &a}}, file.path, "trailing");
+}
+
+TEST(Checkpoint, CorruptNameLengthThrows) {
+  TempFile file("dlscale_ckpt_badlen.bin");
+  {
+    std::FILE* f = std::fopen(file.path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::uint32_t magic = 0x444C5343, count = 1, name_len = 0xFFFFFFFFu;
+    std::fwrite(&magic, sizeof magic, 1, f);
+    std::fwrite(&count, sizeof count, 1, f);
+    std::fwrite(&name_len, sizeof name_len, 1, f);
+    std::fclose(f);
+  }
+  namespace dten = dlscale::tensor;
+  dten::Tensor a = dten::Tensor::full({4}, 1.0f);
+  expect_load_error_containing({{"w", &a}}, file.path, "corrupt name length");
+}
+
+TEST(Checkpoint, SaveLoadModelRoundTripsParamsAndBuffers) {
+  TempFile file("dlscale_ckpt_model.bin");
+  dlscale::util::Rng rng_a(1), rng_b(2);
+  dmo::MiniDeepLabV3Plus source({.input_size = 16, .width = 4}, rng_a);
+  dmo::MiniDeepLabV3Plus target({.input_size = 16, .width = 4}, rng_b);
+  // Perturb running stats so buffer transport is observable.
+  for (auto& buf : source.buffers()) buf.tensor->fill(0.75f);
+  dt::save_model(source.parameters(), source.buffers(), file.path);
+  dt::load_model(target.parameters(), target.buffers(), file.path);
+  const auto sp = source.parameters(), tp = target.parameters();
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    ASSERT_FLOAT_EQ(sp[i]->value[0], tp[i]->value[0]) << sp[i]->name;
+  }
+  for (auto& buf : target.buffers()) {
+    ASSERT_FLOAT_EQ(buf.tensor->data()[0], 0.75f) << buf.name;
+  }
+}
+
 TEST(Checkpoint, CorruptMagicThrows) {
   TempFile file("dlscale_ckpt_corrupt.bin");
   {

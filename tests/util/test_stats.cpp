@@ -64,3 +64,78 @@ TEST(Geomean, NonPositiveYieldsZero) {
   const std::vector<double> v{1.0, 0.0};
   EXPECT_DOUBLE_EQ(du::geomean(v), 0.0);
 }
+
+TEST(Histogram, EmptyReportsZeros) {
+  du::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, ExactAtExtremes) {
+  du::Histogram h;
+  for (double v : {12.0, 900.0, 47.0, 3.5}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.min(), 3.5);
+  EXPECT_DOUBLE_EQ(h.max(), 900.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 3.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 900.0);
+  EXPECT_NEAR(h.mean(), (12.0 + 900.0 + 47.0 + 3.5) / 4.0, 1e-9);
+}
+
+TEST(Histogram, PercentilesWithinBucketWidth) {
+  // Uniform 1..1000: log-bucketed quantiles must land within one bucket
+  // (ratio 10^(1/16) ~ 1.155) of the true value.
+  du::Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  const double bucket_ratio = std::pow(10.0, 1.0 / 16.0);
+  for (double q : {50.0, 95.0, 99.0}) {
+    const double estimate = h.percentile(q);
+    const double truth = q / 100.0 * 1000.0;
+    EXPECT_GT(estimate, truth / bucket_ratio) << "q=" << q;
+    EXPECT_LT(estimate, truth * bucket_ratio) << "q=" << q;
+  }
+}
+
+TEST(Histogram, SubUnitValuesLandInUnderflowBucket) {
+  du::Histogram h;
+  h.add(0.001);
+  h.add(0.5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 0.5);
+  EXPECT_LE(h.percentile(50), 0.5);
+}
+
+TEST(Histogram, HugeValuesClampToOverflowBucket) {
+  du::Histogram h;
+  h.add(1e12);  // beyond the 9-decade span
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1e12);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, MergeMatchesCombinedStream) {
+  du::Histogram a, b, combined;
+  for (int i = 1; i <= 100; ++i) {
+    a.add(i);
+    combined.add(i);
+  }
+  for (int i = 500; i <= 600; ++i) {
+    b.add(i);
+    combined.add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.percentile(50), combined.percentile(50));
+  EXPECT_DOUBLE_EQ(a.percentile(99), combined.percentile(99));
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(Histogram, ResetClears) {
+  du::Histogram h;
+  h.add(42.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+}
