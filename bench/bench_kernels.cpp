@@ -10,14 +10,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "dlscale/mpi/comm.hpp"
 #include "dlscale/tensor/microkernel.hpp"
 #include "dlscale/tensor/ops.hpp"
+#include "dlscale/tensor/quantize.hpp"
+#include "dlscale/util/bf16.hpp"
 #include "dlscale/util/rng.hpp"
 #include "dlscale/util/simd.hpp"
 #include "dlscale/util/table.hpp"
@@ -221,6 +225,53 @@ void BM_GemmDLv3ShapeSimd(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmDLv3ShapeSimd)->Arg(0)->Arg(1);
 
+// Quantized GEMM at the same ASPP 3x3 shape, end to end as serving runs
+// it: fp32 activations quantized to u8 per call, integer GEMM against the
+// pre-packed per-channel s8 weights, dequantize epilogue. Orientation is
+// the serving one (activations m x k times W^T), so m is the im2col
+// column count and n the output channels; the MAC count matches the fp32
+// BM_GemmDLv3ShapeSimd rows for a like-for-like items/s comparison.
+void BM_GemmInt8Simd(benchmark::State& state) {
+  const ScopedSimd scoped(static_cast<du::SimdLevel>(state.range(0)));
+  if (skip_unless_level(state, scoped)) return;
+  constexpr int m = 1089, k = 2304, n = 256;
+  dlscale::util::Rng rng(1);
+  const auto a = dt::Tensor::randn({m, k}, rng);
+  const auto w = dt::Tensor::randn({n, k}, rng);
+  const auto qw = dt::quant::QuantizedMatrix::from_rows(w.ptr(), n, k);
+  // Static activation params as calibration would pick them for randn
+  // inputs: +/-4 sigma covers the range without saturating the bulk.
+  const dt::quant::QuantParams act = dt::quant::choose_qparams_u8({-4.0f, 4.0f});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt::quant::quantized_matmul(a, qw, act, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * k * n);
+  state.SetLabel(dt::micro::active_path());
+}
+BENCHMARK(BM_GemmInt8Simd)->Arg(0)->Arg(1);
+
+// bf16 serving cost at the same shape: weights live as bf16 and are
+// widened into fp32 scratch before the regular GEMM — the widen is the
+// only extra work, so this bounds what bf16 storage costs per forward.
+void BM_GemmBf16(benchmark::State& state) {
+  const ScopedSimd scoped(static_cast<du::SimdLevel>(state.range(0)));
+  if (skip_unless_level(state, scoped)) return;
+  constexpr int m = 256, k = 2304, n = 1089;
+  dlscale::util::Rng rng(1);
+  const auto a = dt::Tensor::randn({m, k}, rng);
+  const auto w = dt::Tensor::randn({k, n}, rng);
+  std::vector<std::uint16_t> stored(static_cast<std::size_t>(k) * n);
+  du::floats_to_bf16s(w.ptr(), stored.data(), stored.size());
+  dt::Tensor wide({k, n});
+  for (auto _ : state) {
+    du::bf16s_to_floats(stored.data(), wide.ptr(), stored.size());
+    benchmark::DoNotOptimize(dt::matmul(a, wide));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * k * n);
+  state.SetLabel(dt::micro::active_path());
+}
+BENCHMARK(BM_GemmBf16)->Arg(0)->Arg(1);
+
 void BM_Conv2dForwardSimd(benchmark::State& state) {
   const ScopedSimd scoped(static_cast<du::SimdLevel>(state.range(0)));
   if (skip_unless_level(state, scoped)) return;
@@ -297,6 +348,10 @@ void print_simd_comparison() {
   const auto cw = dt::Tensor::he_init({8, 8, 3, 3}, rng);
   const auto ga = dt::Tensor::randn({256, 2304}, rng);
   const auto gb = dt::Tensor::randn({2304, 1089}, rng);
+  const auto qa = dt::Tensor::randn({1089, 2304}, rng);
+  const auto qw = dt::quant::QuantizedMatrix::from_rows(
+      dt::Tensor::randn({256, 2304}, rng).ptr(), 256, 2304);
+  const dt::quant::QuantParams act = dt::quant::choose_qparams_u8({-4.0f, 4.0f});
 
   struct Case {
     const char* name;
@@ -305,6 +360,9 @@ void print_simd_comparison() {
   const Case cases[] = {
       {"matmul 256x256x256", [&] { benchmark::DoNotOptimize(dt::matmul(ma, mb)); }},
       {"gemm 256x2304x1089", [&] { benchmark::DoNotOptimize(dt::matmul(ga, gb)); }},
+      {"int8 gemm same MACs", [&] {
+         benchmark::DoNotOptimize(dt::quant::quantized_matmul(qa, qw, act, nullptr));
+       }},
       {"conv2d fwd 8ch 24x24", [&] {
          benchmark::DoNotOptimize(dt::conv2d(cx, cw, nullptr, {1, 1, 1}));
        }},

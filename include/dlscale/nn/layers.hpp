@@ -12,11 +12,14 @@
 // so negotiation/fusion cycles overlap the remaining backward compute).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "dlscale/nn/quantized.hpp"
 #include "dlscale/tensor/ops.hpp"
+#include "dlscale/tensor/quantize.hpp"
 #include "dlscale/tensor/tensor.hpp"
 #include "dlscale/util/rng.hpp"
 
@@ -105,6 +108,11 @@ class Layer {
   /// on, enforced by tests/serve/test_inference_mode.cpp.
   [[nodiscard]] virtual std::size_t cache_bytes() const { return 0; }
 
+  /// Direct sub-layers of a composite (empty for primitives). Pointers
+  /// remain valid for the layer's lifetime; used by precision conversion
+  /// (nn/quantized.hpp) to walk a model without knowing its topology.
+  virtual std::vector<Layer*> children() { return {}; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 
  protected:
@@ -124,6 +132,14 @@ class Conv2d final : public Layer {
 
   [[nodiscard]] const Conv2dSpec& spec() const noexcept { return spec_; }
 
+  /// Post-training conversion (nn/quantized.hpp). One-way: the fp32
+  /// weight storage is released and the layer becomes inference-only
+  /// (forward(train=true) and backward throw). Int8 needs this layer's
+  /// calibrated activation range from `table` (recorded under name()).
+  void convert_to_int8(const CalibrationTable& table);
+  void convert_to_bf16();
+  [[nodiscard]] Precision precision() const noexcept { return precision_; }
+
  protected:
   Tensor do_backward(const Tensor& grad_out, GradSink* sink) override;
 
@@ -134,6 +150,14 @@ class Conv2d final : public Layer {
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+
+  // Reduced-precision state; weight_shape_ outlives the released fp32
+  // weight so forwards still know the filter geometry.
+  Precision precision_ = Precision::kFp32;
+  std::vector<int> weight_shape_;
+  tensor::quant::QuantizedMatrix qweight_;
+  tensor::quant::QuantParams act_params_{};
+  std::vector<std::uint16_t> bf16_weight_;
 };
 
 /// Batch normalisation over (N,H,W) per channel.
@@ -234,6 +258,11 @@ class DepthwiseConv2d final : public Layer {
   [[nodiscard]] std::size_t cache_bytes() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
+  /// bf16 weight storage (arithmetic stays fp32 — depthwise has no
+  /// im2col/GEMM form for the int8 kernel). One-way, inference-only.
+  void convert_to_bf16();
+  [[nodiscard]] Precision precision() const noexcept { return precision_; }
+
  protected:
   Tensor do_backward(const Tensor& grad_out, GradSink* sink) override;
 
@@ -242,6 +271,10 @@ class DepthwiseConv2d final : public Layer {
   Conv2dSpec spec_;
   Parameter weight_;
   Tensor cached_input_;
+
+  Precision precision_ = Precision::kFp32;
+  std::vector<int> weight_shape_;
+  std::vector<std::uint16_t> bf16_weight_;
 };
 
 /// Xception-style separable convolution: depthwise 3x3 -> BN -> pointwise
@@ -255,6 +288,9 @@ class SeparableConvBnRelu final : public Layer {
   std::vector<Parameter*> parameters() override;
   std::vector<NamedTensor> buffers() override;
   [[nodiscard]] std::size_t cache_bytes() const override;
+  std::vector<Layer*> children() override {
+    return {&depthwise_, &bn_dw_, &pointwise_, &bn_pw_, &relu_};
+  }
   [[nodiscard]] std::string name() const override { return name_; }
 
  protected:
@@ -278,6 +314,7 @@ class ConvBnRelu final : public Layer {
   std::vector<Parameter*> parameters() override;
   std::vector<NamedTensor> buffers() override;
   [[nodiscard]] std::size_t cache_bytes() const override;
+  std::vector<Layer*> children() override { return {&conv_, &bn_, &relu_}; }
   [[nodiscard]] std::string name() const override { return name_; }
 
  protected:
@@ -308,6 +345,12 @@ class Sequential final : public Layer {
   std::vector<Parameter*> parameters() override;
   std::vector<NamedTensor> buffers() override;
   [[nodiscard]] std::size_t cache_bytes() const override;
+  std::vector<Layer*> children() override {
+    std::vector<Layer*> out;
+    out.reserve(layers_.size());
+    for (auto& layer : layers_) out.push_back(layer.get());
+    return out;
+  }
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] std::size_t size() const noexcept { return layers_.size(); }
 

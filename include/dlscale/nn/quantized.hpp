@@ -1,0 +1,103 @@
+// Post-training model conversion to reduced precision (DESIGN.md §9).
+//
+// Three serving precisions: kFp32 (trainable, the default), kBf16 (u16
+// weight storage, widened to fp32 per forward — halves weights-at-rest,
+// arithmetic unchanged), and kInt8 (symmetric per-output-channel s8
+// weights + calibrated asymmetric u8 activations through the
+// micro-kernel integer GEMM). Conversion is one-way and inference-only:
+// a converted layer throws on forward(train=true).
+//
+// Int8 needs static activation ranges. Those come from a calibration
+// pass: open a CalibrationSession over a CalibrationTable, run eval
+// forwards on a representative batch (Conv2d records its input range
+// under its layer name), close the session, then convert with the table.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "dlscale/tensor/quantize.hpp"
+
+namespace dlscale::nn {
+
+class Layer;
+
+/// Serving precision of a layer or model.
+enum class Precision { kFp32 = 0, kBf16 = 1, kInt8 = 2 };
+
+/// "fp32" / "bf16" / "int8" — stats tags, logs, error messages.
+const char* precision_name(Precision p) noexcept;
+
+/// Which observer the calibration pass feeds.
+enum class ObserverKind { kMinMax = 0, kPercentile = 1 };
+
+struct CalibrationConfig {
+  ObserverKind observer = ObserverKind::kMinMax;
+  /// Only read when observer == kPercentile.
+  double percentile = 99.9;
+};
+
+/// Per-layer activation-range accumulator. record() is mutex-guarded so
+/// a calibration pass may span threads; qparams() snapshots the observed
+/// range into static activation parameters.
+class CalibrationTable {
+ public:
+  explicit CalibrationTable(CalibrationConfig config = {});
+
+  /// Fold `n` activation values into layer `name`'s observer.
+  void record(const std::string& name, const float* values, std::size_t n);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Activation parameters for `name`; throws std::invalid_argument
+  /// naming the layer when it was never calibrated.
+  [[nodiscard]] tensor::quant::QuantParams qparams(const std::string& name) const;
+
+  /// Number of layers with recorded ranges.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const CalibrationConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Slot {
+    explicit Slot(double pct_value) : percentile(pct_value) {}
+    tensor::quant::MinMaxObserver minmax;
+    tensor::quant::PercentileObserver percentile;
+  };
+
+  CalibrationConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Slot> slots_;
+};
+
+/// RAII activation-recording scope: while alive, every Conv2d eval
+/// forward records its input range into `table`. Sessions nest (inner
+/// shadows outer); the active table is process-global, matching how a
+/// calibration pass is actually run — single-purpose, before serving.
+class CalibrationSession {
+ public:
+  explicit CalibrationSession(CalibrationTable& table);
+  ~CalibrationSession();
+  CalibrationSession(const CalibrationSession&) = delete;
+  CalibrationSession& operator=(const CalibrationSession&) = delete;
+
+  /// The innermost live session's table, or nullptr outside any session.
+  static CalibrationTable* active() noexcept;
+
+ private:
+  CalibrationTable* previous_;
+};
+
+/// Convert a layer tree in place: Conv2d layers take the target precision
+/// (int8 requires `table`; throws std::invalid_argument without one or
+/// when a layer has no recorded range); DepthwiseConv2d stores bf16 under
+/// either reduced target (it has no im2col/GEMM form, so its arithmetic
+/// stays fp32); everything else recurses through children().
+void convert_layer_tree(Layer& root, Precision target,
+                        const CalibrationTable* table);
+
+}  // namespace dlscale::nn

@@ -11,6 +11,7 @@
 // mid-inference.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -20,31 +21,60 @@
 
 namespace dlscale::serve {
 
+/// Serving-precision policy applied to every freshly loaded replica set
+/// (DESIGN.md §9). kFp32 serves the checkpoint as-is; kBf16 halves
+/// weights-at-rest; kInt8 routes conv GEMMs through the integer
+/// micro-kernels and needs a calibration pass, which the registry runs on
+/// the primary replica right after loading (replicas share weights, so
+/// one table covers them all).
+struct QuantizeSpec {
+  nn::Precision precision = nn::Precision::kFp32;
+  /// Int8 only: observer the calibration forwards feed.
+  nn::CalibrationConfig calibration{};
+  /// Int8 only: images for the calibration forwards, (B,C,S,S) matching
+  /// the model config. Empty → `calibration_batch` deterministic uniform
+  /// [0,1) images generated from `calibration_seed`.
+  tensor::Tensor calibration_images;
+  int calibration_batch = 4;
+  std::uint64_t calibration_seed = 0x5EEDCA11;
+};
+
 /// An immutable-by-convention generation of model replicas. `version`
 /// increments per successful load so responses can report which weights
-/// produced them.
+/// produced them; `precision` is what every replica in the set was
+/// converted to (uniform across the set).
 struct ReplicaSet {
   std::vector<std::unique_ptr<models::MiniDeepLabV3Plus>> replicas;
   int version = 0;
+  nn::Precision precision = nn::Precision::kFp32;
 };
 
 class ModelRegistry {
  public:
-  /// Builds `replica_count` fresh replicas of `config` and loads the
+  /// Builds `replica_count` fresh replicas of `config`, loads the
   /// checkpoint at `path` into them (save_model format: parameters then
-  /// buffers). Throws on any load error.
+  /// buffers), then applies `quantize`. Throws on any load or
+  /// calibration/conversion error.
   ModelRegistry(models::MiniDeepLabV3Plus::Config config, int replica_count,
-                const std::string& path);
+                const std::string& path, QuantizeSpec quantize = {});
 
-  /// Atomic hot-reload: standby set, load, swap. Strong guarantee — on
-  /// throw the current set is untouched and keeps serving.
+  /// Atomic hot-reload: standby set, load, calibrate/convert, swap.
+  /// Strong guarantee — on throw the current set is untouched and keeps
+  /// serving. Reuses the registry's current QuantizeSpec.
   void reload(const std::string& path);
+
+  /// Hot-reload AND switch serving precision in one swap (e.g. load an
+  /// fp32 checkpoint, serve it int8). The spec becomes the registry's
+  /// policy for subsequent reloads.
+  void reload(const std::string& path, QuantizeSpec quantize);
 
   /// Current replica set. The returned shared_ptr pins the generation for
   /// the caller's batch; workers must use exactly replicas[worker_id].
   [[nodiscard]] std::shared_ptr<ReplicaSet> acquire() const;
 
   [[nodiscard]] int version() const;
+  /// Serving precision of the current replica set.
+  [[nodiscard]] nn::Precision precision() const;
   [[nodiscard]] int replica_count() const noexcept { return replica_count_; }
   [[nodiscard]] const models::MiniDeepLabV3Plus::Config& config() const noexcept {
     return config_;
@@ -57,6 +87,7 @@ class ModelRegistry {
   models::MiniDeepLabV3Plus::Config config_;
   int replica_count_;
   mutable std::mutex mutex_;
+  QuantizeSpec quantize_;  ///< guarded by mutex_ (reload may replace it)
   std::shared_ptr<ReplicaSet> current_;
 };
 

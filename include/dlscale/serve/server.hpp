@@ -37,6 +37,7 @@ struct ServeConfig {
   int max_batch = 8;         ///< dynamic-batch ceiling
   std::int64_t max_wait_us = 200;  ///< straggler window after first request
   std::size_t queue_capacity = 64;  ///< admission bound; overflow rejects
+  QuantizeSpec quantize{};   ///< serving precision of loaded replicas
 };
 
 /// Point-in-time counters + latency percentiles (microseconds).
@@ -48,6 +49,12 @@ struct ServerStats {
   std::uint64_t reloads = 0;
   std::size_t queue_depth = 0;
   int model_version = 0;
+  const char* precision = "fp32";  ///< current replica set's precision tag
+  /// Completed-request split by the precision that served them; a
+  /// hot-reload that flips precision moves subsequent traffic between
+  /// these (fp32_requests + quantized_requests == completed).
+  std::uint64_t fp32_requests = 0;
+  std::uint64_t quantized_requests = 0;
   double mean_batch_size = 0.0;
 
   double queue_p50_us = 0.0, queue_p95_us = 0.0, queue_p99_us = 0.0;
@@ -74,6 +81,11 @@ class Server {
   /// which case the old weights keep serving (strong guarantee).
   void reload(const std::string& checkpoint_path);
 
+  /// Hot-swap weights AND serving precision in one atomic swap — e.g.
+  /// re-serve the current fp32 checkpoint as int8. Same strong guarantee;
+  /// the spec sticks for subsequent reloads.
+  void reload(const std::string& checkpoint_path, QuantizeSpec quantize);
+
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] int model_version() const { return registry_.version(); }
   [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
@@ -99,6 +111,8 @@ class Server {
   std::uint64_t completed_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t reloads_ = 0;
+  std::uint64_t fp32_requests_ = 0;
+  std::uint64_t quantized_requests_ = 0;
   util::Histogram queue_latency_us_;
   util::Histogram total_latency_us_;
 };

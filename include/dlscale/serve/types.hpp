@@ -6,6 +6,7 @@
 #include <future>
 #include <vector>
 
+#include "dlscale/nn/quantized.hpp"
 #include "dlscale/tensor/tensor.hpp"
 
 namespace dlscale::serve {
@@ -18,6 +19,7 @@ struct Response {
   std::vector<int> labels;   ///< per-pixel argmax class ids, S*S entries
   int batch_size = 0;        ///< size of the dynamic batch this request rode in
   int model_version = 0;     ///< registry version that produced the result
+  nn::Precision precision = nn::Precision::kFp32;  ///< serving precision of that version
   double queue_us = 0.0;     ///< admission -> batch formation
   double total_us = 0.0;     ///< admission -> response ready
 };

@@ -17,6 +17,7 @@
 // loops, so the thread-count-determinism invariant is untouched.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace dlscale::tensor::micro {
@@ -35,6 +36,75 @@ void gemm_tn(const float* a, const float* b, float* c, int i0, int i1, int m,
 /// c[i][j] accumulated locally over k then added once.
 void gemm_nt_acc(const float* a, const float* b, float* c, int rows, int k,
                  int n);
+
+// ---- int8 quantized GEMM (DESIGN.md §9, "Reduced-precision serving") ------
+//
+// u8 activations (asymmetric: scale + zero-point) times s8 weights
+// (symmetric, per-output-channel scales), accumulated in i32. The kernel
+// models `_mm256_maddubs_epi16`: products are taken over *pairs* of
+// adjacent k positions and each pair sum saturates to i16 before joining
+// the i32 accumulator. Both dispatch paths implement that exact integer
+// recurrence —
+//
+//   c[i][j] = sum over quads q of
+//             sat16(a[i][4q]*b[4q][j]   + a[i][4q+1]*b[4q+1][j]) +
+//             sat16(a[i][4q+2]*b[4q+2][j] + a[i][4q+3]*b[4q+3][j])
+//
+// — so scalar/AVX2 bitwise identity is automatic (integer math has no
+// rounding freedom). Model conversion sidesteps the saturation entirely
+// by quantizing weights to [-63, 63]: max |pair| = 2*255*63 = 32130 <
+// 32767, so for converted models the sat16 is the identity and the GEMM
+// is an exact integer dot product. The kernel-level semantics still
+// define (and tests still exercise) the saturating case for direct
+// callers.
+//
+// Accumulator overflow guard: each quad contributes at most 2*32767 in
+// magnitude, so k must satisfy ceil(k/4) * 65534 < 2^31 — enforced as
+// k <= kGemmS8U8MaxK. Serve-time im2col depths are orders of magnitude
+// below this.
+
+/// Largest k gemm_s8u8 accepts without risking i32 accumulator overflow.
+inline constexpr int kGemmS8U8MaxK = 1 << 16;
+
+/// Bytes required by gemm_s8u8_pack_b for a (k x n) weight matrix.
+std::size_t gemm_s8u8_packed_size(int k, int n);
+
+/// Pack row-major b(k x n, s8) into the panel layout gemm_s8u8 consumes:
+/// ceil(n/8) panels of 8 columns, each panel ceil(k/4) quads of 4 k-steps,
+/// 32 bytes per quad laid out column-major within the quad
+/// (byte[j*4 + t] = b[4q + t][8p + j]). Out-of-range k/n positions are
+/// zero-padded, which keeps the pad inert under the pair-saturation
+/// semantics above.
+void gemm_s8u8_pack_b(const std::int8_t* b, int k, int n, std::int8_t* packed);
+
+/// c(rows x n, i32) = a * b using the packed B from gemm_s8u8_pack_b.
+/// A is row-major u8 with row stride `lda`, which must be at least
+/// round_up(k, 4); bytes in [k, lda) may hold anything (B's zero pad
+/// nullifies them). Plain store, not accumulate. Requires k <=
+/// kGemmS8U8MaxK.
+void gemm_s8u8(const std::uint8_t* a, int lda, const std::int8_t* packed_b,
+               std::int32_t* c, int rows, int k, int n);
+
+/// Asymmetric u8 quantization sweep:
+///   dst[i] = clamp(rne(src[i] * inv_scale) + zero_point, 0, 255)
+/// with CVTPS2DQ semantics for the float->i32 step (round to nearest
+/// even; NaN and out-of-range round results become INT32_MIN, which the
+/// clamp maps to 0). The scalar twin replicates those semantics exactly,
+/// so both paths are bitwise identical on every input.
+void quantize_u8(const float* src, std::uint8_t* dst, std::int64_t n,
+                 float inv_scale, std::int32_t zero_point);
+
+/// Byte-matrix transpose: dst[c * dst_stride + r] = src[r * cols + c] for
+/// r < rows, c < cols. Requires dst_stride >= rows; dst bytes in
+/// [rows, dst_stride) of each row are left untouched. This is how the
+/// quantized conv forward turns the k-major im2col image into the
+/// pixel-major u8 rows gemm_s8u8 consumes — a flat scalar loop touches
+/// one cache line per k step per column and dominates the int8 GEMM
+/// itself, so the AVX2 path moves 16x16 blocks through SSE byte
+/// unpacks. Pure data movement: bitwise identity across paths is
+/// trivial.
+void transpose_u8(const std::uint8_t* src, int rows, int cols,
+                  std::uint8_t* dst, int dst_stride);
 
 // ---- elementwise sweeps (lane-parallel, trivially order-preserving) -------
 

@@ -1,0 +1,131 @@
+// Post-training int8 quantization on top of the micro-kernel GEMM
+// (DESIGN.md §9, "Reduced-precision serving").
+//
+// Scheme: asymmetric u8 activations (fp = scale * (q - zero_point), with
+// the zero point inside [0, 255] so im2col's zero padding quantizes
+// exactly), symmetric s8 weights with one scale per output channel
+// (fp = scale[oc] * q, no zero point — symmetric weights keep the GEMM's
+// cross term linear in a single per-channel correction). Weights quantize
+// to [-63, 63]: the micro-kernel's pair-saturation ceiling is
+// 2*255*63 = 32130 < 32767, so converted models can never saturate and
+// the integer GEMM is exact. The dequantization identity is
+//
+//   out[i][oc] = (acc[i][oc] - act_zp * col_sum[oc])
+//                  * (act_scale * w_scale[oc]) + bias[oc]
+//
+// where col_sum[oc] = sum_k q_w[k][oc] is precomputed at conversion time.
+//
+// Everything here is shared C++ around the dispatched micro-kernels: the
+// only SIMD-level-dependent steps are micro::quantize_u8 and
+// micro::gemm_s8u8, both bitwise identical across paths, so quantized
+// outputs are too — and batch-composition invariance (the serving
+// batcher's contract) holds for free because the integer GEMM treats
+// every output column independently and exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dlscale/tensor/ops.hpp"
+#include "dlscale/tensor/tensor.hpp"
+
+namespace dlscale::tensor::quant {
+
+/// Closed value interval observed on an activation tensor.
+struct Range {
+  float lo = 0.0f;
+  float hi = 0.0f;
+};
+
+/// Asymmetric u8 activation parameters: fp = scale * (q - zero_point).
+struct QuantParams {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;  // in [0, 255]
+};
+
+/// Parameters covering `r` (extended to include 0 so the padding value is
+/// exactly representable). Degenerate ranges get scale 1.
+QuantParams choose_qparams_u8(Range r);
+
+// ---- calibration observers ------------------------------------------------
+//
+// Fed every calibration-batch activation tensor for one layer; afterwards
+// range() yields the interval choose_qparams_u8 turns into that layer's
+// static activation parameters. Non-finite values are ignored (they carry
+// no usable range information). Both observers are deterministic
+// functions of the observation sequence.
+
+/// Plain running min/max — tight on well-behaved activations, but a
+/// single outlier stretches the scale for everyone.
+class MinMaxObserver {
+ public:
+  void observe(const float* values, std::size_t n);
+  [[nodiscard]] bool empty() const { return !seen_; }
+  [[nodiscard]] Range range() const;
+
+ private:
+  float lo_ = 0.0f;
+  float hi_ = 0.0f;
+  bool seen_ = false;
+};
+
+/// Clips the top/bottom (100 - percentile)% of observed values, trading a
+/// little saturation on outliers for finer resolution on the bulk. Keeps
+/// a capped, stride-subsampled sample buffer: when the cap is hit the
+/// stride doubles and the buffer is thinned to every other element, so
+/// memory stays bounded and the result is still deterministic.
+class PercentileObserver {
+ public:
+  explicit PercentileObserver(double percentile = 99.9);
+  void observe(const float* values, std::size_t n);
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] Range range() const;
+
+ private:
+  double percentile_;
+  std::vector<float> samples_;
+  std::size_t stride_ = 1;   // keep every stride_-th finite value
+  std::size_t phase_ = 0;    // position within the current stride window
+};
+
+// ---- quantized weights ----------------------------------------------------
+
+/// Symmetric per-output-channel s8 weights, stored pre-packed in the
+/// micro::gemm_s8u8 panel layout as the B operand (k x n with n = output
+/// channels), alongside the per-channel scales and column sums the
+/// dequantization identity needs.
+struct QuantizedMatrix {
+  int k = 0;  // inner depth (e.g. in_c * kh * kw for a convolution)
+  int n = 0;  // output channels
+  std::vector<std::int8_t> packed;
+  std::vector<float> scales;          // size n: fp = scales[oc] * q
+  std::vector<std::int32_t> col_sums;  // size n: sum_k q[k][oc]
+
+  /// Quantize row-major w(rows x k) — row r becomes output channel r.
+  /// Per-row scale is absmax/63; an all-zero row gets scale 1.
+  static QuantizedMatrix from_rows(const float* w, int rows, int k);
+
+  [[nodiscard]] std::size_t bytes() const {
+    return packed.size() + scales.size() * sizeof(float) +
+           col_sums.size() * sizeof(std::int32_t);
+  }
+};
+
+// ---- quantized forwards ---------------------------------------------------
+
+/// out(m x n) = a(m x k, fp32) times the quantized weights (as W^T), plus
+/// optional bias (size n). `act` must cover a's value range (values
+/// outside clamp to the u8 rail, like any static-quantization runtime).
+Tensor quantized_matmul(const Tensor& a, const QuantizedMatrix& w,
+                        QuantParams act, const Tensor* bias);
+
+/// Quantized twin of tensor::conv2d: input (N,C,H,W), weights from
+/// from_rows on the (out_c x C*kh*kw) reshaped filter, optional bias
+/// (out_c). Reuses the fp32 path's batched im2col and sample-grouping
+/// structure; only the GEMM runs in int8.
+Tensor quantized_conv2d(const Tensor& input, const QuantizedMatrix& weight,
+                        const Tensor* bias, const Conv2dSpec& spec, int kh,
+                        int kw, QuantParams act);
+
+}  // namespace dlscale::tensor::quant

@@ -4,6 +4,17 @@
 // Simple self-describing binary format: magic, tensor count, then per
 // tensor {name, shape, float data}. Loading validates names and shapes
 // against the live tensors so a mismatched architecture fails loudly.
+//
+// Two on-disk formats, distinguished by a versioned header:
+//   v1 (fp32)  [magic][count]...            — the original layout; every
+//              file ever written by fp32 saves, byte-identical today.
+//   v2 (bf16)  [magic][0xFFFFFFFF][version=2][dtype][count]... — tensor
+//              payloads stored as bf16 (round-to-nearest-even), half the
+//              bytes. The 0xFFFFFFFF sentinel can never be a real v1
+//              tensor count, so old files load unchanged and loaders
+//              auto-detect. Loading a bf16 file widens exactly
+//              (bf16 -> fp32 is lossless); format errors name the
+//              expected vs found format/version.
 #pragma once
 
 #include <string>
@@ -13,12 +24,25 @@
 
 namespace dlscale::train {
 
+/// On-disk tensor storage format.
+enum class CheckpointFormat { kFp32 = 0, kBf16 = 1 };
+
+/// "fp32" / "bf16" — for logs and error messages.
+const char* checkpoint_format_name(CheckpointFormat format) noexcept;
+
+/// Storage format of the file at `path`, from its header alone. Throws on
+/// I/O error, bad magic, or an unsupported version.
+CheckpointFormat peek_checkpoint_format(const std::string& path);
+
 /// Write all tensors to `path` in list order. Throws std::runtime_error on
-/// I/O error.
-void save_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string& path);
+/// I/O error. kFp32 writes the legacy v1 layout byte-for-byte; kBf16
+/// writes the v2 header and narrows every value round-to-nearest-even.
+void save_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string& path,
+                  CheckpointFormat format = CheckpointFormat::kFp32);
 
 /// Load tensors from `path` into the live storage (names, order and shapes
-/// must match exactly). Throws on mismatch or I/O error.
+/// must match exactly), auto-detecting the storage format from the
+/// header. Throws on mismatch or I/O error.
 void load_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string& path);
 
 /// Parameter-only convenience wrappers over save_tensors/load_tensors
@@ -32,7 +56,8 @@ void load_checkpoint(const std::vector<nn::Parameter*>& params, const std::strin
 /// Loading mutates tensors in file order before a mismatch is detected —
 /// callers wanting atomicity load into standby storage and swap.
 void save_model(const std::vector<nn::Parameter*>& params,
-                const std::vector<nn::NamedTensor>& buffers, const std::string& path);
+                const std::vector<nn::NamedTensor>& buffers, const std::string& path,
+                CheckpointFormat format = CheckpointFormat::kFp32);
 void load_model(const std::vector<nn::Parameter*>& params,
                 const std::vector<nn::NamedTensor>& buffers, const std::string& path);
 

@@ -1,0 +1,44 @@
+// Brain-float16 (bf16) conversion: the truncated-mantissa reduced
+// precision used for weight *storage* on the serving path.
+//
+// bf16 keeps float32's 8-bit exponent and cuts the mantissa to 7 bits, so
+// widening is exact (a 16-bit left shift) and narrowing is a single
+// round-to-nearest-even of the low 16 mantissa bits. Unlike fp16 there is
+// no range change: every float magnitude survives, only precision drops.
+// That makes bf16 the natural format for halving model-registry RSS —
+// weights are stored as bf16 and widened on load into the fp32 GEMM
+// scratch (DESIGN.md §9, "Reduced-precision serving").
+//
+// Round-trip contract (enforced exhaustively by tests/util/test_bf16.cpp):
+// for every 16-bit pattern h, float_to_bf16(bf16_to_float(h)) == h —
+// including inf, every NaN payload, subnormals, and both zeros.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dlscale::util {
+
+/// Narrow a float to bf16, round-to-nearest-even. Overflow cannot happen
+/// (same exponent range); NaNs truncate with the payload forced nonzero
+/// so they stay NaNs.
+std::uint16_t float_to_bf16(float value) noexcept;
+
+/// Widen a bf16 to float. Exact for every pattern.
+float bf16_to_float(std::uint16_t bf16) noexcept;
+
+// ---- array sweeps ---------------------------------------------------------
+//
+// Bulk forms used by the checkpoint bf16 writer and the widen-on-load
+// path in quantized conv forwards. When the active dispatch level is AVX2
+// they run 8 lanes at a time; results are bitwise identical to the
+// per-element functions on every input (asserted by the exhaustive
+// pattern sweep under both ctest dispatch settings).
+
+/// dst[i] = float_to_bf16(src[i])
+void floats_to_bf16s(const float* src, std::uint16_t* dst, std::size_t n);
+
+/// dst[i] = bf16_to_float(src[i])
+void bf16s_to_floats(const std::uint16_t* src, float* dst, std::size_t n);
+
+}  // namespace dlscale::util

@@ -185,6 +185,57 @@ std::size_t MiniDeepLabV3Plus::parameter_count() {
   return total;
 }
 
+void MiniDeepLabV3Plus::convert_precision(nn::Precision target,
+                                          const nn::CalibrationTable* table) {
+  if (target == nn::Precision::kFp32) {
+    throw std::logic_error(
+        "convert_precision: fp32 is the unconverted state, not a target");
+  }
+  if (precision_ != nn::Precision::kFp32) {
+    throw std::logic_error(std::string("convert_precision: already ") +
+                           nn::precision_name(precision_));
+  }
+  if (target == nn::Precision::kInt8) {
+    if (table == nullptr) {
+      throw std::invalid_argument(
+          "convert_precision: int8 requires a calibration table");
+    }
+    // Validate every Conv2d has a calibrated range BEFORE converting
+    // anything: conversion is one-way, so a partial failure would leave
+    // a mixed-precision wreck. Layer names match what eval forwards
+    // recorded under a CalibrationSession.
+    const std::vector<nn::Layer*> top = {
+        &stem_,           block1_.get(), block2_.get(),    block3_.get(),
+        &aspp_1x1_,       &aspp_r2_,     &aspp_r4_,        &aspp_pool_proj_,
+        &aspp_project_,   &low_level_proj_, &decoder_conv_, &classifier_};
+    std::vector<nn::Layer*> stack(top.begin(), top.end());
+    while (!stack.empty()) {
+      nn::Layer* layer = stack.back();
+      stack.pop_back();
+      if (auto* conv = dynamic_cast<nn::Conv2d*>(layer)) {
+        if (!table->has(conv->name())) {
+          throw std::invalid_argument(
+              "convert_precision: no calibrated range for layer '" +
+              conv->name() + "'");
+        }
+      }
+      for (nn::Layer* child : layer->children()) stack.push_back(child);
+    }
+  }
+  for (nn::Layer* layer :
+       {static_cast<nn::Layer*>(&stem_), block1_.get(), block2_.get(),
+        block3_.get(), static_cast<nn::Layer*>(&aspp_1x1_),
+        static_cast<nn::Layer*>(&aspp_r2_), static_cast<nn::Layer*>(&aspp_r4_),
+        static_cast<nn::Layer*>(&aspp_pool_proj_),
+        static_cast<nn::Layer*>(&aspp_project_),
+        static_cast<nn::Layer*>(&low_level_proj_),
+        static_cast<nn::Layer*>(&decoder_conv_),
+        static_cast<nn::Layer*>(&classifier_)}) {
+    nn::convert_layer_tree(*layer, target, table);
+  }
+  precision_ = target;
+}
+
 std::size_t MiniDeepLabV3Plus::cache_bytes() const {
   const std::size_t model_caches =
       (cache_block3_out_.numel() + cache_pool_small_.numel() + cache_aspp_out_.numel() +

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dlscale/util/bf16.hpp"
+
 namespace dlscale::nn {
 
 namespace {
@@ -41,8 +43,66 @@ Conv2d::Conv2d(std::string layer_name, int in_channels, int out_channels, int ke
       bias_(name_ + ".bias", Tensor::zeros({out_channels})) {}
 
 Tensor Conv2d::forward(const Tensor& input, bool train) {
-  if (train) cached_input_ = input;
+  if (precision_ != Precision::kFp32) {
+    if (train) {
+      throw std::logic_error(name_ + ": converted to " +
+                             precision_name(precision_) +
+                             ", inference-only");
+    }
+    if (precision_ == Precision::kInt8) {
+      return tensor::quant::quantized_conv2d(
+          input, qweight_, has_bias_ ? &bias_.value : nullptr, spec_,
+          weight_shape_[2], weight_shape_[3], act_params_);
+    }
+    // bf16: widen into a transient fp32 tensor and run the fp32 kernel.
+    // Weights at rest stay half-size — the transient exists only for the
+    // duration of this forward, one layer at a time.
+    Tensor wide(weight_shape_);
+    util::bf16s_to_floats(bf16_weight_.data(), wide.ptr(), bf16_weight_.size());
+    return tensor::conv2d(input, wide, has_bias_ ? &bias_.value : nullptr, spec_);
+  }
+  if (train) {
+    cached_input_ = input;
+  } else if (CalibrationTable* table = CalibrationSession::active()) {
+    table->record(name_, input.ptr(), input.numel());
+  }
   return tensor::conv2d(input, weight_.value, has_bias_ ? &bias_.value : nullptr, spec_);
+}
+
+void Conv2d::convert_to_int8(const CalibrationTable& table) {
+  if (precision_ != Precision::kFp32) {
+    throw std::logic_error(name_ + ": already converted to " +
+                           precision_name(precision_));
+  }
+  // Resolve the calibrated range first: a missing-layer throw must leave
+  // the layer untouched (the registry's strong reload guarantee).
+  const tensor::quant::QuantParams act = table.qparams(name_);
+  const std::vector<int>& shape = weight_.value.shape();
+  const int out_c = shape[0];
+  const int kdim = shape[1] * shape[2] * shape[3];
+  qweight_ =
+      tensor::quant::QuantizedMatrix::from_rows(weight_.value.ptr(), out_c, kdim);
+  act_params_ = act;
+  weight_shape_ = shape;
+  weight_.value = Tensor();
+  weight_.grad = Tensor();
+  cached_input_ = Tensor();
+  precision_ = Precision::kInt8;
+}
+
+void Conv2d::convert_to_bf16() {
+  if (precision_ != Precision::kFp32) {
+    throw std::logic_error(name_ + ": already converted to " +
+                           precision_name(precision_));
+  }
+  weight_shape_ = weight_.value.shape();
+  bf16_weight_.resize(weight_.value.numel());
+  util::floats_to_bf16s(weight_.value.ptr(), bf16_weight_.data(),
+                        bf16_weight_.size());
+  weight_.value = Tensor();
+  weight_.grad = Tensor();
+  cached_input_ = Tensor();
+  precision_ = Precision::kBf16;
 }
 
 Tensor Conv2d::do_backward(const Tensor& grad_out, GradSink* sink) {
@@ -170,8 +230,31 @@ DepthwiseConv2d::DepthwiseConv2d(std::string layer_name, int channels, int kerne
       }()) {}
 
 Tensor DepthwiseConv2d::forward(const Tensor& input, bool train) {
+  if (precision_ == Precision::kBf16) {
+    if (train) {
+      throw std::logic_error(name_ + ": converted to bf16, inference-only");
+    }
+    Tensor wide(weight_shape_);
+    util::bf16s_to_floats(bf16_weight_.data(), wide.ptr(), bf16_weight_.size());
+    return tensor::depthwise_conv2d(input, wide, spec_);
+  }
   if (train) cached_input_ = input;
   return tensor::depthwise_conv2d(input, weight_.value, spec_);
+}
+
+void DepthwiseConv2d::convert_to_bf16() {
+  if (precision_ != Precision::kFp32) {
+    throw std::logic_error(name_ + ": already converted to " +
+                           precision_name(precision_));
+  }
+  weight_shape_ = weight_.value.shape();
+  bf16_weight_.resize(weight_.value.numel());
+  util::floats_to_bf16s(weight_.value.ptr(), bf16_weight_.data(),
+                        bf16_weight_.size());
+  weight_.value = Tensor();
+  weight_.grad = Tensor();
+  cached_input_ = Tensor();
+  precision_ = Precision::kBf16;
 }
 
 Tensor DepthwiseConv2d::do_backward(const Tensor& grad_out, GradSink* sink) {

@@ -1,0 +1,119 @@
+#include "dlscale/nn/quantized.hpp"
+
+#include <stdexcept>
+
+#include "dlscale/nn/layers.hpp"
+
+namespace dlscale::nn {
+
+const char* precision_name(Precision p) noexcept {
+  switch (p) {
+    case Precision::kBf16:
+      return "bf16";
+    case Precision::kInt8:
+      return "int8";
+    case Precision::kFp32:
+      break;
+  }
+  return "fp32";
+}
+
+// ---- CalibrationTable -----------------------------------------------------
+
+CalibrationTable::CalibrationTable(CalibrationConfig config)
+    : config_(config) {
+  if (config_.observer == ObserverKind::kPercentile) {
+    // Validate eagerly — the PercentileObserver constructor throws on a
+    // bad percentile, and it is better to fail at table construction
+    // than mid-calibration.
+    tensor::quant::PercentileObserver probe(config_.percentile);
+    (void)probe;
+  }
+}
+
+void CalibrationTable::record(const std::string& name, const float* values,
+                              std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    it = slots_.emplace(name, Slot(config_.percentile)).first;
+  }
+  if (config_.observer == ObserverKind::kMinMax) {
+    it->second.minmax.observe(values, n);
+  } else {
+    it->second.percentile.observe(values, n);
+  }
+}
+
+bool CalibrationTable::has(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.count(name) != 0;
+}
+
+tensor::quant::QuantParams CalibrationTable::qparams(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    throw std::invalid_argument(
+        "CalibrationTable: no activation range recorded for layer '" + name +
+        "' — run eval forwards under a CalibrationSession first");
+  }
+  const tensor::quant::Range range =
+      config_.observer == ObserverKind::kMinMax
+          ? it->second.minmax.range()
+          : it->second.percentile.range();
+  return tensor::quant::choose_qparams_u8(range);
+}
+
+std::size_t CalibrationTable::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+// ---- CalibrationSession ---------------------------------------------------
+
+namespace {
+CalibrationTable* g_active_table = nullptr;
+}  // namespace
+
+CalibrationSession::CalibrationSession(CalibrationTable& table)
+    : previous_(g_active_table) {
+  g_active_table = &table;
+}
+
+CalibrationSession::~CalibrationSession() { g_active_table = previous_; }
+
+CalibrationTable* CalibrationSession::active() noexcept {
+  return g_active_table;
+}
+
+// ---- conversion traversal -------------------------------------------------
+
+void convert_layer_tree(Layer& root, Precision target,
+                        const CalibrationTable* table) {
+  if (target == Precision::kFp32) return;
+  if (auto* conv = dynamic_cast<Conv2d*>(&root)) {
+    if (target == Precision::kInt8) {
+      if (table == nullptr) {
+        throw std::invalid_argument(
+            "convert_layer_tree: int8 conversion requires a calibration "
+            "table (layer '" +
+            conv->name() + "')");
+      }
+      conv->convert_to_int8(*table);
+    } else {
+      conv->convert_to_bf16();
+    }
+    return;
+  }
+  if (auto* dw = dynamic_cast<DepthwiseConv2d*>(&root)) {
+    dw->convert_to_bf16();
+    return;
+  }
+  for (Layer* child : root.children()) {
+    convert_layer_tree(*child, target, table);
+  }
+}
+
+}  // namespace dlscale::nn

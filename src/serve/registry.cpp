@@ -1,18 +1,50 @@
 #include "dlscale/serve/registry.hpp"
 
+#include <cstddef>
+#include <utility>
+
 #include "dlscale/train/checkpoint.hpp"
 #include "dlscale/util/rng.hpp"
 
 namespace dlscale::serve {
 
+namespace {
+
+/// Deterministic uniform [0,1) calibration batch matching the model's
+/// input shape — the fallback when the caller supplies no images. Uniform
+/// noise is range-representative for the synthetic dataset's [0,1] pixel
+/// space, and every layer still sees its own weight-shaped activation
+/// distribution during the forwards.
+tensor::Tensor synthetic_calibration_batch(const models::MiniDeepLabV3Plus::Config& config,
+                                           int batch, std::uint64_t seed) {
+  if (batch < 1) batch = 1;
+  util::Rng rng(seed);
+  tensor::Tensor images({batch, config.in_channels, config.input_size, config.input_size});
+  float* p = images.ptr();
+  const std::size_t n = static_cast<std::size_t>(images.numel());
+  for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<float>(rng.uniform());
+  return images;
+}
+
+}  // namespace
+
 ModelRegistry::ModelRegistry(models::MiniDeepLabV3Plus::Config config, int replica_count,
-                             const std::string& path)
-    : config_(config), replica_count_(replica_count < 1 ? 1 : replica_count) {
+                             const std::string& path, QuantizeSpec quantize)
+    : config_(config),
+      replica_count_(replica_count < 1 ? 1 : replica_count),
+      quantize_(std::move(quantize)) {
   current_ = build_loaded_set(path, /*version=*/1);
 }
 
 std::shared_ptr<ReplicaSet> ModelRegistry::build_loaded_set(const std::string& path,
                                                             int version) const {
+  // Snapshot the policy up front: the slow load below runs unlocked, and
+  // a concurrent reload(path, spec) may replace quantize_ meanwhile.
+  QuantizeSpec quantize;
+  {
+    std::lock_guard lock(mutex_);
+    quantize = quantize_;
+  }
   auto set = std::make_shared<ReplicaSet>();
   set->version = version;
   set->replicas.reserve(static_cast<std::size_t>(replica_count_));
@@ -38,6 +70,31 @@ std::shared_ptr<ReplicaSet> ModelRegistry::build_loaded_set(const std::string& p
       *dst_bufs[j].tensor = *src_bufs[j].tensor;
     }
   }
+  // Quantize the standby set before it is ever visible to workers. Any
+  // throw here (uncalibrated layer, bad spec) propagates with the old
+  // serving generation untouched — same strong guarantee as a bad file.
+  if (quantize.precision == nn::Precision::kInt8) {
+    nn::CalibrationTable table(quantize.calibration);
+    {
+      const tensor::Tensor calib =
+          quantize.calibration_images.empty()
+              ? synthetic_calibration_batch(config_, quantize.calibration_batch,
+                                            quantize.calibration_seed)
+              : quantize.calibration_images;
+      nn::CalibrationSession session(table);
+      (void)primary.forward(calib, /*train=*/false);
+    }
+    // Replicas carry identical weights, so the primary's activation
+    // ranges are exact for all of them.
+    for (auto& replica : set->replicas) {
+      replica->convert_precision(nn::Precision::kInt8, &table);
+    }
+  } else if (quantize.precision == nn::Precision::kBf16) {
+    for (auto& replica : set->replicas) {
+      replica->convert_precision(nn::Precision::kBf16);
+    }
+  }
+  set->precision = quantize.precision;
   return set;
 }
 
@@ -57,6 +114,16 @@ void ModelRegistry::reload(const std::string& path) {
   // completes. No drain barrier needed.
 }
 
+void ModelRegistry::reload(const std::string& path, QuantizeSpec quantize) {
+  {
+    std::lock_guard lock(mutex_);
+    quantize_ = std::move(quantize);
+  }
+  // Concurrent reloads are last-writer-wins on the swap; build_loaded_set
+  // snapshots the policy under the lock, so there is no torn read.
+  reload(path);
+}
+
 std::shared_ptr<ReplicaSet> ModelRegistry::acquire() const {
   std::lock_guard lock(mutex_);
   return current_;
@@ -65,6 +132,11 @@ std::shared_ptr<ReplicaSet> ModelRegistry::acquire() const {
 int ModelRegistry::version() const {
   std::lock_guard lock(mutex_);
   return current_->version;
+}
+
+nn::Precision ModelRegistry::precision() const {
+  std::lock_guard lock(mutex_);
+  return current_->precision;
 }
 
 }  // namespace dlscale::serve

@@ -10,7 +10,8 @@ namespace dlscale::serve {
 
 Server::Server(ServeConfig config, const std::string& checkpoint_path)
     : config_(config),
-      registry_(config.model, config.workers < 1 ? 1 : config.workers, checkpoint_path),
+      registry_(config.model, config.workers < 1 ? 1 : config.workers, checkpoint_path,
+                config.quantize),
       queue_(config.queue_capacity),
       batcher_(queue_, config.max_batch, std::chrono::microseconds(config.max_wait_us)) {
   config_.workers = registry_.replica_count();
@@ -50,6 +51,12 @@ std::optional<std::future<Response>> Server::submit(tensor::Tensor image) {
 
 void Server::reload(const std::string& checkpoint_path) {
   registry_.reload(checkpoint_path);  // throws on bad file, old set intact
+  std::lock_guard lock(stats_mutex_);
+  ++reloads_;
+}
+
+void Server::reload(const std::string& checkpoint_path, QuantizeSpec quantize) {
+  registry_.reload(checkpoint_path, std::move(quantize));
   std::lock_guard lock(stats_mutex_);
   ++reloads_;
 }
@@ -103,6 +110,7 @@ void Server::run_batch(Batch&& batch, int worker_id) {
                            labels_scratch.begin() + static_cast<std::ptrdiff_t>(n + 1) * plane);
     response.batch_size = batch.size();
     response.model_version = set->version;
+    response.precision = set->precision;
     const double enq_us =
         std::chrono::duration<double, std::micro>(r.enqueued_at.time_since_epoch()).count();
     response.queue_us = queue_us_base - enq_us;
@@ -115,6 +123,11 @@ void Server::run_batch(Batch&& batch, int worker_id) {
     std::lock_guard lock(stats_mutex_);
     ++batches_;
     completed_ += static_cast<std::uint64_t>(batch.size());
+    if (set->precision == nn::Precision::kFp32) {
+      fp32_requests_ += static_cast<std::uint64_t>(batch.size());
+    } else {
+      quantized_requests_ += static_cast<std::uint64_t>(batch.size());
+    }
     for (const Response& resp : responses) {
       queue_latency_us_.add(resp.queue_us);
       total_latency_us_.add(resp.total_us);
@@ -130,12 +143,15 @@ ServerStats Server::stats() const {
   ServerStats s;
   s.queue_depth = queue_.depth();
   s.model_version = registry_.version();
+  s.precision = nn::precision_name(registry_.precision());
   std::lock_guard lock(stats_mutex_);
   s.accepted = accepted_;
   s.rejected = rejected_;
   s.completed = completed_;
   s.batches = batches_;
   s.reloads = reloads_;
+  s.fp32_requests = fp32_requests_;
+  s.quantized_requests = quantized_requests_;
   s.mean_batch_size =
       batches_ == 0 ? 0.0 : static_cast<double>(completed_) / static_cast<double>(batches_);
   s.queue_p50_us = queue_latency_us_.percentile(50);

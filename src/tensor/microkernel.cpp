@@ -1,7 +1,12 @@
 #include "dlscale/tensor/microkernel.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dlscale/util/simd.hpp"
@@ -114,6 +119,82 @@ void sgd_momentum_update(float* value, float* velocity, const float* grad,
     const float g = clip_scale * grad[i] + weight_decay * value[i];
     velocity[i] = momentum * velocity[i] + g;
     value[i] -= lr * velocity[i];
+  }
+}
+
+/// i16 saturation — the scalar model of maddubs' per-pair clamp.
+inline std::int32_t sat16(std::int32_t v) {
+  return std::min(32767, std::max(-32768, v));
+}
+
+/// CVTPS2DQ twin: round to nearest even; NaN and results outside i32
+/// range become INT32_MIN (the instruction's "integer indefinite").
+inline std::int32_t cvtps_i32(float v) {
+  const float r = std::nearbyintf(v);
+  if (r >= -2147483648.0f && r < 2147483648.0f) {
+    return static_cast<std::int32_t>(r);
+  }
+  return std::numeric_limits<std::int32_t>::min();
+}
+
+void gemm_s8u8(const std::uint8_t* a, int lda, const std::int8_t* packed_b,
+               std::int32_t* c, int rows, int k, int n) {
+  const int kq = (k + 3) / 4;
+  const int np = (n + 7) / 8;
+  for (int i = 0; i < rows; ++i) {
+    const std::uint8_t* arow = a + static_cast<std::size_t>(i) * lda;
+    std::int32_t* crow = c + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < np; ++p) {
+      const std::int8_t* panel =
+          packed_b + static_cast<std::size_t>(p) * kq * 32;
+      const int jn = std::min(8, n - p * 8);
+      for (int j = 0; j < jn; ++j) {
+        std::int32_t acc = 0;
+        const std::int8_t* pq = panel + j * 4;
+        for (int q = 0; q < kq; ++q, pq += 32) {
+          const std::uint8_t* aq = arow + 4 * q;
+          const std::int32_t p0 = static_cast<std::int32_t>(aq[0]) * pq[0] +
+                                  static_cast<std::int32_t>(aq[1]) * pq[1];
+          const std::int32_t p1 = static_cast<std::int32_t>(aq[2]) * pq[2] +
+                                  static_cast<std::int32_t>(aq[3]) * pq[3];
+          acc += sat16(p0) + sat16(p1);
+        }
+        crow[p * 8 + j] = acc;
+      }
+    }
+  }
+}
+
+void quantize_u8(const float* src, std::uint8_t* dst, std::int64_t n,
+                 float inv_scale, std::int32_t zero_point) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t q = cvtps_i32(src[i] * inv_scale);
+    // Wrapping add, matching _mm256_add_epi32 on the vector path (the
+    // zero-point shift can wrap when the conversion pegged at INT32_MIN
+    // or near INT32_MAX; both paths must wrap identically).
+    const std::int32_t shifted = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(q) + static_cast<std::uint32_t>(zero_point));
+    dst[i] = static_cast<std::uint8_t>(std::min(255, std::max(0, shifted)));
+  }
+}
+
+void transpose_u8(const std::uint8_t* src, int rows, int cols,
+                  std::uint8_t* dst, int dst_stride) {
+  // Tiled so both the contiguous reads and the strided writes stay
+  // L1-resident (a flat loop would touch `cols` cache lines per row).
+  constexpr int kTile = 64;
+  for (int c0 = 0; c0 < cols; c0 += kTile) {
+    const int c1 = std::min(c0 + kTile, cols);
+    for (int r0 = 0; r0 < rows; r0 += kTile) {
+      const int r1 = std::min(r0 + kTile, rows);
+      for (int r = r0; r < r1; ++r) {
+        const std::uint8_t* s = src + static_cast<std::size_t>(r) * cols;
+        std::uint8_t* d = dst + r;
+        for (int c = c0; c < c1; ++c) {
+          d[static_cast<std::size_t>(c) * dst_stride] = s[c];
+        }
+      }
+    }
   }
 }
 
@@ -454,6 +535,182 @@ DLSCALE_AVX2 void sgd_momentum_update(float* value, float* velocity,
   }
 }
 
+/// Broadcast one 4-byte activation quad to all eight 32-bit lanes.
+DLSCALE_AVX2 inline __m256i broadcast_quad(const std::uint8_t* p) {
+  std::int32_t quad;
+  std::memcpy(&quad, p, sizeof quad);
+  return _mm256_set1_epi32(quad);
+}
+
+/// acc[j] += sat16(a0*b0j + a1*b1j) + sat16(a2*b2j + a3*b3j) for the
+/// eight panel columns: maddubs produces the two saturated pair products
+/// as i16, madd-with-ones sums them into i32 (exact: i16 + i16).
+DLSCALE_AVX2 inline __m256i quad_madd(__m256i acc, __m256i va, __m256i vb,
+                                      __m256i ones) {
+  return _mm256_add_epi32(
+      acc, _mm256_madd_epi16(_mm256_maddubs_epi16(va, vb), ones));
+}
+
+DLSCALE_AVX2 inline void store_i32_lanes(std::int32_t* dst, __m256i v,
+                                         int lanes) {
+  if (lanes == 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), v);
+  } else {
+    alignas(32) std::int32_t tmp[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v);
+    std::memcpy(dst, tmp, static_cast<std::size_t>(lanes) * sizeof(std::int32_t));
+  }
+}
+
+DLSCALE_AVX2 void gemm_s8u8(const std::uint8_t* a, int lda,
+                            const std::int8_t* packed_b, std::int32_t* c,
+                            int rows, int k, int n) {
+  const int kq = (k + 3) / 4;
+  const int np = (n + 7) / 8;
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (int p = 0; p < np; ++p) {
+    const std::int8_t* panel = packed_b + static_cast<std::size_t>(p) * kq * 32;
+    const int jn = std::min(8, n - p * 8);
+    std::int32_t* cp = c + p * 8;
+    int i = 0;
+    for (; i + kMR <= rows; i += kMR) {
+      const std::uint8_t* a0 = a + static_cast<std::size_t>(i) * lda;
+      const std::uint8_t* a1 = a0 + lda;
+      const std::uint8_t* a2 = a1 + lda;
+      const std::uint8_t* a3 = a2 + lda;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      const std::int8_t* pq = panel;
+      for (int q = 0; q < kq; ++q, pq += 32) {
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pq));
+        acc0 = quad_madd(acc0, broadcast_quad(a0 + 4 * q), vb, ones);
+        acc1 = quad_madd(acc1, broadcast_quad(a1 + 4 * q), vb, ones);
+        acc2 = quad_madd(acc2, broadcast_quad(a2 + 4 * q), vb, ones);
+        acc3 = quad_madd(acc3, broadcast_quad(a3 + 4 * q), vb, ones);
+      }
+      std::int32_t* crow = cp + static_cast<std::size_t>(i) * n;
+      store_i32_lanes(crow, acc0, jn);
+      store_i32_lanes(crow + n, acc1, jn);
+      store_i32_lanes(crow + 2 * static_cast<std::size_t>(n), acc2, jn);
+      store_i32_lanes(crow + 3 * static_cast<std::size_t>(n), acc3, jn);
+    }
+    for (; i < rows; ++i) {
+      const std::uint8_t* arow = a + static_cast<std::size_t>(i) * lda;
+      __m256i acc = _mm256_setzero_si256();
+      const std::int8_t* pq = panel;
+      for (int q = 0; q < kq; ++q, pq += 32) {
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pq));
+        acc = quad_madd(acc, broadcast_quad(arow + 4 * q), vb, ones);
+      }
+      store_i32_lanes(cp + static_cast<std::size_t>(i) * n, acc, jn);
+    }
+  }
+}
+
+DLSCALE_AVX2 void quantize_u8(const float* src, std::uint8_t* dst,
+                              std::int64_t n, float inv_scale,
+                              std::int32_t zero_point) {
+  const __m256 inv = _mm256_set1_ps(inv_scale);
+  const __m256i zp = _mm256_set1_epi32(zero_point);
+  const __m256i lo = _mm256_setzero_si256();
+  const __m256i hi = _mm256_set1_epi32(255);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i q =
+        _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(src + i), inv));
+    const __m256i clamped = _mm256_min_epi32(
+        _mm256_max_epi32(_mm256_add_epi32(q, zp), lo), hi);
+    // 8 x i32 in [0,255] -> 8 x u8: pack through u16 (packus interleaves
+    // the 128-bit lanes; permute restores order before the final pack).
+    const __m256i as16 = _mm256_permute4x64_epi64(
+        _mm256_packus_epi32(clamped, clamped), 0xD8);
+    const __m128i as8 = _mm_packus_epi16(_mm256_castsi256_si128(as16),
+                                         _mm256_castsi256_si128(as16));
+    std::memcpy(dst + i, &as8, 8);
+  }
+  for (; i < n; ++i) {
+    const std::int32_t q = scalar::cvtps_i32(src[i] * inv_scale);
+    const std::int32_t shifted = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(q) + static_cast<std::uint32_t>(zero_point));
+    dst[i] = static_cast<std::uint8_t>(std::min(255, std::max(0, shifted)));
+  }
+}
+
+/// 16x16 byte block transpose through the classic 4-stage SSE unpack
+/// network (epi8 -> epi16 -> epi32 -> epi64). After the four stages
+/// register c holds source column c, so stores land in order. Pure byte
+/// movement — bitwise identical to the scalar loops by construction.
+DLSCALE_AVX2 inline void transpose_16x16_u8(const std::uint8_t* src,
+                                            std::size_t src_stride,
+                                            std::uint8_t* dst,
+                                            std::size_t dst_stride) {
+  __m128i x[16], t[16], u[16], v[16], w[16];
+  for (int i = 0; i < 16; ++i) {
+    x[i] = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(src + static_cast<std::size_t>(i) * src_stride));
+  }
+  for (int g = 0; g < 8; ++g) {  // pairs of adjacent rows
+    t[2 * g] = _mm_unpacklo_epi8(x[2 * g], x[2 * g + 1]);
+    t[2 * g + 1] = _mm_unpackhi_epi8(x[2 * g], x[2 * g + 1]);
+  }
+  for (int h = 0; h < 4; ++h) {  // 4-row groups
+    const int b = 4 * h;
+    u[b + 0] = _mm_unpacklo_epi16(t[b + 0], t[b + 2]);
+    u[b + 1] = _mm_unpackhi_epi16(t[b + 0], t[b + 2]);
+    u[b + 2] = _mm_unpacklo_epi16(t[b + 1], t[b + 3]);
+    u[b + 3] = _mm_unpackhi_epi16(t[b + 1], t[b + 3]);
+  }
+  for (int h = 0; h < 2; ++h) {  // 8-row halves
+    const int b = 8 * h;
+    for (int j = 0; j < 4; ++j) {
+      v[b + 2 * j] = _mm_unpacklo_epi32(u[b + j], u[b + j + 4]);
+      v[b + 2 * j + 1] = _mm_unpackhi_epi32(u[b + j], u[b + j + 4]);
+    }
+  }
+  for (int j = 0; j < 8; ++j) {  // join the two 8-row halves
+    w[2 * j] = _mm_unpacklo_epi64(v[j], v[j + 8]);
+    w[2 * j + 1] = _mm_unpackhi_epi64(v[j], v[j + 8]);
+  }
+  for (int c = 0; c < 16; ++c) {
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + static_cast<std::size_t>(c) * dst_stride), w[c]);
+  }
+}
+
+DLSCALE_AVX2 void transpose_u8(const std::uint8_t* src, int rows, int cols,
+                               std::uint8_t* dst, int dst_stride) {
+  const int rb = rows & ~15;
+  const int cb = cols & ~15;
+  for (int c0 = 0; c0 < cb; c0 += 16) {
+    for (int r0 = 0; r0 < rb; r0 += 16) {
+      transpose_16x16_u8(src + static_cast<std::size_t>(r0) * cols + c0,
+                         static_cast<std::size_t>(cols),
+                         dst + static_cast<std::size_t>(c0) * dst_stride + r0,
+                         static_cast<std::size_t>(dst_stride));
+    }
+    // Row remainder under the full column blocks.
+    for (int r = rb; r < rows; ++r) {
+      const std::uint8_t* s = src + static_cast<std::size_t>(r) * cols;
+      std::uint8_t* d = dst + r;
+      for (int c = c0; c < c0 + 16; ++c) {
+        d[static_cast<std::size_t>(c) * dst_stride] = s[c];
+      }
+    }
+  }
+  // Column remainder, all rows.
+  for (int r = 0; r < rows; ++r) {
+    const std::uint8_t* s = src + static_cast<std::size_t>(r) * cols;
+    std::uint8_t* d = dst + r;
+    for (int c = cb; c < cols; ++c) {
+      d[static_cast<std::size_t>(c) * dst_stride] = s[c];
+    }
+  }
+}
+
 #undef DLSCALE_AVX2
 
 }  // namespace avx2
@@ -493,6 +750,71 @@ void gemm_nt_acc(const float* a, const float* b, float* c, int rows, int k,
   if (use_avx2()) return avx2::gemm_nt_acc(a, b, c, rows, k, n);
 #endif
   scalar::gemm_nt_acc(a, b, c, rows, k, n);
+}
+
+std::size_t gemm_s8u8_packed_size(int k, int n) {
+  const std::size_t kq = (static_cast<std::size_t>(std::max(k, 0)) + 3) / 4;
+  const std::size_t np = (static_cast<std::size_t>(std::max(n, 0)) + 7) / 8;
+  return np * kq * 32;
+}
+
+void gemm_s8u8_pack_b(const std::int8_t* b, int k, int n, std::int8_t* packed) {
+  // Pure data movement shared by both dispatch paths: the packed image is
+  // part of the kernel's ABI, not a per-path optimization.
+  const int kq = (k + 3) / 4;
+  const int np = (n + 7) / 8;
+  for (int p = 0; p < np; ++p) {
+    for (int q = 0; q < kq; ++q) {
+      std::int8_t* quad = packed + (static_cast<std::size_t>(p) * kq + q) * 32;
+      for (int j = 0; j < 8; ++j) {
+        const int col = 8 * p + j;
+        for (int t = 0; t < 4; ++t) {
+          const int kk = 4 * q + t;
+          quad[j * 4 + t] = (kk < k && col < n)
+                                ? b[static_cast<std::size_t>(kk) * n + col]
+                                : std::int8_t{0};
+        }
+      }
+    }
+  }
+}
+
+void gemm_s8u8(const std::uint8_t* a, int lda, const std::int8_t* packed_b,
+               std::int32_t* c, int rows, int k, int n) {
+  if (k > kGemmS8U8MaxK) {
+    throw std::invalid_argument(
+        "gemm_s8u8: k=" + std::to_string(k) + " exceeds kGemmS8U8MaxK=" +
+        std::to_string(kGemmS8U8MaxK) + " (i32 accumulator could overflow)");
+  }
+  if (lda < ((k + 3) & ~3)) {
+    throw std::invalid_argument(
+        "gemm_s8u8: lda=" + std::to_string(lda) +
+        " is below the quad-padded depth " + std::to_string((k + 3) & ~3));
+  }
+#if DLSCALE_SIMD_X86
+  if (use_avx2()) return avx2::gemm_s8u8(a, lda, packed_b, c, rows, k, n);
+#endif
+  scalar::gemm_s8u8(a, lda, packed_b, c, rows, k, n);
+}
+
+void quantize_u8(const float* src, std::uint8_t* dst, std::int64_t n,
+                 float inv_scale, std::int32_t zero_point) {
+#if DLSCALE_SIMD_X86
+  if (use_avx2()) return avx2::quantize_u8(src, dst, n, inv_scale, zero_point);
+#endif
+  scalar::quantize_u8(src, dst, n, inv_scale, zero_point);
+}
+
+void transpose_u8(const std::uint8_t* src, int rows, int cols,
+                  std::uint8_t* dst, int dst_stride) {
+  if (rows < 0 || cols < 0 || dst_stride < rows) {
+    throw std::invalid_argument(
+        "transpose_u8: need rows, cols >= 0 and dst_stride >= rows");
+  }
+#if DLSCALE_SIMD_X86
+  if (use_avx2()) return avx2::transpose_u8(src, rows, cols, dst, dst_stride);
+#endif
+  scalar::transpose_u8(src, rows, cols, dst, dst_stride);
 }
 
 void add_inplace(float* a, const float* b, std::int64_t n) {

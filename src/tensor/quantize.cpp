@@ -1,0 +1,324 @@
+#include "dlscale/tensor/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "dlscale/tensor/microkernel.hpp"
+#include "dlscale/util/thread_pool.hpp"
+
+namespace dlscale::tensor::quant {
+
+namespace {
+
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Weight quantization ceiling: 2 * 255 * 63 < 32767 keeps the GEMM's
+/// pair sums below i16 saturation for every possible activation byte.
+constexpr int kWeightQmax = 63;
+
+inline int round_up4(int v) { return (v + 3) & ~3; }
+
+/// Per-thread grow-only scratch arenas, mirroring ops.cpp's idiom.
+float* cols_scratch(std::size_t n) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+std::uint8_t* u8_scratch(std::size_t n) {
+  thread_local std::vector<std::uint8_t> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+std::uint8_t* u8t_scratch(std::size_t n) {
+  thread_local std::vector<std::uint8_t> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+std::int32_t* acc_scratch(std::size_t n) {
+  thread_local std::vector<std::int32_t> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+/// Shared dequantization epilogue (scalar on both dispatch paths, so it
+/// cannot break the bitwise-identity contract): one row of the i32
+/// accumulator (all output channels for one output position) into fp32.
+/// The zero-point correction runs in i64 — acc and zp*col_sum can each
+/// approach 2^30, so their difference may not fit i32.
+inline void dequant_row(const std::int32_t* acc_row, const QuantizedMatrix& w,
+                        QuantParams act, const float* bias, float* out,
+                        std::size_t out_stride) {
+  for (int oc = 0; oc < w.n; ++oc) {
+    const std::int64_t corrected =
+        static_cast<std::int64_t>(acc_row[oc]) -
+        static_cast<std::int64_t>(act.zero_point) *
+            w.col_sums[static_cast<std::size_t>(oc)];
+    float v = static_cast<float>(corrected) *
+              (act.scale * w.scales[static_cast<std::size_t>(oc)]);
+    if (bias != nullptr) v += bias[oc];
+    out[static_cast<std::size_t>(oc) * out_stride] = v;
+  }
+}
+
+}  // namespace
+
+QuantParams choose_qparams_u8(Range r) {
+  // Zero must be exactly representable (conv padding, ReLU floors).
+  const float lo = std::min(r.lo, 0.0f);
+  const float hi = std::max(r.hi, 0.0f);
+  QuantParams params;
+  const float span = hi - lo;
+  params.scale = span > 0.0f ? span / 255.0f : 1.0f;
+  const float zp = std::nearbyintf(-lo / params.scale);
+  params.zero_point = std::min(255, std::max(0, static_cast<std::int32_t>(zp)));
+  return params;
+}
+
+// ---- observers ------------------------------------------------------------
+
+void MinMaxObserver::observe(const float* values, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = values[i];
+    if (!std::isfinite(v)) continue;
+    if (!seen_) {
+      lo_ = hi_ = v;
+      seen_ = true;
+    } else {
+      lo_ = std::min(lo_, v);
+      hi_ = std::max(hi_, v);
+    }
+  }
+}
+
+Range MinMaxObserver::range() const {
+  if (!seen_) return {0.0f, 0.0f};
+  return {std::min(lo_, 0.0f), std::max(hi_, 0.0f)};
+}
+
+PercentileObserver::PercentileObserver(double percentile)
+    : percentile_(percentile) {
+  if (!(percentile > 50.0 && percentile <= 100.0)) {
+    throw std::invalid_argument(
+        "PercentileObserver: percentile must be in (50, 100], got " +
+        std::to_string(percentile));
+  }
+}
+
+void PercentileObserver::observe(const float* values, std::size_t n) {
+  constexpr std::size_t kMaxSamples = std::size_t{1} << 20;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = values[i];
+    if (!std::isfinite(v)) continue;
+    if (phase_ == 0) {
+      samples_.push_back(v);
+      if (samples_.size() >= kMaxSamples) {
+        // Thin to every other kept sample and double the stride; the
+        // result depends only on the observation sequence.
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < samples_.size(); r += 2) {
+          samples_[w++] = samples_[r];
+        }
+        samples_.resize(w);
+        stride_ *= 2;
+      }
+    }
+    if (++phase_ == stride_) phase_ = 0;
+  }
+}
+
+Range PercentileObserver::range() const {
+  if (samples_.empty()) return {0.0f, 0.0f};
+  std::vector<float> sorted(samples_);
+  const double tail = (100.0 - percentile_) / 100.0;
+  const auto last = static_cast<std::ptrdiff_t>(sorted.size()) - 1;
+  const auto lo_idx =
+      static_cast<std::ptrdiff_t>(std::floor(tail * static_cast<double>(last)));
+  const auto hi_idx = last - lo_idx;
+  std::nth_element(sorted.begin(), sorted.begin() + lo_idx, sorted.end());
+  const float lo = sorted[static_cast<std::size_t>(lo_idx)];
+  std::nth_element(sorted.begin() + lo_idx, sorted.begin() + hi_idx,
+                   sorted.end());
+  const float hi = sorted[static_cast<std::size_t>(hi_idx)];
+  return {std::min(lo, 0.0f), std::max(hi, 0.0f)};
+}
+
+// ---- quantized weights ----------------------------------------------------
+
+QuantizedMatrix QuantizedMatrix::from_rows(const float* w, int rows, int k) {
+  require(rows >= 0 && k >= 0, "QuantizedMatrix: negative shape");
+  require(k <= micro::kGemmS8U8MaxK,
+          "QuantizedMatrix: depth exceeds kGemmS8U8MaxK");
+  QuantizedMatrix q;
+  q.k = k;
+  q.n = rows;
+  q.scales.resize(static_cast<std::size_t>(rows));
+  q.col_sums.assign(static_cast<std::size_t>(rows), 0);
+
+  // Quantize per row, staging row-major B = W^T (k x rows) for the pack.
+  std::vector<std::int8_t> b(static_cast<std::size_t>(k) * rows);
+  for (int r = 0; r < rows; ++r) {
+    const float* wrow = w + static_cast<std::size_t>(r) * k;
+    float absmax = 0.0f;
+    for (int kk = 0; kk < k; ++kk) {
+      absmax = std::max(absmax, std::fabs(wrow[kk]));
+    }
+    const float scale = absmax > 0.0f ? absmax / kWeightQmax : 1.0f;
+    q.scales[static_cast<std::size_t>(r)] = scale;
+    std::int32_t sum = 0;
+    for (int kk = 0; kk < k; ++kk) {
+      const auto qv =
+          static_cast<std::int32_t>(std::nearbyintf(wrow[kk] / scale));
+      const std::int32_t clamped =
+          std::min(kWeightQmax, std::max(-kWeightQmax, qv));
+      b[static_cast<std::size_t>(kk) * rows + r] =
+          static_cast<std::int8_t>(clamped);
+      sum += clamped;
+    }
+    q.col_sums[static_cast<std::size_t>(r)] = sum;
+  }
+
+  q.packed.resize(micro::gemm_s8u8_packed_size(k, rows));
+  micro::gemm_s8u8_pack_b(b.data(), k, rows, q.packed.data());
+  return q;
+}
+
+// ---- quantized forwards ---------------------------------------------------
+
+Tensor quantized_matmul(const Tensor& a, const QuantizedMatrix& w,
+                        QuantParams act, const Tensor* bias) {
+  require(a.ndim() == 2, "quantized_matmul: 2D input required");
+  const int m = a.dim(0), k = a.dim(1);
+  require(k == w.k, "quantized_matmul: inner dimensions differ");
+  if (bias != nullptr) {
+    require(static_cast<int>(bias->numel()) == w.n,
+            "quantized_matmul: bias size");
+  }
+  const int kp = round_up4(k);
+  Tensor out({m, w.n});
+  const float* pa = a.ptr();
+  const float* pbias = bias != nullptr ? bias->ptr() : nullptr;
+  float* pout = out.ptr();
+  const float inv_scale = 1.0f / act.scale;
+
+  util::parallel_for(
+      0, m, std::max<std::int64_t>(1, (1 << 16) / std::max(1, k)),
+      [&](std::int64_t i0, std::int64_t i1) {
+        const auto rows = static_cast<int>(i1 - i0);
+        std::uint8_t* qa = u8_scratch(static_cast<std::size_t>(rows) * kp);
+        for (int i = 0; i < rows; ++i) {
+          micro::quantize_u8(pa + (i0 + i) * k,
+                             qa + static_cast<std::size_t>(i) * kp, k,
+                             inv_scale, act.zero_point);
+        }
+        std::int32_t* acc = acc_scratch(static_cast<std::size_t>(rows) * w.n);
+        micro::gemm_s8u8(qa, kp, w.packed.data(), acc, rows, k, w.n);
+        for (int i = 0; i < rows; ++i) {
+          dequant_row(acc + static_cast<std::size_t>(i) * w.n, w, act, pbias,
+                      pout + (i0 + i) * w.n, 1);
+        }
+      });
+  return out;
+}
+
+Tensor quantized_conv2d(const Tensor& input, const QuantizedMatrix& weight,
+                        const Tensor* bias, const Conv2dSpec& spec, int kh,
+                        int kw, QuantParams act) {
+  require(input.ndim() == 4, "quantized_conv2d: 4D input required");
+  const int batch = input.dim(0), in_c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  require(kh > 0 && kw > 0 && weight.k == in_c * kh * kw,
+          "quantized_conv2d: weight depth mismatch");
+  const int out_c = weight.n;
+  if (bias != nullptr) {
+    require(static_cast<int>(bias->numel()) == out_c,
+            "quantized_conv2d: bias size");
+  }
+  const int out_h = spec.out_extent(h, kh);
+  const int out_w = spec.out_extent(w, kw);
+  require(out_h > 0 && out_w > 0, "quantized_conv2d: empty output");
+
+  const int kdim = weight.k;
+  const int kp = round_up4(kdim);
+  const int patch = out_h * out_w;
+  // Same sample grouping as the fp32 conv2d (see ops.cpp): coalesce
+  // samples until the GEMM sees ~64 columns so narrow ASPP patches fill
+  // the vector panels. The integer GEMM computes every output position
+  // exactly and independently, so grouping — like batch composition —
+  // cannot change any bit of any sample's output.
+  constexpr int kTargetGemmCols = 64;
+  const int group = std::clamp(kTargetGemmCols / patch, 1, batch);
+  const int ngroups = (batch + group - 1) / group;
+  const std::size_t group_stride =
+      static_cast<std::size_t>(kdim) * patch * group;
+  float* cols = cols_scratch(static_cast<std::size_t>(kdim) * patch * batch);
+
+  // Phase 1: fp32 batched im2col in exactly the fp32 forward's layout —
+  // the zero padding it writes quantizes to the zero point below.
+  util::parallel_for(0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t n = n0; n < n1; ++n) {
+      const std::int64_t g = n / group;
+      const int members = std::min(group, batch - static_cast<int>(g) * group);
+      im2col(input, static_cast<int>(n), kh, kw, spec,
+             cols + group_stride * g +
+                 static_cast<std::size_t>(n % group) * patch,
+             static_cast<std::size_t>(members) * patch);
+    }
+  });
+
+  Tensor output({batch, out_c, out_h, out_w});
+  const float* pbias = bias != nullptr ? bias->ptr() : nullptr;
+  float* pout = output.ptr();
+  const float inv_scale = 1.0f / act.scale;
+
+  // Phase 2, per group: quantize the column matrix, transpose it to
+  // pixel-major u8 rows (the GEMM's unsigned A operand — activations must
+  // be A because maddubs is u8 x s8), run the int8 GEMM, and
+  // dequantize-scatter back to NCHW.
+  util::parallel_for(0, ngroups, 1, [&](std::int64_t g0, std::int64_t g1) {
+    for (std::int64_t g = g0; g < g1; ++g) {
+      const int first = static_cast<int>(g) * group;
+      const int members = std::min(group, batch - first);
+      const int gcols = members * patch;
+      const float* gcolsrc = cols + group_stride * g;
+
+      std::uint8_t* qcols = u8_scratch(static_cast<std::size_t>(kdim) * gcols);
+      micro::quantize_u8(gcolsrc, qcols,
+                         static_cast<std::int64_t>(kdim) * gcols, inv_scale,
+                         act.zero_point);
+
+      // Transpose (kdim x gcols) -> (gcols x kp) via the dispatched byte
+      // transpose (the scalar form of this movement costs more than the
+      // int8 GEMM itself). Pad bytes in [kdim, kp) are left untouched,
+      // which the kernel permits: B's pack is zero-padded there,
+      // nullifying whatever they hold.
+      std::uint8_t* at = u8t_scratch(static_cast<std::size_t>(gcols) * kp);
+      micro::transpose_u8(qcols, kdim, gcols, at, kp);
+
+      std::int32_t* acc = acc_scratch(static_cast<std::size_t>(gcols) * out_c);
+      micro::gemm_s8u8(at, kp, weight.packed.data(), acc, gcols, kdim, out_c);
+
+      for (int m = 0; m < members; ++m) {
+        for (int pix = 0; pix < patch; ++pix) {
+          const std::int32_t* arow =
+              acc + (static_cast<std::size_t>(m) * patch + pix) * out_c;
+          float* opix = pout +
+                        (static_cast<std::size_t>(first + m) * out_c) * patch +
+                        pix;
+          dequant_row(arow, weight, act, pbias, opix,
+                      static_cast<std::size_t>(patch));
+        }
+      }
+    }
+  });
+  return output;
+}
+
+}  // namespace dlscale::tensor::quant

@@ -5,11 +5,22 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "dlscale/util/bf16.hpp"
+
 namespace dlscale::train {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x444C5343;  // "DLSC"
+
+// The word after the magic is the tensor count in v1 files. No real model
+// has 2^32-1 tensors, so this value marks a versioned (v2+) header instead.
+constexpr std::uint32_t kVersionSentinel = 0xFFFFFFFFu;
+constexpr std::uint32_t kVersionBf16 = 2;
+// Dtype codes inside a v2 header. fp32 files stay on the v1 layout, but a
+// future version could carry either dtype, so the code space names both.
+constexpr std::uint32_t kDtypeFp32 = 0;
+constexpr std::uint32_t kDtypeBf16 = 1;
 
 template <typename T>
 void write_pod(std::ofstream& out, const T& value) {
@@ -51,20 +62,78 @@ std::vector<nn::NamedTensor> model_state(const std::vector<nn::Parameter*>& para
   return tensors;
 }
 
+/// Consume everything after the magic word up to (and including) the tensor
+/// count, auto-detecting v1-fp32 vs v2-bf16. Unknown versions and dtypes
+/// throw, naming what this build supports vs what the file claims.
+struct Header {
+  CheckpointFormat format;
+  std::uint32_t count;
+};
+
+Header read_header(std::ifstream& in, const std::string& path) {
+  const auto word = read_pod<std::uint32_t>(in, "tensor count");
+  if (word != kVersionSentinel) {
+    return {CheckpointFormat::kFp32, word};  // legacy v1: the word IS the count
+  }
+  const auto version = read_pod<std::uint32_t>(in, "format version");
+  if (version != kVersionBf16) {
+    throw std::runtime_error("checkpoint: unsupported format version " + std::to_string(version) +
+                             " in '" + path + "' (this build reads v1 fp32 and v" +
+                             std::to_string(kVersionBf16) + " bf16 files)");
+  }
+  const auto dtype = read_pod<std::uint32_t>(in, "storage dtype");
+  if (dtype != kDtypeBf16 && dtype != kDtypeFp32) {
+    throw std::runtime_error("checkpoint: unknown storage dtype " + std::to_string(dtype) +
+                             " in '" + path + "' (expected " + std::to_string(kDtypeFp32) +
+                             " = fp32 or " + std::to_string(kDtypeBf16) + " = bf16)");
+  }
+  const CheckpointFormat format =
+      dtype == kDtypeBf16 ? CheckpointFormat::kBf16 : CheckpointFormat::kFp32;
+  return {format, read_pod<std::uint32_t>(in, "tensor count")};
+}
+
 }  // namespace
 
-void save_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string& path) {
+const char* checkpoint_format_name(CheckpointFormat format) noexcept {
+  return format == CheckpointFormat::kBf16 ? "bf16" : "fp32";
+}
+
+CheckpointFormat peek_checkpoint_format(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open '" + path + "'");
+  if (read_pod<std::uint32_t>(in, "magic") != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic in '" + path + "'");
+  }
+  return read_header(in, path).format;
+}
+
+void save_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string& path,
+                  CheckpointFormat format) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("checkpoint: cannot open '" + path + "' for writing");
   write_pod(out, kMagic);
+  if (format == CheckpointFormat::kBf16) {
+    write_pod(out, kVersionSentinel);
+    write_pod(out, kVersionBf16);
+    write_pod(out, kDtypeBf16);
+  }
   write_pod(out, static_cast<std::uint32_t>(tensors.size()));
+  std::vector<std::uint16_t> narrow;
   for (const nn::NamedTensor& t : tensors) {
     write_pod(out, static_cast<std::uint32_t>(t.name.size()));
     out.write(t.name.data(), static_cast<std::streamsize>(t.name.size()));
     write_pod(out, static_cast<std::uint32_t>(t.tensor->shape().size()));
     for (int d : t.tensor->shape()) write_pod(out, static_cast<std::int32_t>(d));
-    out.write(reinterpret_cast<const char*>(t.tensor->ptr()),
-              static_cast<std::streamsize>(t.tensor->numel() * sizeof(float)));
+    const std::size_t numel = static_cast<std::size_t>(t.tensor->numel());
+    if (format == CheckpointFormat::kBf16) {
+      narrow.resize(numel);
+      util::floats_to_bf16s(t.tensor->ptr(), narrow.data(), numel);
+      out.write(reinterpret_cast<const char*>(narrow.data()),
+                static_cast<std::streamsize>(numel * sizeof(std::uint16_t)));
+    } else {
+      out.write(reinterpret_cast<const char*>(t.tensor->ptr()),
+                static_cast<std::streamsize>(numel * sizeof(float)));
+    }
   }
   if (!out) throw std::runtime_error("checkpoint: write failed for '" + path + "'");
 }
@@ -75,7 +144,8 @@ void load_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string
   if (read_pod<std::uint32_t>(in, "magic") != kMagic) {
     throw std::runtime_error("checkpoint: bad magic in '" + path + "'");
   }
-  const auto count = read_pod<std::uint32_t>(in, "tensor count");
+  const Header header = read_header(in, path);
+  const auto count = header.count;
   if (count != tensors.size()) {
     throw std::runtime_error("checkpoint: parameter count mismatch (file has " +
                              std::to_string(count) + ", model has " +
@@ -111,9 +181,18 @@ void load_tensors(const std::vector<nn::NamedTensor>& tensors, const std::string
       throw std::runtime_error("checkpoint: shape mismatch for '" + name + "': file has " +
                                shape_str(shape) + ", model has " + shape_str(t.tensor->shape()));
     }
-    in.read(reinterpret_cast<char*>(t.tensor->ptr()),
-            static_cast<std::streamsize>(t.tensor->numel() * sizeof(float)));
-    if (!in) throw std::runtime_error("checkpoint: truncated data for '" + name + "'");
+    const std::size_t numel = static_cast<std::size_t>(t.tensor->numel());
+    if (header.format == CheckpointFormat::kBf16) {
+      std::vector<std::uint16_t> narrow(numel);
+      in.read(reinterpret_cast<char*>(narrow.data()),
+              static_cast<std::streamsize>(numel * sizeof(std::uint16_t)));
+      if (!in) throw std::runtime_error("checkpoint: truncated data for '" + name + "'");
+      util::bf16s_to_floats(narrow.data(), t.tensor->ptr(), numel);
+    } else {
+      in.read(reinterpret_cast<char*>(t.tensor->ptr()),
+              static_cast<std::streamsize>(numel * sizeof(float)));
+      if (!in) throw std::runtime_error("checkpoint: truncated data for '" + name + "'");
+    }
   }
   // A well-formed file ends exactly after the last tensor; leftover bytes
   // mean the file and the model disagree about what was saved.
@@ -132,8 +211,9 @@ void load_checkpoint(const std::vector<nn::Parameter*>& params, const std::strin
 }
 
 void save_model(const std::vector<nn::Parameter*>& params,
-                const std::vector<nn::NamedTensor>& buffers, const std::string& path) {
-  save_tensors(model_state(params, buffers), path);
+                const std::vector<nn::NamedTensor>& buffers, const std::string& path,
+                CheckpointFormat format) {
+  save_tensors(model_state(params, buffers), path, format);
 }
 
 void load_model(const std::vector<nn::Parameter*>& params,

@@ -1,0 +1,143 @@
+// Layer-level precision conversion (DESIGN.md §9): calibration recording
+// through the RAII session, one-way Conv2d conversion to bf16/int8,
+// inference-only enforcement afterwards, and the children() traversal
+// convert_layer_tree uses to reach nested layers.
+#include "dlscale/nn/quantized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dlscale/nn/layers.hpp"
+#include "dlscale/tensor/ops.hpp"
+#include "dlscale/util/rng.hpp"
+
+namespace dn = dlscale::nn;
+namespace dt = dlscale::tensor;
+namespace du = dlscale::util;
+
+namespace {
+
+dn::Conv2d make_conv(du::Rng& rng, const std::string& name = "conv") {
+  return dn::Conv2d(name, 3, 4, 3, dt::Conv2dSpec{.stride = 1, .pad = 1, .dilation = 1},
+                    /*bias=*/true, rng);
+}
+
+float max_abs_diff(const dt::Tensor& a, const dt::Tensor& b) {
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(a.numel()); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+TEST(CalibrationSession, EvalForwardRecordsRangesOnlyWhileActive) {
+  du::Rng rng(1);
+  dn::Conv2d conv = make_conv(rng);
+  const dt::Tensor x = dt::Tensor::randn({1, 3, 8, 8}, rng);
+
+  dn::CalibrationTable table;
+  (void)conv.forward(x, /*train=*/false);  // outside any session
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(dn::CalibrationSession::active(), nullptr);
+  {
+    dn::CalibrationSession session(table);
+    EXPECT_EQ(dn::CalibrationSession::active(), &table);
+    (void)conv.forward(x, /*train=*/false);
+  }
+  EXPECT_EQ(dn::CalibrationSession::active(), nullptr);
+  EXPECT_TRUE(table.has("conv"));
+  EXPECT_EQ(table.size(), 1u);
+  const auto params = table.qparams("conv");
+  EXPECT_GT(params.scale, 0.0f);
+  EXPECT_THROW((void)table.qparams("never-seen"), std::invalid_argument);
+}
+
+TEST(CalibrationSession, SessionsNest) {
+  dn::CalibrationTable outer, inner;
+  dn::CalibrationSession a(outer);
+  {
+    dn::CalibrationSession b(inner);
+    EXPECT_EQ(dn::CalibrationSession::active(), &inner);
+  }
+  EXPECT_EQ(dn::CalibrationSession::active(), &outer);
+}
+
+TEST(Conv2dPrecision, Bf16ForwardStaysCloseAndTrainingThrows) {
+  du::Rng rng(2);
+  dn::Conv2d conv = make_conv(rng);
+  const dt::Tensor x = dt::Tensor::randn({2, 3, 8, 8}, rng);
+  const dt::Tensor ref = conv.forward(x, /*train=*/false);
+
+  conv.convert_to_bf16();
+  EXPECT_EQ(conv.precision(), dn::Precision::kBf16);
+  const dt::Tensor out = conv.forward(x, /*train=*/false);
+  // bf16 has 8 significand bits: relative error ~2^-9 per weight.
+  EXPECT_LT(max_abs_diff(out, ref), 0.1f);
+  EXPECT_THROW((void)conv.forward(x, /*train=*/true), std::logic_error);
+  EXPECT_THROW(conv.convert_to_bf16(), std::logic_error);  // one-way, once
+}
+
+TEST(Conv2dPrecision, Int8ForwardStaysCloseAndNeedsCalibration) {
+  du::Rng rng(3);
+  dn::Conv2d conv = make_conv(rng);
+  const dt::Tensor x = dt::Tensor::randn({2, 3, 8, 8}, rng);
+  const dt::Tensor ref = conv.forward(x, /*train=*/false);
+
+  // Conversion without a recorded range must fail and leave fp32 serving.
+  dn::CalibrationTable empty;
+  EXPECT_THROW(conv.convert_to_int8(empty), std::invalid_argument);
+  EXPECT_EQ(conv.precision(), dn::Precision::kFp32);
+  EXPECT_EQ(max_abs_diff(conv.forward(x, false), ref), 0.0f);
+
+  dn::CalibrationTable table;
+  {
+    dn::CalibrationSession session(table);
+    (void)conv.forward(x, /*train=*/false);
+  }
+  conv.convert_to_int8(table);
+  EXPECT_EQ(conv.precision(), dn::Precision::kInt8);
+  const dt::Tensor out = conv.forward(x, /*train=*/false);
+  EXPECT_LT(max_abs_diff(out, ref), 0.25f);  // 8-bit path, looser than bf16
+  EXPECT_GT(max_abs_diff(out, ref), 0.0f);   // but genuinely quantized
+  EXPECT_THROW((void)conv.forward(x, /*train=*/true), std::logic_error);
+}
+
+TEST(ConvertLayerTree, ReachesNestedConvsThroughChildren) {
+  du::Rng rng(4);
+  dn::Sequential seq("seq");
+  auto& c1 = seq.emplace<dn::Conv2d>("seq.c1", 3, 4, 3,
+                                     dt::Conv2dSpec{.stride = 1, .pad = 1, .dilation = 1},
+                                     false, rng);
+  auto& c2 = seq.emplace<dn::Conv2d>("seq.c2", 4, 2, 1,
+                                     dt::Conv2dSpec{.stride = 1, .pad = 0, .dilation = 1},
+                                     true, rng);
+  dn::convert_layer_tree(seq, dn::Precision::kBf16, nullptr);
+  EXPECT_EQ(c1.precision(), dn::Precision::kBf16);
+  EXPECT_EQ(c2.precision(), dn::Precision::kBf16);
+}
+
+TEST(ConvertLayerTree, Int8WithoutTableThrows) {
+  du::Rng rng(5);
+  dn::Conv2d conv = make_conv(rng);
+  EXPECT_THROW(dn::convert_layer_tree(conv, dn::Precision::kInt8, nullptr),
+               std::invalid_argument);
+}
+
+TEST(DepthwisePrecision, Bf16StorageForEitherReducedTarget) {
+  du::Rng rng(6);
+  dn::DepthwiseConv2d dw("dw", 4, 3, dt::Conv2dSpec{.stride = 1, .pad = 1, .dilation = 1},
+                         rng);
+  const dt::Tensor x = dt::Tensor::randn({1, 4, 8, 8}, rng);
+  const dt::Tensor ref = dw.forward(x, /*train=*/false);
+  // Int8 target degrades DepthwiseConv2d to bf16 storage: it has no
+  // im2col/GEMM form, so its arithmetic stays fp32.
+  dn::CalibrationTable table;
+  dn::convert_layer_tree(dw, dn::Precision::kInt8, &table);
+  EXPECT_EQ(dw.precision(), dn::Precision::kBf16);
+  EXPECT_LT(max_abs_diff(dw.forward(x, false), ref), 0.1f);
+  EXPECT_THROW((void)dw.forward(x, /*train=*/true), std::logic_error);
+}

@@ -1,0 +1,438 @@
+// Int8 micro-kernel and quantization-scheme contract (DESIGN.md §9):
+// the integer GEMM is bitwise identical across dispatch levels (it is
+// pure integer arithmetic, so this is exactness, not luck), its
+// saturating-pair semantics match the documented model, and the fp32
+// round-trip through quantize -> integer GEMM -> dequantize stays within
+// the scheme's error bound on real shapes.
+#include "dlscale/tensor/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dlscale/tensor/microkernel.hpp"
+#include "dlscale/tensor/ops.hpp"
+#include "dlscale/tensor/tensor.hpp"
+#include "dlscale/util/rng.hpp"
+#include "dlscale/util/simd.hpp"
+#include "../support/simd_param.hpp"
+
+namespace dt = dlscale::tensor;
+namespace du = dlscale::util;
+namespace micro = dlscale::tensor::micro;
+namespace quant = dlscale::tensor::quant;
+using dlscale::testing::ScopedSimdLevel;
+using dlscale::testing::simd_levels_under_test;
+
+namespace {
+
+int round_up4(int v) { return (v + 3) & ~3; }
+
+std::vector<std::uint8_t> random_u8(std::size_t n, std::uint64_t seed) {
+  du::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& v : out) v = static_cast<std::uint8_t>(rng.uniform_index(256));
+  return out;
+}
+
+std::vector<std::int8_t> random_s8(std::size_t n, std::uint64_t seed) {
+  du::Rng rng(seed);
+  std::vector<std::int8_t> out(n);
+  for (auto& v : out) v = static_cast<std::int8_t>(rng.uniform_index(256)) ;
+  return out;
+}
+
+/// Plain-C model of the documented kernel semantics: per 4-element quad,
+/// two saturated pair products summed exactly in i32.
+std::int32_t ref_dot(const std::uint8_t* a, const std::int8_t* b_col, int k,
+                     int col_stride) {
+  auto sat16 = [](std::int32_t v) {
+    return std::clamp(v, -32768, 32767);
+  };
+  std::int32_t acc = 0;
+  for (int q = 0; q < round_up4(k); q += 4) {
+    std::int32_t p01 = 0, p23 = 0;
+    for (int t = 0; t < 2; ++t) {
+      const int idx = q + t;
+      if (idx < k) p01 += static_cast<std::int32_t>(a[idx]) * b_col[idx * col_stride];
+    }
+    for (int t = 2; t < 4; ++t) {
+      const int idx = q + t;
+      if (idx < k) p23 += static_cast<std::int32_t>(a[idx]) * b_col[idx * col_stride];
+    }
+    acc += sat16(p01) + sat16(p23);
+  }
+  return acc;
+}
+
+struct GemmShape {
+  int rows, k, n;
+};
+
+// Same awkward-shape philosophy as the fp32 sweep: n off the 8-panel
+// width, k at the degenerate ends and across quad boundaries, single-row.
+const GemmShape kShapes[] = {
+    {1, 1, 1},  {1, 0, 5},   {3, 1, 7},    {2, 5, 3},    {1, 129, 13},
+    {5, 37, 9}, {4, 128, 8}, {7, 200, 31}, {12, 64, 40}, {9, 130, 17},
+};
+
+std::vector<std::int32_t> run_gemm_s8u8(const std::vector<std::uint8_t>& a, int lda,
+                                        const std::vector<std::int8_t>& b,
+                                        const GemmShape& s) {
+  std::vector<std::int8_t> packed(micro::gemm_s8u8_packed_size(s.k, s.n));
+  micro::gemm_s8u8_pack_b(b.data(), s.k, s.n, packed.data());
+  std::vector<std::int32_t> c(static_cast<std::size_t>(s.rows) * s.n, -1);
+  micro::gemm_s8u8(a.data(), lda, packed.data(), c.data(), s.rows, s.k, s.n);
+  return c;
+}
+
+}  // namespace
+
+// ---- integer GEMM ---------------------------------------------------------
+
+TEST(GemmS8U8, MatchesReferenceSemanticsAndParityAcrossLevels) {
+  for (const GemmShape& s : kShapes) {
+    const int lda = round_up4(s.k);
+    // Pad bytes of A are deliberately garbage: the packed B's zero pad
+    // must nullify them per the kernel contract.
+    auto a = random_u8(static_cast<std::size_t>(s.rows) * lda, 7 + s.k);
+    const auto b = random_s8(static_cast<std::size_t>(s.k) * s.n, 11 + s.n);
+
+    std::vector<std::vector<std::int32_t>> per_level;
+    for (du::SimdLevel level : simd_levels_under_test()) {
+      ScopedSimdLevel scoped(level);
+      per_level.push_back(run_gemm_s8u8(a, lda, b, s));
+    }
+    const std::string what = std::to_string(s.rows) + "x" + std::to_string(s.k) +
+                             "x" + std::to_string(s.n);
+    for (std::size_t l = 1; l < per_level.size(); ++l) {
+      ASSERT_EQ(per_level[0], per_level[l]) << "gemm_s8u8 " << what;
+    }
+    for (int i = 0; i < s.rows; ++i) {
+      for (int j = 0; j < s.n; ++j) {
+        ASSERT_EQ(per_level[0][static_cast<std::size_t>(i) * s.n + j],
+                  ref_dot(a.data() + static_cast<std::size_t>(i) * lda, b.data() + j,
+                          s.k, s.n))
+            << "gemm_s8u8 " << what << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(GemmS8U8, PairSaturationMatchesMaddubsModel) {
+  // 255 * 127 + 255 * 127 = 64770 saturates to 32767 per pair; with k = 4
+  // (one quad, two pairs) the exact result would be 129540 but the
+  // documented semantics give 65534.
+  const GemmShape s{1, 4, 1};
+  const std::vector<std::uint8_t> a(4, 255);
+  const std::vector<std::int8_t> b(4, 127);
+  for (du::SimdLevel level : simd_levels_under_test()) {
+    ScopedSimdLevel scoped(level);
+    const auto c = run_gemm_s8u8(a, 4, b, s);
+    EXPECT_EQ(c[0], 65534) << du::simd_level_name(level);
+  }
+  // Mixed-sign pairs saturate on the negative rail too.
+  const std::vector<std::int8_t> bneg(4, -128);
+  for (du::SimdLevel level : simd_levels_under_test()) {
+    ScopedSimdLevel scoped(level);
+    const auto c = run_gemm_s8u8(a, 4, bneg, s);
+    EXPECT_EQ(c[0], 2 * -32768) << du::simd_level_name(level);
+  }
+}
+
+TEST(GemmS8U8, GuardsRejectOverflowDepthAndShortStride) {
+  std::vector<std::uint8_t> a(8, 0);
+  std::vector<std::int8_t> packed(micro::gemm_s8u8_packed_size(5, 1));
+  std::vector<std::int32_t> c(1);
+  // lda must cover the quad-padded depth (5 -> 8).
+  EXPECT_THROW(micro::gemm_s8u8(a.data(), 5, packed.data(), c.data(), 1, 5, 1),
+               std::invalid_argument);
+  // k beyond the accumulator-overflow ceiling is refused outright.
+  EXPECT_THROW(micro::gemm_s8u8(a.data(), micro::kGemmS8U8MaxK + 4, packed.data(),
+                                c.data(), 1, micro::kGemmS8U8MaxK + 1, 1),
+               std::invalid_argument);
+}
+
+TEST(QuantizeU8, ParityAcrossLevelsIncludingSpecials) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+                        std::size_t{100}}) {
+    du::Rng rng(33 + n);
+    std::vector<float> src(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng.uniform_index(8)) {
+        case 0: src[i] = nan; break;
+        case 1: src[i] = inf; break;
+        case 2: src[i] = -inf; break;
+        case 3: src[i] = 3e18f; break;   // beyond i32 after scaling
+        case 4: src[i] = 2.5f; break;    // exact tie for RNE
+        default: src[i] = static_cast<float>(rng.normal(0.0, 3.0)); break;
+      }
+    }
+    std::vector<std::vector<std::uint8_t>> per_level;
+    for (du::SimdLevel level : simd_levels_under_test()) {
+      ScopedSimdLevel scoped(level);
+      std::vector<std::uint8_t> dst(n, 0xAB);
+      micro::quantize_u8(src.data(), dst.data(), static_cast<std::int64_t>(n),
+                         1.0f, 128);
+      per_level.push_back(std::move(dst));
+    }
+    for (std::size_t l = 1; l < per_level.size(); ++l) {
+      ASSERT_EQ(per_level[0], per_level[l]) << "quantize_u8 n=" << n;
+    }
+  }
+}
+
+TEST(QuantizeU8, RoundsToNearestEvenAndClamps) {
+  const std::vector<float> src = {0.5f, 1.5f, 2.5f, -0.5f, -300.0f, 300.0f, 0.0f};
+  std::vector<std::uint8_t> dst(src.size());
+  micro::quantize_u8(src.data(), dst.data(), static_cast<std::int64_t>(src.size()),
+                     1.0f, 10);
+  EXPECT_EQ(dst[0], 10u);   // 0.5 -> 0 (even)
+  EXPECT_EQ(dst[1], 12u);   // 1.5 -> 2 (even)
+  EXPECT_EQ(dst[2], 12u);   // 2.5 -> 2 (even)
+  EXPECT_EQ(dst[3], 10u);   // -0.5 -> 0
+  EXPECT_EQ(dst[4], 0u);    // clamps at the bottom rail
+  EXPECT_EQ(dst[5], 255u);  // clamps at the top rail
+  EXPECT_EQ(dst[6], 10u);   // zero lands exactly on the zero point
+}
+
+TEST(TransposeU8, MatchesNaiveAndParityAcrossLevels) {
+  // Shapes straddling the 16x16 block kernel: exact multiples, both
+  // remainders, degenerate single row/column, and the deep im2col-like
+  // shape the quantized conv hits.
+  struct Shape {
+    int rows, cols;
+  };
+  const Shape shapes[] = {{1, 1},  {16, 16}, {32, 48}, {17, 33},  {15, 100},
+                          {100, 5}, {1, 40},  {40, 1},  {144, 67}, {576, 129}};
+  for (const Shape& s : shapes) {
+    const int stride = s.rows + 3;  // pad bytes must be left untouched
+    const auto src = random_u8(static_cast<std::size_t>(s.rows) * s.cols,
+                               17 + static_cast<std::uint64_t>(s.cols));
+    std::vector<std::vector<std::uint8_t>> per_level;
+    for (du::SimdLevel level : simd_levels_under_test()) {
+      ScopedSimdLevel scoped(level);
+      std::vector<std::uint8_t> dst(static_cast<std::size_t>(s.cols) * stride, 0xAB);
+      micro::transpose_u8(src.data(), s.rows, s.cols, dst.data(), stride);
+      per_level.push_back(std::move(dst));
+    }
+    const std::string what = std::to_string(s.rows) + "x" + std::to_string(s.cols);
+    for (std::size_t l = 1; l < per_level.size(); ++l) {
+      ASSERT_EQ(per_level[0], per_level[l]) << "transpose_u8 " << what;
+    }
+    for (int r = 0; r < s.rows; ++r) {
+      for (int c = 0; c < s.cols; ++c) {
+        ASSERT_EQ(per_level[0][static_cast<std::size_t>(c) * stride + r],
+                  src[static_cast<std::size_t>(r) * s.cols + c])
+            << "transpose_u8 " << what << " at (" << r << "," << c << ")";
+      }
+    }
+    for (int c = 0; c < s.cols; ++c) {  // pad region untouched
+      for (int p = s.rows; p < stride; ++p) {
+        ASSERT_EQ(per_level[0][static_cast<std::size_t>(c) * stride + p], 0xAB);
+      }
+    }
+  }
+  std::vector<std::uint8_t> buf(4);
+  EXPECT_THROW(micro::transpose_u8(buf.data(), 2, 2, buf.data(), 1),
+               std::invalid_argument);
+}
+
+// ---- qparams and observers ------------------------------------------------
+
+TEST(QuantParams, ZeroIsExactlyRepresentable) {
+  for (quant::Range r : {quant::Range{0.5f, 4.0f}, quant::Range{-3.0f, -1.0f},
+                         quant::Range{-2.0f, 5.0f}, quant::Range{0.0f, 0.0f}}) {
+    const quant::QuantParams p = quant::choose_qparams_u8(r);
+    ASSERT_GE(p.zero_point, 0);
+    ASSERT_LE(p.zero_point, 255);
+    ASSERT_GT(p.scale, 0.0f);
+    // Quantizing 0.0 must hit the zero point exactly (im2col pad pixels).
+    const float zero = 0.0f;
+    std::uint8_t q = 0;
+    micro::quantize_u8(&zero, &q, 1, 1.0f / p.scale, p.zero_point);
+    EXPECT_EQ(q, static_cast<std::uint8_t>(p.zero_point)) << r.lo << "," << r.hi;
+  }
+}
+
+TEST(Observers, MinMaxTracksExtremesAndSkipsNonFinite) {
+  quant::MinMaxObserver obs;
+  EXPECT_TRUE(obs.empty());
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> batch1 = {1.0f, -2.0f, inf, 0.5f};
+  const std::vector<float> batch2 = {7.0f, std::numeric_limits<float>::quiet_NaN()};
+  obs.observe(batch1.data(), batch1.size());
+  obs.observe(batch2.data(), batch2.size());
+  const quant::Range r = obs.range();
+  EXPECT_FLOAT_EQ(r.lo, -2.0f);
+  EXPECT_FLOAT_EQ(r.hi, 7.0f);
+}
+
+TEST(Observers, PercentileClipsOutliersDeterministically) {
+  quant::PercentileObserver obs(99.0);
+  std::vector<float> values(10000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<float>(i) / 10000.0f;  // uniform [0, 1)
+  }
+  values[17] = 1e6f;  // a single outlier minmax would swallow whole
+  obs.observe(values.data(), values.size());
+  const quant::Range r = obs.range();
+  EXPECT_LT(r.hi, 2.0f);   // outlier clipped
+  EXPECT_GT(r.hi, 0.9f);   // but the bulk survives
+  // Identical observation sequence -> identical range (determinism).
+  quant::PercentileObserver again(99.0);
+  again.observe(values.data(), values.size());
+  EXPECT_EQ(again.range().lo, r.lo);
+  EXPECT_EQ(again.range().hi, r.hi);
+}
+
+TEST(Observers, PercentileRejectsNonsensePercentile) {
+  EXPECT_THROW(quant::PercentileObserver(0.0), std::invalid_argument);
+  EXPECT_THROW(quant::PercentileObserver(101.0), std::invalid_argument);
+}
+
+// ---- quantized weights ----------------------------------------------------
+
+TEST(QuantizedMatrix, PerChannelScalesAndColSums) {
+  // Two rows with very different magnitudes: per-channel scaling must keep
+  // them independent.
+  const int k = 5;
+  const std::vector<float> w = {0.1f, -0.2f, 0.05f, 0.0f,  0.15f,   // row 0
+                                100.0f, -50.0f, 25.0f, 10.0f, -100.0f};  // row 1
+  const quant::QuantizedMatrix qm = quant::QuantizedMatrix::from_rows(w.data(), 2, k);
+  ASSERT_EQ(qm.n, 2);
+  ASSERT_EQ(qm.k, k);
+  ASSERT_EQ(qm.scales.size(), 2u);
+  EXPECT_FLOAT_EQ(qm.scales[0], 0.2f / 63.0f);
+  EXPECT_FLOAT_EQ(qm.scales[1], 100.0f / 63.0f);
+  // col_sums must equal the sum of the quantized row (checked via the
+  // dequant identity in the matmul tests; here just sanity-bound them).
+  EXPECT_LE(std::abs(qm.col_sums[0]), 63 * k);
+  EXPECT_LE(std::abs(qm.col_sums[1]), 63 * k);
+  // An all-zero matrix quantizes without dividing by zero.
+  const std::vector<float> zeros(static_cast<std::size_t>(k), 0.0f);
+  const quant::QuantizedMatrix zq = quant::QuantizedMatrix::from_rows(zeros.data(), 1, k);
+  EXPECT_FLOAT_EQ(zq.scales[0], 1.0f);
+  EXPECT_EQ(zq.col_sums[0], 0);
+}
+
+// ---- quantized forwards vs fp32 -------------------------------------------
+
+namespace {
+
+/// Worst-case |error| of the scheme on one output: each input quantizes
+/// within act_scale/2, each weight within w_scale/2, so the dot product
+/// errs by at most k * (|a|max * w_scale/2 + |w|max * act_scale/2 +
+/// scales/4) — loose but shape-aware, and deterministic.
+float error_bound(float act_scale, float w_scale, float a_absmax, float w_absmax,
+                  int k) {
+  return static_cast<float>(k) * (a_absmax * w_scale * 0.5f + w_absmax * act_scale * 0.5f +
+                                  act_scale * w_scale * 0.25f) +
+         1e-4f;
+}
+
+}  // namespace
+
+TEST(QuantizedMatmul, TracksFp32WithinQuantizationBound) {
+  du::Rng rng(55);
+  const int m = 9, k = 37, n = 13;
+  const dt::Tensor a = dt::Tensor::randn({m, k}, rng);
+  const dt::Tensor w = dt::Tensor::randn({n, k}, rng);
+  const dt::Tensor bias = dt::Tensor::randn({n}, rng);
+  const dt::Tensor ref = dt::matmul_nt(a, w);
+
+  quant::MinMaxObserver obs;
+  obs.observe(a.ptr(), static_cast<std::size_t>(a.numel()));
+  const quant::QuantParams act = quant::choose_qparams_u8(obs.range());
+  const quant::QuantizedMatrix qw = quant::QuantizedMatrix::from_rows(w.data().data(), n, k);
+
+  const dt::Tensor out = quant::quantized_matmul(a, qw, act, &bias);
+  ASSERT_EQ(out.dim(0), m);
+  ASSERT_EQ(out.dim(1), n);
+  float a_absmax = 0.0f, w_absmax = 0.0f;
+  for (float v : a.data()) a_absmax = std::max(a_absmax, std::abs(v));
+  for (float v : w.data()) w_absmax = std::max(w_absmax, std::abs(v));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const float expect = ref[static_cast<std::size_t>(i) * n + j] + bias[j];
+      const float got = out[static_cast<std::size_t>(i) * n + j];
+      ASSERT_NEAR(got, expect,
+                  error_bound(act.scale, qw.scales[static_cast<std::size_t>(j)],
+                              a_absmax, w_absmax, k))
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(QuantizedMatmul, BitwiseParityAcrossLevels) {
+  du::Rng rng(66);
+  const dt::Tensor a = dt::Tensor::randn({7, 29}, rng);
+  const dt::Tensor w = dt::Tensor::randn({11, 29}, rng);
+  quant::MinMaxObserver obs;
+  obs.observe(a.ptr(), static_cast<std::size_t>(a.numel()));
+  const quant::QuantParams act = quant::choose_qparams_u8(obs.range());
+  const quant::QuantizedMatrix qw = quant::QuantizedMatrix::from_rows(w.data().data(), 11, 29);
+  std::vector<std::vector<float>> per_level;
+  for (du::SimdLevel level : simd_levels_under_test()) {
+    ScopedSimdLevel scoped(level);
+    const dt::Tensor out = quant::quantized_matmul(a, qw, act, nullptr);
+    per_level.emplace_back(out.data().begin(), out.data().end());
+  }
+  for (std::size_t l = 1; l < per_level.size(); ++l) {
+    ASSERT_EQ(per_level[0], per_level[l]);
+  }
+}
+
+TEST(QuantizedConv2d, TracksFp32AndIsBatchInvariant) {
+  du::Rng rng(77);
+  const int in_c = 3, out_c = 5, kh = 3, kw = 3;
+  const dt::Tensor input = dt::Tensor::randn({3, in_c, 9, 9}, rng);
+  const dt::Tensor weight = dt::Tensor::randn({out_c, in_c, kh, kw}, rng);
+  const dt::Tensor bias = dt::Tensor::randn({out_c}, rng);
+  const dt::Conv2dSpec spec{.stride = 1, .pad = 1, .dilation = 1};
+  const dt::Tensor ref = dt::conv2d(input, weight, &bias, spec);
+
+  quant::MinMaxObserver obs;
+  obs.observe(input.ptr(), static_cast<std::size_t>(input.numel()));
+  const quant::QuantParams act = quant::choose_qparams_u8(obs.range());
+  const quant::QuantizedMatrix qw =
+      quant::QuantizedMatrix::from_rows(weight.data().data(), out_c, in_c * kh * kw);
+
+  const dt::Tensor out = quant::quantized_conv2d(input, qw, &bias, spec, kh, kw, act);
+  ASSERT_TRUE(dt::same_shape(out, ref));
+  float in_absmax = 0.0f, w_absmax = 0.0f;
+  for (float v : input.data()) in_absmax = std::max(in_absmax, std::abs(v));
+  for (float v : weight.data()) w_absmax = std::max(w_absmax, std::abs(v));
+  const int plane = ref.dim(2) * ref.dim(3);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(ref.numel()); ++i) {
+    const int oc = static_cast<int>((i / static_cast<std::size_t>(plane)) %
+                                    static_cast<std::size_t>(out_c));
+    ASSERT_NEAR(out[i], ref[i],
+                error_bound(act.scale, qw.scales[static_cast<std::size_t>(oc)], in_absmax,
+                            w_absmax, in_c * kh * kw))
+        << i;
+  }
+
+  // Batch invariance, bitwise: each sample served alone must reproduce its
+  // slice of the batched result exactly (the serving batcher's contract).
+  const std::size_t sample = static_cast<std::size_t>(out.numel()) / 3;
+  for (int nidx = 0; nidx < 3; ++nidx) {
+    dt::Tensor single({1, in_c, 9, 9});
+    const std::size_t in_sample = static_cast<std::size_t>(input.numel()) / 3;
+    std::copy_n(input.ptr() + static_cast<std::size_t>(nidx) * in_sample, in_sample,
+                single.ptr());
+    const dt::Tensor one = quant::quantized_conv2d(single, qw, &bias, spec, kh, kw, act);
+    for (std::size_t i = 0; i < sample; ++i) {
+      ASSERT_EQ(one[i], out[static_cast<std::size_t>(nidx) * sample + i])
+          << "sample " << nidx << " at " << i;
+    }
+  }
+}

@@ -1,0 +1,132 @@
+// The mIOU regression gate for reduced-precision serving (ISSUE:
+// "quantization must not silently wreck accuracy"). Trains the mini
+// DeepLab briefly on the synthetic shapes task, checkpoints it, then
+// loads three fresh copies and serves the SAME weights as fp32, bf16 and
+// int8, asserting the reduced-precision mIOU on a held-out slice stays
+// within a fixed tolerance of fp32. Runs under both SIMD dispatch levels
+// — the quantized kernels are bitwise level-invariant, so the measured
+// mIOU values are identical across levels by construction, and this test
+// would catch a divergence as a tolerance failure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dlscale/data/dataset.hpp"
+#include "dlscale/models/deeplab.hpp"
+#include "dlscale/nn/optimizer.hpp"
+#include "dlscale/nn/quantized.hpp"
+#include "dlscale/tensor/ops.hpp"
+#include "dlscale/train/checkpoint.hpp"
+#include "dlscale/train/trainer.hpp"
+#include "dlscale/util/rng.hpp"
+#include "../support/simd_param.hpp"
+
+namespace dd = dlscale::data;
+namespace dmo = dlscale::models;
+namespace dn = dlscale::nn;
+namespace dt = dlscale::tensor;
+namespace dtr = dlscale::train;
+namespace du = dlscale::util;
+using dlscale::testing::SimdLevelTest;
+
+namespace {
+
+constexpr int kClasses = 4;
+constexpr std::uint64_t kTrainSamples = 16;
+constexpr std::uint64_t kHeldOut = 8;  // evaluation slice past the train set
+
+dmo::MiniDeepLabV3Plus::Config model_config() {
+  return {.in_channels = 3, .num_classes = kClasses, .input_size = 16, .width = 4};
+}
+
+dd::SyntheticShapes::Config data_config() {
+  return {.image_size = 16, .num_classes = kClasses, .max_shapes = 2, .seed = 303};
+}
+
+/// A few SGD steps: enough to pull the logits away from the random-init
+/// regime where quantization noise could flip arbitrary argmax pixels.
+void train_briefly(dmo::MiniDeepLabV3Plus& model, const dd::SyntheticShapes& dataset) {
+  dn::SgdMomentum opt(model.parameters(), {.momentum = 0.9, .weight_decay = 0.0});
+  constexpr int kSteps = 8, kBatch = 4;
+  for (int step = 0; step < kSteps; ++step) {
+    std::vector<std::uint64_t> indices;
+    for (int b = 0; b < kBatch; ++b) {
+      indices.push_back((static_cast<std::uint64_t>(step) * kBatch + b) % kTrainSamples);
+    }
+    const dd::Sample batch = dataset.make_batch(indices);
+    const dt::Tensor logits = model.forward(batch.image, /*train=*/true);
+    dt::Tensor grad(logits.shape());
+    opt.zero_grad();
+    (void)dt::softmax_cross_entropy(logits, batch.labels, /*ignore_label=*/255, grad);
+    (void)model.backward(grad);
+    opt.step(/*lr=*/0.05);
+  }
+}
+
+/// Fresh model with the checkpointed weights, converted to `target`.
+dmo::MiniDeepLabV3Plus load_at_precision(const std::string& path, dn::Precision target,
+                                         const dd::SyntheticShapes& dataset) {
+  du::Rng rng(1);
+  dmo::MiniDeepLabV3Plus model(model_config(), rng);
+  dtr::load_model(model.parameters(), model.buffers(), path);
+  if (target == dn::Precision::kInt8) {
+    // Calibrate on the training slice — the held-out slice stays unseen.
+    dn::CalibrationTable table;
+    {
+      dn::CalibrationSession session(table);
+      std::vector<std::uint64_t> indices;
+      for (std::uint64_t i = 0; i < 8; ++i) indices.push_back(i);
+      (void)model.forward(dataset.make_batch(indices).image, /*train=*/false);
+    }
+    model.convert_precision(dn::Precision::kInt8, &table);
+  } else if (target == dn::Precision::kBf16) {
+    model.convert_precision(dn::Precision::kBf16);
+  }
+  return model;
+}
+
+double held_out_miou(dmo::MiniDeepLabV3Plus& model, const dd::SyntheticShapes& dataset) {
+  return dtr::evaluate(model, dataset, kTrainSamples, kHeldOut, /*batch_size=*/4).first;
+}
+
+}  // namespace
+
+using MiouGate = SimdLevelTest;
+
+TEST_P(MiouGate, ReducedPrecisionMiouWithinToleranceOfFp32) {
+  const dd::SyntheticShapes dataset(data_config());
+  const std::string path = ::testing::TempDir() + "dlscale_miou_gate_" +
+                           std::to_string(static_cast<int>(GetParam())) + ".ckpt";
+  {
+    du::Rng rng(17);
+    dmo::MiniDeepLabV3Plus model(model_config(), rng);
+    train_briefly(model, dataset);
+    dtr::save_model(model.parameters(), model.buffers(), path);
+  }
+
+  dmo::MiniDeepLabV3Plus fp32 = load_at_precision(path, dn::Precision::kFp32, dataset);
+  dmo::MiniDeepLabV3Plus bf16 = load_at_precision(path, dn::Precision::kBf16, dataset);
+  dmo::MiniDeepLabV3Plus int8 = load_at_precision(path, dn::Precision::kInt8, dataset);
+  EXPECT_EQ(bf16.precision(), dn::Precision::kBf16);
+  EXPECT_EQ(int8.precision(), dn::Precision::kInt8);
+
+  const double miou_fp32 = held_out_miou(fp32, dataset);
+  const double miou_bf16 = held_out_miou(bf16, dataset);
+  const double miou_int8 = held_out_miou(int8, dataset);
+  // The briefly-trained model is far from perfect; the gate is about the
+  // DELTA quantization introduces, not absolute quality.
+  EXPECT_GT(miou_fp32, 0.0);
+  // bf16 only perturbs weight storage (8 significand bits): near-lossless.
+  EXPECT_NEAR(miou_bf16, miou_fp32, 0.02) << "bf16 regressed mIOU";
+  // int8 carries real quantization error through every conv.
+  EXPECT_NEAR(miou_int8, miou_fp32, 0.08) << "int8 regressed mIOU";
+
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, MiouGate,
+                         ::testing::ValuesIn(dlscale::testing::simd_levels_under_test()),
+                         dlscale::testing::simd_param_name);

@@ -1,0 +1,139 @@
+// bf16 storage format contract (DESIGN.md §9): narrow is
+// round-to-nearest-even, widen is exact, widen-then-narrow is the
+// identity on every one of the 65536 bf16 bit patterns (including NaNs),
+// and the AVX2 batch converters are bitwise identical to the scalar
+// twins on every input.
+#include "dlscale/util/bf16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "dlscale/util/rng.hpp"
+#include "dlscale/util/simd.hpp"
+#include "../support/simd_param.hpp"
+
+namespace du = dlscale::util;
+using dlscale::testing::ScopedSimdLevel;
+using dlscale::testing::simd_levels_under_test;
+
+TEST(Bf16, ExactValuesRoundTrip) {
+  // Anything with <= 8 significand bits is exactly representable.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 3.0f, -255.0f}) {
+    EXPECT_EQ(du::bf16_to_float(du::float_to_bf16(v)), v) << v;
+  }
+}
+
+TEST(Bf16, WidenIsHighHalfShift) {
+  // Widening places the 16 stored bits in the fp32 high half, low half 0.
+  for (std::uint32_t h : {0x0000u, 0x3F80u, 0xBF80u, 0x7F80u, 0x0001u, 0x7FC0u}) {
+    const float wide = du::bf16_to_float(static_cast<std::uint16_t>(h));
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(wide), h << 16) << h;
+  }
+}
+
+TEST(Bf16, NarrowRoundsToNearestEven) {
+  // Low half exactly 0x8000 is the tie: round to even mantissa.
+  EXPECT_EQ(du::float_to_bf16(std::bit_cast<float>(0x3F808000u)), 0x3F80);  // even stays
+  EXPECT_EQ(du::float_to_bf16(std::bit_cast<float>(0x3F818000u)), 0x3F82);  // odd rounds up
+  // Just below / above the tie round toward the nearer value.
+  EXPECT_EQ(du::float_to_bf16(std::bit_cast<float>(0x3F817FFFu)), 0x3F81);
+  EXPECT_EQ(du::float_to_bf16(std::bit_cast<float>(0x3F818001u)), 0x3F82);
+}
+
+TEST(Bf16, NarrowOverflowsToInfinity) {
+  // FLT_MAX's low half rounds the high half up into the infinity pattern.
+  EXPECT_EQ(du::float_to_bf16(std::numeric_limits<float>::max()), 0x7F80);
+  EXPECT_EQ(du::float_to_bf16(-std::numeric_limits<float>::max()), 0xFF80);
+  EXPECT_EQ(du::float_to_bf16(std::numeric_limits<float>::infinity()), 0x7F80);
+}
+
+TEST(Bf16, NanNarrowsToNan) {
+  const std::uint16_t h = du::float_to_bf16(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_EQ(h & 0x7F80u, 0x7F80u);
+  EXPECT_NE(h & 0x007Fu, 0u);  // payload must survive as NaN, not become inf
+  // A NaN whose payload lives entirely in the low half must not narrow to
+  // an infinity bit pattern either.
+  const std::uint16_t low_payload = du::float_to_bf16(std::bit_cast<float>(0x7F800001u));
+  EXPECT_EQ(low_payload & 0x7F80u, 0x7F80u);
+  EXPECT_NE(low_payload & 0x007Fu, 0u);
+}
+
+TEST(Bf16, AllPatternsRoundTripExhaustively) {
+  // The checkpoint v2 contract: narrow(widen(h)) == h for every pattern,
+  // so saving bf16 weights and loading them back is lossless.
+  for (std::uint32_t h = 0; h <= 0xFFFFu; ++h) {
+    const auto half = static_cast<std::uint16_t>(h);
+    ASSERT_EQ(du::float_to_bf16(du::bf16_to_float(half)), half) << "pattern " << h;
+  }
+}
+
+namespace {
+
+std::vector<float> mixed_inputs(std::size_t n, std::uint64_t seed) {
+  du::Rng rng(seed);
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.uniform_index(8)) {
+      case 0: out[i] = std::numeric_limits<float>::quiet_NaN(); break;
+      case 1: out[i] = std::numeric_limits<float>::infinity(); break;
+      case 2: out[i] = -std::numeric_limits<float>::infinity(); break;
+      case 3: out[i] = std::bit_cast<float>(0x7F800001u); break;  // low-half NaN payload
+      case 4: out[i] = 0.0f; break;
+      default: out[i] = static_cast<float>(rng.normal(0.0, 100.0)); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Bf16, BatchNarrowBitwiseParityAcrossLevels) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+                        std::size_t{17}, std::size_t{1000}}) {
+    const std::vector<float> src = mixed_inputs(n, 90 + n);
+    std::vector<std::vector<std::uint16_t>> per_level;
+    for (du::SimdLevel level : simd_levels_under_test()) {
+      ScopedSimdLevel scoped(level);
+      std::vector<std::uint16_t> dst(n);
+      du::floats_to_bf16s(src.data(), dst.data(), n);
+      per_level.push_back(std::move(dst));
+    }
+    for (std::size_t l = 1; l < per_level.size(); ++l) {
+      ASSERT_EQ(per_level[0], per_level[l]) << "narrow n=" << n;
+    }
+  }
+}
+
+TEST(Bf16, BatchWidenBitwiseParityAcrossLevels) {
+  du::Rng rng(97);
+  for (std::size_t n : {std::size_t{1}, std::size_t{8}, std::size_t{13}, std::size_t{1000}}) {
+    std::vector<std::uint16_t> src(n);
+    for (auto& h : src) h = static_cast<std::uint16_t>(rng.uniform_index(0x10000));
+    std::vector<std::vector<std::uint32_t>> per_level;
+    for (du::SimdLevel level : simd_levels_under_test()) {
+      ScopedSimdLevel scoped(level);
+      std::vector<float> dst(n);
+      du::bf16s_to_floats(src.data(), dst.data(), n);
+      std::vector<std::uint32_t> bits(n);
+      for (std::size_t i = 0; i < n; ++i) bits[i] = std::bit_cast<std::uint32_t>(dst[i]);
+      per_level.push_back(std::move(bits));
+    }
+    for (std::size_t l = 1; l < per_level.size(); ++l) {
+      ASSERT_EQ(per_level[0], per_level[l]) << "widen n=" << n;
+    }
+  }
+}
+
+TEST(Bf16, BatchMatchesScalarElementwise) {
+  const std::vector<float> src = mixed_inputs(257, 101);
+  std::vector<std::uint16_t> dst(src.size());
+  du::floats_to_bf16s(src.data(), dst.data(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(dst[i], du::float_to_bf16(src[i])) << i;
+  }
+}
