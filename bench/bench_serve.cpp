@@ -15,7 +15,10 @@
 
 #include "dlscale/models/deeplab.hpp"
 #include "dlscale/serve/server.hpp"
+#include "dlscale/tensor/planner.hpp"
 #include "dlscale/train/checkpoint.hpp"
+#include "dlscale/util/arena.hpp"
+#include "dlscale/util/mem_stats.hpp"
 #include "dlscale/util/rng.hpp"
 #include "dlscale/util/table.hpp"
 
@@ -168,6 +171,34 @@ int main() {
       "lane) plus a per-channel dequantize epilogue; bf16 only halves weight\n"
       "storage and pays a widen per forward (acceptance: int8 >= 2x fp32 req/s\n"
       "at equal workers/max_batch).\n");
+
+  // Activation-memory report: trace one max-width eval forward (the shape
+  // a full dynamic batch serves) and pack it with the liveness planner —
+  // the per-worker arena bytes serving actually touches vs the naive
+  // every-Tensor-its-own-bytes sum (DESIGN.md §10).
+  {
+    util::Rng rng(1);
+    models::MiniDeepLabV3Plus model(cfg, rng);
+    util::Rng img_rng(5);
+    const tensor::Tensor batch = tensor::Tensor::randn(
+        {8, cfg.in_channels, cfg.input_size, cfg.input_size}, img_rng, 1.0f);
+    util::Arena arena;
+    arena.begin_trace();
+    {
+      util::ArenaScope scope(arena);
+      (void)model.forward(batch, /*train=*/false);
+    }
+    const util::MemoryPlan plan = tensor::MemoryPlanner::pack(arena.take_trace());
+    std::printf("\nActivation memory (batch-8 eval forward): naive %zu bytes, packed %zu bytes"
+                " (%.1f%%); per-worker arena watermark %zu bytes\n",
+                plan.naive_bytes, plan.peak_bytes,
+                plan.naive_bytes == 0 ? 0.0
+                                      : 100.0 * static_cast<double>(plan.peak_bytes) /
+                                            static_cast<double>(plan.naive_bytes),
+                arena.watermark());
+  }
+  std::printf("peak RSS: %.1f MiB\n",
+              static_cast<double>(util::peak_rss_bytes()) / (1024.0 * 1024.0));
   std::remove(checkpoint.c_str());
   return 0;
 }

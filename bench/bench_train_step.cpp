@@ -4,9 +4,16 @@
 // kernel microbenchmarks. Serial (NoComm) isolates compute; the
 // distributed variant adds the Horovod negotiation/fusion machinery over
 // a 2-rank simmpi world.
+//
+// Custom main (no benchmark_main): prints the memory-planner report first
+// — packed arena bytes vs the naive every-Tensor-its-own-bytes sum per
+// model width (DESIGN.md §10) — and peak RSS after the benches run.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "dlscale/train/trainer.hpp"
+#include "dlscale/util/mem_stats.hpp"
 
 namespace dt = dlscale::train;
 namespace dm = dlscale::mpi;
@@ -53,4 +60,36 @@ void BM_TrainEpochDistributed(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainEpochDistributed)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
+/// One traced step per model width: what the liveness planner packs the
+/// step's activation footprint down to versus naive per-Tensor storage.
+void print_memory_plan_report() {
+  std::printf("Activation memory plan (one train step, batch 2)\n");
+  std::printf("%-8s %14s %14s %8s\n", "width", "naive_bytes", "packed_bytes", "ratio");
+  for (int width : {4, 8, 16}) {
+    const auto config = bench_config(width);
+    dt::NoComm hook;
+    dt::Trainer trainer(config, hook);
+    const dlscale::data::SyntheticShapes dataset(config.dataset);
+    trainer.train_step(dataset.make_batch({0, 1}), 0.05);
+    const dlscale::util::MemoryPlan& plan = trainer.step_arena().plan();
+    std::printf("%-8d %14zu %14zu %7.1f%%\n", width, plan.naive_bytes, plan.peak_bytes,
+                plan.naive_bytes == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(plan.peak_bytes) /
+                          static_cast<double>(plan.naive_bytes));
+  }
+  std::printf("\n");
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  print_memory_plan_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\npeak RSS: %.1f MiB\n",
+              static_cast<double>(dlscale::util::peak_rss_bytes()) / (1024.0 * 1024.0));
+  return 0;
+}

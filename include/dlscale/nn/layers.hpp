@@ -154,7 +154,7 @@ class Conv2d final : public Layer {
   // Reduced-precision state; weight_shape_ outlives the released fp32
   // weight so forwards still know the filter geometry.
   Precision precision_ = Precision::kFp32;
-  std::vector<int> weight_shape_;
+  tensor::Shape weight_shape_;
   tensor::quant::QuantizedMatrix qweight_;
   tensor::quant::QuantParams act_params_{};
   std::vector<std::uint16_t> bf16_weight_;
@@ -273,7 +273,7 @@ class DepthwiseConv2d final : public Layer {
   Tensor cached_input_;
 
   Precision precision_ = Precision::kFp32;
-  std::vector<int> weight_shape_;
+  tensor::Shape weight_shape_;
   std::vector<std::uint16_t> bf16_weight_;
 };
 

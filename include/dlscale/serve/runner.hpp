@@ -1,0 +1,50 @@
+// Per-worker inference runner: one arena, reset per batch.
+//
+// Each serving worker owns one InferenceRunner. run() resets the arena,
+// opens an ArenaScope, and executes the eval forward so every
+// intermediate activation Tensor borrows arena bytes instead of hitting
+// the heap. After the warmup batch grows the arena to its watermark, a
+// steady-state batch performs zero heap allocations inside the forward
+// (proved by the alloc-hook tests; DESIGN.md §10).
+//
+// Outputs are borrowed: the returned logits reference arena storage and
+// the labels live in a reused member buffer. Both stay valid only until
+// the next run() on the same runner — callers that need to hand data
+// across threads (Server::run_batch fulfilling promises) must copy out
+// before the next batch starts, which they already do.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dlscale/models/deeplab.hpp"
+#include "dlscale/tensor/tensor.hpp"
+#include "dlscale/util/arena.hpp"
+
+namespace dlscale::serve {
+
+class InferenceRunner {
+ public:
+  InferenceRunner() = default;
+
+  InferenceRunner(const InferenceRunner&) = delete;
+  InferenceRunner& operator=(const InferenceRunner&) = delete;
+
+  /// One eval forward of `model` on `images` with all activations
+  /// arena-backed, plus the per-pixel argmax into labels(). The returned
+  /// tensor is borrowed — valid until the next run().
+  const tensor::Tensor& run(models::MiniDeepLabV3Plus& model, const tensor::Tensor& images);
+
+  /// Per-pixel class ids from the last run(), length N*H*W.
+  [[nodiscard]] const std::vector<int>& labels() const noexcept { return labels_; }
+
+  /// High-water mark of arena bytes across all runs so far.
+  [[nodiscard]] std::size_t arena_watermark() const noexcept { return arena_.watermark(); }
+
+ private:
+  util::Arena arena_;
+  tensor::Tensor logits_;   ///< borrowed from arena_; kept so run() can return a reference
+  std::vector<int> labels_;
+};
+
+}  // namespace dlscale::serve

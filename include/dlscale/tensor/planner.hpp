@@ -1,0 +1,32 @@
+// Liveness-based memory planner for arena-backed Tensor storage.
+//
+// A training step (and a serve batch) makes the same allocation sequence
+// every iteration: the forward+backward graph is static. Tracing one step
+// through util::Arena yields {size, first-use, last-use} per allocation;
+// this planner packs those intervals into a single arena so allocations
+// whose lifetimes never overlap share the same bytes (DESIGN.md §10).
+//
+// Packing is greedy interval packing: place allocations in decreasing
+// size order (ties broken by allocation order), each at the lowest
+// 64-byte-aligned offset that does not collide with an already-placed
+// allocation whose live interval overlaps. O(n²) in the number of
+// allocations — a few hundred per DeepLab step — and within a few
+// percent of optimal on these traces.
+#pragma once
+
+#include <vector>
+
+#include "dlscale/util/arena.hpp"
+
+namespace dlscale::tensor {
+
+class MemoryPlanner {
+ public:
+  /// Packs a trace (from Arena::take_trace) into a MemoryPlan. Events
+  /// with release_tick == 0 are treated as live to the end of the trace
+  /// (layer caches read during backward fall out naturally).
+  [[nodiscard]] static util::MemoryPlan pack(
+      const std::vector<util::ArenaTraceEvent>& trace);
+};
+
+}  // namespace dlscale::tensor

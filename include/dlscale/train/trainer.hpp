@@ -28,8 +28,16 @@
 #include "dlscale/models/deeplab.hpp"
 #include "dlscale/mpi/comm.hpp"
 #include "dlscale/nn/optimizer.hpp"
+#include "dlscale/util/arena.hpp"
 
 namespace dlscale::train {
+
+/// Storage strategy for step activations (DESIGN.md §10).
+enum class MemoryMode {
+  kOwning,   ///< every Tensor owns heap storage (pre-arena behaviour)
+  kArena,    ///< activations borrow from a per-trainer bump arena, reset per step
+  kPlanned,  ///< kArena + liveness plan: step 1 is traced, packed, and replayed
+};
 
 /// Configuration of one training run.
 struct TrainConfig {
@@ -58,6 +66,12 @@ struct TrainConfig {
   /// train_distributed wraps its HorovodHook in an AutotuneHook; `knobs`
   /// above is the starting point the tuner explores from.
   hvd::AutotuneOptions autotune{};
+  /// Activation storage strategy. kPlanned traces the first step, packs a
+  /// liveness plan (tensor::MemoryPlanner), and replays it every
+  /// subsequent step — zero heap allocations in the steady state. A
+  /// changed input shape re-traces automatically. kOwning restores the
+  /// pre-arena heap-per-Tensor behaviour (the bitwise-identity baseline).
+  MemoryMode memory = MemoryMode::kPlanned;
 };
 
 /// Per-epoch results (rank-0 view after metric reduction).
@@ -272,8 +286,16 @@ class Trainer {
   [[nodiscard]] long steps_per_epoch() const noexcept { return steps_per_epoch_; }
   [[nodiscard]] int next_epoch() const noexcept { return next_epoch_; }
 
+  /// Arena backing the step activations (kArena/kPlanned modes). Under
+  /// kPlanned, step_arena().plan() exposes the installed liveness plan —
+  /// packed peak vs naive sum — once a step has been traced.
+  [[nodiscard]] const util::Arena& step_arena() const noexcept { return step_arena_; }
+
  private:
   [[nodiscard]] std::vector<nn::NamedTensor> state_tensors();
+  /// Forward + loss + streamed backward + comm drain for one batch. All
+  /// Tensor locals die inside, so a traced run records their releases.
+  float step_body(const data::Sample& batch);
 
   TrainConfig config_;
   CommHook& hook_;
@@ -287,6 +309,9 @@ class Trainer {
   int next_epoch_ = 0;
   tensor::Tensor progress_;  ///< {global_step, next_epoch} for checkpoints
   TrainReport report_;
+  util::Arena step_arena_;    ///< activation storage for train_step
+  util::Arena eval_arena_;    ///< bump arena for eval forwards, reset per batch
+  tensor::Shape traced_shape_;  ///< batch shape the installed plan covers
 };
 
 /// DEPRECATED compatibility shim — prefer composing a Trainer with a

@@ -1,0 +1,25 @@
+// Test-only global allocation counter.
+//
+// Link dlscale::alloc_hook (built with DLSCALE_ALLOC_HOOK) to replace the
+// process-wide operator new/delete with counting versions. The
+// zero-allocation tests snapshot alloc_count() around a steady-state
+// train step / serve batch and assert the delta is zero — the proof
+// behind the arena refactor (DESIGN.md §10), in the spirit of the
+// serving path's cache_bytes() == 0 invariant.
+//
+// These symbols live only in the hook library: a binary that calls them
+// without linking dlscale::alloc_hook fails to link, which keeps the
+// hooked allocator out of every production target by construction.
+#pragma once
+
+#include <cstdint>
+
+namespace dlscale::util {
+
+/// Global operator new invocations since process start.
+[[nodiscard]] std::uint64_t alloc_count() noexcept;
+
+/// Global operator delete invocations since process start.
+[[nodiscard]] std::uint64_t free_count() noexcept;
+
+}  // namespace dlscale::util

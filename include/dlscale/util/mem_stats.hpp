@@ -1,0 +1,13 @@
+// Process memory statistics for the benches (peak RSS next to the
+// planner's packed-arena bytes, DESIGN.md §10).
+#pragma once
+
+#include <cstddef>
+
+namespace dlscale::util {
+
+/// Peak resident set size of this process in bytes (getrusage); 0 when
+/// the platform doesn't report it.
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+}  // namespace dlscale::util

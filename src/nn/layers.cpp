@@ -77,7 +77,7 @@ void Conv2d::convert_to_int8(const CalibrationTable& table) {
   // Resolve the calibrated range first: a missing-layer throw must leave
   // the layer untouched (the registry's strong reload guarantee).
   const tensor::quant::QuantParams act = table.qparams(name_);
-  const std::vector<int>& shape = weight_.value.shape();
+  const tensor::Shape& shape = weight_.value.shape();
   const int out_c = shape[0];
   const int kdim = shape[1] * shape[2] * shape[3];
   qweight_ =
@@ -115,7 +115,7 @@ Tensor Conv2d::do_backward(const Tensor& grad_out, GradSink* sink) {
                                  weight_.value.dim(2) * weight_.value.dim(3);
   report_backward_cost(sink, 2.0 * static_cast<double>(grad_out.numel()) * macs_per_output,
                        bytes_of(cached_input_) + bytes_of(grad_out));
-  notify_reversed(sink, parameters());
+  if (sink != nullptr) notify_reversed(sink, parameters());
   return grad_in;
 }
 
@@ -150,7 +150,7 @@ Tensor BatchNorm2d::do_backward(const Tensor& grad_out, GradSink* sink) {
                                                 beta_.grad);
   report_backward_cost(sink, 8.0 * static_cast<double>(grad_out.numel()),
                        2.0 * bytes_of(grad_out));
-  notify_reversed(sink, parameters());
+  if (sink != nullptr) notify_reversed(sink, parameters());
   return grad_in;
 }
 
@@ -265,7 +265,7 @@ Tensor DepthwiseConv2d::do_backward(const Tensor& grad_out, GradSink* sink) {
   const double macs_per_output = static_cast<double>(weight_.value.dim(2)) * weight_.value.dim(3);
   report_backward_cost(sink, 2.0 * static_cast<double>(grad_out.numel()) * macs_per_output,
                        bytes_of(cached_input_) + bytes_of(grad_out));
-  notify_reversed(sink, parameters());
+  if (sink != nullptr) notify_reversed(sink, parameters());
   return grad_in;
 }
 

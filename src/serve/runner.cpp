@@ -1,0 +1,19 @@
+#include "dlscale/serve/runner.hpp"
+
+#include "dlscale/tensor/ops.hpp"
+
+namespace dlscale::serve {
+
+const tensor::Tensor& InferenceRunner::run(models::MiniDeepLabV3Plus& model,
+                                           const tensor::Tensor& images) {
+  // Drop last batch's borrow before recycling its bytes; a borrowed
+  // tensor outliving the reset would dangle.
+  logits_ = tensor::Tensor();
+  arena_.reset();
+  util::ArenaScope scope(arena_);
+  logits_ = model.forward(images, /*train=*/false);
+  tensor::argmax_channels(logits_, labels_);
+  return logits_;
+}
+
+}  // namespace dlscale::serve

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "dlscale/serve/runner.hpp"
 #include "dlscale/tensor/ops.hpp"
 
 namespace dlscale::serve {
@@ -77,17 +78,20 @@ void Server::run_batch(Batch&& batch, int worker_id) {
   const std::shared_ptr<ReplicaSet> set = registry_.acquire();
   models::MiniDeepLabV3Plus& model = *set->replicas[static_cast<std::size_t>(worker_id)];
 
-  tensor::Tensor logits;
+  // Per-worker runner: one arena reset per batch, so the forward's
+  // activations reuse the same bytes every batch (zero steady-state heap
+  // traffic — see serve/runner.hpp). Outputs are borrowed and copied into
+  // the owning Response tensors below before the next batch runs.
+  thread_local InferenceRunner runner;
+  const tensor::Tensor* logits_ptr = nullptr;
   try {
-    logits = model.forward(batch.images, /*train=*/false);
+    logits_ptr = &runner.run(model, batch.images);
   } catch (...) {
     for (Request& r : batch.requests) r.promise.set_exception(std::current_exception());
     return;
   }
-
-  // Per-worker scratch: the argmax reuses one buffer across batches.
-  thread_local std::vector<int> labels_scratch;
-  tensor::argmax_channels(logits, labels_scratch);
+  const tensor::Tensor& logits = *logits_ptr;
+  const std::vector<int>& labels_scratch = runner.labels();
 
   const int classes = logits.dim(1);
   const int plane = logits.dim(2) * logits.dim(3);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dlscale/tensor/microkernel.hpp"
+#include "dlscale/util/arena.hpp"
 #include "dlscale/util/thread_pool.hpp"
 
 // Threading model (see DESIGN.md §6): every hot kernel fans out over the
@@ -70,30 +71,14 @@ inline std::int64_t gemm_row_grain(std::int64_t rows, std::int64_t work_per_row)
 /// Grain for elementwise sweeps.
 constexpr std::int64_t kElemGrain = 1 << 15;
 
-/// Per-thread scratch for per-sample column matrices in conv backward;
-/// grows monotonically and is reused across samples and training steps.
-float* sample_scratch(std::size_t n) {
-  thread_local std::vector<float> buf;
-  if (buf.size() < n) buf.resize(n);
-  return buf.data();
-}
+// Kernel scratch (im2col panels, per-sample dcols, softmax partials)
+// comes from the per-thread bump arena as LIFO frames: a caller-side
+// frame spans the whole kernel call, worker-side frames span one chunk.
+// The arena keeps its high-water block across calls, so the steady state
+// is heap-free — the property the zero-allocation tests assert.
+using ScratchFrame = util::Arena::Frame;
 
-/// Per-caller scratch holding the *batched* im2col matrix (all samples'
-/// columns side by side); reused across conv calls and iterations.
-float* batched_cols_scratch(std::size_t n) {
-  thread_local std::vector<float> buf;
-  if (buf.size() < n) buf.resize(n);
-  return buf.data();
-}
-
-/// Per-caller scratch for the (out_c x batch*patch) batched-GEMM output of
-/// conv2d forward, scattered back to NCHW afterwards. Separate from the
-/// cols scratch because both are live during one conv call.
-float* gemm_out_scratch(std::size_t n) {
-  thread_local std::vector<float> buf;
-  if (buf.size() < n) buf.resize(n);
-  return buf.data();
-}
+util::Arena& scratch() { return util::thread_scratch_arena(); }
 
 }  // namespace
 
@@ -279,7 +264,8 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
   const int group = std::clamp(kTargetGemmCols / patch, 1, batch);
   const int ngroups = (batch + group - 1) / group;
   const std::size_t group_stride = static_cast<std::size_t>(kdim) * patch * group;
-  float* cols = batched_cols_scratch(static_cast<std::size_t>(kdim) * patch * batch);
+  ScratchFrame frame(scratch());
+  float* cols = scratch().alloc<float>(static_cast<std::size_t>(kdim) * patch * batch);
 
   // Phase 1: batched im2col, parallel over samples. The samples of one
   // group share a (kdim x group*patch) column matrix — member m owns
@@ -307,7 +293,7 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
   // row scatter (~1/kdim of the GEMM work) restores NCHW.
   const std::size_t out_group_stride = static_cast<std::size_t>(out_c) * patch * group;
   float* gscratch =
-      group > 1 ? gemm_out_scratch(out_group_stride * static_cast<std::size_t>(ngroups))
+      group > 1 ? scratch().alloc<float>(out_group_stride * static_cast<std::size_t>(ngroups))
                 : nullptr;
   const std::int64_t ocb = gemm_row_grain(
       out_c, static_cast<std::int64_t>(kdim) * patch * group);
@@ -367,7 +353,8 @@ Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& 
   Tensor grad_input({batch, in_c, input.dim(2), input.dim(3)});
   const float* pw = w2d.ptr();
   const float* pgo = grad_out.ptr();
-  float* cols = batched_cols_scratch(cols_stride * static_cast<std::size_t>(batch));
+  ScratchFrame frame(scratch());
+  float* cols = scratch().alloc<float>(cols_stride * static_cast<std::size_t>(batch));
 
   // Phase 1: batched im2col, parallel over samples.
   util::parallel_for(0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
@@ -391,10 +378,11 @@ Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& 
                      });
 
   // Phase 3: dX = col2im(W^T * go_n), parallel over samples with a
-  // per-thread dcols scratch reused across samples.
+  // per-worker dcols frame reused across the chunk's samples.
   util::parallel_for(0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+    ScratchFrame chunk_frame(scratch());
+    float* dcols = scratch().alloc<float>(cols_stride);
     for (std::int64_t n = n0; n < n1; ++n) {
-      float* dcols = sample_scratch(cols_stride);
       std::fill(dcols, dcols + cols_stride, 0.0f);
       micro::gemm_tn(pw, pgo + static_cast<std::size_t>(n) * out_c * patch, dcols, 0, kdim, kdim,
                      out_c, patch);
@@ -551,8 +539,20 @@ Tensor batchnorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta, Ten
   const std::size_t per_channel = static_cast<std::size_t>(batch) * hw;
 
   Tensor out(x.shape());
-  std::vector<float> mean(static_cast<std::size_t>(channels));
-  std::vector<float> inv_std(static_cast<std::size_t>(channels));
+  // Train writes the statistics straight into the cache's resize-once
+  // vectors (stable capacity across steps); eval borrows frame scratch.
+  ScratchFrame frame(scratch());
+  float* mean = nullptr;
+  float* inv_std = nullptr;
+  if (cache != nullptr) {
+    cache->mean.resize(static_cast<std::size_t>(channels));
+    cache->inv_std.resize(static_cast<std::size_t>(channels));
+    mean = cache->mean.data();
+    inv_std = cache->inv_std.data();
+  } else {
+    mean = scratch().alloc<float>(static_cast<std::size_t>(channels));
+    inv_std = scratch().alloc<float>(static_cast<std::size_t>(channels));
+  }
   const float* px = x.ptr();
 
   // Per-channel statistics: each channel is reduced serially inside one
@@ -591,8 +591,14 @@ Tensor batchnorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta, Ten
         }
       });
 
-  Tensor x_hat(x.shape());
-  float* pxh = x_hat.ptr();
+  // x_hat is only materialised when a cache wants it for backward (eval
+  // forwards skip the store entirely; the arithmetic for `out` is the
+  // same either way, so outputs stay bitwise identical).
+  float* pxh = nullptr;
+  if (cache != nullptr) {
+    cache->x_hat = Tensor(x.shape());
+    pxh = cache->x_hat.ptr();
+  }
   float* pout = out.ptr();
   const float* pg = gamma.ptr();
   const float* pb = beta.ptr();
@@ -606,20 +612,22 @@ Tensor batchnorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta, Ten
                          const float g = pg[c];
                          const float b = pb[c];
                          const float* src = px + static_cast<std::size_t>(p) * hw;
-                         float* xh = pxh + static_cast<std::size_t>(p) * hw;
                          float* dst = pout + static_cast<std::size_t>(p) * hw;
-                         for (std::size_t i = 0; i < hw; ++i) {
-                           const float v = (src[i] - m) * is;
-                           xh[i] = v;
-                           dst[i] = g * v + b;
+                         if (pxh != nullptr) {
+                           float* xh = pxh + static_cast<std::size_t>(p) * hw;
+                           for (std::size_t i = 0; i < hw; ++i) {
+                             const float v = (src[i] - m) * is;
+                             xh[i] = v;
+                             dst[i] = g * v + b;
+                           }
+                         } else {
+                           for (std::size_t i = 0; i < hw; ++i) {
+                             const float v = (src[i] - m) * is;
+                             dst[i] = g * v + b;
+                           }
                          }
                        }
                      });
-  if (cache != nullptr) {
-    cache->x_hat = std::move(x_hat);
-    cache->mean = std::move(mean);
-    cache->inv_std = std::move(inv_std);
-  }
   return out;
 }
 
@@ -814,13 +822,17 @@ inline float src_pos(int out_idx, int in_extent, int out_extent) {
          static_cast<float>(out_extent - 1);
 }
 
+/// Per-axis sample tables, carved out of the caller's scratch frame so
+/// resize calls in the steady state stay heap-free. Written before the
+/// parallel fan-out, read-only inside it.
 struct ResizeAxis {
-  std::vector<int> lo, hi;
-  std::vector<float> frac;
-  ResizeAxis(int in_extent, int out_extent) {
-    lo.resize(static_cast<std::size_t>(out_extent));
-    hi.resize(static_cast<std::size_t>(out_extent));
-    frac.resize(static_cast<std::size_t>(out_extent));
+  int* lo;
+  int* hi;
+  float* frac;
+  ResizeAxis(util::Arena& arena, int in_extent, int out_extent)
+      : lo(arena.alloc<int>(static_cast<std::size_t>(out_extent))),
+        hi(arena.alloc<int>(static_cast<std::size_t>(out_extent))),
+        frac(arena.alloc<float>(static_cast<std::size_t>(out_extent))) {
     for (int o = 0; o < out_extent; ++o) {
       const float f = src_pos(o, in_extent, out_extent);
       const int i0 = static_cast<int>(f);
@@ -837,7 +849,8 @@ Tensor bilinear_resize(const Tensor& x, int out_h, int out_w) {
   require(x.ndim() == 4, "bilinear_resize: input must be (N,C,H,W)");
   const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
   Tensor out({batch, channels, out_h, out_w});
-  const ResizeAxis ay(h, out_h), ax(w, out_w);
+  ScratchFrame frame(scratch());
+  const ResizeAxis ay(scratch(), h, out_h), ax(scratch(), w, out_w);
   const std::size_t in_plane = static_cast<std::size_t>(h) * w;
   const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
   const float* px = x.ptr();
@@ -871,7 +884,8 @@ Tensor bilinear_resize_backward(const Tensor& x, const Tensor& grad_out) {
   const int batch = x.dim(0), channels = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int out_h = grad_out.dim(2), out_w = grad_out.dim(3);
   Tensor grad_in(x.shape());
-  const ResizeAxis ay(h, out_h), ax(w, out_w);
+  ScratchFrame frame(scratch());
+  const ResizeAxis ay(scratch(), h, out_h), ax(scratch(), w, out_w);
   const std::size_t in_plane = static_cast<std::size_t>(h) * w;
   const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
   const float* pgo = grad_out.ptr();
@@ -972,13 +986,15 @@ float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels
   float* pg = grad.ptr();
   // Per-sample partials combined in sample order below: deterministic for
   // any thread count because the chunking is per sample.
-  std::vector<double> sample_loss(static_cast<std::size_t>(batch), 0.0);
-  std::vector<std::size_t> sample_counted(static_cast<std::size_t>(batch), 0);
+  ScratchFrame frame(scratch());
+  double* sample_loss = scratch().alloc<double>(static_cast<std::size_t>(batch));
+  std::size_t* sample_counted = scratch().alloc<std::size_t>(static_cast<std::size_t>(batch));
   util::parallel_for(
       0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
-        // Per-thread probs scratch (same mechanism as the conv dcols
+        // Per-worker probs frame (same mechanism as the conv dcols
         // buffer): no heap allocation inside the loss loop.
-        float* probs = sample_scratch(static_cast<std::size_t>(classes));
+        ScratchFrame chunk_frame(scratch());
+        float* probs = scratch().alloc<float>(static_cast<std::size_t>(classes));
         for (std::int64_t n = n0; n < n1; ++n) {
           const float* ln = pl + static_cast<std::size_t>(n) * classes * hw;
           float* gn = pg + static_cast<std::size_t>(n) * classes * hw;

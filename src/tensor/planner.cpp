@@ -1,0 +1,68 @@
+#include "dlscale/tensor/planner.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+namespace dlscale::tensor {
+
+namespace {
+
+struct Placement {
+  std::size_t offset = 0;
+  std::size_t size = 0;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;  ///< exclusive
+};
+
+bool overlaps(const Placement& p, std::uint64_t start, std::uint64_t end) noexcept {
+  return p.start < end && start < p.end;
+}
+
+}  // namespace
+
+util::MemoryPlan MemoryPlanner::pack(const std::vector<util::ArenaTraceEvent>& trace) {
+  util::MemoryPlan plan;
+  const std::size_t n = trace.size();
+  plan.offsets.assign(n, 0);
+  plan.sizes.assign(n, 0);
+
+  const std::uint64_t horizon = 2 * static_cast<std::uint64_t>(n) + 2;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return trace[a].bytes > trace[b].bytes;
+  });
+
+  std::vector<Placement> placed;
+  placed.reserve(n);
+  for (std::size_t idx : order) {
+    const util::ArenaTraceEvent& ev = trace[idx];
+    const std::uint64_t start = ev.alloc_tick;
+    const std::uint64_t end = ev.release_tick == 0 ? horizon : ev.release_tick;
+
+    // First-fit: walk live-overlapping placements in offset order and
+    // take the first gap the allocation fits into.
+    std::vector<const Placement*> conflicts;
+    for (const Placement& p : placed) {
+      if (overlaps(p, start, end)) conflicts.push_back(&p);
+    }
+    std::sort(conflicts.begin(), conflicts.end(),
+              [](const Placement* a, const Placement* b) { return a->offset < b->offset; });
+    std::size_t offset = 0;
+    for (const Placement* p : conflicts) {
+      if (offset + ev.bytes <= p->offset) break;
+      offset = std::max(offset, p->offset + p->size);
+    }
+
+    plan.offsets[idx] = offset;
+    plan.sizes[idx] = ev.bytes;
+    plan.naive_bytes += ev.bytes;
+    plan.peak_bytes = std::max(plan.peak_bytes, offset + ev.bytes);
+    placed.push_back({offset, ev.bytes, start, end});
+  }
+  return plan;
+}
+
+}  // namespace dlscale::tensor

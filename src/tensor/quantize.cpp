@@ -7,6 +7,7 @@
 #include <string>
 
 #include "dlscale/tensor/microkernel.hpp"
+#include "dlscale/util/arena.hpp"
 #include "dlscale/util/thread_pool.hpp"
 
 namespace dlscale::tensor::quant {
@@ -23,30 +24,13 @@ constexpr int kWeightQmax = 63;
 
 inline int round_up4(int v) { return (v + 3) & ~3; }
 
-/// Per-thread grow-only scratch arenas, mirroring ops.cpp's idiom.
-float* cols_scratch(std::size_t n) {
-  thread_local std::vector<float> buf;
-  if (buf.size() < n) buf.resize(n);
-  return buf.data();
-}
+// Panel scratch (quantized activations, byte transposes, i32
+// accumulators) comes from the per-thread bump arena as LIFO frames,
+// mirroring ops.cpp: caller-side frames span the kernel call, worker-side
+// frames span one chunk. Heap-free after warmup.
+using ScratchFrame = util::Arena::Frame;
 
-std::uint8_t* u8_scratch(std::size_t n) {
-  thread_local std::vector<std::uint8_t> buf;
-  if (buf.size() < n) buf.resize(n);
-  return buf.data();
-}
-
-std::uint8_t* u8t_scratch(std::size_t n) {
-  thread_local std::vector<std::uint8_t> buf;
-  if (buf.size() < n) buf.resize(n);
-  return buf.data();
-}
-
-std::int32_t* acc_scratch(std::size_t n) {
-  thread_local std::vector<std::int32_t> buf;
-  if (buf.size() < n) buf.resize(n);
-  return buf.data();
-}
+util::Arena& scratch() { return util::thread_scratch_arena(); }
 
 /// Shared dequantization epilogue (scalar on both dispatch paths, so it
 /// cannot break the bitwise-identity contract): one row of the i32
@@ -212,13 +196,16 @@ Tensor quantized_matmul(const Tensor& a, const QuantizedMatrix& w,
       0, m, std::max<std::int64_t>(1, (1 << 16) / std::max(1, k)),
       [&](std::int64_t i0, std::int64_t i1) {
         const auto rows = static_cast<int>(i1 - i0);
-        std::uint8_t* qa = u8_scratch(static_cast<std::size_t>(rows) * kp);
+        ScratchFrame chunk_frame(scratch());
+        std::uint8_t* qa =
+            scratch().alloc<std::uint8_t>(static_cast<std::size_t>(rows) * kp);
         for (int i = 0; i < rows; ++i) {
           micro::quantize_u8(pa + (i0 + i) * k,
                              qa + static_cast<std::size_t>(i) * kp, k,
                              inv_scale, act.zero_point);
         }
-        std::int32_t* acc = acc_scratch(static_cast<std::size_t>(rows) * w.n);
+        std::int32_t* acc =
+            scratch().alloc<std::int32_t>(static_cast<std::size_t>(rows) * w.n);
         micro::gemm_s8u8(qa, kp, w.packed.data(), acc, rows, k, w.n);
         for (int i = 0; i < rows; ++i) {
           dequant_row(acc + static_cast<std::size_t>(i) * w.n, w, act, pbias,
@@ -258,7 +245,9 @@ Tensor quantized_conv2d(const Tensor& input, const QuantizedMatrix& weight,
   const int ngroups = (batch + group - 1) / group;
   const std::size_t group_stride =
       static_cast<std::size_t>(kdim) * patch * group;
-  float* cols = cols_scratch(static_cast<std::size_t>(kdim) * patch * batch);
+  ScratchFrame frame(scratch());
+  float* cols =
+      scratch().alloc<float>(static_cast<std::size_t>(kdim) * patch * batch);
 
   // Phase 1: fp32 batched im2col in exactly the fp32 forward's layout —
   // the zero padding it writes quantizes to the zero point below.
@@ -289,7 +278,9 @@ Tensor quantized_conv2d(const Tensor& input, const QuantizedMatrix& weight,
       const int gcols = members * patch;
       const float* gcolsrc = cols + group_stride * g;
 
-      std::uint8_t* qcols = u8_scratch(static_cast<std::size_t>(kdim) * gcols);
+      ScratchFrame group_frame(scratch());
+      std::uint8_t* qcols =
+          scratch().alloc<std::uint8_t>(static_cast<std::size_t>(kdim) * gcols);
       micro::quantize_u8(gcolsrc, qcols,
                          static_cast<std::int64_t>(kdim) * gcols, inv_scale,
                          act.zero_point);
@@ -299,10 +290,12 @@ Tensor quantized_conv2d(const Tensor& input, const QuantizedMatrix& weight,
       // int8 GEMM itself). Pad bytes in [kdim, kp) are left untouched,
       // which the kernel permits: B's pack is zero-padded there,
       // nullifying whatever they hold.
-      std::uint8_t* at = u8t_scratch(static_cast<std::size_t>(gcols) * kp);
+      std::uint8_t* at =
+          scratch().alloc<std::uint8_t>(static_cast<std::size_t>(gcols) * kp);
       micro::transpose_u8(qcols, kdim, gcols, at, kp);
 
-      std::int32_t* acc = acc_scratch(static_cast<std::size_t>(gcols) * out_c);
+      std::int32_t* acc =
+          scratch().alloc<std::int32_t>(static_cast<std::size_t>(gcols) * out_c);
       micro::gemm_s8u8(at, kp, weight.packed.data(), acc, gcols, kdim, out_c);
 
       for (int m = 0; m < members; ++m) {

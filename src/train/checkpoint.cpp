@@ -39,7 +39,8 @@ T read_pod(std::ifstream& in, const std::string& what) {
 constexpr std::uint32_t kMaxNameLen = 4096;
 constexpr std::uint32_t kMaxNdim = 8;
 
-std::string shape_str(const std::vector<int>& shape) {
+template <typename ShapeLike>  // std::vector<int> or tensor::Shape
+std::string shape_str(const ShapeLike& shape) {
   std::string s = "(";
   for (std::size_t i = 0; i < shape.size(); ++i) {
     if (i != 0) s += ",";

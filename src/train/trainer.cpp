@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dlscale/tensor/ops.hpp"
+#include "dlscale/tensor/planner.hpp"
 #include "dlscale/train/checkpoint.hpp"
 #include "dlscale/util/logging.hpp"
 
@@ -32,10 +33,13 @@ std::pair<double, double> evaluate(models::MiniDeepLabV3Plus& model,
   data::ConfusionMatrix confusion(dataset.config().num_classes);
   std::vector<std::uint64_t> indices;
   std::vector<int> pred;  // reused across batches to avoid per-batch allocation
+  util::Arena arena;      // eval activations, reset per batch
   for (std::uint64_t i = 0; i < count; ++i) {
     indices.push_back(first_index + i);
     if (static_cast<int>(indices.size()) == batch_size || i + 1 == count) {
       const data::Sample batch = dataset.make_batch(indices);
+      arena.reset();
+      util::ArenaScope scope(arena);
       const tensor::Tensor logits = model.forward(batch.image, /*train=*/false);
       tensor::argmax_channels(logits, pred);
       confusion.update(pred, batch.labels, kIgnoreLabel);
@@ -105,8 +109,7 @@ Trainer::Trainer(const TrainConfig& config, CommHook& hook)
   report_.parameter_count = model_.parameter_count();
 }
 
-float Trainer::train_step(const data::Sample& batch, double lr) {
-  optimizer_.zero_grad();
+float Trainer::step_body(const data::Sample& batch) {
   const tensor::Tensor logits = model_.forward(batch.image, /*train=*/true);
   tensor::Tensor grad;
   const float loss = tensor::softmax_cross_entropy(logits, batch.labels, kIgnoreLabel, grad);
@@ -114,6 +117,39 @@ float Trainer::train_step(const data::Sample& batch, double lr) {
   // moment it is ready; on_step_end drains the negotiation/fusion cycles.
   model_.backward(grad, hook_.on_step_begin());
   hook_.on_step_end();
+  return loss;
+}
+
+float Trainer::train_step(const data::Sample& batch, double lr) {
+  // zero_grad outside the arena scope: parameter gradients (and the
+  // optimizer's velocity) are heap-persistent across steps, so the traced
+  // allocation sequence matches every replayed step exactly.
+  optimizer_.zero_grad();
+  float loss;
+  if (config_.memory == MemoryMode::kOwning) {
+    loss = step_body(batch);
+  } else {
+    const bool retrace =
+        config_.memory == MemoryMode::kPlanned &&
+        (!step_arena_.planned() || !(batch.image.shape() == traced_shape_));
+    if (retrace) {
+      // Trace this step's Tensor liveness, then pack and install the
+      // plan: every later step with this input shape replays preassigned
+      // offsets in one block — no heap, no bump-chain growth.
+      if (step_arena_.planned()) step_arena_.clear_plan();
+      step_arena_.begin_trace();
+      {
+        util::ArenaScope scope(step_arena_);
+        loss = step_body(batch);
+      }
+      step_arena_.set_plan(tensor::MemoryPlanner::pack(step_arena_.take_trace()));
+      traced_shape_ = batch.image.shape();
+    } else {
+      step_arena_.reset();
+      util::ArenaScope scope(step_arena_);
+      loss = step_body(batch);
+    }
+  }
   optimizer_.step(lr);
   ++global_step_;
   return loss;
@@ -157,6 +193,10 @@ EpochReport Trainer::train_epoch() {
       batch_ids.push_back(mine[i]);
       if (static_cast<int>(batch_ids.size()) == config_.batch_per_rank || i + 1 == mine.size()) {
         const data::Sample batch = dataset_.make_batch(batch_ids);
+        // Eval forwards go through the dedicated bump arena (never the
+        // planned step arena — eval batch shapes vary with the shard).
+        eval_arena_.reset();
+        util::ArenaScope scope(eval_arena_);
         const tensor::Tensor logits = model_.forward(batch.image, /*train=*/false);
         tensor::argmax_channels(logits, pred);
         confusion.update(pred, batch.labels, kIgnoreLabel);

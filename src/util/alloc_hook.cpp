@@ -1,0 +1,103 @@
+// Counting overrides of the global allocation functions. Everything
+// routes through malloc/free (including the aligned forms) so the
+// replacement set is self-consistent no matter which new/delete pairing
+// the standard library picks.
+#include "dlscale/util/alloc_hook.hpp"
+
+#ifdef DLSCALE_ALLOC_HOOK
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+void* counted_alloc(std::size_t size) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded);
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+namespace dlscale::util {
+
+std::uint64_t alloc_count() noexcept { return g_allocs.load(std::memory_order_relaxed); }
+std::uint64_t free_count() noexcept { return g_frees.load(std::memory_order_relaxed); }
+
+}  // namespace dlscale::util
+
+#endif  // DLSCALE_ALLOC_HOOK

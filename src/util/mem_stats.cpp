@@ -1,0 +1,23 @@
+#include "dlscale/util/mem_stats.hpp"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace dlscale::util {
+
+std::size_t peak_rss_bytes() {
+#if defined(__linux__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // kilobytes
+#elif defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes
+#else
+  return 0;
+#endif
+}
+
+}  // namespace dlscale::util

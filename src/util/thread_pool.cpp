@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <exception>
-#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -17,18 +15,21 @@ namespace {
 
 thread_local bool t_in_worker = false;
 
-/// Shared state of one parallel_for call. Heap-allocated and reference
-/// counted so queued tasks that fire after the job already finished (all
-/// chunks claimed by faster participants) can no-op safely.
+/// Shared state of one parallel_for call. Lives on the *caller's stack*:
+/// the caller enqueues a pointer, participates, waits for completion,
+/// then unregisters the job and waits for every worker still holding the
+/// pointer to drop it (holders protocol) before the frame unwinds.
 struct Job {
   std::int64_t begin = 0;
   std::int64_t end = 0;
   std::int64_t grain = 1;
   std::int64_t chunks = 0;
-  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+  void (*fn)(void*, std::int64_t, std::int64_t) = nullptr;
+  void* ctx = nullptr;
 
   std::atomic<std::int64_t> next{0};  ///< next unclaimed chunk index
   std::atomic<std::int64_t> done{0};  ///< chunks fully executed
+  int holders = 0;  ///< workers inside work() (guarded by pool mutex)
 
   std::mutex mutex;
   std::condition_variable all_done;
@@ -43,7 +44,7 @@ struct Job {
       const std::int64_t lo = begin + c * grain;
       const std::int64_t hi = std::min(lo + grain, end);
       try {
-        (*fn)(lo, hi);
+        fn(ctx, lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (!error) error = std::current_exception();
@@ -60,30 +61,62 @@ struct Job {
 
 struct ThreadPool::Impl {
   std::mutex mutex;
-  std::condition_variable wake;
-  std::deque<std::shared_ptr<Job>> queue;
+  std::condition_variable wake;     ///< workers: new job / stopping
+  std::condition_variable drained;  ///< callers: a worker dropped a hold
+  // Ring over a vector: pop advances `head`, push appends; when the ring
+  // empties it rewinds to index 0 with clear() (capacity kept), so the
+  // steady state never touches the heap — a deque would alloc/free a
+  // node block every few dozen push/pop cycles.
+  std::vector<Job*> queue;
+  std::size_t head = 0;
   std::vector<std::thread> workers;
   bool stopping = false;
+
+  void pop_front_locked() {
+    ++head;
+    if (head == queue.size()) {
+      queue.clear();
+      head = 0;
+    }
+  }
+
+  void remove_locked(Job* job) {
+    for (std::size_t i = head; i < queue.size(); ++i) {
+      if (queue[i] == job) {
+        if (i == head) {
+          pop_front_locked();
+        } else {
+          queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        return;
+      }
+    }
+  }
 
   void worker_loop() {
     t_in_worker = true;
     for (;;) {
-      std::shared_ptr<Job> job;
+      Job* job = nullptr;
       {
         std::unique_lock<std::mutex> lock(mutex);
-        wake.wait(lock, [&] { return stopping || !queue.empty(); });
-        if (stopping && queue.empty()) return;
-        job = queue.front();
+        wake.wait(lock, [&] { return stopping || head < queue.size(); });
+        if (stopping && head >= queue.size()) return;
+        job = queue[head];
         // Keep the job visible until its chunks run out so several
         // workers can join it; pop only when nothing is left to claim.
         if (job->next.load(std::memory_order_relaxed) >= job->chunks) {
-          queue.pop_front();
+          pop_front_locked();
           continue;
         }
+        ++job->holders;  // the caller may not free the Job while held
       }
       job->work();
-      std::lock_guard<std::mutex> lock(mutex);
-      if (!queue.empty() && queue.front() == job) queue.pop_front();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        --job->holders;
+        if (head < queue.size() && queue[head] == job) pop_front_locked();
+      }
+      drained.notify_all();
     }
   }
 };
@@ -108,8 +141,8 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::in_worker() noexcept { return t_in_worker; }
 
-void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                              const std::function<void(std::int64_t, std::int64_t)>& fn) {
+void ThreadPool::run_chunked(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                             ChunkFn fn, void* ctx) {
   if (begin >= end) return;
   grain = std::max<std::int64_t>(1, grain);
   const std::int64_t range = end - begin;
@@ -119,33 +152,46 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
   // is a pure function of (begin, end, grain) at every pool size.
   if (threads_ <= 1 || range <= grain || t_in_worker) {
     for (std::int64_t lo = begin; lo < end; lo += grain) {
-      fn(lo, std::min(lo + grain, end));
+      fn(ctx, lo, std::min(lo + grain, end));
     }
     return;
   }
 
-  auto job = std::make_shared<Job>();
-  job->begin = begin;
-  job->end = end;
-  job->grain = grain;
-  job->chunks = (range + grain - 1) / grain;
-  job->fn = &fn;
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.chunks = (range + grain - 1) / grain;
+  job.fn = fn;
+  job.ctx = ctx;
 
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->queue.push_back(job);
+    impl_->queue.push_back(&job);
   }
   impl_->wake.notify_all();
 
   // The caller participates; when workers are saturated by other
   // callers' jobs this loop simply executes every chunk itself.
-  job->work();
+  job.work();
 
-  std::unique_lock<std::mutex> lock(job->mutex);
-  job->all_done.wait(lock, [&] {
-    return job->done.load(std::memory_order_acquire) == job->chunks;
-  });
-  if (job->error) std::rethrow_exception(job->error);
+  {
+    std::unique_lock<std::mutex> lock(job.mutex);
+    job.all_done.wait(lock, [&] {
+      return job.done.load(std::memory_order_acquire) == job.chunks;
+    });
+  }
+
+  // Every chunk ran, but the stack-allocated Job may still be referenced:
+  // it can sit in the queue, and workers that joined late may be inside
+  // work() draining an empty claim. Unregister it and wait out holders.
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->remove_locked(&job);
+    impl_->drained.wait(lock, [&] { return job.holders == 0; });
+  }
+
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 namespace {

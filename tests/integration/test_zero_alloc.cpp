@@ -1,0 +1,102 @@
+// The zero-allocation steady-state proof (DESIGN.md §10): with the
+// liveness plan installed (training) or the per-worker arena warmed up
+// (serving), a steady-state iteration performs ZERO heap allocations.
+//
+// This binary links dlscale::alloc_hook, which replaces the global
+// operator new/delete with counting versions; the tests snapshot
+// util::alloc_count() around a post-warmup train step / serve batch and
+// assert the delta is exactly zero. Runs under every SIMD dispatch level.
+//
+// The thread pool is pinned to 1: worker threads claim chunks racily, so
+// per-thread scratch-arena warmup would be nondeterministic with a pool.
+// Single-threaded execution exercises the identical allocation paths
+// (the pool runs the same chunk function inline).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dlscale/data/dataset.hpp"
+#include "dlscale/models/deeplab.hpp"
+#include "dlscale/serve/runner.hpp"
+#include "dlscale/train/trainer.hpp"
+#include "dlscale/util/alloc_hook.hpp"
+#include "dlscale/util/thread_pool.hpp"
+#include "../support/simd_param.hpp"
+
+namespace dd = dlscale::data;
+namespace dmo = dlscale::models;
+namespace ds = dlscale::serve;
+namespace dt = dlscale::train;
+namespace du = dlscale::util;
+namespace dtr = dlscale::tensor;
+
+namespace {
+
+class ZeroAlloc : public dlscale::testing::SimdLevelTest {
+ protected:
+  void SetUp() override {
+    dlscale::testing::SimdLevelTest::SetUp();
+    previous_threads_ = du::global_thread_count();
+    du::set_global_thread_count(1);
+  }
+  void TearDown() override {
+    du::set_global_thread_count(previous_threads_);
+    dlscale::testing::SimdLevelTest::TearDown();
+  }
+
+ private:
+  int previous_threads_ = 1;
+};
+
+TEST_P(ZeroAlloc, SteadyStateTrainStepAllocatesNothing) {
+  dt::TrainConfig config;
+  config.model = {.in_channels = 3, .num_classes = 4, .input_size = 16, .width = 4};
+  config.dataset = {.image_size = 16, .num_classes = 4, .max_shapes = 2, .noise = 0.1f,
+                    .seed = 99};
+  config.train_samples = 32;
+  config.eval_samples = 8;
+  config.batch_per_rank = 2;
+  config.memory = dt::MemoryMode::kPlanned;
+  dt::NoComm hook;
+  dt::Trainer trainer(config, hook);
+  const dd::SyntheticShapes dataset(config.dataset);
+  const dd::Sample batch = dataset.make_batch({0, 1});
+
+  // Warmup: step 1 traces and installs the plan (heap allowed); step 2 is
+  // the first planned replay and also warms any lazily-grown std::vector
+  // members (argmax caches etc.) to their steady-state capacity.
+  trainer.train_step(batch, 0.05);
+  trainer.train_step(batch, 0.05);
+
+  const std::uint64_t before = du::alloc_count();
+  trainer.train_step(batch, 0.05);
+  const std::uint64_t after = du::alloc_count();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations in a steady-state train step";
+}
+
+TEST_P(ZeroAlloc, SteadyStateServeBatchAllocatesNothing) {
+  du::Rng rng(7);
+  dmo::MiniDeepLabV3Plus model({.in_channels = 3, .num_classes = 4, .input_size = 16, .width = 4},
+                               rng);
+  du::Rng image_rng(21);
+  const dtr::Tensor batch = dtr::Tensor::randn({4, 3, 16, 16}, image_rng, 0.5f);
+  ds::InferenceRunner runner;
+
+  // Warmup: first run grows the arena chain, second coalesces at the
+  // watermark and reuses it.
+  runner.run(model, batch);
+  runner.run(model, batch);
+
+  const std::uint64_t before = du::alloc_count();
+  runner.run(model, batch);
+  const std::uint64_t after = du::alloc_count();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations in a steady-state serve batch";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, ZeroAlloc,
+                         ::testing::ValuesIn(dlscale::testing::simd_levels_under_test()),
+                         dlscale::testing::simd_param_name);
+
+}  // namespace

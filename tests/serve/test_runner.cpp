@@ -1,0 +1,88 @@
+// serve::InferenceRunner: arena-backed per-worker forwards must produce
+// the same bytes as plain owning-Tensor forwards, reuse the arena across
+// batches, and keep outputs valid until the next run.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "dlscale/models/deeplab.hpp"
+#include "dlscale/serve/runner.hpp"
+#include "dlscale/tensor/ops.hpp"
+#include "../support/simd_param.hpp"
+
+namespace dmo = dlscale::models;
+namespace ds = dlscale::serve;
+namespace dt = dlscale::tensor;
+namespace du = dlscale::util;
+
+namespace {
+
+dt::Tensor make_batch(int n, int channels, int size, std::uint64_t seed) {
+  du::Rng rng(seed);
+  return dt::Tensor::randn({n, channels, size, size}, rng, 0.5f);
+}
+
+class RunnerIdentity : public dlscale::testing::SimdLevelTest {};
+
+TEST_P(RunnerIdentity, MatchesOwningForwardBitwise) {
+  du::Rng rng(7);
+  dmo::MiniDeepLabV3Plus model({.in_channels = 3, .num_classes = 4, .input_size = 16, .width = 4},
+                               rng);
+  const dt::Tensor batch = make_batch(3, 3, 16, 11);
+
+  const dt::Tensor owning = model.forward(batch, /*train=*/false);
+  std::vector<int> owning_labels;
+  dt::argmax_channels(owning, owning_labels);
+
+  ds::InferenceRunner runner;
+  const dt::Tensor& served = runner.run(model, batch);
+  ASSERT_TRUE(served.borrowed());
+  ASSERT_EQ(served.numel(), owning.numel());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < owning.numel(); ++i) {
+    if (std::bit_cast<std::uint32_t>(owning[i]) != std::bit_cast<std::uint32_t>(served[i])) {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << "arena-backed forward diverged from owning forward";
+  EXPECT_EQ(runner.labels(), owning_labels);
+}
+
+TEST_P(RunnerIdentity, ArenaStopsGrowingAfterWarmup) {
+  du::Rng rng(7);
+  dmo::MiniDeepLabV3Plus model({.in_channels = 3, .num_classes = 4, .input_size = 16, .width = 4},
+                               rng);
+  ds::InferenceRunner runner;
+  const dt::Tensor batch = make_batch(2, 3, 16, 13);
+  runner.run(model, batch);
+  const std::size_t watermark = runner.arena_watermark();
+  EXPECT_GT(watermark, 0u);
+  for (int i = 0; i < 3; ++i) runner.run(model, batch);
+  EXPECT_EQ(runner.arena_watermark(), watermark)
+      << "steady-state batches must reuse the warmed-up arena exactly";
+}
+
+TEST_P(RunnerIdentity, OutputsRemainValidUntilNextRun) {
+  du::Rng rng(7);
+  dmo::MiniDeepLabV3Plus model({.in_channels = 3, .num_classes = 4, .input_size = 16, .width = 4},
+                               rng);
+  ds::InferenceRunner runner;
+  const dt::Tensor& first = runner.run(model, make_batch(1, 3, 16, 17));
+  const float probe = first[0];
+  const std::vector<int> first_labels = runner.labels();
+  // Reading back after the call returns (what Server::run_batch does while
+  // building responses) must see the same bytes.
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(first[0]), std::bit_cast<std::uint32_t>(probe));
+  // The next run recycles the arena; the runner hands out fresh outputs
+  // (logits numel = labels * num_classes).
+  const dt::Tensor& second = runner.run(model, make_batch(1, 3, 16, 23));
+  EXPECT_EQ(second.numel(), first_labels.size() * 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, RunnerIdentity,
+                         ::testing::ValuesIn(dlscale::testing::simd_levels_under_test()),
+                         dlscale::testing::simd_param_name);
+
+}  // namespace
