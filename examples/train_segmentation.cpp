@@ -8,25 +8,69 @@
 // an uninterrupted run exactly.
 //
 // Usage: ./build/examples/train_segmentation [ranks] [epochs]
+//                                            [--inject-kill rank=R,step=S]
+//
+// --inject-kill rank=2,step=40 kills rank 2 at optimisation step 40:
+// training switches to the elastic path (train::ElasticTrainer), the
+// survivors shrink the communicator, restore the last per-epoch
+// checkpoint, and finish on 3 ranks; the recovery is reported at the end.
 //
 // DLSCALE_AUTOTUNE=1 turns on online knob autotuning: an hvd::Autotuner
 // retunes fusion/cycle/hierarchy at measurement-window boundaries while
 // the model trains — observation-only, metrics are unchanged.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
-#include "dlscale/train/trainer.hpp"
+#include "dlscale/train/elastic.hpp"
 #include "dlscale/util/env.hpp"
 #include "dlscale/util/table.hpp"
 
 using namespace dlscale;
 
+namespace {
+
+// Parses "--inject-kill rank=R,step=S" (or --inject-kill=rank=R,step=S)
+// out of argv, leaving positional arguments where they are.
+bool parse_inject_kill(int argc, char** argv, std::vector<int>& positional, int& kill_rank,
+                       long& kill_step) {
+  bool inject = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* spec = nullptr;
+    if (std::strcmp(arg, "--inject-kill") == 0 && i + 1 < argc) {
+      spec = argv[++i];
+    } else if (std::strncmp(arg, "--inject-kill=", 14) == 0) {
+      spec = arg + 14;
+    }
+    if (spec) {
+      if (std::sscanf(spec, "rank=%d,step=%ld", &kill_rank, &kill_step) != 2) return false;
+      inject = true;
+      continue;
+    }
+    positional.push_back(std::atoi(arg));
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const int world = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int epochs = argc > 2 ? std::atoi(argv[2]) : 5;
-  if (world < 1 || epochs < 1) {
-    std::fprintf(stderr, "usage: %s [ranks >= 1] [epochs >= 1]\n", argv[0]);
+  std::vector<int> positional;
+  int kill_rank = -1;
+  long kill_step = -1;
+  if (!parse_inject_kill(argc, argv, positional, kill_rank, kill_step)) {
+    std::fprintf(stderr, "bad --inject-kill spec; expected rank=R,step=S\n");
+    return 1;
+  }
+  const bool inject = kill_rank >= 0;
+  const int world = positional.size() > 0 ? positional[0] : 4;
+  const int epochs = positional.size() > 1 ? positional[1] : 5;
+  if (world < 1 || epochs < 1 || (inject && kill_rank >= world)) {
+    std::fprintf(stderr, "usage: %s [ranks >= 1] [epochs >= 1] [--inject-kill rank=R,step=S]\n",
+                 argv[0]);
     return 1;
   }
 
@@ -45,20 +89,57 @@ int main(int argc, char** argv) {
   config.autotune.window_steps = 2;
 
   std::printf("%s\n", util::env_dump().c_str());
-  std::printf("Training mini DeepLab-v3+ on %d rank(s), %d epoch(s), global batch %d%s\n\n", world,
+  std::printf("Training mini DeepLab-v3+ on %d rank(s), %d epoch(s), global batch %d%s\n", world,
               epochs, world * config.batch_per_rank,
               config.autotune.enabled ? ", online autotuning ON" : "");
+  if (inject) {
+    std::printf("Fault injection: rank %d dies at step %ld (elastic recovery ON)\n", kill_rank,
+                kill_step);
+  }
+  std::printf("\n");
 
   mpi::WorldOptions options;
   options.topology = net::Topology::single_node(world);
   options.profile = net::MpiProfile::mvapich2_gdr_like();
   options.timing = false;  // real training: wall-clock is the budget
+  if (inject) options.faults.kills = {{kill_rank, kill_step}};
 
   train::TrainReport report;
+  std::vector<train::RecoveryEvent> recoveries;
   mpi::run_world(options, [&](mpi::Communicator& comm) {
-    auto result = train::train_distributed(comm, config);
-    if (comm.rank() == 0) report = std::move(result);
+    if (inject) {
+      train::ElasticConfig elastic_config;
+      elastic_config.train = config;
+      elastic_config.checkpoint_path = "/tmp/dlscale_example_elastic.ckpt";
+      elastic_config.checkpoint_every_epochs = 1;
+      train::ElasticTrainer elastic(comm, elastic_config);
+      auto result = elastic.run();
+      if (elastic.comm().rank() == 0) {
+        report = std::move(result);
+        recoveries = elastic.recoveries();
+      }
+    } else {
+      auto result = train::train_distributed(comm, config);
+      if (comm.rank() == 0) report = std::move(result);
+    }
   });
+  if (inject) std::remove("/tmp/dlscale_example_elastic.ckpt");
+
+  if (!recoveries.empty()) {
+    util::Table recovery("Elastic recovery");
+    recovery.set_header({"failed rank", "at step", "ranks", "resumed at", "steps replayed",
+                         "recovery wall (ms)"});
+    for (const auto& event : recoveries) {
+      recovery.add_row({util::Table::num(static_cast<long long>(event.failed_global_rank)),
+                        util::Table::num(static_cast<long long>(event.step_at_failure)),
+                        std::to_string(event.old_size) + " -> " + std::to_string(event.new_size),
+                        util::Table::num(static_cast<long long>(event.resumed_step)),
+                        util::Table::num(static_cast<long long>(event.steps_replayed)),
+                        util::Table::num(event.wall_recovery_s * 1e3, 2)});
+    }
+    recovery.print();
+    std::printf("\n");
+  }
 
   util::Table curve("Learning curve (" + std::to_string(world) + " ranks)");
   curve.set_header({"epoch", "train loss", "eval mIOU", "eval pixel acc"});

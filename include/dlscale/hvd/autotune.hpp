@@ -168,6 +168,24 @@ class Autotuner {
   /// Collective unless already frozen.
   void freeze();
 
+  /// Point the tuner at a rebuilt runtime (elastic recovery constructs a
+  /// fresh HorovodRuntime over the shrunken communicator). The old
+  /// runtime may be destroyed after this returns. Follow with
+  /// on_world_change() to restart measurement.
+  void rebind(HorovodRuntime& runtime) { runtime_ = &runtime; }
+
+  /// Discard the partially-measured window so pre- and post-failure
+  /// samples are never mixed into one score: step times from a 4-rank
+  /// world would poison the first 3-rank window. Completed history is
+  /// kept; the in-flight window restarts against the current runtime.
+  ///
+  /// Collective over the rebuilt communicator: rank 0 re-broadcasts its
+  /// {frozen, knobs} state, because a failure can interrupt a
+  /// window-finishing broadcast with only some ranks having applied the
+  /// decision. If the policy owner (old rank 0) died, the new rank 0
+  /// restarts the search from the incumbent knobs.
+  void on_world_change();
+
   [[nodiscard]] bool frozen() const noexcept { return frozen_; }
   /// The knobs all ranks currently run under (identical everywhere).
   [[nodiscard]] const Knobs& active() const noexcept { return active_; }
@@ -191,7 +209,7 @@ class Autotuner {
   [[nodiscard]] double score_window(double window_s, const RuntimeStats& delta,
                                     int steps) const;
 
-  HorovodRuntime& runtime_;
+  HorovodRuntime* runtime_;  ///< pointer, not reference: retargeted by rebind()
   AutotuneOptions options_;
   std::unique_ptr<TuningPolicy> policy_;
   Knobs active_;

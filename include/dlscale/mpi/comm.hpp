@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,11 +42,57 @@ using net::MemSpace;
 /// Elementwise reduction operator for reduce/allreduce.
 enum class ReduceOp { kSum, kMax, kMin };
 
+/// Fault-injection plan for a world (WorldOptions::faults). The failure
+/// model is fail-stop: a killed rank stops executing at a well-defined
+/// point (its own step counter reaching `at_step`, or its virtual clock
+/// passing `at_time_s`) and never communicates again. Message
+/// perturbations model a flaky link rather than a dead one: a "dropped"
+/// message is lost on the wire and retransmitted after a timeout (so
+/// receivers never hang), a "delayed" message simply lands late. Both are
+/// decided by a deterministic per-message hash of `seed`, so a plan
+/// replays identically across runs and thread interleavings.
+struct FaultPlan {
+  struct Kill {
+    int global_rank = -1;
+    /// Die when this rank's fault_tick() count reaches at_step (steps are
+    /// whatever the application ticks: optimisation steps in train::,
+    /// iterations in perf::simulate). Negative disables.
+    long at_step = -1;
+    /// Die at the first communication attempt with the rank's virtual
+    /// clock at or past this time (timing worlds only). Negative disables.
+    double at_time_s = -1.0;
+  };
+  std::vector<Kill> kills;
+
+  /// Per-message probability the payload is lost and retransmitted after
+  /// `retransmit_s` virtual seconds (timing worlds; in functional worlds
+  /// the loss is counted but delivery is immediate).
+  double drop_prob = 0.0;
+  double retransmit_s = 1e-3;
+  /// Per-message probability of an extra `delay_s` of latency.
+  double delay_prob = 0.0;
+  double delay_s = 0.0;
+  std::uint64_t seed = 0x5EEDF417ull;
+  /// Restrict drop/delay to messages SENT by this global rank (negative =
+  /// any sender) inside the virtual-time window [window_from_s,
+  /// window_until_s) (negative bounds = unbounded). This is the node-flap
+  /// shape: one node's NIC goes bad for a while, then recovers.
+  int flaky_rank = -1;
+  double window_from_s = -1.0;
+  double window_until_s = -1.0;
+
+  [[nodiscard]] bool any_kills() const noexcept { return !kills.empty(); }
+  [[nodiscard]] bool any_link_faults() const noexcept {
+    return drop_prob > 0.0 || delay_prob > 0.0;
+  }
+};
+
 /// Configuration for a world of ranks.
 struct WorldOptions {
   net::Topology topology{net::Topology::single_node(1)};
   net::MpiProfile profile{net::MpiProfile::ideal()};
   bool timing = true;  ///< advance virtual clocks through the cost model
+  FaultPlan faults{};  ///< rank kills and link perturbations to inject
 };
 
 /// Per-rank communication counters (virtual-time based when timing is on).
@@ -53,6 +100,31 @@ struct CommStats {
   double comm_time_s = 0.0;     ///< virtual seconds the rank's clock advanced inside comm ops
   std::uint64_t messages = 0;   ///< point-to-point messages received
   std::uint64_t bytes = 0;      ///< logical payload bytes received
+  std::uint64_t messages_dropped = 0;  ///< sends lost+retransmitted by the FaultPlan
+  std::uint64_t messages_delayed = 0;  ///< sends delayed by the FaultPlan
+};
+
+/// The single error channel of the failure-aware comm API: thrown by any
+/// blocking operation on a communicator one of whose members has died.
+/// Carries the first dead member (death order), the operation that
+/// detected it, and the tag in flight (-1 for collectives detected at
+/// entry). After catching it, survivors stop using this communicator and
+/// collectively call shrink() to rebuild; see DESIGN.md §11.
+class RankFailed : public std::runtime_error {
+ public:
+  RankFailed(int failed_global_rank_, std::string op_, int tag_);
+
+  int failed_global_rank;  ///< global (world) rank of the dead peer
+  std::string op;          ///< entry point that detected the failure
+  int tag;                 ///< message tag in flight, or -1
+};
+
+/// Thrown on the DYING rank's own thread when its FaultPlan trigger
+/// fires; run_world treats it as a clean (non-error) rank exit.
+/// Deliberately NOT derived from std::exception so application-level
+/// `catch (const std::exception&)` blocks cannot swallow a death.
+struct RankKilled {
+  int global_rank;
 };
 
 class World;
@@ -74,6 +146,15 @@ class Communicator {
   // `logical_bytes` overrides the priced message size; pass it with an
   // empty span for timing-only traffic (perf-simulation mode). Defaults
   // to the span size.
+  //
+  // Failure semantics (applies to every p2p call below): once any member
+  // of this communicator has died, the communicator is REVOKED — send,
+  // recv, sendrecv, isend, irecv-wait, send_value, recv_value,
+  // recv_dynamic, send_blob, and recv_blob all raise mpi::RankFailed, and
+  // a recv already blocked when the death happens is woken and raises
+  // too. Revoking on *any* member death (not just the direct peer) is
+  // what lets survivors that never talk to the dead rank still escape
+  // from the middle of a collective call chain instead of hanging.
   static constexpr std::size_t kAuto = ~std::size_t{0};
 
   void send(int dst, int tag, std::span<const std::byte> data, MemSpace space = MemSpace::kHost,
@@ -84,7 +165,9 @@ class Communicator {
   /// Nonblocking handle returned by isend/irecv. Completion happens in
   /// wait(): sends are buffered (already complete at post time); receives
   /// match and account their virtual-clock cost when waited on — the
-  /// moment a real MPI implementation would progress them.
+  /// moment a real MPI implementation would progress them. wait() on a
+  /// receive whose sender died before matching raises RankFailed instead
+  /// of hanging; a throwing wait consumes the request.
   class Request {
    public:
     Request() = default;
@@ -154,6 +237,14 @@ class Communicator {
   struct Reducer;
 
   // ---- collectives (every member must call, in the same order) ----
+  //
+  // Failure semantics (applies to every collective below): each call
+  // checks for dead members at entry and raises mpi::RankFailed (tag -1)
+  // if the communicator is revoked; a death in the middle of a collective
+  // surfaces through the underlying p2p ops on every live member, so no
+  // survivor completes with partial data silently and none hangs. After
+  // catching RankFailed all survivors must stop using this communicator
+  // and collectively call shrink().
 
   /// Dissemination barrier (log2(N) message rounds).
   void barrier();
@@ -236,6 +327,37 @@ class Communicator {
   /// False for the null communicator returned by split with color < 0.
   [[nodiscard]] bool valid() const noexcept { return my_index_ >= 0; }
 
+  // ---- fault awareness ----
+
+  /// Advance this rank's application step counter and fire any FaultPlan
+  /// trigger that matches (step- or time-based kill for this rank). The
+  /// dying rank's thread exits via RankKilled; nothing happens for ranks
+  /// the plan leaves alone. Call once per training step / simulation
+  /// iteration, from the rank's own thread.
+  void fault_tick();
+
+  /// Communicator-member indices (NOT global ranks) of members currently
+  /// alive, in member order. Equals 0..size()-1 until a member dies.
+  [[nodiscard]] std::vector<int> alive() const;
+
+  /// Monotone epoch of the world's membership: starts at 1, incremented
+  /// by every rank death. Survivors compare epochs to agree they are
+  /// reacting to the same failure generation.
+  [[nodiscard]] std::uint64_t world_epoch() const;
+
+  /// True if any member of THIS communicator has died (the communicator
+  /// is revoked and every blocking op raises RankFailed).
+  [[nodiscard]] bool revoked() const;
+
+  /// Collective over the SURVIVORS of a revoked (or intact) communicator:
+  /// every live member must call; dead members are excluded. Returns a new
+  /// communicator containing exactly the live members in their old
+  /// relative order, with ranks re-densified to 0..k-1. Unlike the other
+  /// collectives, shrink works on a revoked communicator — it is the
+  /// escape hatch. The rendezvous completes even if further members die
+  /// while it is in progress (they are dropped from the result).
+  [[nodiscard]] Communicator shrink();
+
   // ---- time & introspection ----
 
   /// Advance this rank's virtual clock by `seconds` of modeled compute.
@@ -283,6 +405,15 @@ class Communicator {
   // `src`; reduction runs on the host when the incoming message itself
   // took the host-staged path (Spectrum-style), on the GPU otherwise.
   void reduce_compute(std::size_t bytes, MemSpace space, int src);
+
+  // Raise RankFailed if any member of this communicator is dead, and fire
+  // any time-triggered kill for this rank first. `expected_src` (member
+  // index) names the peer a recv is waiting on so the exception blames
+  // the awaited sender when IT is the dead one.
+  void ensure_live(const char* op, int tag, int expected_src = -1);
+  [[noreturn]] void raise_failed(int first_dead_global, const char* op, int tag, int expected_src);
+  void maybe_die_on_time();
+  [[noreturn]] void die();
 
   World* world_;
   std::uint64_t comm_id_;

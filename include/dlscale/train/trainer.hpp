@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -133,6 +134,16 @@ class TimedGradStream final : public nn::GradSink {
   double elapsed_ = 0.0;
 };
 
+/// What a communicator rebuild looked like, delivered to every CommHook
+/// via on_world_change after an elastic recovery (train::ElasticTrainer)
+/// replaces the communicator underneath the hook chain.
+struct WorldInfo {
+  int old_size = 0;   ///< ranks before the failure
+  int new_size = 0;   ///< ranks after shrink
+  int my_rank = 0;    ///< this rank's id in the rebuilt communicator
+  std::uint64_t world_epoch = 0;  ///< mpi::Communicator::world_epoch() after the rebuild
+};
+
 /// Communication strategy plugged into the Trainer — the public extension
 /// point for anything that needs to observe or act on the training step
 /// stream. The Trainer drives exactly this per-step lifecycle:
@@ -179,6 +190,16 @@ class CommHook {
   virtual void allreduce_sum(std::span<std::int64_t> values) = 0;
 
   [[nodiscard]] virtual hvd::RuntimeStats stats() const = 0;
+
+  /// The world was rebuilt (elastic recovery after a rank failure).
+  /// Default no-op so existing hooks compile unchanged; decorators must
+  /// forward it down the chain. Any state keyed to the old world size or
+  /// clock — measurement windows, cached rank/size, per-rank buffers —
+  /// must be reset here. Collective: every survivor must call it, in the
+  /// same order relative to other collectives, because implementations
+  /// may resynchronise state over the new communicator (AutotuneHook
+  /// re-broadcasts the tuner's knobs from rank 0).
+  virtual void on_world_change(const WorldInfo& /*info*/) {}
 };
 
 /// Serial (no communication) hook: world of one, everything a no-op.
@@ -214,11 +235,21 @@ class HorovodHook final : public CommHook {
   void allreduce_sum(std::span<std::int64_t> values) override;
   [[nodiscard]] hvd::RuntimeStats stats() const override;
 
-  [[nodiscard]] hvd::HorovodRuntime& runtime() noexcept { return runtime_; }
+  /// Re-point the hook at a rebuilt (shrunken) communicator: constructs a
+  /// fresh HorovodRuntime over it, carrying the current knobs forward
+  /// (so autotuned settings survive the failure). The caller owns firing
+  /// on_world_change afterwards; anything holding a reference to
+  /// runtime() must rebind too (hvd::Autotuner::rebind).
+  void rebind(mpi::Communicator& comm);
+
+  [[nodiscard]] hvd::HorovodRuntime& runtime() noexcept { return *runtime_; }
+  [[nodiscard]] mpi::Communicator& comm() noexcept { return *comm_; }
 
  private:
-  mpi::Communicator& comm_;
-  hvd::HorovodRuntime runtime_;
+  // Pointer + optional (not reference + value) so rebind() can retarget
+  // both after an elastic shrink.
+  mpi::Communicator* comm_;
+  std::optional<hvd::HorovodRuntime> runtime_;
   TimedGradStream stream_;
 };
 
@@ -247,6 +278,13 @@ class AutotuneHook final : public CommHook {
   void allreduce_sum(std::span<double> values) override { inner_.allreduce_sum(values); }
   void allreduce_sum(std::span<std::int64_t> values) override { inner_.allreduce_sum(values); }
   [[nodiscard]] hvd::RuntimeStats stats() const override { return inner_.stats(); }
+  void on_world_change(const WorldInfo& info) override {
+    // Order matters: the inner hook rebuilds its runtime state first, then
+    // the tuner restarts its measurement window against the new runtime
+    // (the caller has already called tuner().rebind()).
+    inner_.on_world_change(info);
+    tuner_.on_world_change();
+  }
 
   [[nodiscard]] hvd::Autotuner& tuner() noexcept { return tuner_; }
 

@@ -169,12 +169,12 @@ void GridSearchPolicy::observe(const WindowMeasurement& measurement) {
 
 Autotuner::Autotuner(HorovodRuntime& runtime, AutotuneOptions options,
                      std::unique_ptr<TuningPolicy> policy)
-    : runtime_(runtime), options_(options), policy_(std::move(policy)),
+    : runtime_(&runtime), options_(options), policy_(std::move(policy)),
       active_(runtime.knobs()) {
   options_.window_steps = std::max(1, options_.window_steps);
   options_.warmup_windows = std::max(1, options_.warmup_windows);
   options_.max_windows = std::max(options_.warmup_windows + 1, options_.max_windows);
-  if (!policy_ && runtime_.comm().rank() == 0) {
+  if (!policy_ && runtime_->comm().rank() == 0) {
     policy_ = std::make_unique<CoordinateDescentPolicy>(active_, options_.space,
                                                         options_.min_relative_gain);
   }
@@ -183,8 +183,35 @@ Autotuner::Autotuner(HorovodRuntime& runtime, AutotuneOptions options,
 
 void Autotuner::begin_window() {
   steps_in_window_ = 0;
-  window_start_time_ = runtime_.comm().now();
-  window_start_stats_ = runtime_.stats();
+  window_start_time_ = runtime_->comm().now();
+  window_start_stats_ = runtime_->stats();
+}
+
+void Autotuner::on_world_change() {
+  mpi::Communicator& comm = runtime_->comm();
+  if (comm.rank() == 0 && !policy_) {
+    // The policy owner died with the old rank 0. Restart the search from
+    // the incumbent knobs; already-frozen state (resynced below) still
+    // wins, so a frozen tuner never resumes exploring.
+    policy_ = std::make_unique<CoordinateDescentPolicy>(active_, options_.space,
+                                                        options_.min_relative_gain);
+  }
+  // A failure can interrupt a window-finishing broadcast after some ranks
+  // already applied the decision: survivors may disagree on the active
+  // knobs or even on frozen-ness, and mismatched fusion/hierarchical
+  // settings across ranks would wedge the rebuilt runtime's collectives.
+  // Re-broadcast rank 0's {frozen, knobs} so every survivor converges on
+  // one authoritative state before training resumes.
+  std::vector<std::byte> decision;
+  if (comm.rank() == 0) decision = encode_decision(frozen_, active_);
+  decision = comm.bcast_blob(decision, 0);
+  const auto [frozen, knobs] = decode_decision(decision);
+  frozen_ = frozen;
+  active_ = knobs;
+  runtime_->set_knobs(active_);
+  // Restart the measurement window from the new runtime's counters and
+  // the (possibly discontinuous) post-recovery clock.
+  begin_window();
 }
 
 void Autotuner::step_end() {
@@ -217,16 +244,16 @@ double Autotuner::surrogate_step_cost(const RuntimeStats& delta, int steps) {
 }
 
 double Autotuner::score_window(double window_s, const RuntimeStats& delta, int steps) const {
-  if (runtime_.comm().timing_enabled()) {
+  if (runtime_->comm().timing_enabled()) {
     return window_s / std::max(1, steps);
   }
   return surrogate_step_cost(delta, steps);
 }
 
 void Autotuner::finish_window(bool force_freeze) {
-  mpi::Communicator& comm = runtime_.comm();
+  mpi::Communicator& comm = runtime_->comm();
   const double window_s = comm.now() - window_start_time_;
-  const RuntimeStats delta = runtime_.stats() - window_start_stats_;
+  const RuntimeStats delta = runtime_->stats() - window_start_stats_;
 
   // Rank 0 scores the window, consults the policy, and decides; the
   // decision blob makes every rank stage identical knobs regardless of
@@ -270,7 +297,7 @@ void Autotuner::finish_window(bool force_freeze) {
   const auto [frozen, knobs] = decode_decision(decision);
   frozen_ = frozen;
   active_ = knobs;
-  runtime_.set_knobs(active_);
+  runtime_->set_knobs(active_);
   ++windows_completed_;
   begin_window();
 }

@@ -68,7 +68,28 @@ std::uint64_t mix_comm_id(std::uint64_t parent, std::uint64_t seq, int color) {
   return h ^ (h >> 31);
 }
 
+// Deterministic per-message uniform in [0, 1): a splitmix64-style hash of
+// (seed, sender, per-sender sequence number, salt). Independent of thread
+// interleaving, so FaultPlan drop/delay decisions replay exactly.
+double hash_uniform(std::uint64_t seed, int sender, std::uint64_t seq, std::uint64_t salt) {
+  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(sender + 1) * 0x9E3779B97F4A7C15ull) ^
+                    ((seq + 1) * 0xBF58476D1CE4E5B9ull) ^ ((salt + 1) * 0x94D049BB133111EBull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
+
+RankFailed::RankFailed(int failed_global_rank_, std::string op_, int tag_)
+    : std::runtime_error("rank " + std::to_string(failed_global_rank_) + " failed (detected in " +
+                         op_ + (tag_ >= 0 ? ", tag " + std::to_string(tag_) : "") + ")"),
+      failed_global_rank(failed_global_rank_),
+      op(std::move(op_)),
+      tag(tag_) {}
 
 /// Thrown inside ranks blocked on communication when another rank fails;
 /// suppressed by run_world in favour of the original exception.
@@ -84,7 +105,10 @@ class World {
         nic_(options.topology.nodes(), std::max(1, options.profile.rails)),
         clocks_(static_cast<std::size_t>(options.topology.world_size())),
         stats_(static_cast<std::size_t>(options.topology.world_size())),
-        shards_(static_cast<std::size_t>(options.topology.world_size())) {}
+        shards_(static_cast<std::size_t>(options.topology.world_size())),
+        dead_(static_cast<std::size_t>(options.topology.world_size()), 0),
+        ticks_(static_cast<std::size_t>(options.topology.world_size()), 0),
+        send_seq_(static_cast<std::size_t>(options.topology.world_size()), 0) {}
 
   void post(const MailKey& key, Message message) {
     Shard& shard = shards_[static_cast<std::size_t>(key.dst)];
@@ -95,15 +119,25 @@ class World {
     shard.cv.notify_all();
   }
 
-  Message take(const MailKey& key) {
+  /// Blocking take that also wakes on world abort and on the death of any
+  /// rank in `members`. On death, returns an empty Message and sets
+  /// *failed to the first dead member (death order) — the caller raises
+  /// RankFailed. Death wins over an available message: a revoked
+  /// communicator never delivers.
+  Message take(const MailKey& key, const std::vector<int>& members, int* failed) {
     Shard& shard = shards_[static_cast<std::size_t>(key.dst)];
     std::unique_lock<std::mutex> lock(shard.mutex);
     shard.cv.wait(lock, [&] {
       if (aborted_.load(std::memory_order_acquire)) return true;
+      if (first_dead_among(members) != -1) return true;
       auto it = shard.boxes.find(key);
       return it != shard.boxes.end() && !it->second.empty();
     });
     if (aborted_.load(std::memory_order_acquire)) throw WorldAborted{};
+    if (const int dead = first_dead_among(members); dead != -1) {
+      *failed = dead;
+      return {};
+    }
     auto it = shard.boxes.find(key);
     Message message = std::move(it->second.front());
     it->second.pop_front();
@@ -114,6 +148,108 @@ class World {
   void abort() {
     aborted_.store(true, std::memory_order_release);
     for (Shard& shard : shards_) shard.cv.notify_all();
+    shrink_cv_.notify_all();
+  }
+
+  // ---- fault injection ----
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool is_dead(int global_rank) const {
+    if (epoch() == 1) return false;  // fast path: nobody has ever died
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    return dead_[static_cast<std::size_t>(global_rank)] != 0;
+  }
+
+  /// First member of `members` to have died (world death order), or -1.
+  [[nodiscard]] int first_dead_among(const std::vector<int>& members) const {
+    if (epoch() == 1) return -1;
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    for (int g : deaths_) {
+      if (std::find(members.begin(), members.end(), g) != members.end()) return g;
+    }
+    return -1;
+  }
+
+  /// Mark `global_rank` dead and wake every blocked rank so revoked
+  /// communicators raise promptly. The empty lock/unlock of each waiter
+  /// mutex before notify closes the missed-wakeup window: the death state
+  /// lives under fault_mutex_, not the mutex a waiter's predicate runs
+  /// under, so we must serialise with any waiter currently between its
+  /// predicate check and its block.
+  void kill(int global_rank) {
+    {
+      std::lock_guard<std::mutex> lock(fault_mutex_);
+      auto& flag = dead_[static_cast<std::size_t>(global_rank)];
+      if (flag != 0) return;
+      flag = 1;
+      deaths_.push_back(global_rank);
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+    for (Shard& shard : shards_) {
+      { std::lock_guard<std::mutex> lock(shard.mutex); }
+      shard.cv.notify_all();
+    }
+    { std::lock_guard<std::mutex> lock(shrink_mutex_); }
+    shrink_cv_.notify_all();
+  }
+
+  /// This rank's application step counter (post-increment).
+  long next_tick(int global_rank) { return ticks_[static_cast<std::size_t>(global_rank)]++; }
+
+  /// Apply the FaultPlan's drop/delay perturbation to an outgoing
+  /// message. Drops model loss + retransmit (the payload still arrives,
+  /// `retransmit_s` later), so blocking receivers never hang on a lossy
+  /// link. In non-timing worlds the events are counted but delivery is
+  /// unaffected.
+  void perturb(Message& message, int sender_global) {
+    const FaultPlan& plan = options_.faults;
+    if (plan.flaky_rank >= 0 && sender_global != plan.flaky_rank) return;
+    const double t = clocks_[static_cast<std::size_t>(sender_global)].now();
+    if (plan.window_from_s >= 0 && t < plan.window_from_s) return;
+    if (plan.window_until_s >= 0 && t >= plan.window_until_s) return;
+    const std::uint64_t seq = send_seq_[static_cast<std::size_t>(sender_global)]++;
+    auto& st = stats_[static_cast<std::size_t>(sender_global)];
+    if (hash_uniform(plan.seed, sender_global, seq, 0) < plan.drop_prob) {
+      ++st.messages_dropped;
+      if (options_.timing) message.available_at += plan.retransmit_s;
+    }
+    if (hash_uniform(plan.seed, sender_global, seq, 1) < plan.delay_prob) {
+      ++st.messages_delayed;
+      if (options_.timing) message.available_at += plan.delay_s;
+    }
+  }
+
+  /// Survivor rendezvous behind Communicator::shrink(). Blocks until
+  /// every live member of `comm` has arrived (ranks that die while we
+  /// wait stop being waited for), then hands every participant the same
+  /// {survivor list, fresh comm id} computed once by whichever waiter's
+  /// predicate observes completion first.
+  Communicator shrink(const Communicator& comm) {
+    std::unique_lock<std::mutex> lock(shrink_mutex_);
+    ShrinkState& st = shrinks_[comm.comm_id_];
+    if (st.arrived.empty()) st.arrived.assign(comm.members_.size(), 0);
+    st.arrived[static_cast<std::size_t>(comm.my_index_)] = 1;
+    shrink_cv_.wait(lock, [&] {
+      if (aborted_.load(std::memory_order_acquire)) return true;
+      return shrink_ready(st, comm.members_, comm.comm_id_);
+    });
+    if (aborted_.load(std::memory_order_acquire)) throw WorldAborted{};
+    std::vector<int> survivors = st.survivors;
+    const std::uint64_t new_id = st.new_comm_id;
+    if (++st.leavers == static_cast<int>(st.survivors.size())) shrinks_.erase(comm.comm_id_);
+    lock.unlock();
+    int my_new_index = -1;
+    for (std::size_t r = 0; r < survivors.size(); ++r) {
+      if (survivors[r] == comm.global_rank()) my_new_index = static_cast<int>(r);
+    }
+    return Communicator(this, new_id, std::move(survivors), my_new_index);
+  }
+
+  [[nodiscard]] bool link_faults_active() const noexcept {
+    return options_.faults.any_link_faults();
   }
 
   [[nodiscard]] VirtualClock& clock(int global_rank) {
@@ -133,6 +269,32 @@ class World {
     std::unordered_map<MailKey, std::deque<Message>, MailKeyHash> boxes;
   };
 
+  struct ShrinkState {
+    std::vector<char> arrived;  ///< by member index of the shrinking comm
+    bool ready = false;
+    std::uint64_t new_comm_id = 0;
+    std::vector<int> survivors;  ///< global ranks, old relative order
+    int leavers = 0;
+  };
+
+  // Runs under shrink_mutex_ (as a wait predicate). Finalises the state —
+  // freezing the survivor set and minting the shared comm id — the first
+  // time every live member has arrived.
+  bool shrink_ready(ShrinkState& st, const std::vector<int>& members, std::uint64_t comm_id) {
+    if (st.ready) return true;
+    for (std::size_t r = 0; r < members.size(); ++r) {
+      if (!is_dead(members[r]) && st.arrived[r] == 0) return false;
+    }
+    st.survivors.clear();
+    for (int g : members) {
+      if (!is_dead(g)) st.survivors.push_back(g);
+    }
+    st.new_comm_id = mix_comm_id(comm_id, ++shrink_seq_, 1);
+    st.ready = true;
+    shrink_cv_.notify_all();
+    return true;
+  }
+
   WorldOptions options_;
   net::CostModel cost_;
   net::NicContention nic_;
@@ -140,6 +302,19 @@ class World {
   std::vector<CommStats> stats_;
   std::vector<Shard> shards_;
   std::atomic<bool> aborted_{false};
+
+  // Fault state. `epoch_` starts at 1 and counts deaths; readers use it
+  // as a lock-free "has anyone ever died" fast path.
+  mutable std::mutex fault_mutex_;
+  std::vector<char> dead_;
+  std::vector<int> deaths_;  ///< global ranks in death order
+  std::atomic<std::uint64_t> epoch_{1};
+  std::vector<long> ticks_;               ///< per-rank fault_tick counters
+  std::vector<std::uint64_t> send_seq_;   ///< per-sender message counters (drop/delay RNG)
+  std::mutex shrink_mutex_;
+  std::condition_variable shrink_cv_;
+  std::uint64_t shrink_seq_ = 0;
+  std::unordered_map<std::uint64_t, ShrinkState> shrinks_;
 };
 
 // ---------------------------------------------------------------------------
@@ -149,6 +324,7 @@ class World {
 void Communicator::send(int dst, int tag, std::span<const std::byte> data, MemSpace space,
                         std::size_t logical_bytes) {
   if (dst < 0 || dst >= size()) throw std::out_of_range("send: bad destination rank");
+  ensure_live("send", tag);
   const std::size_t logical = logical_bytes == kAuto ? data.size() : logical_bytes;
   const int gsrc = global_rank();
   const int gdst = global_rank_of(dst);
@@ -191,14 +367,18 @@ void Communicator::send(int dst, int tag, std::span<const std::byte> data, MemSp
       world_->stats(gsrc).comm_time_s += cost.setup_s + cost.wire_s;
     }
   }
+  if (world_->link_faults_active()) world_->perturb(message, gsrc);
   world_->post(MailKey{comm_id_, my_index_, dst, tag}, std::move(message));
 }
 
 void Communicator::recv(int src, int tag, std::span<std::byte> out, MemSpace space,
                         std::size_t logical_bytes) {
   if (src < 0 || src >= size()) throw std::out_of_range("recv: bad source rank");
+  ensure_live("recv", tag, src);
   const MailKey key{comm_id_, src, my_index_, tag};
-  Message message = world_->take(key);
+  int failed = -1;
+  Message message = world_->take(key, members_, &failed);
+  if (failed != -1) raise_failed(failed, "recv", tag, src);
 
   if (!message.payload.empty() || !out.empty()) {
     if (message.payload.size() != out.size()) {
@@ -260,8 +440,11 @@ void Communicator::sendrecv(int dst, int send_tag, std::span<const std::byte> se
 
 std::vector<std::byte> Communicator::recv_dynamic(int src, int tag, MemSpace space) {
   if (src < 0 || src >= size()) throw std::out_of_range("recv_dynamic: bad source rank");
+  ensure_live("recv_dynamic", tag, src);
   const MailKey key{comm_id_, src, my_index_, tag};
-  Message message = world_->take(key);
+  int failed = -1;
+  Message message = world_->take(key, members_, &failed);
+  if (failed != -1) raise_failed(failed, "recv_dynamic", tag, src);
 
   const int grank = global_rank();
   auto& st = world_->stats(grank);
@@ -288,12 +471,16 @@ std::vector<std::byte> Communicator::recv_dynamic(int src, int tag, MemSpace spa
   return std::move(message.payload);
 }
 
+// XOR, not +: callers pass collective tag constants (kTagGather etc.)
+// whose sum with kTagBlobData overflows int. XOR keeps small user tags
+// identical to addition and maps each collective constant to a distinct
+// low-range value no direct send ever uses.
 void Communicator::send_blob(int dst, int tag, std::span<const std::byte> blob) {
-  send(dst, kTagBlobData + tag, blob);
+  send(dst, kTagBlobData ^ tag, blob);
 }
 
 std::vector<std::byte> Communicator::recv_blob(int src, int tag) {
-  return recv_dynamic(src, kTagBlobData + tag);
+  return recv_dynamic(src, kTagBlobData ^ tag);
 }
 
 // ---------------------------------------------------------------------------
@@ -301,6 +488,7 @@ std::vector<std::byte> Communicator::recv_blob(int src, int tag) {
 // ---------------------------------------------------------------------------
 
 void Communicator::barrier() {
+  ensure_live("barrier", -1);
   const int n = size();
   if (n == 1) return;
   int round = 0;
@@ -340,6 +528,7 @@ void Communicator::binomial_bcast(std::byte* data, std::size_t bytes, int root, 
 
 void Communicator::bcast(std::span<std::byte> data, int root, MemSpace space,
                          std::size_t logical_bytes) {
+  ensure_live("bcast", -1);
   const std::size_t logical = logical_bytes == kAuto ? data.size() : logical_bytes;
   binomial_bcast(data.data(), data.size(), root, space, logical);
 }
@@ -347,6 +536,7 @@ void Communicator::bcast(std::span<std::byte> data, int root, MemSpace space,
 std::vector<std::byte> Communicator::bcast_blob(std::span<const std::byte> blob, int root) {
   // Binomial tree of dynamic messages: one message per edge regardless of
   // payload size (no separate size phase).
+  ensure_live("bcast_blob", -1);
   const int n = size();
   std::vector<std::byte> out;
   if (my_index_ == root) out.assign(blob.begin(), blob.end());
@@ -374,6 +564,7 @@ std::vector<std::byte> Communicator::bcast_blob(std::span<const std::byte> blob,
 
 std::vector<std::vector<std::byte>> Communicator::gather_blobs(std::span<const std::byte> mine,
                                                                int root) {
+  ensure_live("gather_blobs", -1);
   std::vector<std::vector<std::byte>> all;
   if (my_index_ == root) {
     all.resize(static_cast<std::size_t>(size()));
@@ -392,6 +583,7 @@ std::vector<std::vector<std::byte>> Communicator::gather_blobs(std::span<const s
 
 void Communicator::allgather(std::span<const std::byte> mine, std::span<std::byte> out,
                              MemSpace space) {
+  ensure_live("allgather", -1);
   const int n = size();
   const std::size_t block = mine.size();
   if (out.size() != block * static_cast<std::size_t>(n)) {
@@ -414,6 +606,7 @@ void Communicator::allgather(std::span<const std::byte> mine, std::span<std::byt
 
 void Communicator::scatter(std::span<const std::byte> blocks, std::span<std::byte> mine,
                            int root, MemSpace space) {
+  ensure_live("scatter", -1);
   const int n = size();
   const std::size_t block = mine.size();
   if (my_index_ == root) {
@@ -435,6 +628,7 @@ void Communicator::scatter(std::span<const std::byte> blocks, std::span<std::byt
 
 void Communicator::gather(std::span<const std::byte> mine, std::span<std::byte> blocks, int root,
                           MemSpace space) {
+  ensure_live("gather", -1);
   const int n = size();
   const std::size_t block = mine.size();
   if (my_index_ == root) {
@@ -456,6 +650,7 @@ void Communicator::gather(std::span<const std::byte> mine, std::span<std::byte> 
 
 void Communicator::alltoall(std::span<const std::byte> send_blocks,
                             std::span<std::byte> recv_blocks, MemSpace space) {
+  ensure_live("alltoall", -1);
   const int n = size();
   if (send_blocks.size() != recv_blocks.size() ||
       send_blocks.size() % static_cast<std::size_t>(n) != 0) {
@@ -557,6 +752,7 @@ void Communicator::ring_allreduce(std::byte* data, std::size_t elem_size, std::s
 void Communicator::ring_reduce_scatter_phase(std::byte* data, std::size_t elem_size,
                                              std::size_t count, const Reducer* reducer,
                                              MemSpace space) {
+  ensure_live("reduce_scatter", -1);
   const int n = size();
   if (n == 1 || count == 0) return;
   const std::size_t base = count / static_cast<std::size_t>(n);
@@ -759,6 +955,7 @@ void Communicator::rabenseifner_allreduce(std::byte* data, std::size_t elem_size
 
 void Communicator::reduce_bytes(std::byte* data, std::size_t elem_size, std::size_t count,
                                 const Reducer* reducer, int root, MemSpace space) {
+  ensure_live("reduce", -1);
   const int n = size();
   if (n == 1 || count == 0) return;
   const std::size_t bytes = count * elem_size;
@@ -789,6 +986,7 @@ void Communicator::reduce_bytes(std::byte* data, std::size_t elem_size, std::siz
 
 void Communicator::allreduce_bytes(std::byte* data, std::size_t elem_size, std::size_t count,
                                    const Reducer* reducer, MemSpace space, AllreduceAlgo algo) {
+  ensure_live("allreduce", -1);
   switch (algo) {
     case AllreduceAlgo::kRing: ring_allreduce(data, elem_size, count, reducer, space); return;
     case AllreduceAlgo::kRecursiveDoubling:
@@ -888,6 +1086,7 @@ void Communicator::scatter_allgather_bcast(std::byte* data, std::size_t elem_siz
 void Communicator::hierarchical_bytes(std::byte* data, std::size_t elem_size, std::size_t count,
                                       const Reducer* reducer, MemSpace space,
                                       std::optional<AllreduceAlgo> leader_algo) {
+  ensure_live("hierarchical_allreduce", -1);
   const auto& topo = world_->cost().topology();
   // Lazily build cached node/leader communicators the first time every
   // member reaches this path (collectively consistent because SPMD order).
@@ -945,6 +1144,7 @@ void Communicator::hierarchical_allreduce_sim(std::size_t bytes, MemSpace space,
 }
 
 Communicator Communicator::split(int color) {
+  ensure_live("split", -1);
   const std::uint64_t seq = ++split_seq_;
   std::int32_t mine = color;
   auto blobs = gather_blobs(std::as_bytes(std::span<const std::int32_t, 1>(&mine, 1)), 0);
@@ -994,6 +1194,71 @@ bool Communicator::timing_enabled() const { return world_->options().timing; }
 CommStats Communicator::stats() const { return world_->stats(global_rank()); }
 
 // ---------------------------------------------------------------------------
+// fault awareness
+// ---------------------------------------------------------------------------
+
+void Communicator::die() {
+  const int grank = global_rank();
+  world_->kill(grank);
+  throw RankKilled{grank};
+}
+
+void Communicator::maybe_die_on_time() {
+  if (!world_->options().timing) return;
+  const int grank = global_rank();
+  const double now_s = world_->clock(grank).now();
+  for (const FaultPlan::Kill& k : world_->options().faults.kills) {
+    if (k.global_rank == grank && k.at_time_s >= 0 && now_s >= k.at_time_s) die();
+  }
+}
+
+void Communicator::raise_failed(int first_dead_global, const char* op, int tag,
+                                int expected_src) {
+  // Blame the awaited sender when it is the dead one, so a recv's
+  // exception names the peer the caller was actually waiting for.
+  if (expected_src >= 0 && world_->is_dead(global_rank_of(expected_src))) {
+    throw RankFailed(global_rank_of(expected_src), op, tag);
+  }
+  throw RankFailed(first_dead_global, op, tag);
+}
+
+void Communicator::ensure_live(const char* op, int tag, int expected_src) {
+  if (!world_->options().faults.any_kills()) return;
+  maybe_die_on_time();
+  const int dead = world_->first_dead_among(members_);
+  if (dead != -1) raise_failed(dead, op, tag, expected_src);
+}
+
+void Communicator::fault_tick() {
+  const FaultPlan& plan = world_->options().faults;
+  if (!plan.any_kills()) return;
+  const int grank = global_rank();
+  const long tick = world_->next_tick(grank);
+  for (const FaultPlan::Kill& k : plan.kills) {
+    if (k.global_rank == grank && k.at_step >= 0 && tick == k.at_step) die();
+  }
+  maybe_die_on_time();
+}
+
+std::vector<int> Communicator::alive() const {
+  std::vector<int> live;
+  live.reserve(members_.size());
+  for (int r = 0; r < size(); ++r) {
+    if (!world_->is_dead(members_[static_cast<std::size_t>(r)])) live.push_back(r);
+  }
+  return live;
+}
+
+std::uint64_t Communicator::world_epoch() const { return world_->epoch(); }
+
+bool Communicator::revoked() const { return world_->first_dead_among(members_) != -1; }
+
+Communicator Communicator::shrink() {
+  maybe_die_on_time();
+  return world_->shrink(*this);
+}
+
+// ---------------------------------------------------------------------------
 // world runner
 // ---------------------------------------------------------------------------
 
@@ -1016,6 +1281,9 @@ void run_world(const WorldOptions& options, const std::function<void(Communicato
         body(comm);
       } catch (const WorldAborted&) {
         // Secondary failure caused by another rank's abort; ignore.
+      } catch (const RankKilled&) {
+        // Injected fail-stop death: an expected, clean exit for this rank.
+        // Survivors observe it as RankFailed on their own threads.
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);

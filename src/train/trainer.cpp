@@ -52,39 +52,50 @@ std::pair<double, double> evaluate(models::MiniDeepLabV3Plus& model,
 // ---- HorovodHook ----
 
 HorovodHook::HorovodHook(mpi::Communicator& comm, const TrainConfig& config)
-    : comm_(comm),
-      runtime_(comm, config.knobs),
+    : comm_(&comm),
+      runtime_(std::in_place, comm, config.knobs),
       stream_(gpu::ComputeModel(gpu::DeviceSpec::v100_summit(), config.virtual_flop_efficiency),
               [this](nn::Parameter& p, double ready_at) { on_gradient(p, ready_at); }) {}
 
-int HorovodHook::rank() const { return comm_.rank(); }
+int HorovodHook::rank() const { return comm_->rank(); }
 
-int HorovodHook::size() const { return comm_.size(); }
+int HorovodHook::size() const { return comm_->size(); }
 
 void HorovodHook::broadcast_parameters(const std::vector<nn::Parameter*>& params) {
-  for (nn::Parameter* p : params) runtime_.broadcast(p->value.data(), 0);
+  for (nn::Parameter* p : params) runtime_->broadcast(p->value.data(), 0);
 }
 
 nn::GradSink* HorovodHook::on_step_begin() {
-  stream_.begin_step(comm_.now());
+  // Each step is one FaultPlan tick: an injected step-kill for this rank
+  // fires here, at the same well-defined point on every rank.
+  comm_->fault_tick();
+  stream_.begin_step(comm_->now());
   return &stream_;
 }
 
 void HorovodHook::on_gradient(nn::Parameter& param, double ready_at) {
-  runtime_.submit({param.name, param.grad.data(), param.grad.data().size_bytes(), ready_at});
+  runtime_->submit({param.name, param.grad.data(), param.grad.data().size_bytes(), ready_at});
 }
 
-void HorovodHook::on_step_end() { runtime_.synchronize(); }
+void HorovodHook::on_step_end() { runtime_->synchronize(); }
 
 void HorovodHook::allreduce_sum(std::span<double> values) {
-  comm_.allreduce(values, mpi::ReduceOp::kSum, mpi::MemSpace::kHost);
+  comm_->allreduce(values, mpi::ReduceOp::kSum, mpi::MemSpace::kHost);
 }
 
 void HorovodHook::allreduce_sum(std::span<std::int64_t> values) {
-  comm_.allreduce(values, mpi::ReduceOp::kSum, mpi::MemSpace::kHost);
+  comm_->allreduce(values, mpi::ReduceOp::kSum, mpi::MemSpace::kHost);
 }
 
-hvd::RuntimeStats HorovodHook::stats() const { return runtime_.stats(); }
+hvd::RuntimeStats HorovodHook::stats() const { return runtime_->stats(); }
+
+void HorovodHook::rebind(mpi::Communicator& comm) {
+  // Copy the knobs out BEFORE emplace destroys the old runtime (emplace's
+  // argument would otherwise read from a dead object).
+  const hvd::Knobs carried = runtime_->knobs();
+  comm_ = &comm;
+  runtime_.emplace(comm, carried);
+}
 
 // ---- Trainer ----
 

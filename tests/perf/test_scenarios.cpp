@@ -1,0 +1,110 @@
+// Degraded-cluster scenario modes of perf::simulate: preemption (rank
+// death + shrink), straggler (slow rank), node flap (lossy links).
+#include <gtest/gtest.h>
+
+#include "dlscale/perf/simulator.hpp"
+
+namespace dp = dlscale::perf;
+namespace dmo = dlscale::models;
+namespace dn = dlscale::net;
+namespace dh = dlscale::hvd;
+
+namespace {
+
+dp::ScalingConfig quiet_config() {
+  dp::ScalingConfig config;
+  config.workload = dmo::WorkloadSpec::deeplab_v3plus(4);
+  config.nodes = 1;  // 6 GPUs, Summit node shape
+  config.flop_efficiency = dp::Calibration::paper_defaults().deeplab_efficiency;
+  config.mpi_profile = dn::MpiProfile::mvapich2_gdr_like();
+  config.knobs = dh::Knobs::paper_tuned();
+  config.warmup_iterations = 1;
+  config.iterations = 3;
+  config.compute_jitter = 0.0;  // isolate the scenario's effect
+  return config;
+}
+
+}  // namespace
+
+TEST(Scenario, PreemptionShrinksWorldAndCompletes) {
+  auto config = quiet_config();
+  config.scenario = dp::ScenarioMode::kPreemption;
+  config.scenario_rank = 2;
+  config.preempt_at_iteration = 2;  // dies on the second measured attempt
+  const auto result = dp::simulate(config);
+  EXPECT_EQ(result.gpus, 6);
+  EXPECT_EQ(result.final_gpus, 5);
+  EXPECT_EQ(result.failures, 1);
+  EXPECT_GE(result.recovery_iterations, 1);
+  EXPECT_GT(result.recovery_virtual_s, 0.0);
+  EXPECT_GT(result.iteration_s, 0.0);
+  // Aggregate throughput is reported for the survivors.
+  EXPECT_NEAR(result.images_per_s, result.per_gpu_images_s * 5, 1e-9);
+}
+
+TEST(Scenario, PreemptionOfRankZeroStillReports) {
+  // The coordinator itself dies; the re-densified rank 0 (old rank 1)
+  // must deliver the result.
+  auto config = quiet_config();
+  config.scenario = dp::ScenarioMode::kPreemption;
+  config.scenario_rank = 0;
+  config.preempt_at_iteration = 1;
+  const auto result = dp::simulate(config);
+  EXPECT_EQ(result.final_gpus, 5);
+  EXPECT_EQ(result.failures, 1);
+  EXPECT_GT(result.iteration_s, 0.0);
+}
+
+TEST(Scenario, StragglerInflatesIterationTime) {
+  const auto baseline = dp::simulate(quiet_config());
+  auto slow = quiet_config();
+  slow.scenario = dp::ScenarioMode::kStraggler;
+  slow.scenario_rank = 1;
+  slow.straggler_factor = 2.0;
+  const auto straggled = dp::simulate(slow);
+  // Synchronous training pays the slowest rank: a 2x straggler should
+  // cost well over 30% even with comm overlap.
+  EXPECT_GT(straggled.iteration_s, 1.3 * baseline.iteration_s);
+  EXPECT_LT(straggled.scaling_efficiency, baseline.scaling_efficiency);
+  EXPECT_EQ(straggled.failures, 0);
+  EXPECT_EQ(straggled.final_gpus, straggled.gpus);
+}
+
+TEST(Scenario, NodeFlapAddsRetransmitLatency) {
+  const auto baseline = dp::simulate(quiet_config());
+  auto flap = quiet_config();
+  flap.scenario = dp::ScenarioMode::kNodeFlap;
+  flap.scenario_rank = 1;
+  flap.flap_drop_prob = 0.5;  // every other message on the flapping NIC
+  const auto flapped = dp::simulate(flap);
+  // Drops are retransmissions, not data loss: the run completes, slower.
+  EXPECT_GT(flapped.iteration_s, baseline.iteration_s);
+  EXPECT_EQ(flapped.failures, 0);
+  EXPECT_EQ(flapped.final_gpus, flapped.gpus);
+}
+
+TEST(Scenario, NodeFlapIsSeedDeterministic) {
+  auto flap = quiet_config();
+  flap.scenario = dp::ScenarioMode::kNodeFlap;
+  flap.flap_drop_prob = 0.4;
+  const auto a = dp::simulate(flap);
+  const auto b = dp::simulate(flap);
+  // Drop decisions are hashed from (seed, sender, sequence), so repeat
+  // runs agree to PDES wobble, exactly like the healthy simulator.
+  EXPECT_NEAR(a.iteration_s, b.iteration_s, 0.01 * a.iteration_s);
+}
+
+TEST(Scenario, PreemptionDuringAutotuneRebindsTuner) {
+  auto config = quiet_config();
+  config.autotune.enabled = true;
+  config.autotune.window_steps = 2;
+  config.max_tuning_iterations = 24;
+  config.scenario = dp::ScenarioMode::kPreemption;
+  config.scenario_rank = 3;
+  config.preempt_at_iteration = 3;  // mid-tuning (after 1 warmup attempt)
+  const auto result = dp::simulate(config);
+  EXPECT_TRUE(result.autotuned);
+  EXPECT_EQ(result.failures, 1);
+  EXPECT_EQ(result.final_gpus, 5);
+  EXPECT_GT(result.iteration_s, 0.0);
+}
