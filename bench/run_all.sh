@@ -23,7 +23,7 @@ echo "SIMD dispatch: $("$BUILD/bench/bench_kernels" --print-simd-path)"
 echo
 
 for b in bench_single_gpu bench_allreduce_latency bench_scaling bench_tuning_sweep \
-         bench_accuracy_parity bench_hierarchical bench_gdr_path bench_fusion_stats bench_resnet_scaling bench_fp16_compression \
+         bench_accuracy_parity bench_hierarchical bench_gdr_path bench_fusion_stats bench_resnet_scaling bench_compression_sweep \
          bench_autotune bench_elastic bench_serve \
          bench_kernels bench_train_step; do
   echo "==================================================================="

@@ -9,11 +9,16 @@
 //
 // Usage: ./build/examples/train_segmentation [ranks] [epochs]
 //                                            [--inject-kill rank=R,step=S]
+//                                            [--compression none|fp16|int8|topk]
 //
 // --inject-kill rank=2,step=40 kills rank 2 at optimisation step 40:
 // training switches to the elastic path (train::ElasticTrainer), the
 // survivors shrink the communicator, restore the last per-epoch
 // checkpoint, and finish on 3 ranks; the recovery is reported at the end.
+//
+// --compression selects the gradient wire codec (DESIGN.md §12) —
+// equivalent to DLSCALE_GRAD_COMPRESSION; int8/topk run with
+// error-feedback residuals unless DLSCALE_ERROR_FEEDBACK=0.
 //
 // DLSCALE_AUTOTUNE=1 turns on online knob autotuning: an hvd::Autotuner
 // retunes fusion/cycle/hierarchy at measurement-window boundaries while
@@ -21,6 +26,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,10 +39,10 @@ using namespace dlscale;
 namespace {
 
 // Parses "--inject-kill rank=R,step=S" (or --inject-kill=rank=R,step=S)
-// out of argv, leaving positional arguments where they are.
-bool parse_inject_kill(int argc, char** argv, std::vector<int>& positional, int& kill_rank,
-                       long& kill_step) {
-  bool inject = false;
+// and "--compression CODEC" (or --compression=CODEC) out of argv, leaving
+// positional arguments where they are.
+bool parse_flags(int argc, char** argv, std::vector<int>& positional, int& kill_rank,
+                 long& kill_step, std::optional<hvd::CompressionAlgo>& compression) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const char* spec = nullptr;
@@ -47,7 +53,21 @@ bool parse_inject_kill(int argc, char** argv, std::vector<int>& positional, int&
     }
     if (spec) {
       if (std::sscanf(spec, "rank=%d,step=%ld", &kill_rank, &kill_step) != 2) return false;
-      inject = true;
+      continue;
+    }
+    const char* codec = nullptr;
+    if (std::strcmp(arg, "--compression") == 0 && i + 1 < argc) {
+      codec = argv[++i];
+    } else if (std::strncmp(arg, "--compression=", 14) == 0) {
+      codec = arg + 14;
+    }
+    if (codec) {
+      compression = hvd::parse_compression(codec);
+      if (!compression) {
+        std::fprintf(stderr, "--compression: unknown codec '%s' (valid: none|fp16|int8|topk)\n",
+                     codec);
+        return false;
+      }
       continue;
     }
     positional.push_back(std::atoi(arg));
@@ -61,15 +81,17 @@ int main(int argc, char** argv) {
   std::vector<int> positional;
   int kill_rank = -1;
   long kill_step = -1;
-  if (!parse_inject_kill(argc, argv, positional, kill_rank, kill_step)) {
-    std::fprintf(stderr, "bad --inject-kill spec; expected rank=R,step=S\n");
+  std::optional<hvd::CompressionAlgo> compression;
+  if (!parse_flags(argc, argv, positional, kill_rank, kill_step, compression)) {
     return 1;
   }
   const bool inject = kill_rank >= 0;
   const int world = positional.size() > 0 ? positional[0] : 4;
   const int epochs = positional.size() > 1 ? positional[1] : 5;
   if (world < 1 || epochs < 1 || (inject && kill_rank >= world)) {
-    std::fprintf(stderr, "usage: %s [ranks >= 1] [epochs >= 1] [--inject-kill rank=R,step=S]\n",
+    std::fprintf(stderr,
+                 "usage: %s [ranks >= 1] [epochs >= 1] [--inject-kill rank=R,step=S] "
+                 "[--compression none|fp16|int8|topk]\n",
                  argv[0]);
     return 1;
   }
@@ -85,10 +107,30 @@ int main(int argc, char** argv) {
   config.schedule = {0.08, 0.9, 0};
   config.knobs = hvd::Knobs::from_env(hvd::Knobs::paper_tuned());
   config.knobs.cycle_time_s = 1e-4;
+  if (compression) config.knobs.compression = *compression;
   config.autotune.enabled = util::env_bool("DLSCALE_AUTOTUNE", false);
   config.autotune.window_steps = 2;
 
   std::printf("%s\n", util::env_dump().c_str());
+  // The collective/codec knobs decide the whole run's wire behaviour;
+  // surface what was EFFECTIVELY chosen (env typos throw in from_env, but
+  // "which default won" is still worth one explicit line).
+  std::string effective_algo = "auto";
+  for (const util::EnvRecord& record : util::env_effective()) {
+    if (record.name == "DLSCALE_ALLREDUCE_ALGO" && record.from_env) {
+      effective_algo = record.value;
+    }
+  }
+  std::printf("Effective allreduce algo: %s | wire codec: %s", effective_algo.c_str(),
+              hvd::to_string(config.knobs.effective_compression()));
+  if (config.knobs.effective_compression() == hvd::CompressionAlgo::kTopK) {
+    std::printf(" (ratio %.3f)", static_cast<double>(config.knobs.topk_ratio));
+  }
+  if (config.knobs.effective_compression() == hvd::CompressionAlgo::kInt8 ||
+      config.knobs.effective_compression() == hvd::CompressionAlgo::kTopK) {
+    std::printf(", error feedback %s", config.knobs.error_feedback ? "on" : "off");
+  }
+  std::printf("\n");
   std::printf("Training mini DeepLab-v3+ on %d rank(s), %d epoch(s), global batch %d%s\n", world,
               epochs, world * config.batch_per_rank,
               config.autotune.enabled ? ", online autotuning ON" : "");

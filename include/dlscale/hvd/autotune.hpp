@@ -23,6 +23,7 @@
 // against live training without perturbing it.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -33,17 +34,25 @@
 
 namespace dlscale::hvd {
 
-/// Candidate values per tunable coordinate. Only knobs that are
-/// observation-only (they never change the floating-point result under a
-/// fixed collective algorithm) are tunable; fp16 compression and the
-/// forced algorithm stay whatever the base Knobs say.
+/// Candidate values per tunable coordinate. By default only knobs that
+/// are observation-only (they never change the floating-point result
+/// under a fixed collective algorithm) are tunable; the forced algorithm
+/// stays whatever the base Knobs say. `compressions` is the opt-in
+/// exception: populating it lets the policy explore the gradient wire
+/// codec (none/fp16/int8/topk — DESIGN.md §12), which IS
+/// numerics-changing, so it stays empty (inert) unless the caller
+/// explicitly accepts lossy averaging. A compression candidate fully
+/// determines the codec: it overrides both Knobs::compression and the
+/// legacy fp16_allreduce flag.
 struct TuningSpace {
   std::vector<std::size_t> fusion_thresholds{1 << 20, 8 << 20, 64 << 20};
   std::vector<double> cycle_times_s{1e-3, 3.5e-3, 10e-3, 25e-3};
   std::vector<bool> hierarchical{false, true};
+  std::vector<CompressionAlgo> compressions{};  ///< empty = codec not tuned
 
   [[nodiscard]] std::size_t combinations() const noexcept {
-    return fusion_thresholds.size() * cycle_times_s.size() * hierarchical.size();
+    return fusion_thresholds.size() * cycle_times_s.size() * hierarchical.size() *
+           std::max<std::size_t>(1, compressions.size());
   }
 };
 
@@ -89,7 +98,8 @@ class TuningPolicy {
 };
 
 /// Deterministic coordinate descent: measure the baseline, then sweep one
-/// coordinate at a time (fusion threshold, cycle time, hierarchical),
+/// coordinate at a time (fusion threshold, cycle time, hierarchical,
+/// compression codec when TuningSpace::compressions is non-empty),
 /// keeping a candidate only if it beats the incumbent by
 /// min_relative_gain. Passes repeat while any coordinate improved, up to
 /// max_passes; a pass with no improvement converges.

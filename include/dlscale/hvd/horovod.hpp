@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "dlscale/gpu/device.hpp"
+#include "dlscale/hvd/compress.hpp"
 #include "dlscale/mpi/comm.hpp"
 
 namespace dlscale::hvd {
@@ -54,13 +55,34 @@ struct Knobs {
   /// Record negotiation/allreduce events for the Chrome-tracing timeline
   /// from construction on (HOROVOD_TIMELINE: any non-empty value).
   bool timeline = false;
+  /// Gradient wire codec (DESIGN.md §12). kNone falls back to
+  /// fp16_allreduce above, so the legacy knob keeps working; any other
+  /// value wins over it (effective_compression() resolves the pair).
+  CompressionAlgo compression = CompressionAlgo::kNone;
+  /// Fraction of each tensor's elements kTopK keeps, in (0, 1].
+  float topk_ratio = 0.01f;
+  /// Error-feedback residual accumulation for int8/top-k. On by default:
+  /// without it the compression bias is permanent and convergence
+  /// degrades (the mIOU gate's no-EF control shows exactly that).
+  bool error_feedback = true;
+
+  /// The codec actually in force once the legacy fp16 flag is folded in.
+  [[nodiscard]] CompressionAlgo effective_compression() const noexcept {
+    if (compression != CompressionAlgo::kNone) return compression;
+    return fp16_allreduce ? CompressionAlgo::kFp16 : CompressionAlgo::kNone;
+  }
 
   /// Read HOROVOD_FUSION_THRESHOLD / HOROVOD_CYCLE_TIME (ms) /
   /// HOROVOD_HIERARCHICAL_ALLREDUCE / HOROVOD_CACHE_CAPACITY /
   /// HOROVOD_FP16_ALLREDUCE / HOROVOD_STALL_CHECK (cycles, 0 disables) /
   /// HOROVOD_TIMELINE / DLSCALE_ALLREDUCE_ALGO
-  /// (ring|rabenseifner|recursive_doubling|auto) from the environment,
-  /// falling back to the given defaults.
+  /// (ring|rabenseifner|recursive_doubling|auto) /
+  /// DLSCALE_GRAD_COMPRESSION (none|fp16|int8|topk) / DLSCALE_TOPK_RATIO
+  /// ((0,1]) / DLSCALE_ERROR_FEEDBACK from the environment, falling back
+  /// to the given defaults. Unknown DLSCALE_ALLREDUCE_ALGO or
+  /// DLSCALE_GRAD_COMPRESSION values and out-of-range DLSCALE_TOPK_RATIO
+  /// throw std::invalid_argument naming the valid set — a typo'd codec
+  /// silently falling back to fp32 would invalidate a whole run.
   static Knobs from_env(Knobs defaults);
   static Knobs from_env();
 
@@ -88,8 +110,14 @@ struct RuntimeStats {
   std::uint64_t fused_batches = 0;     ///< collective launches
   std::uint64_t cache_hit_cycles = 0;  ///< cycles served by the bitvector path
   std::uint64_t bytes_reduced = 0;
+  /// Payload bytes actually travelling per collective launch after the
+  /// wire codec (== bytes_reduced uncompressed; /2 fp16; header+payload
+  /// blob size for int8/top-k). The autotuner's surrogate prices THIS.
+  std::uint64_t bytes_on_wire = 0;
   std::uint64_t control_bytes = 0;     ///< negotiation wire traffic
   std::uint64_t stall_warnings = 0;    ///< tensors flagged by the stall check
+  double compress_pack_s = 0.0;        ///< wall seconds spent encoding (fp16/int8/topk)
+  double compress_unpack_s = 0.0;      ///< wall seconds spent decoding/averaging
 
   RuntimeStats& operator-=(const RuntimeStats& earlier) noexcept {
     cycles -= earlier.cycles;
@@ -97,8 +125,11 @@ struct RuntimeStats {
     fused_batches -= earlier.fused_batches;
     cache_hit_cycles -= earlier.cache_hit_cycles;
     bytes_reduced -= earlier.bytes_reduced;
+    bytes_on_wire -= earlier.bytes_on_wire;
     control_bytes -= earlier.control_bytes;
     stall_warnings -= earlier.stall_warnings;
+    compress_pack_s -= earlier.compress_pack_s;
+    compress_unpack_s -= earlier.compress_unpack_s;
     return *this;
   }
   friend RuntimeStats operator-(RuntimeStats later, const RuntimeStats& earlier) noexcept {
@@ -156,6 +187,10 @@ class HorovodRuntime {
   [[nodiscard]] bool knob_change_pending() const noexcept { return pending_knobs_.has_value(); }
 
   [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
+  /// The per-rank compression engine (residual state lives here). Elastic
+  /// recovery resets it via HorovodHook::on_world_change; tests inspect it.
+  [[nodiscard]] GradientCompressor& compressor() noexcept { return compressor_; }
+  [[nodiscard]] const GradientCompressor& compressor() const noexcept { return compressor_; }
   /// The knobs currently in force (staged changes appear only after the
   /// next cycle applies them).
   [[nodiscard]] const Knobs& knobs() const noexcept { return knobs_; }
@@ -204,6 +239,8 @@ class HorovodRuntime {
 
   double last_cycle_start_ = -1e9;
   gpu::DeviceBuffer fusion_buffer_;
+  GradientCompressor compressor_;
+  std::vector<std::byte> gathered_;  ///< allgather landing buffer (int8/top-k)
 
   // Timeline trace (virtual-time events).
   struct TimelineEvent {

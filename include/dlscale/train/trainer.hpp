@@ -242,6 +242,14 @@ class HorovodHook final : public CommHook {
   /// runtime() must rebind too (hvd::Autotuner::rebind).
   void rebind(mpi::Communicator& comm);
 
+  /// Drop the gradient-compression residuals (DESIGN.md §12): they carry
+  /// error scaled to the OLD world's averaging weights and the pre-restore
+  /// parameter trajectory, so replaying them after an elastic shrink or a
+  /// checkpoint restore would bias the first post-recovery steps. rebind()
+  /// already starts from a fresh runtime (empty residuals); this makes the
+  /// reset explicit for world changes that reuse the runtime.
+  void on_world_change(const WorldInfo& info) override;
+
   [[nodiscard]] hvd::HorovodRuntime& runtime() noexcept { return *runtime_; }
   [[nodiscard]] mpi::Communicator& comm() noexcept { return *comm_; }
 

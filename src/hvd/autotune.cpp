@@ -11,7 +11,7 @@ namespace dlscale::hvd {
 
 namespace {
 
-constexpr int kAxes = 3;  // fusion threshold, cycle time, hierarchical
+constexpr int kAxes = 4;  // fusion threshold, cycle time, hierarchical, compression
 
 // Fixed-layout wire encoding of the window decision (rank 0 -> world).
 // Manual pack/unpack keeps the protocol independent of struct layout.
@@ -45,6 +45,9 @@ std::vector<std::byte> encode_decision(bool frozen, const Knobs& knobs) {
   DecisionWire::put<std::uint64_t>(out, knobs.stall_warning_cycles);
   DecisionWire::put<std::uint8_t>(out, knobs.fp16_allreduce ? 1 : 0);
   DecisionWire::put<std::uint8_t>(out, knobs.timeline ? 1 : 0);
+  DecisionWire::put<std::uint8_t>(out, static_cast<std::uint8_t>(knobs.compression));
+  DecisionWire::put<float>(out, knobs.topk_ratio);
+  DecisionWire::put<std::uint8_t>(out, knobs.error_feedback ? 1 : 0);
   return out;
 }
 
@@ -62,6 +65,9 @@ std::pair<bool, Knobs> decode_decision(std::span<const std::byte> blob) {
   knobs.stall_warning_cycles = DecisionWire::get<std::uint64_t>(blob, pos);
   knobs.fp16_allreduce = DecisionWire::get<std::uint8_t>(blob, pos) != 0;
   knobs.timeline = DecisionWire::get<std::uint8_t>(blob, pos) != 0;
+  knobs.compression = static_cast<CompressionAlgo>(DecisionWire::get<std::uint8_t>(blob, pos));
+  knobs.topk_ratio = DecisionWire::get<float>(blob, pos);
+  knobs.error_feedback = DecisionWire::get<std::uint8_t>(blob, pos) != 0;
   return {frozen, knobs};
 }
 
@@ -80,7 +86,8 @@ std::size_t CoordinateDescentPolicy::axis_size(int axis) const {
   switch (axis) {
     case 0: return space_.fusion_thresholds.size();
     case 1: return space_.cycle_times_s.size();
-    default: return space_.hierarchical.size();
+    case 2: return space_.hierarchical.size();
+    default: return space_.compressions.size();  // empty -> axis skipped
   }
 }
 
@@ -89,7 +96,14 @@ Knobs CoordinateDescentPolicy::with_candidate(int axis, std::size_t index) const
   switch (axis) {
     case 0: knobs.fusion_threshold = space_.fusion_thresholds[index]; break;
     case 1: knobs.cycle_time_s = space_.cycle_times_s[index]; break;
-    default: knobs.hierarchical_allreduce = space_.hierarchical[index]; break;
+    case 2: knobs.hierarchical_allreduce = space_.hierarchical[index]; break;
+    default:
+      // A codec candidate fully determines the wire format: clear the
+      // legacy fp16 flag so kNone really means uncompressed (otherwise
+      // effective_compression() would fall back to fp16).
+      knobs.compression = space_.compressions[index];
+      knobs.fp16_allreduce = false;
+      break;
   }
   return knobs;
 }
@@ -98,7 +112,8 @@ bool CoordinateDescentPolicy::matches_best(int axis, std::size_t index) const {
   switch (axis) {
     case 0: return space_.fusion_thresholds[index] == best_.fusion_threshold;
     case 1: return space_.cycle_times_s[index] == best_.cycle_time_s;
-    default: return space_.hierarchical[index] == best_.hierarchical_allreduce;
+    case 2: return space_.hierarchical[index] == best_.hierarchical_allreduce;
+    default: return space_.compressions[index] == best_.effective_compression();
   }
 }
 
@@ -149,11 +164,19 @@ std::optional<Knobs> GridSearchPolicy::propose() {
   if (next_ >= space_.combinations()) return std::nullopt;
   const std::size_t cycles = space_.cycle_times_s.size();
   const std::size_t hiers = space_.hierarchical.size();
-  const std::size_t index = next_++;
+  const std::size_t comps = std::max<std::size_t>(1, space_.compressions.size());
+  std::size_t index = next_++;
   Knobs knobs = base_;
-  knobs.fusion_threshold = space_.fusion_thresholds[index / (cycles * hiers)];
-  knobs.cycle_time_s = space_.cycle_times_s[(index / hiers) % cycles];
+  if (!space_.compressions.empty()) {
+    knobs.compression = space_.compressions[index % comps];
+    knobs.fp16_allreduce = false;  // the candidate IS the codec (see with_candidate)
+  }
+  index /= comps;
   knobs.hierarchical_allreduce = space_.hierarchical[index % hiers];
+  index /= hiers;
+  knobs.cycle_time_s = space_.cycle_times_s[index % cycles];
+  index /= cycles;
+  knobs.fusion_threshold = space_.fusion_thresholds[index];
   return knobs;
 }
 
@@ -227,9 +250,11 @@ void Autotuner::freeze() {
 
 double Autotuner::surrogate_step_cost(const RuntimeStats& delta, int steps) {
   // Deterministic cost surrogate for functional (timing-off) worlds:
-  // every collective launch pays a kernel/coordination alpha, reduced and
+  // every collective launch pays a kernel/coordination alpha, wire and
   // control bytes a bandwidth beta, every negotiation round a coordinator
   // round-trip (rounds served from the response cache cost half of one).
+  // The wire term prices bytes_on_wire — the POST-codec payload — so a
+  // compression candidate's smaller blobs score as the win they are.
   constexpr double kLaunchAlphaS = 25e-6;
   constexpr double kCycleAlphaS = 10e-6;
   constexpr double kWireSecondsPerByte = 1.0 / 12.5e9;   // EDR-class fabric
@@ -238,7 +263,7 @@ double Autotuner::surrogate_step_cost(const RuntimeStats& delta, int steps) {
       (static_cast<double>(delta.cycles) - 0.5 * static_cast<double>(delta.cache_hit_cycles)) *
       kCycleAlphaS;
   const double cost = static_cast<double>(delta.fused_batches) * kLaunchAlphaS + cycle_cost +
-                      static_cast<double>(delta.bytes_reduced) * kWireSecondsPerByte +
+                      static_cast<double>(delta.bytes_on_wire) * kWireSecondsPerByte +
                       static_cast<double>(delta.control_bytes) * kControlSecondsPerByte;
   return cost / std::max(1, steps);
 }
@@ -290,7 +315,9 @@ void Autotuner::finish_window(bool force_freeze) {
       DLSCALE_DEBUG("autotune: frozen after " << windows_completed_ + 1 << " windows on fusion "
                                               << next.fusion_threshold << "B cycle "
                                               << next.cycle_time_s * 1e3 << "ms hierarchical "
-                                              << (next.hierarchical_allreduce ? "on" : "off"));
+                                              << (next.hierarchical_allreduce ? "on" : "off")
+                                              << " codec "
+                                              << to_string(next.effective_compression()));
     }
   }
   decision = comm.bcast_blob(decision, 0);

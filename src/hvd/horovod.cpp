@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -101,14 +102,40 @@ Knobs Knobs::from_env(Knobs defaults) {
   const auto timeline = util::env_string("HOROVOD_TIMELINE");
   knobs.timeline = timeline ? !timeline->empty() : defaults.timeline;
   // Force one collective algorithm regardless of message size; "auto"
-  // (or an unrecognised name) keeps the size-based MpiProfile selection.
+  // keeps the size-based MpiProfile selection. An unknown name is a hard
+  // error: silently falling back would run a whole job under the wrong
+  // collective and invalidate its numbers.
   if (const auto algo_name = util::env_string("DLSCALE_ALLREDUCE_ALGO")) {
     knobs.algo = parse_allreduce_algo(*algo_name);
-    if (!knobs.algo && !algo_name->empty() && *algo_name != "auto") {
-      DLSCALE_WARN("DLSCALE_ALLREDUCE_ALGO: unknown algorithm '"
-                   << *algo_name << "' (want ring|rabenseifner|recursive_doubling|auto)");
+    std::string lowered;
+    for (char c : *algo_name) {
+      lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (!knobs.algo && !lowered.empty() && lowered != "auto") {
+      throw std::invalid_argument(
+          "DLSCALE_ALLREDUCE_ALGO: unknown algorithm '" + *algo_name +
+          "' (valid: ring|rabenseifner|recursive_doubling|auto)");
     }
   }
+  // Gradient wire codec (DESIGN.md §12) — same strictness.
+  if (const auto codec_name = util::env_string("DLSCALE_GRAD_COMPRESSION")) {
+    if (!codec_name->empty()) {
+      const auto codec = parse_compression(*codec_name);
+      if (!codec) {
+        throw std::invalid_argument("DLSCALE_GRAD_COMPRESSION: unknown codec '" + *codec_name +
+                                    "' (valid: none|fp16|int8|topk)");
+      }
+      knobs.compression = *codec;
+    }
+  }
+  const double topk_ratio =
+      util::env_double("DLSCALE_TOPK_RATIO", static_cast<double>(defaults.topk_ratio));
+  if (!(topk_ratio > 0.0 && topk_ratio <= 1.0)) {
+    throw std::invalid_argument("DLSCALE_TOPK_RATIO: " + std::to_string(topk_ratio) +
+                                " out of range (valid: (0, 1])");
+  }
+  knobs.topk_ratio = static_cast<float>(topk_ratio);
+  knobs.error_feedback = util::env_bool("DLSCALE_ERROR_FEEDBACK", defaults.error_feedback);
   return knobs;
 }
 
@@ -330,32 +357,93 @@ void HorovodRuntime::execute_batch(const std::vector<std::string>& names) {
   }
   stats_.bytes_reduced += total_bytes;
   const auto world = static_cast<float>(comm_.size());
+  const CompressionAlgo codec = knobs_.effective_compression();
+  const bool allgather_codec =
+      codec == CompressionAlgo::kInt8 || codec == CompressionAlgo::kTopK;
 
-  const std::size_t wire_bytes = knobs_.fp16_allreduce ? total_bytes / 2 : total_bytes;
   if (!has_data) {
-    // Timing-only: price the fusion-buffer pack/unpack copies (the fp16
-    // conversion rides the same copy kernels) and run the payload-free
-    // collective over the (possibly compressed) wire size.
+    // Timing-only: price the fusion-buffer pack/unpack copies (the
+    // codec conversions ride the same copy kernels) and run a
+    // payload-free collective over the compressed wire size.
+    std::size_t wire_bytes = total_bytes;
+    if (codec == CompressionAlgo::kFp16) {
+      wire_bytes = total_bytes / 2;
+    } else if (allgather_codec) {
+      std::vector<std::size_t> counts;
+      counts.reserve(names.size());
+      for (const std::string& name : names) {
+        counts.push_back(pending_.at(name).request.bytes / sizeof(float));
+      }
+      wire_bytes = codec == CompressionAlgo::kInt8
+                       ? GradientCompressor::int8_wire_bytes(counts)
+                       : GradientCompressor::topk_wire_bytes(counts, knobs_.topk_ratio);
+    }
+    stats_.bytes_on_wire += wire_bytes;
     if (names.size() > 1 && comm_.timing_enabled()) {
       comm_.compute(2.0 * copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));
     }
-    if (knobs_.hierarchical_allreduce) {
+    if (allgather_codec) {
+      // Encode/decode sweeps over the full fp32 payload...
+      if (comm_.timing_enabled()) {
+        comm_.compute(2.0 * copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));
+      }
+      // ...then an allgather of one wire-sized blob per rank. A ring
+      // allgather moves (W-1)*B bytes per rank; a ring allreduce of
+      // W*B/2 moves the same volume, so that is how the payload-free
+      // engine prices it (always flat and ring: the blob exchange has no
+      // reduction to split hierarchically).
+      comm_.allreduce_sim(wire_bytes * static_cast<std::size_t>(comm_.size()) / 2,
+                          mpi::MemSpace::kDevice, mpi::AllreduceAlgo::kRing);
+    } else if (knobs_.hierarchical_allreduce) {
       comm_.hierarchical_allreduce_sim(wire_bytes, mpi::MemSpace::kDevice, knobs_.algo);
     } else {
       comm_.allreduce_sim(wire_bytes, mpi::MemSpace::kDevice, knobs_.algo);
     }
-  } else if (knobs_.fp16_allreduce) {
+  } else if (allgather_codec) {
+    // int8 / top-k: compressed blobs are not reducible on the wire
+    // (affine codes have per-rank scales, sparse sets differ), so the
+    // exchange is allgather + local dequantize-and-average. Error
+    // feedback happens inside encode (residual in, compression error
+    // out); decode averages all ranks' contributions in rank order.
+    std::vector<GradientCompressor::Chunk> chunks;
+    chunks.reserve(names.size());
+    for (const std::string& name : names) {
+      chunks.push_back({&name, pending_.at(name).request.data});
+    }
+    const auto pack_start = std::chrono::steady_clock::now();
+    const auto wire =
+        compressor_.encode(codec, chunks, knobs_.topk_ratio, knobs_.error_feedback);
+    stats_.compress_pack_s += std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - pack_start).count();
+    stats_.bytes_on_wire += wire.size();
+    if (comm_.timing_enabled()) {
+      comm_.compute(copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));
+    }
+    gathered_.resize(wire.size() * static_cast<std::size_t>(comm_.size()));
+    comm_.allgather(wire, gathered_, mpi::MemSpace::kDevice);
+    const auto unpack_start = std::chrono::steady_clock::now();
+    compressor_.decode_average(codec, chunks, gathered_, comm_.size(), knobs_.topk_ratio);
+    stats_.compress_unpack_s += std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - unpack_start).count();
+    if (comm_.timing_enabled()) {
+      comm_.compute(copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));
+    }
+  } else if (codec == CompressionAlgo::kFp16) {
     // Compressed path: pack fp32 -> fp16 into the fusion buffer, allreduce
     // halves with a half-sum reducer, expand-and-average back.
     const std::size_t elements = total_bytes / sizeof(float);
+    stats_.bytes_on_wire += elements * 2;
     if (fusion_buffer_.size_bytes() < elements * 2) fusion_buffer_.resize(elements * 2);
     auto halves = fusion_buffer_.as<std::uint16_t>();
+    const auto pack_start = std::chrono::steady_clock::now();
     std::size_t offset = 0;
     for (const std::string& name : names) {
       const auto data = pending_.at(name).request.data;
       util::floats_to_halves(data.data(), halves.data() + offset, data.size());
       offset += data.size();
     }
+    stats_.compress_pack_s += std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - pack_start).count();
     if (comm_.timing_enabled()) {
       comm_.compute(copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));
     }
@@ -370,6 +458,7 @@ void HorovodRuntime::execute_batch(const std::vector<std::string>& names) {
       comm_.allreduce_custom(reinterpret_cast<std::byte*>(halves.data()), 2, offset, kHalfSum,
                              mpi::MemSpace::kDevice, knobs_.algo);
     }
+    const auto unpack_start = std::chrono::steady_clock::now();
     offset = 0;
     for (const std::string& name : names) {
       const auto data = pending_.at(name).request.data;
@@ -377,11 +466,14 @@ void HorovodRuntime::execute_batch(const std::vector<std::string>& names) {
                                  data.size(), world);
       offset += data.size();
     }
+    stats_.compress_unpack_s += std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - unpack_start).count();
     if (comm_.timing_enabled()) {
       comm_.compute(copy_model_.copy_time(total_bytes, gpu::CopyKind::kDeviceToDevice));
     }
   } else if (names.size() == 1) {
     // Single tensor: reduce in place (Horovod skips the fusion buffer).
+    stats_.bytes_on_wire += total_bytes;
     Pending& entry = pending_.at(names.front());
     if (knobs_.hierarchical_allreduce) {
       comm_.hierarchical_allreduce(entry.request.data, mpi::ReduceOp::kSum,
@@ -393,6 +485,7 @@ void HorovodRuntime::execute_batch(const std::vector<std::string>& names) {
     for (float& x : entry.request.data) x /= world;
   } else {
     // Pack -> one allreduce -> unpack-and-average.
+    stats_.bytes_on_wire += total_bytes;
     if (fusion_buffer_.size_bytes() < total_bytes) fusion_buffer_.resize(total_bytes);
     auto buffer = fusion_buffer_.as<float>();
     std::size_t offset = 0;

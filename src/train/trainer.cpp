@@ -91,10 +91,16 @@ hvd::RuntimeStats HorovodHook::stats() const { return runtime_->stats(); }
 
 void HorovodHook::rebind(mpi::Communicator& comm) {
   // Copy the knobs out BEFORE emplace destroys the old runtime (emplace's
-  // argument would otherwise read from a dead object).
+  // argument would otherwise read from a dead object). The fresh runtime
+  // starts with an empty GradientCompressor: error-feedback residuals are
+  // per-rank state scaled to the old world and do not carry across.
   const hvd::Knobs carried = runtime_->knobs();
   comm_ = &comm;
   runtime_.emplace(comm, carried);
+}
+
+void HorovodHook::on_world_change(const WorldInfo&) {
+  runtime_->compressor().reset_residuals();
 }
 
 // ---- Trainer ----

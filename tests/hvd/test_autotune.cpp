@@ -321,3 +321,95 @@ TEST(Autotuner, FreezeSwitchesEveryRankToTheBestKnobs) {
     EXPECT_TRUE(tuner.frozen());
   });
 }
+
+// ---- compression as a fourth tuning axis (opt-in, DESIGN.md §12) ----
+
+namespace {
+
+// Codec-aware synthetic surface: the optimum keeps the separable
+// fusion/cycle/hierarchy optimum above and prefers int8 on the wire.
+double codec_score(const dh::Knobs& knobs) {
+  double score = synthetic_score(knobs);
+  switch (knobs.effective_compression()) {
+    case dh::CompressionAlgo::kInt8: break;  // cheapest
+    case dh::CompressionAlgo::kFp16: score += 0.05; break;
+    case dh::CompressionAlgo::kNone: score += 0.2; break;
+    case dh::CompressionAlgo::kTopK: score += 0.4; break;  // EF lag hurts
+  }
+  return score;
+}
+
+dh::WindowMeasurement measure_codec(const dh::Knobs& knobs) {
+  dh::WindowMeasurement measurement;
+  measurement.knobs = knobs;
+  measurement.score = codec_score(knobs);
+  measurement.steps = 1;
+  return measurement;
+}
+
+dh::TuningSpace codec_space() {
+  dh::TuningSpace space;
+  space.compressions = {dh::CompressionAlgo::kNone, dh::CompressionAlgo::kFp16,
+                        dh::CompressionAlgo::kInt8, dh::CompressionAlgo::kTopK};
+  return space;
+}
+
+}  // namespace
+
+TEST(CoordinateDescentPolicy, ExploresCompressionAxisWhenOptedIn) {
+  dh::CoordinateDescentPolicy policy(dh::Knobs::horovod_defaults(), codec_space(), 0.02);
+  int proposals = 0;
+  while (const auto candidate = policy.propose()) {
+    ASSERT_LT(++proposals, 200) << "policy does not terminate";
+    policy.observe(measure_codec(*candidate));
+  }
+  EXPECT_EQ(policy.best().effective_compression(), dh::CompressionAlgo::kInt8);
+  // The codec candidate owns the wire format outright: the legacy fp16
+  // flag must be cleared, not layered under the chosen codec.
+  EXPECT_FALSE(policy.best().fp16_allreduce);
+  // The other axes still find the separable optimum.
+  EXPECT_EQ(policy.best().fusion_threshold, std::size_t{8} << 20);
+  EXPECT_TRUE(policy.best().hierarchical_allreduce);
+}
+
+TEST(CoordinateDescentPolicy, EmptyCompressionAxisNeverProposesCodecs) {
+  // Default TuningSpace: tuning stays bitwise-invariant — no candidate
+  // may flip the wire codec or the fp16 flag.
+  dh::Knobs base = dh::Knobs::horovod_defaults();
+  dh::CoordinateDescentPolicy policy(base, dh::TuningSpace{}, 0.02);
+  while (const auto candidate = policy.propose()) {
+    EXPECT_EQ(candidate->compression, dh::CompressionAlgo::kNone);
+    EXPECT_FALSE(candidate->fp16_allreduce);
+    policy.observe(measure(*candidate));
+  }
+}
+
+TEST(GridSearchPolicy, GridCoversCompressionAxis) {
+  const dh::TuningSpace space = codec_space();
+  dh::GridSearchPolicy policy(dh::Knobs::horovod_defaults(), space);
+  std::size_t proposals = 0;
+  std::size_t int8_candidates = 0;
+  while (const auto candidate = policy.propose()) {
+    ++proposals;
+    if (candidate->compression == dh::CompressionAlgo::kInt8) ++int8_candidates;
+    policy.observe(measure_codec(*candidate));
+  }
+  EXPECT_EQ(proposals, space.combinations());
+  // Every (fusion, cycle, hierarchy) cell is visited once per codec.
+  EXPECT_EQ(int8_candidates, space.combinations() / space.compressions.size());
+  EXPECT_EQ(policy.best().effective_compression(), dh::CompressionAlgo::kInt8);
+}
+
+TEST(Autotuner, SurrogateCostPricesWireBytesNotLogicalBytes) {
+  // Two windows reduce the SAME logical gradient volume; the compressed
+  // one moved 4x fewer bytes on the wire and must cost less.
+  dh::RuntimeStats fp32;
+  fp32.fused_batches = 10;
+  fp32.cycles = 20;
+  fp32.bytes_reduced = 64 << 20;
+  fp32.bytes_on_wire = 64 << 20;
+  dh::RuntimeStats int8 = fp32;
+  int8.bytes_on_wire = 16 << 20;
+  EXPECT_LT(dh::Autotuner::surrogate_step_cost(int8, 4),
+            dh::Autotuner::surrogate_step_cost(fp32, 4));
+}
