@@ -13,7 +13,10 @@
 #include <thread>
 #include <vector>
 
+#include "dlscale/http/protocol.hpp"
+#include "dlscale/http/server.hpp"
 #include "dlscale/models/deeplab.hpp"
+#include "dlscale/serve/model_registry.hpp"
 #include "dlscale/serve/server.hpp"
 #include "dlscale/tensor/planner.hpp"
 #include "dlscale/train/checkpoint.hpp"
@@ -101,6 +104,70 @@ RunResult run_load(const std::string& checkpoint, int workers, int max_batch,
   return result;
 }
 
+/// The same closed-loop load as run_load, but through the socket
+/// front-end: kClients keep-alive connections, one JSON predict in
+/// flight each. The delta against run_load is the HTTP tax — framing,
+/// JSON encode/decode of the image and logits, and loopback TCP.
+RunResult run_http_load(const std::string& checkpoint, int workers, int max_batch,
+                        nn::Precision precision) {
+  serve::ServeConfig config;
+  config.model = model_config();
+  config.workers = workers;
+  config.max_batch = max_batch;
+  config.max_wait_us = 300;
+  config.queue_capacity = kClients * 4;
+  config.quantize.precision = precision;
+  if (precision == nn::Precision::kInt8) {
+    util::Rng rng(9);
+    const auto& m = config.model;
+    config.quantize.calibration_images =
+        tensor::Tensor::randn({4, m.in_channels, m.input_size, m.input_size}, rng, 1.0f);
+  }
+  serve::ModelRegistry registry;
+  registry.add_model("bench", std::move(config), checkpoint);
+  http::HttpServer frontend(registry);
+  const std::string target = "/v1/models/bench:predict";
+  const auto cfg = model_config();
+
+  auto client = [&](int id) {
+    http::Connection connection(util::Socket::connect_loopback(frontend.port()));
+    util::Rng rng(static_cast<std::uint64_t>(100 + id));
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      const tensor::Tensor image = tensor::Tensor::randn(
+          {1, cfg.in_channels, cfg.input_size, cfg.input_size}, rng, 1.0f);
+      http::PredictRequest predict;
+      predict.shape.assign(image.shape().begin(), image.shape().end());
+      predict.image.assign(image.ptr(), image.ptr() + image.numel());
+      http::Request request;
+      request.method = "POST";
+      request.target = target;
+      request.body = util::json::to_json(predict);
+      if (!connection.write(request)) return;
+      auto response = connection.read_response(64ull * 1024 * 1024);
+      if (!response || response->status != 200) return;
+    }
+  };
+
+  // Warm the connection path and the replicas outside the timed window.
+  client(-1);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) clients.emplace_back(client, c);
+  for (std::thread& t : clients) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  RunResult result;
+  result.stats = registry.stats("bench");
+  const auto served =
+      static_cast<double>(result.stats.completed) - kRequestsPerClient;  // minus warmup
+  result.requests_per_s = served / elapsed_s;
+  result.mean_batch = result.stats.mean_batch_size;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -171,6 +238,39 @@ int main() {
       "lane) plus a per-channel dequantize epilogue; bf16 only halves weight\n"
       "storage and pays a widen per forward (acceptance: int8 >= 2x fp32 req/s\n"
       "at equal workers/max_batch).\n");
+
+  // HTTP loopback vs in-process: the same closed-loop load through the
+  // socket front-end. The gap is pure serving overhead — HTTP/1.1
+  // framing, the JSON float round-trip on images and logits, loopback
+  // TCP — and stays a protocol tax, not a throughput collapse, because
+  // connection threads park on the same model futures either way.
+  util::Table htable("HTTP loopback vs in-process (workers=1, max_batch=16, " +
+                     std::to_string(kClients) + " clients)");
+  htable.set_header({"path", "precision", "req/s", "p50 ms", "p99 ms", "vs in-proc"});
+  for (nn::Precision precision : {nn::Precision::kFp32, nn::Precision::kInt8}) {
+    RunResult inproc = run_load(checkpoint, /*workers=*/1, /*max_batch=*/16, precision);
+    const RunResult inproc2 = run_load(checkpoint, /*workers=*/1, /*max_batch=*/16, precision);
+    if (inproc2.requests_per_s > inproc.requests_per_s) inproc = inproc2;
+    RunResult over_http = run_http_load(checkpoint, /*workers=*/1, /*max_batch=*/16, precision);
+    const RunResult http2 = run_http_load(checkpoint, /*workers=*/1, /*max_batch=*/16, precision);
+    if (http2.requests_per_s > over_http.requests_per_s) over_http = http2;
+    htable.add_row({"in-process", inproc.stats.precision,
+                    util::Table::num(inproc.requests_per_s, 1),
+                    util::Table::num(inproc.stats.total_p50_us / 1e3, 2),
+                    util::Table::num(inproc.stats.total_p99_us / 1e3, 2), "1.00x"});
+    htable.add_row({"http", over_http.stats.precision,
+                    util::Table::num(over_http.requests_per_s, 1),
+                    util::Table::num(over_http.stats.total_p50_us / 1e3, 2),
+                    util::Table::num(over_http.stats.total_p99_us / 1e3, 2),
+                    util::Table::num(over_http.requests_per_s / inproc.requests_per_s, 2) + "x"});
+    std::fprintf(stderr, "... http loopback precision=%s done (%.1f req/s vs %.1f in-proc)\n",
+                 over_http.stats.precision, over_http.requests_per_s, inproc.requests_per_s);
+  }
+  htable.print();
+  std::printf(
+      "\nThe http rows pay JSON encode/decode of every image and logit plus\n"
+      "loopback TCP framing; the model-side p50/p99 stay close to in-process\n"
+      "because batching happens behind the queue either way.\n");
 
   // Activation-memory report: trace one max-width eval forward (the shape
   // a full dynamic batch serves) and pack it with the liveness planner —

@@ -132,7 +132,9 @@ int main(int argc, char** argv) {
                     std::to_string(per_client) + " requests)");
   table.set_header({"metric", "value"});
   table.add_row({"accepted", util::Table::num(static_cast<long long>(stats.accepted))});
-  table.add_row({"rejected (backpressure)", util::Table::num(static_cast<long long>(stats.rejected))});
+  table.add_row({"rejected (queue full / closed)",
+                 util::Table::num(static_cast<long long>(stats.rejected_full)) + " / " +
+                     util::Table::num(static_cast<long long>(stats.rejected_closed))});
   table.add_row({"completed", util::Table::num(static_cast<long long>(stats.completed))});
   table.add_row({"batches", util::Table::num(static_cast<long long>(stats.batches))});
   table.add_row({"mean batch size", util::Table::num(stats.mean_batch_size, 2)});

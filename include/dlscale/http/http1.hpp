@@ -1,0 +1,113 @@
+// Minimal HTTP/1.1 subset for the serving front-end (DESIGN.md §13).
+//
+// Exactly what the protocol needs and nothing more: request line +
+// headers + Content-Length-framed bodies, keep-alive connection reuse,
+// and both directions (the server parses requests and writes responses;
+// the tests/bench client writes requests and parses responses with the
+// SAME code, so framing bugs cannot hide behind an asymmetric peer).
+// No chunked transfer encoding, no pipelining guarantees beyond
+// strictly sequential request/response, no TLS.
+//
+// Parsing is split in two layers: pure functions over complete buffers
+// (unit-testable without sockets) and a blocking `Connection` that
+// frames messages off a util::Socket using those functions.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dlscale/util/socket.hpp"
+
+namespace dlscale::http {
+
+/// Thrown by the parsing layer on malformed messages. `status` is the
+/// HTTP status the server should answer with (400 bad syntax, 413 body
+/// too large, 505 wrong version).
+struct HttpError : std::runtime_error {
+  HttpError(int status_in, const std::string& what) : std::runtime_error(what), status(status_in) {}
+  int status = 400;
+};
+
+struct Header {
+  std::string name;   ///< as received; compared case-insensitively
+  std::string value;  ///< leading/trailing whitespace stripped
+};
+
+struct Request {
+  std::string method;   ///< "GET", "POST", ...
+  std::string target;   ///< origin-form, e.g. "/v1/models/seg:predict"
+  std::string version;  ///< "HTTP/1.1"
+  std::vector<Header> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+  /// HTTP/1.1 defaults to keep-alive unless "Connection: close".
+  [[nodiscard]] bool keep_alive() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason;  ///< filled from status when empty
+  std::vector<Header> headers;
+  std::string body;
+
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+/// Standard reason phrase for the subset of statuses the server uses.
+[[nodiscard]] const char* status_reason(int status);
+
+/// Case-insensitive ASCII comparison (header names, token values).
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// Serializes with Content-Length set from the body. The request form
+/// adds "Host: localhost" when absent (clients must send one in 1.1).
+[[nodiscard]] std::string serialize(const Request& request);
+[[nodiscard]] std::string serialize(const Response& response);
+
+/// Parses a complete head (everything up to but excluding the blank
+/// line). Pure; throws HttpError. `head` must not contain "\r\n\r\n".
+[[nodiscard]] Request parse_request_head(std::string_view head);
+[[nodiscard]] Response parse_response_head(std::string_view head);
+
+/// Content-Length of a parsed head: 0 when absent, throws HttpError on
+/// an unparsable value or one above `max_body`.
+[[nodiscard]] std::size_t content_length(const std::vector<Header>& headers,
+                                         std::size_t max_body);
+
+/// Frames HTTP messages over one socket, buffering leftover bytes
+/// between keep-alive messages. Used by server connection threads
+/// (read_request/write) and by loopback clients (write/read_response).
+class Connection {
+ public:
+  explicit Connection(util::Socket socket) : socket_(std::move(socket)) {}
+
+  /// Blocks until one full request is framed. Returns nullopt on clean
+  /// EOF between messages (client done with keep-alive) and on
+  /// recv timeouts/resets; throws HttpError on malformed input.
+  [[nodiscard]] std::optional<Request> read_request(std::size_t max_body);
+  [[nodiscard]] std::optional<Response> read_response(std::size_t max_body);
+
+  /// Serializes and sends. False when the peer hung up.
+  [[nodiscard]] bool write(const Request& request);
+  [[nodiscard]] bool write(const Response& response);
+
+  [[nodiscard]] util::Socket& socket() noexcept { return socket_; }
+
+ private:
+  /// Reads until `buffer_` holds a full head + body; nullopt on EOF at a
+  /// message boundary. Returns {head, body} views materialized.
+  [[nodiscard]] std::optional<std::pair<std::string, std::string>> read_message(
+      std::size_t max_body);
+
+  util::Socket socket_;
+  std::string buffer_;  ///< bytes past the previous message
+};
+
+}  // namespace dlscale::http

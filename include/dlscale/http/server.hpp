@@ -1,0 +1,117 @@
+// Socket front-end over the multi-model registry (DESIGN.md §13).
+//
+//   clients --TCP--> accept loop --> connection threads --> route
+//        POST /v1/models/{name}:predict  -> registry.find(name)->submit()
+//        POST /v1/models/{name}:reload   -> per-model hot-reload
+//        GET  /healthz                   -> ok | draining
+//        GET  /stats                     -> front-end + per-model JSON
+//
+// Threading model: one acceptor thread plus one thread per live
+// connection (keep-alive: a connection thread serves many sequential
+// requests). Thread-per-connection is the right shape here because a
+// predict blocks on the model future anyway — parked threads are cheap,
+// and the real concurrency limit is the per-model worker pool, not the
+// front-end. Connection threads never share mutable state except
+// through the counters mutex and the serve-layer's own locks; the whole
+// suite runs under the ThreadSanitizer preset (ctest -L http).
+//
+// Shutdown is drain-shaped, mirroring the serve layer: begin_drain()
+// flips /healthz to "draining" (load balancers stop routing), model
+// queues close and answer their backlog, and only then does the
+// listener die and the connection threads join — so every admitted
+// request gets its bytes back before the process goes quiet.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dlscale/http/http1.hpp"
+#include "dlscale/http/protocol.hpp"
+#include "dlscale/serve/model_registry.hpp"
+#include "dlscale/util/socket.hpp"
+
+namespace dlscale::http {
+
+class HttpServer {
+ public:
+  /// Binds and starts accepting immediately. The registry outlives the
+  /// server; models may be added to it while serving. Throws
+  /// std::runtime_error when the port cannot be bound.
+  explicit HttpServer(serve::ModelRegistry& registry, HttpConfig config = {});
+  /// Full shutdown (drain included).
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Actual bound port (the ephemeral one when config.port was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// True once begin_drain()/shutdown() has started.
+  [[nodiscard]] bool draining() const;
+
+  /// Flips /healthz to "draining" without touching the models — phase
+  /// one of shutdown, separated out so operators (and tests) can
+  /// observe the drain window. Idempotent.
+  void begin_drain();
+
+  /// begin_drain + drain every model (admitted requests are answered),
+  /// then stop the acceptor, unblock and join every connection thread.
+  /// Idempotent. `drain_models=false` leaves the registry running (for
+  /// callers that own its lifecycle separately).
+  void shutdown(bool drain_models = true);
+
+  /// Front-end counters (the "server" block of /stats).
+  [[nodiscard]] FrontendStatsJson frontend_stats() const;
+
+  /// Routes one parsed request to a response — the pure core of the
+  /// connection loop, public so routing is unit-testable without
+  /// sockets. Does not touch the front-end counters.
+  [[nodiscard]] Response handle(const Request& request);
+
+ private:
+  struct Conn {
+    util::Socket socket;  ///< owned here so shutdown() can unblock it;
+                          ///< the thread borrows it via Connection
+    std::thread thread;
+    bool done = false;  ///< guarded by mutex_
+  };
+
+  void accept_loop();
+  void connection_loop(Conn* conn);
+  void reap_finished_locked();
+
+  Response handle_predict(const std::string& name, const Request& request);
+  Response handle_reload(const std::string& name, const Request& request);
+  Response handle_healthz();
+  Response handle_stats();
+
+  serve::ModelRegistry& registry_;
+  HttpConfig config_;
+  util::ListenSocket listener_;
+  std::thread acceptor_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  bool draining_ = false;
+  bool shut_down_ = false;
+  std::uint64_t connections_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t http_errors_ = 0;
+};
+
+/// JSON response helper: serializes `body` with Content-Type set.
+template <util::json::Reflected T>
+[[nodiscard]] Response json_response(int status, const T& body) {
+  Response response;
+  response.status = status;
+  response.headers.push_back({"Content-Type", "application/json"});
+  response.body = util::json::to_json(body);
+  return response;
+}
+
+}  // namespace dlscale::http

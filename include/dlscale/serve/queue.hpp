@@ -1,11 +1,13 @@
 // Bounded admission queue for the serving layer.
 //
 // Single policy decision lives here: when the queue is full, new work is
-// REJECTED immediately (try_push returns false) rather than blocking the
+// REJECTED immediately (try_push returns kFull) rather than blocking the
 // client — bounded queues with load shedding keep tail latency flat under
 // overload, where an unbounded queue would grow without limit and every
 // request would eventually time out. The server counts rejections and
-// surfaces them in ServerStats so operators see shed load, not silence.
+// surfaces them in ServerStats so operators see shed load, not silence —
+// split by cause (kFull = overload shedding, kClosed = shutdown drain),
+// because the operator response differs: add capacity vs expected.
 //
 // Plain mutex + condition_variable; no lock-free tricks. Batches are a
 // handful of requests and the per-batch model forward dwarfs any queue
@@ -24,14 +26,24 @@
 
 namespace dlscale::serve {
 
+/// Outcome of an admission attempt, in stats-attribution detail.
+enum class PushResult {
+  kAccepted,  ///< enqueued; the queue owns the request now
+  kFull,      ///< shed: at capacity (rejected_full in ServerStats)
+  kClosed,    ///< shed: shutting down (rejected_closed in ServerStats)
+};
+
+/// True when the request was admitted.
+constexpr bool accepted(PushResult r) noexcept { return r == PushResult::kAccepted; }
+
 class RequestQueue {
  public:
   explicit RequestQueue(std::size_t capacity);
 
   /// Admission control: enqueue `request` unless the queue is at capacity
-  /// or closed. Returns false (request untouched by the queue, promise
-  /// still owned by the caller) on rejection.
-  [[nodiscard]] bool try_push(Request&& request);
+  /// or closed. On kFull/kClosed the request is untouched by the queue
+  /// and the promise is still owned by the caller.
+  [[nodiscard]] PushResult try_push(Request&& request);
 
   /// Blocks until a request is available, then moves it out. Returns
   /// nullopt only when the queue is closed AND drained — the worker's

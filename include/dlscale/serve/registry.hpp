@@ -1,5 +1,10 @@
 // Checkpoint-backed model replicas with atomic hot-reload.
 //
+// (This class was named ModelRegistry before the multi-model registry
+// landed; serve::ModelRegistry in model_registry.hpp is now the NAMED
+// many-model map, and ReplicaRegistry is the per-model replica-set
+// holder each of its Servers owns.)
+//
 // One replica per worker: workers index their own replica, so forward
 // passes never share mutable model state and need no per-inference lock.
 // reload() builds a complete STANDBY replica set, loads the checkpoint
@@ -49,13 +54,13 @@ struct ReplicaSet {
   nn::Precision precision = nn::Precision::kFp32;
 };
 
-class ModelRegistry {
+class ReplicaRegistry {
  public:
   /// Builds `replica_count` fresh replicas of `config`, loads the
   /// checkpoint at `path` into them (save_model format: parameters then
   /// buffers), then applies `quantize`. Throws on any load or
   /// calibration/conversion error.
-  ModelRegistry(models::MiniDeepLabV3Plus::Config config, int replica_count,
+  ReplicaRegistry(models::MiniDeepLabV3Plus::Config config, int replica_count,
                 const std::string& path, QuantizeSpec quantize = {});
 
   /// Atomic hot-reload: standby set, load, calibrate/convert, swap.

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +34,7 @@ namespace dlscale::serve {
 
 struct ServeConfig {
   models::MiniDeepLabV3Plus::Config model;
+  std::string name = "default";  ///< names the model in errors and /stats
   int workers = 1;           ///< concurrent batches (one replica each)
   int max_batch = 8;         ///< dynamic-batch ceiling
   std::int64_t max_wait_us = 200;  ///< straggler window after first request
@@ -40,10 +42,41 @@ struct ServeConfig {
   QuantizeSpec quantize{};   ///< serving precision of loaded replicas
 };
 
+/// Rejected submit(): the image does not fit the model. Carries the
+/// structured pieces (which model, expected vs got shape) so callers —
+/// the HTTP 400 handler above all — can report without re-parsing the
+/// what() text. Raised at admission, never inside a worker forward.
+class ShapeError : public std::invalid_argument {
+ public:
+  ShapeError(std::string model, tensor::Shape expected, tensor::Shape got);
+
+  [[nodiscard]] const std::string& model() const noexcept { return model_; }
+  [[nodiscard]] const tensor::Shape& expected() const noexcept { return expected_; }
+  [[nodiscard]] const tensor::Shape& got() const noexcept { return got_; }
+
+ private:
+  std::string model_;
+  tensor::Shape expected_;
+  tensor::Shape got_;
+};
+
+/// Why submit() returned nullopt (for callers that need to answer 429
+/// vs 503 rather than just "rejected").
+enum class RejectReason {
+  kNone,       ///< accepted
+  kQueueFull,  ///< load shed — retry later
+  kClosed,     ///< shutting down — drain in progress
+};
+
 /// Point-in-time counters + latency percentiles (microseconds).
 struct ServerStats {
   std::uint64_t accepted = 0;
-  std::uint64_t rejected = 0;   ///< shed at admission (queue full / closed)
+  /// Shed at admission: `rejected` stays the total for compatibility and
+  /// always equals rejected_full + rejected_closed; the split is what
+  /// operators act on (full = add capacity, closed = expected drain).
+  std::uint64_t rejected = 0;
+  std::uint64_t rejected_full = 0;    ///< queue overflow (load shedding)
+  std::uint64_t rejected_closed = 0;  ///< admissions after shutdown began
   std::uint64_t completed = 0;
   std::uint64_t batches = 0;
   std::uint64_t reloads = 0;
@@ -74,8 +107,12 @@ class Server {
 
   /// Submit one (1,C,S,S) image — or (C,S,S), auto-unsqueezed. Returns
   /// nullopt when shedding load (queue full) or shutting down; otherwise
-  /// a future the worker pool fulfils.
-  [[nodiscard]] std::optional<std::future<Response>> submit(tensor::Tensor image);
+  /// a future the worker pool fulfils. Throws ShapeError — naming the
+  /// model and the expected vs got shape — when the image does not fit,
+  /// so a bad request never reaches a worker forward. When `why` is
+  /// non-null it reports the rejection cause (kNone on acceptance).
+  [[nodiscard]] std::optional<std::future<Response>> submit(tensor::Tensor image,
+                                                            RejectReason* why = nullptr);
 
   /// Hot-swap weights from a new checkpoint. Throws on a bad file, in
   /// which case the old weights keep serving (strong guarantee).
@@ -89,6 +126,8 @@ class Server {
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] int model_version() const { return registry_.version(); }
   [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+  /// The model name used in errors and /stats (ServeConfig::name).
+  [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
 
   /// Idempotent; called by the destructor. After shutdown() returns all
   /// admitted requests have been answered and workers have exited.
@@ -99,7 +138,7 @@ class Server {
   void run_batch(Batch&& batch, int worker_id);
 
   ServeConfig config_;
-  ModelRegistry registry_;
+  ReplicaRegistry registry_;
   RequestQueue queue_;
   DynamicBatcher batcher_;
   std::vector<std::thread> workers_;
@@ -107,7 +146,8 @@ class Server {
 
   mutable std::mutex stats_mutex_;
   std::uint64_t accepted_ = 0;
-  std::uint64_t rejected_ = 0;
+  std::uint64_t rejected_full_ = 0;
+  std::uint64_t rejected_closed_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t reloads_ = 0;

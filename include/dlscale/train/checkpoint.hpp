@@ -52,7 +52,7 @@ void load_checkpoint(const std::vector<nn::Parameter*>& params, const std::strin
 
 /// Inference-state wrappers: parameters followed by buffers (BatchNorm
 /// running stats), no optimizer state. What a trained model hands to the
-/// serving layer, and what serve::ModelRegistry loads into its replicas.
+/// serving layer, and what serve::ReplicaRegistry loads into its replicas.
 /// Loading mutates tensors in file order before a mismatch is detected —
 /// callers wanting atomicity load into standby storage and swap.
 void save_model(const std::vector<nn::Parameter*>& params,

@@ -1,0 +1,290 @@
+// Reflection-style JSON for the serving front-end (DESIGN.md §13).
+//
+// Two layers, modelled on the getml engine's json/Writer.hpp +
+// rfl/parsing/Parser.hpp split referenced in ROADMAP:
+//
+//  1. A dynamic `Value` (null/bool/number/string/array/object) with a
+//     strict recursive-descent parser and a writer whose number
+//     formatting uses std::to_chars shortest round-trip form — a float
+//     written here and parsed back is BITWISE the same float, which is
+//     what lets the HTTP loopback tests demand bit-equality with
+//     in-process serving.
+//
+//  2. A compile-time field-binding layer: a struct opts in by declaring
+//
+//       static constexpr auto json_fields() {
+//         return std::make_tuple(util::json::field("workers", &Cfg::workers),
+//                                util::json::field("max_batch", &Cfg::max_batch));
+//       }
+//
+//     and the generic to_value<T>() / from_value<T>() walk that tuple —
+//     one field list per struct powers BOTH directions, so there is no
+//     hand-rolled per-struct serialize or parse code to drift apart.
+//     from_value is strict: an unknown key or a wrong-typed value throws
+//     SchemaError naming the offending field; a missing key keeps the
+//     member's default (configs stay forward-compatible).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dlscale::util::json {
+
+class Value;
+
+/// Base of all errors this module throws.
+struct Error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed JSON text. `offset` is the byte position of the failure.
+struct ParseError : Error {
+  ParseError(const std::string& what, std::size_t offset_in)
+      : Error(what + " (at byte " + std::to_string(offset_in) + ")"), offset(offset_in) {}
+  std::size_t offset = 0;
+};
+
+/// Structurally valid JSON that does not fit the target struct: unknown
+/// field, wrong type, non-integral value for an integer member.
+struct SchemaError : Error {
+  using Error::Error;
+};
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Value>;
+
+  Value() noexcept : kind_(Kind::kNull) {}
+  Value(std::nullptr_t) noexcept : kind_(Kind::kNull) {}  // NOLINT
+  Value(bool b) noexcept : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  Value(double d) noexcept : kind_(Kind::kNumber), number_(d) {}  // NOLINT
+  Value(int i) noexcept : Value(static_cast<double>(i)) {}  // NOLINT
+  Value(std::int64_t i) noexcept : Value(static_cast<double>(i)) {}  // NOLINT
+  Value(std::uint64_t i) noexcept : Value(static_cast<double>(i)) {}  // NOLINT
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}  // NOLINT
+  Value(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}  // NOLINT
+
+  Value(const Value& other) { copy_from(other); }
+  Value(Value&& other) noexcept = default;
+  Value& operator=(const Value& other) {
+    if (this != &other) { Value tmp(other); *this = std::move(tmp); }
+    return *this;
+  }
+  Value& operator=(Value&& other) noexcept = default;
+  ~Value() = default;
+
+  [[nodiscard]] static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  [[nodiscard]] static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw SchemaError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+
+  // --- object interface (throws SchemaError unless is_object()) ---
+  /// Keys in insertion order.
+  [[nodiscard]] const std::vector<std::string>& keys() const;
+  /// Value for `key`, or nullptr when absent.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  /// Insert or replace `key`.
+  void set(std::string key, Value value);
+  [[nodiscard]] std::size_t member_count() const;
+  [[nodiscard]] const Value& member(std::size_t i) const { return object_values_[i]; }
+
+  /// Array append (throws SchemaError unless is_array()).
+  void push_back(Value value);
+
+ private:
+  void copy_from(const Value& other);
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  std::vector<std::string> object_keys_;
+  Array object_values_;
+};
+
+/// Strict parse of a complete JSON document: the whole input must be one
+/// value plus optional trailing whitespace. Throws ParseError on
+/// malformed or truncated text, nesting deeper than 64 levels, or
+/// non-finite numbers.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Compact single-line serialization. Numbers use std::to_chars shortest
+/// round-trip form; non-finite numbers throw Error (not representable in
+/// JSON).
+[[nodiscard]] std::string write(const Value& value);
+
+/// Indented serialization for config files and human-read payloads.
+[[nodiscard]] std::string write_pretty(const Value& value, int indent = 2);
+
+// ---------------------------------------------------------------------------
+// Field-binding layer.
+// ---------------------------------------------------------------------------
+
+template <class T, class M>
+struct Field {
+  const char* name;
+  M T::*member;
+};
+
+/// Binds one member to its JSON key. Collect these in json_fields().
+template <class T, class M>
+constexpr Field<T, M> field(const char* name, M T::*member) {
+  return Field<T, M>{name, member};
+}
+
+template <class T>
+concept Reflected = requires { T::json_fields(); };
+
+template <Reflected T>
+[[nodiscard]] Value to_value(const T& obj);
+template <class T>
+[[nodiscard]] T from_value(const Value& value);
+
+namespace detail {
+
+// encode(x) -> Value for every supported member type.
+inline Value encode(bool b) { return Value(b); }
+inline Value encode(const std::string& s) { return Value(s); }
+template <class T>
+  requires std::is_arithmetic_v<T> && (!std::is_same_v<T, bool>)
+Value encode(T n) {
+  return Value(static_cast<double>(n));
+}
+template <Reflected T>
+Value encode(const T& obj) {
+  return to_value(obj);
+}
+template <class E>
+Value encode(const std::vector<E>& items) {
+  Value v = Value::array();
+  for (const E& item : items) v.push_back(encode(item));
+  return v;
+}
+
+// decode(value, out, context): strict kind/type checking; `context`
+// names the field for error messages.
+void expect_kind(const Value& value, Value::Kind kind, const std::string& context);
+double checked_integer(const Value& value, const std::string& context);
+
+inline void decode(const Value& value, bool& out, const std::string& context) {
+  expect_kind(value, Value::Kind::kBool, context);
+  out = value.as_bool();
+}
+inline void decode(const Value& value, std::string& out, const std::string& context) {
+  expect_kind(value, Value::Kind::kString, context);
+  out = value.as_string();
+}
+template <class T>
+  requires std::is_floating_point_v<T>
+void decode(const Value& value, T& out, const std::string& context) {
+  expect_kind(value, Value::Kind::kNumber, context);
+  out = static_cast<T>(value.as_number());
+}
+template <class T>
+  requires std::is_integral_v<T> && (!std::is_same_v<T, bool>)
+void decode(const Value& value, T& out, const std::string& context) {
+  out = static_cast<T>(checked_integer(value, context));
+}
+template <Reflected T>
+void decode(const Value& value, T& out, const std::string& context);
+template <class E>
+void decode(const Value& value, std::vector<E>& out, const std::string& context) {
+  expect_kind(value, Value::Kind::kArray, context);
+  const auto& items = value.as_array();
+  out.clear();
+  out.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    E element{};
+    decode(items[i], element, context + "[" + std::to_string(i) + "]");
+    out.push_back(std::move(element));
+  }
+}
+
+[[noreturn]] void throw_unknown_field(const std::string& context, const std::string& key);
+
+template <Reflected T>
+void decode(const Value& value, T& out, const std::string& context) {
+  expect_kind(value, Value::Kind::kObject, context);
+  constexpr auto fields = T::json_fields();
+  const auto& keys = value.keys();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string& key = keys[i];
+    bool known = false;
+    std::apply(
+        [&](const auto&... f) {
+          (([&] {
+             if (!known && key == f.name) {
+               known = true;
+               decode(value.member(i), out.*(f.member), context + "." + f.name);
+             }
+           }()),
+           ...);
+        },
+        fields);
+    if (!known) throw_unknown_field(context, key);
+  }
+}
+
+}  // namespace detail
+
+template <Reflected T>
+Value to_value(const T& obj) {
+  Value v = Value::object();
+  std::apply([&](const auto&... f) { (v.set(f.name, detail::encode(obj.*(f.member))), ...); },
+             T::json_fields());
+  return v;
+}
+
+/// Decodes a default-constructed T from `value`. Strict: unknown keys
+/// and wrong-typed values throw SchemaError; absent keys keep defaults.
+template <class T>
+T from_value(const Value& value) {
+  T out{};
+  detail::decode(value, out, "$");
+  return out;
+}
+
+/// Convenience: serialize a reflected struct straight to JSON text.
+template <Reflected T>
+[[nodiscard]] std::string to_json(const T& obj, bool pretty = false) {
+  return pretty ? write_pretty(to_value(obj)) : write(to_value(obj));
+}
+
+/// Convenience: parse text and decode a reflected struct. Throws
+/// ParseError on bad text, SchemaError on a shape mismatch.
+template <class T>
+[[nodiscard]] T from_json(std::string_view text) {
+  return from_value<T>(parse(text));
+}
+
+}  // namespace dlscale::util::json

@@ -1,0 +1,105 @@
+// Minimal loopback TCP helpers for the HTTP serving front-end
+// (DESIGN.md §13).
+//
+// Deliberately small: blocking sockets, IPv4 loopback only, RAII fds.
+// The serving stack is thread-per-connection (a connection thread can
+// block in recv without starving anything), so no epoll/readiness
+// machinery is needed — what IS needed is a clean cross-thread shutdown
+// story, and that is the one subtle part here:
+//
+//   * close(fd) while another thread is blocked on it is a fd-reuse
+//     race (the number can be recycled under the blocked thread), so
+//     shutdown paths call ::shutdown(fd, SHUT_RDWR) — which atomically
+//     unblocks accept()/recv() on every thread — and leave the close()
+//     to the fd's owning RAII wrapper.
+//   * send uses MSG_NOSIGNAL so a client hanging up mid-response is an
+//     error return, not a process-wide SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dlscale::util {
+
+/// RAII wrapper of one connected TCP socket. Move-only; the destructor
+/// closes the fd.
+class Socket {
+ public:
+  Socket() noexcept = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Gives up ownership: returns the fd and leaves the wrapper invalid
+  /// (destructor becomes a no-op). For borrow patterns where another
+  /// owner is responsible for the close.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Blocking connect to 127.0.0.1:port. Throws std::runtime_error with
+  /// errno text on failure.
+  [[nodiscard]] static Socket connect_loopback(std::uint16_t port);
+
+  /// Writes all `n` bytes (looping over partial sends, EINTR-safe).
+  /// Returns false if the peer is gone (EPIPE/ECONNRESET) or on error.
+  bool send_all(const void* data, std::size_t n) noexcept;
+  bool send_all(const std::string& data) noexcept {
+    return send_all(data.data(), data.size());
+  }
+
+  /// One blocking recv: >0 bytes read, 0 orderly EOF, -1 error. EINTR is
+  /// retried internally.
+  [[nodiscard]] long recv_some(void* buf, std::size_t n) noexcept;
+
+  /// Half-close both directions without closing the fd — safe to call
+  /// from a different thread than the one blocked in recv_some (which
+  /// wakes with EOF). The fd itself dies with the wrapper.
+  void shutdown_both() noexcept;
+
+  /// Bounds how long recv_some may block (0 = forever). Lets connection
+  /// threads shed clients that stop talking mid-request.
+  void set_recv_timeout_ms(int ms) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 asks the kernel for an
+/// ephemeral port; port() reports the actual one.
+class ListenSocket {
+ public:
+  /// Binds and listens. Throws std::runtime_error with errno text.
+  explicit ListenSocket(std::uint16_t port, int backlog = 64);
+  ~ListenSocket();
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks for the next connection. Returns nullopt once unblock() has
+  /// been called (or on a non-transient accept error) — the accept
+  /// loop's signal to exit.
+  [[nodiscard]] std::optional<Socket> accept();
+
+  /// Cross-thread: makes the blocked (and every future) accept() return
+  /// nullopt. Idempotent. The fd is closed by the destructor only, so
+  /// there is no fd-reuse race with a concurrently blocked accept.
+  void unblock() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace dlscale::util

@@ -1,0 +1,255 @@
+#include "dlscale/http/http1.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace dlscale::http {
+
+namespace {
+
+constexpr std::size_t kMaxHeadBytes = 16 * 1024;
+constexpr std::string_view kCrlf = "\r\n";
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Splits `head` into its first line and parses the header lines after
+/// it into `headers`. Throws on folded/invalid header lines.
+std::string_view split_head(std::string_view head, std::vector<Header>& headers) {
+  const std::size_t eol = head.find(kCrlf);
+  const std::string_view first_line = head.substr(0, eol);
+  std::string_view rest = eol == std::string_view::npos ? std::string_view{} : head.substr(eol + 2);
+  while (!rest.empty()) {
+    const std::size_t line_end = rest.find(kCrlf);
+    const std::string_view line = rest.substr(0, line_end);
+    rest = line_end == std::string_view::npos ? std::string_view{} : rest.substr(line_end + 2);
+    if (line.empty()) continue;
+    if (line.front() == ' ' || line.front() == '\t') {
+      throw HttpError(400, "folded header lines are not supported");
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      throw HttpError(400, "malformed header line");
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (name.back() == ' ' || name.back() == '\t') {
+      throw HttpError(400, "whitespace before header colon");
+    }
+    headers.push_back(Header{std::string(name), std::string(trim(line.substr(colon + 1)))});
+  }
+  return first_line;
+}
+
+const std::string* find_header(const std::vector<Header>& headers, std::string_view name) {
+  for (const Header& h : headers) {
+    if (iequals(h.name, name)) return &h.value;
+  }
+  return nullptr;
+}
+
+void append_headers(std::string& out, const std::vector<Header>& headers,
+                    std::size_t body_size) {
+  bool have_length = false;
+  for (const Header& h : headers) {
+    if (iequals(h.name, "Content-Length")) have_length = true;
+    out += h.name;
+    out += ": ";
+    out += h.value;
+    out += kCrlf;
+  }
+  if (!have_length) {
+    out += "Content-Length: ";
+    out += std::to_string(body_size);
+    out += kCrlf;
+  }
+  out += kCrlf;
+}
+
+}  // namespace
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::string* Request::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+bool Request::keep_alive() const {
+  const std::string* conn = header("Connection");
+  if (conn == nullptr) return true;  // 1.1 default
+  return !iequals(*conn, "close");
+}
+
+const std::string* Response::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize(const Request& request) {
+  std::string out;
+  out.reserve(request.body.size() + 256);
+  out += request.method;
+  out += ' ';
+  out += request.target;
+  out += ' ';
+  out += request.version.empty() ? std::string("HTTP/1.1") : request.version;
+  out += kCrlf;
+  if (find_header(request.headers, "Host") == nullptr) {
+    out += "Host: localhost";
+    out += kCrlf;
+  }
+  append_headers(out, request.headers, request.body.size());
+  out += request.body;
+  return out;
+}
+
+std::string serialize(const Response& response) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += response.reason.empty() ? status_reason(response.status) : response.reason.c_str();
+  out += kCrlf;
+  append_headers(out, response.headers, response.body.size());
+  out += response.body;
+  return out;
+}
+
+Request parse_request_head(std::string_view head) {
+  Request request;
+  const std::string_view line = split_head(head, request.headers);
+  // request-line = method SP request-target SP HTTP-version
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    throw HttpError(400, "malformed request line");
+  }
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(line.substr(sp2 + 1));
+  if (request.method.empty() || request.target.empty() || request.target.front() != '/') {
+    throw HttpError(400, "malformed request line");
+  }
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    throw HttpError(505, "unsupported HTTP version \"" + request.version + "\"");
+  }
+  return request;
+}
+
+Response parse_response_head(std::string_view head) {
+  Response response;
+  const std::string_view line = split_head(head, response.headers);
+  // status-line = HTTP-version SP status-code SP reason-phrase
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || !line.substr(0, sp1).starts_with("HTTP/")) {
+    throw HttpError(400, "malformed status line");
+  }
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string_view code =
+      line.substr(sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos : sp2 - sp1 - 1);
+  const auto [ptr, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), response.status);
+  if (ec != std::errc() || ptr != code.data() + code.size() || response.status < 100 ||
+      response.status > 599) {
+    throw HttpError(400, "malformed status code");
+  }
+  if (sp2 != std::string_view::npos) response.reason = std::string(line.substr(sp2 + 1));
+  return response;
+}
+
+std::size_t content_length(const std::vector<Header>& headers, std::size_t max_body) {
+  const std::string* value = find_header(headers, "Content-Length");
+  if (value == nullptr) return 0;
+  std::size_t length = 0;
+  const auto [ptr, ec] = std::from_chars(value->data(), value->data() + value->size(), length);
+  if (ec != std::errc() || ptr != value->data() + value->size()) {
+    throw HttpError(400, "unparsable Content-Length");
+  }
+  if (length > max_body) {
+    throw HttpError(413, "body of " + std::to_string(length) + " bytes exceeds the " +
+                             std::to_string(max_body) + "-byte limit");
+  }
+  return length;
+}
+
+std::optional<std::pair<std::string, std::string>> Connection::read_message(
+    std::size_t max_body) {
+  // Phase 1: accumulate until the head terminator.
+  std::size_t head_end = buffer_.find("\r\n\r\n");
+  while (head_end == std::string::npos) {
+    if (buffer_.size() > kMaxHeadBytes) throw HttpError(400, "header section too large");
+    char chunk[4096];
+    const long got = socket_.recv_some(chunk, sizeof chunk);
+    if (got <= 0) {
+      if (buffer_.empty()) return std::nullopt;  // clean EOF between messages
+      throw HttpError(400, "connection closed mid-head");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+    head_end = buffer_.find("\r\n\r\n");
+  }
+  std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+
+  // Phase 2: the body is Content-Length-framed.
+  std::vector<Header> headers;
+  (void)split_head(head, headers);
+  const std::size_t body_len = content_length(headers, max_body);
+  while (buffer_.size() < body_len) {
+    char chunk[4096];
+    const long got = socket_.recv_some(chunk, sizeof chunk);
+    if (got <= 0) throw HttpError(400, "connection closed mid-body");
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+  std::string body = buffer_.substr(0, body_len);
+  buffer_.erase(0, body_len);
+  return std::make_pair(std::move(head), std::move(body));
+}
+
+std::optional<Request> Connection::read_request(std::size_t max_body) {
+  auto message = read_message(max_body);
+  if (!message) return std::nullopt;
+  Request request = parse_request_head(message->first);
+  request.body = std::move(message->second);
+  return request;
+}
+
+std::optional<Response> Connection::read_response(std::size_t max_body) {
+  auto message = read_message(max_body);
+  if (!message) return std::nullopt;
+  Response response = parse_response_head(message->first);
+  response.body = std::move(message->second);
+  return response;
+}
+
+bool Connection::write(const Request& request) { return socket_.send_all(serialize(request)); }
+
+bool Connection::write(const Response& response) { return socket_.send_all(serialize(response)); }
+
+}  // namespace dlscale::http

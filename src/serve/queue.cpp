@@ -6,14 +6,15 @@ namespace dlscale::serve {
 
 RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
-bool RequestQueue::try_push(Request&& request) {
+PushResult RequestQueue::try_push(Request&& request) {
   {
     std::lock_guard lock(mutex_);
-    if (closed_ || items_.size() >= capacity_) return false;
+    if (closed_) return PushResult::kClosed;
+    if (items_.size() >= capacity_) return PushResult::kFull;
     items_.push_back(std::move(request));
   }
   nonempty_.notify_one();
-  return true;
+  return PushResult::kAccepted;
 }
 
 std::optional<Request> RequestQueue::pop() {

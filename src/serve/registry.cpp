@@ -28,7 +28,7 @@ tensor::Tensor synthetic_calibration_batch(const models::MiniDeepLabV3Plus::Conf
 
 }  // namespace
 
-ModelRegistry::ModelRegistry(models::MiniDeepLabV3Plus::Config config, int replica_count,
+ReplicaRegistry::ReplicaRegistry(models::MiniDeepLabV3Plus::Config config, int replica_count,
                              const std::string& path, QuantizeSpec quantize)
     : config_(config),
       replica_count_(replica_count < 1 ? 1 : replica_count),
@@ -36,7 +36,7 @@ ModelRegistry::ModelRegistry(models::MiniDeepLabV3Plus::Config config, int repli
   current_ = build_loaded_set(path, /*version=*/1);
 }
 
-std::shared_ptr<ReplicaSet> ModelRegistry::build_loaded_set(const std::string& path,
+std::shared_ptr<ReplicaSet> ReplicaRegistry::build_loaded_set(const std::string& path,
                                                             int version) const {
   // Snapshot the policy up front: the slow load below runs unlocked, and
   // a concurrent reload(path, spec) may replace quantize_ meanwhile.
@@ -98,7 +98,7 @@ std::shared_ptr<ReplicaSet> ModelRegistry::build_loaded_set(const std::string& p
   return set;
 }
 
-void ModelRegistry::reload(const std::string& path) {
+void ReplicaRegistry::reload(const std::string& path) {
   // Standby-then-swap: all the throwing work happens before the swap, so
   // a corrupt checkpoint leaves the serving generation untouched.
   int next_version = 0;
@@ -114,7 +114,7 @@ void ModelRegistry::reload(const std::string& path) {
   // completes. No drain barrier needed.
 }
 
-void ModelRegistry::reload(const std::string& path, QuantizeSpec quantize) {
+void ReplicaRegistry::reload(const std::string& path, QuantizeSpec quantize) {
   {
     std::lock_guard lock(mutex_);
     quantize_ = std::move(quantize);
@@ -124,17 +124,17 @@ void ModelRegistry::reload(const std::string& path, QuantizeSpec quantize) {
   reload(path);
 }
 
-std::shared_ptr<ReplicaSet> ModelRegistry::acquire() const {
+std::shared_ptr<ReplicaSet> ReplicaRegistry::acquire() const {
   std::lock_guard lock(mutex_);
   return current_;
 }
 
-int ModelRegistry::version() const {
+int ReplicaRegistry::version() const {
   std::lock_guard lock(mutex_);
   return current_->version;
 }
 
-nn::Precision ModelRegistry::precision() const {
+nn::Precision ReplicaRegistry::precision() const {
   std::lock_guard lock(mutex_);
   return current_->precision;
 }

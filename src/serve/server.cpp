@@ -9,6 +9,27 @@
 
 namespace dlscale::serve {
 
+namespace {
+
+std::string shape_text(const tensor::Shape& shape) {
+  std::string out = "(";
+  for (const int* d = shape.begin(); d != shape.end(); ++d) {
+    if (d != shape.begin()) out += ",";
+    out += std::to_string(*d);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+ShapeError::ShapeError(std::string model, tensor::Shape expected, tensor::Shape got)
+    : std::invalid_argument("model \"" + model + "\": expected image shape " +
+                            shape_text(expected) + ", got " + shape_text(got)),
+      model_(std::move(model)),
+      expected_(expected),
+      got_(got) {}
+
 Server::Server(ServeConfig config, const std::string& checkpoint_path)
     : config_(config),
       registry_(config.model, config.workers < 1 ? 1 : config.workers, checkpoint_path,
@@ -24,26 +45,39 @@ Server::Server(ServeConfig config, const std::string& checkpoint_path)
 
 Server::~Server() { shutdown(); }
 
-std::optional<std::future<Response>> Server::submit(tensor::Tensor image) {
+std::optional<std::future<Response>> Server::submit(tensor::Tensor image, RejectReason* why) {
+  if (why != nullptr) *why = RejectReason::kNone;
+  const tensor::Shape original_shape = image.shape();
   if (image.ndim() == 3) {
     image = image.reshaped({1, image.dim(0), image.dim(1), image.dim(2)});
   }
   const auto& m = config_.model;
   if (image.ndim() != 4 || image.dim(0) != 1 || image.dim(1) != m.in_channels ||
       image.dim(2) != m.input_size || image.dim(3) != m.input_size) {
-    throw std::invalid_argument("Server::submit: image must be (1," +
-                                std::to_string(m.in_channels) + "," +
-                                std::to_string(m.input_size) + "," +
-                                std::to_string(m.input_size) + ")");
+    // Admission-time rejection with the structured pieces a client can
+    // act on; the worker forward never sees a misshapen image.
+    throw ShapeError(config_.name, {1, m.in_channels, m.input_size, m.input_size},
+                     original_shape);
   }
   Request request;
   request.image = std::move(image);
   request.enqueued_at = Clock::now();
   std::future<Response> future = request.promise.get_future();
-  if (!queue_.try_push(std::move(request))) {
-    std::lock_guard lock(stats_mutex_);
-    ++rejected_;
-    return std::nullopt;
+  switch (queue_.try_push(std::move(request))) {
+    case PushResult::kFull: {
+      std::lock_guard lock(stats_mutex_);
+      ++rejected_full_;
+      if (why != nullptr) *why = RejectReason::kQueueFull;
+      return std::nullopt;
+    }
+    case PushResult::kClosed: {
+      std::lock_guard lock(stats_mutex_);
+      ++rejected_closed_;
+      if (why != nullptr) *why = RejectReason::kClosed;
+      return std::nullopt;
+    }
+    case PushResult::kAccepted:
+      break;
   }
   std::lock_guard lock(stats_mutex_);
   ++accepted_;
@@ -150,7 +184,9 @@ ServerStats Server::stats() const {
   s.precision = nn::precision_name(registry_.precision());
   std::lock_guard lock(stats_mutex_);
   s.accepted = accepted_;
-  s.rejected = rejected_;
+  s.rejected_full = rejected_full_;
+  s.rejected_closed = rejected_closed_;
+  s.rejected = rejected_full_ + rejected_closed_;  // compatibility sum
   s.completed = completed_;
   s.batches = batches_;
   s.reloads = reloads_;

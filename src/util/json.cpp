@@ -1,0 +1,514 @@
+#include "dlscale/util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace dlscale::util::json {
+
+namespace {
+
+[[noreturn]] void throw_kind_mismatch(Value::Kind want, Value::Kind got, const std::string& where) {
+  auto name = [](Value::Kind k) -> const char* {
+    switch (k) {
+      case Value::Kind::kNull: return "null";
+      case Value::Kind::kBool: return "bool";
+      case Value::Kind::kNumber: return "number";
+      case Value::Kind::kString: return "string";
+      case Value::Kind::kArray: return "array";
+      case Value::Kind::kObject: return "object";
+    }
+    return "?";
+  };
+  throw SchemaError(where + ": expected " + std::string(name(want)) + ", got " + name(got));
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) throw_kind_mismatch(Kind::kBool, kind_, "as_bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) throw_kind_mismatch(Kind::kNumber, kind_, "as_number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) throw_kind_mismatch(Kind::kString, kind_, "as_string");
+  return string_;
+}
+
+const Value::Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) throw_kind_mismatch(Kind::kArray, kind_, "as_array");
+  return array_;
+}
+
+Value::Array& Value::as_array() {
+  if (kind_ != Kind::kArray) throw_kind_mismatch(Kind::kArray, kind_, "as_array");
+  return array_;
+}
+
+const std::vector<std::string>& Value::keys() const {
+  if (kind_ != Kind::kObject) throw_kind_mismatch(Kind::kObject, kind_, "keys");
+  return object_keys_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) throw_kind_mismatch(Kind::kObject, kind_, "find");
+  for (std::size_t i = 0; i < object_keys_.size(); ++i) {
+    if (object_keys_[i] == key) return &object_values_[i];
+  }
+  return nullptr;
+}
+
+void Value::set(std::string key, Value value) {
+  if (kind_ != Kind::kObject) throw_kind_mismatch(Kind::kObject, kind_, "set");
+  for (std::size_t i = 0; i < object_keys_.size(); ++i) {
+    if (object_keys_[i] == key) {
+      object_values_[i] = std::move(value);
+      return;
+    }
+  }
+  object_keys_.push_back(std::move(key));
+  object_values_.push_back(std::move(value));
+}
+
+std::size_t Value::member_count() const {
+  if (kind_ != Kind::kObject) throw_kind_mismatch(Kind::kObject, kind_, "member_count");
+  return object_values_.size();
+}
+
+void Value::push_back(Value value) {
+  if (kind_ != Kind::kArray) throw_kind_mismatch(Kind::kArray, kind_, "push_back");
+  array_.push_back(std::move(value));
+}
+
+void Value::copy_from(const Value& other) {
+  kind_ = other.kind_;
+  bool_ = other.bool_;
+  number_ = other.number_;
+  string_ = other.string_;
+  array_ = other.array_;
+  object_keys_ = other.object_keys_;
+  object_values_ = other.object_values_;
+}
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent over the full grammar, hard depth limit.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const { throw ParseError(what, pos_); }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 64 levels");
+    skip_ws();
+    const char c = peek();
+    Value v;
+    switch (c) {
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        v = Value(nullptr);
+        break;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        v = Value(true);
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        v = Value(false);
+        break;
+      case '"':
+        v = Value(parse_string());
+        break;
+      case '[':
+        v = parse_array();
+        break;
+      case '{':
+        v = parse_object();
+        break;
+      default:
+        v = parse_number();
+        break;
+    }
+    --depth_;
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': append_unicode_escape(out); break;
+          default: fail("invalid escape character");
+        }
+        continue;
+      }
+      out.push_back(static_cast<char>(c));
+      ++pos_;
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return code;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {  // high surrogate; need the pair
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        fail("unpaired surrogate in \\u escape");
+      }
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate in \\u escape");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired low surrogate in \\u escape");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_ = start;
+      fail("invalid value");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // leading zero must stand alone
+    } else {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit required after decimal point");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit required in exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    double out = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc() || ptr != last) {
+      pos_ = start;
+      fail("unparsable number");
+    }
+    if (!std::isfinite(out)) {
+      pos_ = start;
+      fail("number out of double range");
+    }
+    return Value(out);
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parse_string();
+      if (v.find(key) != nullptr) fail("duplicate object key \"" + key + "\"");
+      skip_ws();
+      expect(':');
+      v.set(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+void write_escaped(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_number(double d, std::string& out) {
+  if (!std::isfinite(d)) throw Error("cannot write non-finite number as JSON");
+  char buf[32];
+  // Shortest round-trip form: "1", "0.25", "1e30". Integral doubles come
+  // out without a fraction part, so counters look like counters.
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  if (ec != std::errc()) throw Error("number formatting failed");
+  out.append(buf, ptr);
+}
+
+void write_value(const Value& v, std::string& out, int indent, int depth) {
+  const bool pretty = indent >= 0;
+  auto newline_pad = [&](int levels) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * levels), ' ');
+  };
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kNumber:
+      write_number(v.as_number(), out);
+      break;
+    case Value::Kind::kString:
+      write_escaped(v.as_string(), out);
+      break;
+    case Value::Kind::kArray: {
+      const auto& items = v.as_array();
+      if (items.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline_pad(depth + 1);
+        write_value(items[i], out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back(']');
+      break;
+    }
+    case Value::Kind::kObject: {
+      const auto& keys = v.keys();
+      if (keys.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline_pad(depth + 1);
+        write_escaped(keys[i], out);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        write_value(v.member(i), out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+std::string write(const Value& value) {
+  std::string out;
+  write_value(value, out, /*indent=*/-1, /*depth=*/0);
+  return out;
+}
+
+std::string write_pretty(const Value& value, int indent) {
+  std::string out;
+  write_value(value, out, indent < 0 ? 0 : indent, 0);
+  out.push_back('\n');
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Field-binding support.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+void expect_kind(const Value& value, Value::Kind kind, const std::string& context) {
+  if (value.kind() == kind) return;
+  auto name = [](Value::Kind k) -> const char* {
+    switch (k) {
+      case Value::Kind::kNull: return "null";
+      case Value::Kind::kBool: return "bool";
+      case Value::Kind::kNumber: return "number";
+      case Value::Kind::kString: return "string";
+      case Value::Kind::kArray: return "array";
+      case Value::Kind::kObject: return "object";
+    }
+    return "?";
+  };
+  throw SchemaError(context + ": expected " + name(kind) + ", got " + name(value.kind()));
+}
+
+double checked_integer(const Value& value, const std::string& context) {
+  expect_kind(value, Value::Kind::kNumber, context);
+  const double d = value.as_number();
+  if (std::nearbyint(d) != d) {
+    throw SchemaError(context + ": expected integer, got non-integral number");
+  }
+  return d;
+}
+
+void throw_unknown_field(const std::string& context, const std::string& key) {
+  throw SchemaError(context + ": unknown field \"" + key + "\"");
+}
+
+}  // namespace detail
+
+}  // namespace dlscale::util::json

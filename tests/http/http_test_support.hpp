@@ -1,0 +1,62 @@
+// Loopback HTTP client helpers for the front-end tests and bench: a
+// connection wrapper speaking the same http1.hpp framing as the server,
+// plus one-shot JSON request helpers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "dlscale/http/http1.hpp"
+#include "dlscale/util/json.hpp"
+#include "dlscale/util/socket.hpp"
+
+namespace dlscale::http_testing {
+
+/// One keep-alive client connection to a loopback HttpServer.
+class Client {
+ public:
+  explicit Client(std::uint16_t port)
+      : connection_(util::Socket::connect_loopback(port)) {}
+
+  /// Sends `method target` with `body` and blocks for the response.
+  http::Response request(const std::string& method, const std::string& target,
+                         std::string body = "") {
+    http::Request request;
+    request.method = method;
+    request.target = target;
+    request.body = std::move(body);
+    if (!connection_.write(request)) {
+      throw std::runtime_error("client write failed (server gone?)");
+    }
+    auto response = connection_.read_response(64ull * 1024 * 1024);
+    if (!response) throw std::runtime_error("connection closed before response");
+    return *std::move(response);
+  }
+
+  /// POSTs `body` as JSON and decodes the response body into `Out`.
+  /// Asserts (gtest) that the status matches `expect_status`.
+  template <class Out, util::json::Reflected In>
+  Out post_json(const std::string& target, const In& body, int expect_status = 200) {
+    const http::Response response = request("POST", target, util::json::to_json(body));
+    EXPECT_EQ(response.status, expect_status) << target << " -> " << response.body;
+    return util::json::from_json<Out>(response.body);
+  }
+
+  /// GETs `target` and decodes the JSON body.
+  template <class Out>
+  Out get_json(const std::string& target, int expect_status = 200) {
+    const http::Response response = request("GET", target);
+    EXPECT_EQ(response.status, expect_status) << target << " -> " << response.body;
+    return util::json::from_json<Out>(response.body);
+  }
+
+  [[nodiscard]] http::Connection& connection() noexcept { return connection_; }
+
+ private:
+  http::Connection connection_;
+};
+
+}  // namespace dlscale::http_testing

@@ -1,0 +1,225 @@
+// The HTTP/1.1 framing layer: pure head parsing (no sockets), message
+// serialization, and Connection framing over a real loopback socket
+// pair — including keep-alive reuse and pipelined bytes left in the
+// buffer between messages.
+#include "dlscale/http/http1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "dlscale/util/socket.hpp"
+
+namespace dh = dlscale::http;
+namespace du = dlscale::util;
+
+// ---------------------------------------------------------------------------
+// Pure parsing.
+// ---------------------------------------------------------------------------
+
+TEST(Http1, ParsesRequestHead) {
+  const dh::Request r = dh::parse_request_head(
+      "POST /v1/models/seg:predict HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length:  42  ");
+  EXPECT_EQ(r.method, "POST");
+  EXPECT_EQ(r.target, "/v1/models/seg:predict");
+  EXPECT_EQ(r.version, "HTTP/1.1");
+  ASSERT_EQ(r.headers.size(), 3u);
+  // Lookup is case-insensitive, values are whitespace-stripped.
+  ASSERT_NE(r.header("content-length"), nullptr);
+  EXPECT_EQ(*r.header("CONTENT-LENGTH"), "42");
+  EXPECT_EQ(*r.header("content-type"), "application/json");
+  EXPECT_EQ(r.header("x-missing"), nullptr);
+}
+
+TEST(Http1, ParsesResponseHead) {
+  const dh::Response r = dh::parse_response_head(
+      "HTTP/1.1 404 Not Found\r\n"
+      "Content-Length: 9");
+  EXPECT_EQ(r.status, 404);
+  EXPECT_EQ(r.reason, "Not Found");
+  EXPECT_EQ(*r.header("Content-Length"), "9");
+}
+
+TEST(Http1, KeepAliveSemantics) {
+  dh::Request r = dh::parse_request_head("GET / HTTP/1.1\r\nHost: x");
+  EXPECT_TRUE(r.keep_alive());  // 1.1 default
+  r = dh::parse_request_head("GET / HTTP/1.1\r\nConnection: close");
+  EXPECT_FALSE(r.keep_alive());
+  r = dh::parse_request_head("GET / HTTP/1.1\r\nConnection: Close");  // token is case-insensitive
+  EXPECT_FALSE(r.keep_alive());
+}
+
+TEST(Http1, RejectsMalformedHeads) {
+  EXPECT_THROW((void)dh::parse_request_head("GET /"), dh::HttpError);  // no version
+  EXPECT_THROW((void)dh::parse_request_head("GET / HTTP/1.1 extra"), dh::HttpError);
+  EXPECT_THROW((void)dh::parse_request_head("GET / SPDY/3"), dh::HttpError);
+  EXPECT_THROW((void)dh::parse_request_head("GET / HTTP/1.1\r\nNoColonHere"), dh::HttpError);
+  EXPECT_THROW((void)dh::parse_request_head("GET / HTTP/1.1\r\nName : v"), dh::HttpError);
+  EXPECT_THROW((void)dh::parse_request_head("GET / HTTP/1.1\r\nA: 1\r\n folded"), dh::HttpError);
+  try {
+    (void)dh::parse_request_head("GET / HTTP/2.0");
+    FAIL() << "unsupported version accepted";
+  } catch (const dh::HttpError& e) {
+    EXPECT_EQ(e.status, 505);
+  }
+}
+
+TEST(Http1, ContentLengthValidation) {
+  EXPECT_EQ(dh::content_length({{"Content-Length", "10"}}, 100), 10u);
+  EXPECT_EQ(dh::content_length({}, 100), 0u);  // absent -> no body
+  EXPECT_THROW((void)dh::content_length({{"Content-Length", "nope"}}, 100), dh::HttpError);
+  EXPECT_THROW((void)dh::content_length({{"Content-Length", "-1"}}, 100), dh::HttpError);
+  try {
+    (void)dh::content_length({{"Content-Length", "101"}}, 100);
+    FAIL() << "oversized body accepted";
+  } catch (const dh::HttpError& e) {
+    EXPECT_EQ(e.status, 413);
+  }
+}
+
+TEST(Http1, SerializeAddsFraming) {
+  dh::Request request;
+  request.method = "POST";
+  request.target = "/v1/models/seg:predict";
+  request.body = "{\"x\":1}";
+  const std::string wire = dh::serialize(request);
+  EXPECT_NE(wire.find("POST /v1/models/seg:predict HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Host: localhost\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"x\":1}"), std::string::npos);
+
+  dh::Response response;
+  response.status = 429;
+  response.body = "busy";
+  const std::string out = dh::serialize(response);
+  EXPECT_NE(out.find("HTTP/1.1 429 Too Many Requests\r\n"), std::string::npos);
+  EXPECT_NE(out.find("Content-Length: 4\r\n"), std::string::npos);
+}
+
+TEST(Http1, IEquals) {
+  EXPECT_TRUE(dh::iequals("Content-Length", "content-length"));
+  EXPECT_TRUE(dh::iequals("", ""));
+  EXPECT_FALSE(dh::iequals("a", "ab"));
+  EXPECT_FALSE(dh::iequals("close", "keep"));
+}
+
+// ---------------------------------------------------------------------------
+// Connection framing over a real socket pair.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A connected loopback (server_side, client_side) socket pair.
+std::pair<du::Socket, du::Socket> socket_pair() {
+  du::ListenSocket listener(0);
+  du::Socket client = du::Socket::connect_loopback(listener.port());
+  auto server = listener.accept();
+  EXPECT_TRUE(server.has_value());
+  return {std::move(*server), std::move(client)};
+}
+
+}  // namespace
+
+TEST(Http1Connection, RoundTripsRequestAndResponse) {
+  auto [server_socket, client_socket] = socket_pair();
+  dh::Connection server(std::move(server_socket));
+  dh::Connection client(std::move(client_socket));
+
+  dh::Request request;
+  request.method = "POST";
+  request.target = "/echo";
+  request.body = "payload";
+  ASSERT_TRUE(client.write(request));
+
+  auto received = server.read_request(1 << 20);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->method, "POST");
+  EXPECT_EQ(received->target, "/echo");
+  EXPECT_EQ(received->body, "payload");
+
+  dh::Response response;
+  response.status = 200;
+  response.body = "pong";
+  ASSERT_TRUE(server.write(response));
+
+  auto answered = client.read_response(1 << 20);
+  ASSERT_TRUE(answered.has_value());
+  EXPECT_EQ(answered->status, 200);
+  EXPECT_EQ(answered->reason, "OK");
+  EXPECT_EQ(answered->body, "pong");
+}
+
+TEST(Http1Connection, KeepAliveFramesSequentialMessages) {
+  auto [server_socket, client_socket] = socket_pair();
+  dh::Connection server(std::move(server_socket));
+  dh::Connection client(std::move(client_socket));
+
+  // Send three bodies back to back — the third read must see exactly the
+  // third body even though all bytes may land in one recv.
+  for (int i = 0; i < 3; ++i) {
+    dh::Request request;
+    request.method = "POST";
+    request.target = "/n";
+    request.body = "body-" + std::to_string(i);
+    ASSERT_TRUE(client.write(request));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto received = server.read_request(1 << 20);
+    ASSERT_TRUE(received.has_value()) << "message " << i;
+    EXPECT_EQ(received->body, "body-" + std::to_string(i));
+  }
+}
+
+TEST(Http1Connection, CleanEofReturnsNullopt) {
+  auto [server_socket, client_socket] = socket_pair();
+  dh::Connection server(std::move(server_socket));
+  { du::Socket dies = std::move(client_socket); }  // client closes without sending
+  auto received = server.read_request(1 << 20);
+  EXPECT_FALSE(received.has_value());
+}
+
+TEST(Http1Connection, MidMessageEofThrows) {
+  auto [server_socket, client_socket] = socket_pair();
+  dh::Connection server(std::move(server_socket));
+  ASSERT_TRUE(client_socket.send_all(std::string("POST /x HTTP/1.1\r\nContent-Le")));
+  { du::Socket dies = std::move(client_socket); }  // hang up mid-head
+  EXPECT_THROW((void)server.read_request(1 << 20), dh::HttpError);
+}
+
+TEST(Http1Connection, OversizedBodyRejectedWith413) {
+  auto [server_socket, client_socket] = socket_pair();
+  dh::Connection server(std::move(server_socket));
+  dh::Connection client(std::move(client_socket));
+  dh::Request request;
+  request.method = "POST";
+  request.target = "/big";
+  request.body = std::string(2048, 'x');
+  ASSERT_TRUE(client.write(request));
+  try {
+    (void)server.read_request(/*max_body=*/1024);
+    FAIL() << "oversized body framed";
+  } catch (const dh::HttpError& e) {
+    EXPECT_EQ(e.status, 413);
+  }
+}
+
+TEST(Http1Connection, ShutdownUnblocksBlockedRead) {
+  auto [server_socket, client_socket] = socket_pair();
+  dh::Connection server(std::move(server_socket));
+  std::thread unblocker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.socket().shutdown_both();
+  });
+  // Blocked in recv with no bytes: the cross-thread shutdown must wake it
+  // as a clean EOF, not hang or crash.
+  auto received = server.read_request(1 << 20);
+  EXPECT_FALSE(received.has_value());
+  unblocker.join();
+  (void)client_socket;
+}

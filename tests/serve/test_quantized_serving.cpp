@@ -53,7 +53,7 @@ TEST(QuantizedRegistry, LoadsEachPrecisionAndStaysCloseToFp32) {
   for (dn::Precision target : {dn::Precision::kBf16, dn::Precision::kInt8}) {
     ds::QuantizeSpec spec;
     spec.precision = target;
-    ds::ModelRegistry registry(dst::small_config(), /*replica_count=*/2, ckpt.path, spec);
+    ds::ReplicaRegistry registry(dst::small_config(), /*replica_count=*/2, ckpt.path, spec);
     EXPECT_EQ(registry.precision(), target);
     const auto set = registry.acquire();
     ASSERT_EQ(set->replicas.size(), 2u);
@@ -81,7 +81,7 @@ TEST(QuantizedRegistry, CallerSuppliedCalibrationImagesAreUsed) {
   spec.calibration_images = calib;
   spec.calibration.observer = dn::ObserverKind::kPercentile;
   spec.calibration.percentile = 99.5;
-  ds::ModelRegistry registry(m, 1, ckpt.path, spec);
+  ds::ReplicaRegistry registry(m, 1, ckpt.path, spec);
   EXPECT_EQ(registry.precision(), dn::Precision::kInt8);
 }
 
@@ -155,7 +155,7 @@ TEST(QuantizedRegistry, BadCheckpointUnderQuantizeKeepsOldSetServing) {
   dst::write_checkpoint(dst::small_config(), 25, good.path);
   ds::QuantizeSpec spec;
   spec.precision = dn::Precision::kBf16;
-  ds::ModelRegistry registry(dst::small_config(), 1, good.path, spec);
+  ds::ReplicaRegistry registry(dst::small_config(), 1, good.path, spec);
   EXPECT_THROW(registry.reload("/nonexistent/ckpt.bin"), std::runtime_error);
   EXPECT_EQ(registry.version(), 1);
   EXPECT_EQ(registry.precision(), dn::Precision::kBf16);

@@ -25,21 +25,21 @@ ds::Request make_request(float fill_value = 1.0f) {
 
 TEST(RequestQueue, AdmitsUpToCapacityThenRejects) {
   ds::RequestQueue q(2);
-  EXPECT_TRUE(q.try_push(make_request()));
-  EXPECT_TRUE(q.try_push(make_request()));
-  EXPECT_FALSE(q.try_push(make_request()));  // full -> shed
+  EXPECT_EQ(q.try_push(make_request()), ds::PushResult::kAccepted);
+  EXPECT_EQ(q.try_push(make_request()), ds::PushResult::kAccepted);
+  EXPECT_EQ(q.try_push(make_request()), ds::PushResult::kFull);  // full -> shed
   EXPECT_EQ(q.depth(), 2u);
   // Popping frees a slot and admission resumes.
   ASSERT_TRUE(q.pop().has_value());
-  EXPECT_TRUE(q.try_push(make_request()));
+  EXPECT_TRUE(ds::accepted(q.try_push(make_request())));
 }
 
 TEST(RequestQueue, ClosedQueueRejectsButDrains) {
   ds::RequestQueue q(4);
-  EXPECT_TRUE(q.try_push(make_request(1.0f)));
-  EXPECT_TRUE(q.try_push(make_request(2.0f)));
+  EXPECT_TRUE(ds::accepted(q.try_push(make_request(1.0f))));
+  EXPECT_TRUE(ds::accepted(q.try_push(make_request(2.0f))));
   q.close();
-  EXPECT_FALSE(q.try_push(make_request(3.0f)));  // no admissions after close
+  EXPECT_EQ(q.try_push(make_request(3.0f)), ds::PushResult::kClosed);  // no admissions after close
   // Queued work survives close: both pops succeed in FIFO order, then the
   // drained signal.
   auto a = q.pop();
@@ -59,7 +59,7 @@ TEST(RequestQueue, PopBlocksUntilPush) {
     got.set_value(r ? r->image[0] : -1.0f);
   });
   std::this_thread::sleep_for(5ms);
-  EXPECT_TRUE(q.try_push(make_request(7.0f)));
+  EXPECT_TRUE(ds::accepted(q.try_push(make_request(7.0f))));
   EXPECT_FLOAT_EQ(got.get_future().get(), 7.0f);
   consumer.join();
 }
@@ -72,7 +72,7 @@ TEST(RequestQueue, PopUntilTimesOutEmpty) {
 
 TEST(DynamicBatcher, CoalescesQueuedRequestsUpToMaxBatch) {
   ds::RequestQueue q(16);
-  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(make_request(static_cast<float>(i))));
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ds::accepted(q.try_push(make_request(static_cast<float>(i)))));
   ds::DynamicBatcher batcher(q, /*max_batch=*/4, /*max_wait=*/0us);
   ds::Batch batch = batcher.next_batch();
   ASSERT_EQ(batch.size(), 4);
@@ -87,7 +87,7 @@ TEST(DynamicBatcher, CoalescesQueuedRequestsUpToMaxBatch) {
 
 TEST(DynamicBatcher, LoneRequestRunsAfterWaitWindow) {
   ds::RequestQueue q(16);
-  ASSERT_TRUE(q.try_push(make_request()));
+  ASSERT_TRUE(ds::accepted(q.try_push(make_request())));
   ds::DynamicBatcher batcher(q, /*max_batch=*/8, /*max_wait=*/1000us);
   const auto t0 = ds::Clock::now();
   ds::Batch batch = batcher.next_batch();

@@ -90,17 +90,24 @@ TEST(Server, RejectsWhenQueueOverflows) {
   std::vector<std::future<ds::Response>> accepted;
   int rejected = 0;
   for (int i = 0; i < 64; ++i) {
-    auto f = server.submit(random_image(rng, config.model));
+    ds::RejectReason why = ds::RejectReason::kNone;
+    auto f = server.submit(random_image(rng, config.model), &why);
     if (f.has_value()) {
+      EXPECT_EQ(why, ds::RejectReason::kNone);
       accepted.push_back(std::move(*f));
     } else {
+      // Overflow rejections are kQueueFull, never kClosed.
+      EXPECT_EQ(why, ds::RejectReason::kQueueFull);
       ++rejected;
     }
   }
   EXPECT_GT(rejected, 0);
   for (auto& f : accepted) (void)f.get();
   const ds::ServerStats stats = server.stats();
-  EXPECT_EQ(stats.rejected, static_cast<std::uint64_t>(rejected));
+  EXPECT_EQ(stats.rejected_full, static_cast<std::uint64_t>(rejected));
+  EXPECT_EQ(stats.rejected_closed, 0u);
+  // `rejected` stays the sum, so pre-split dashboards keep working.
+  EXPECT_EQ(stats.rejected, stats.rejected_full + stats.rejected_closed);
   EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(accepted.size()));
 }
 
@@ -120,8 +127,15 @@ TEST(Server, ShutdownDrainsAdmittedRequests) {
       futures.push_back(std::move(*f));
     }
     server.shutdown();
-    // After shutdown no new work is admitted...
-    EXPECT_FALSE(server.submit(random_image(rng, config.model)).has_value());
+    // After shutdown no new work is admitted, and the rejection says WHY:
+    // closed, not full — the HTTP layer turns this into 503 vs 429.
+    ds::RejectReason why = ds::RejectReason::kNone;
+    EXPECT_FALSE(server.submit(random_image(rng, config.model), &why).has_value());
+    EXPECT_EQ(why, ds::RejectReason::kClosed);
+    const ds::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.rejected_closed, 1u);
+    EXPECT_EQ(stats.rejected_full, 0u);
+    EXPECT_EQ(stats.rejected, 1u);
   }
   // ...but everything admitted before shutdown was answered, not dropped.
   for (auto& f : futures) {
@@ -186,8 +200,21 @@ TEST(Server, CorruptReloadKeepsOldWeightsServing) {
 TEST(Server, RejectsWrongImageShape) {
   dst::TempFile ckpt("dlscale_serve_shape.bin");
   dst::write_checkpoint(dst::small_config(), 11, ckpt.path);
-  ds::Server server(small_serve_config(), ckpt.path);
-  EXPECT_THROW((void)server.submit(dt::Tensor({1, 3, 8, 8})), std::invalid_argument);
+  ds::ServeConfig config = small_serve_config();
+  config.name = "seg-test";
+  ds::Server server(config, ckpt.path);
+  // The rejection is a named ShapeError: which model, expected vs got.
+  try {
+    (void)server.submit(dt::Tensor({1, 3, 8, 8}));
+    FAIL() << "wrong spatial size accepted";
+  } catch (const ds::ShapeError& e) {
+    EXPECT_EQ(e.model(), "seg-test");
+    EXPECT_EQ(e.expected(), dt::Shape({1, 3, 16, 16}));
+    EXPECT_EQ(e.got(), dt::Shape({1, 3, 8, 8}));
+    EXPECT_NE(std::string(e.what()).find("seg-test"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("(1,3,8,8)"), std::string::npos);
+  }
+  // ShapeError derives std::invalid_argument, so old catch sites still work.
   EXPECT_THROW((void)server.submit(dt::Tensor({2, 3, 16, 16})), std::invalid_argument);
   // (C,S,S) is auto-unsqueezed, not an error.
   auto f = server.submit(dt::Tensor({3, 16, 16}));
